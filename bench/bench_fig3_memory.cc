@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Reproduces Figure 3: the memory access pattern of the two-core NTT.
+ * Prints the read sequences of both butterfly cores for the three
+ * scheduling regimes (m <= n/4, m = n/2, m = n), replays the full
+ * transform against the BRAM port model, and reports the conflict count
+ * (the paper's claim: zero) together with the cost of the naive
+ * unpaired schedule the paper's scheme avoids.
+ */
+
+#include <cstdio>
+
+#include "hw/bram.h"
+#include "hw/ntt_engine.h"
+
+using namespace heat;
+using namespace heat::hw;
+
+namespace {
+
+void
+printRegime(const NttEngine &engine, int stage, const char *label,
+            size_t words)
+{
+    std::printf("\n%s\n", label);
+    std::printf("  cycle:      ");
+    for (int c = 0; c < 8; ++c)
+        std::printf("%6d", c);
+    std::printf("  ...\n");
+    auto sched = engine.stageReadSchedule(stage);
+    for (int core = 0; core < 2; ++core) {
+        std::printf("  core %d reads:", core);
+        int printed = 0;
+        for (const auto &a : sched) {
+            if (a.core == core && a.cycle < 8) {
+                std::printf("%6u", a.word);
+                ++printed;
+            }
+        }
+        std::printf("  ...   (%s block first)\n",
+                    sched[core == 0 ? 0 : 1].word < words / 2 ? "lower"
+                                                              : "upper");
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    const size_t n = 4096;
+    HwConfig config = HwConfig::paper();
+    NttEngine engine(config, n);
+    const size_t words = n / 2;
+
+    std::printf("=== Figure 3: two-core NTT memory access (n = %zu, "
+                "%zu words of two coefficients) ===\n",
+                n, words);
+    printRegime(engine, 0, "Iteration m = 2 .. 1024 (index gap <= 512): "
+                           "cores own disjoint banks",
+                words);
+    printRegime(engine, engine.stageCount() - 2,
+                "Iteration m = 2048 (index gap 1024): interleaved, core 1 "
+                "order inverted",
+                words);
+    printRegime(engine, engine.stageCount() - 1,
+                "Iteration m = 4096: one memory word at a time", words);
+
+    uint64_t conflicts = 0;
+    Cycle cycles = engine.simulate(conflicts);
+    std::printf("\nFull transform replayed against the BRAM port model:\n");
+    std::printf("  stages: %d, cycles: %llu (%.1f us at 200 MHz)\n",
+                engine.stageCount(),
+                static_cast<unsigned long long>(cycles),
+                config.cyclesToUs(cycles));
+    std::printf("  port conflicts: %llu (paper's claim: 0)\n",
+                static_cast<unsigned long long>(conflicts));
+
+    // Counterfactual: a naive schedule in which both cores walk the
+    // same bank conflicts on every cycle, halving throughput.
+    BramBank lower(0, static_cast<uint32_t>(words / 2));
+    uint64_t naive_conflicts = 0;
+    for (uint32_t i = 0; i < words / 2; ++i) {
+        lower.recordRead(i, i);
+        lower.recordRead(i, (i + 1) % static_cast<uint32_t>(words / 2));
+    }
+    naive_conflicts = lower.conflicts();
+    std::printf("  naive same-bank schedule conflicts per stage: %llu "
+                "(=> serialized reads, ~2x stage time)\n",
+                static_cast<unsigned long long>(naive_conflicts));
+    return 0;
+}

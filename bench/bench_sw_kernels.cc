@@ -1,0 +1,217 @@
+/**
+ * @file
+ * google-benchmark micro suite for the software kernels underpinning
+ * both the evaluator and the hardware model: modular reduction variants
+ * (Barrett vs Shoup vs the paper's sliding window), NTT transforms
+ * across degrees, HPS Lift/Scale per-coefficient kernels, and the
+ * high-level evaluator operations on the paper's parameter set.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "fv/encryptor.h"
+#include "fv/evaluator.h"
+#include "fv/keygen.h"
+#include "fv/params.h"
+#include "ntt/ntt.h"
+#include "rns/base_convert.h"
+#include "rns/prime_gen.h"
+#include "rns/scale_round.h"
+
+using namespace heat;
+
+namespace {
+
+rns::Modulus
+prime30()
+{
+    static const uint64_t p = rns::generateNttPrimes(30, 4096, 1)[0];
+    return rns::Modulus(p);
+}
+
+void
+BM_ReduceBarrett(benchmark::State &state)
+{
+    rns::Modulus q = prime30();
+    Xoshiro256 rng(1);
+    uint64_t x = rng.next() >> 4;
+    for (auto _ : state) {
+        x = q.reduce128(mulWide64(x | 1, x | 3));
+        benchmark::DoNotOptimize(x);
+    }
+}
+BENCHMARK(BM_ReduceBarrett);
+
+void
+BM_ReduceSlidingWindow(benchmark::State &state)
+{
+    rns::Modulus q = prime30();
+    Xoshiro256 rng(2);
+    uint64_t a = rng.uniformBelow(q.value());
+    for (auto _ : state) {
+        a = q.slidingWindowReduce(a * (a | 1));
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(BM_ReduceSlidingWindow);
+
+void
+BM_MulShoup(benchmark::State &state)
+{
+    rns::Modulus q = prime30();
+    Xoshiro256 rng(3);
+    const uint64_t w = rng.uniformBelow(q.value());
+    const uint64_t w_shoup = q.shoupPrecompute(w);
+    uint64_t a = rng.uniformBelow(q.value());
+    for (auto _ : state) {
+        a = q.mulShoup(a | 1, w, w_shoup);
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(BM_MulShoup);
+
+void
+BM_ForwardNtt(benchmark::State &state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    rns::Modulus q(rns::generateNttPrimes(30, n, 1)[0]);
+    ntt::NttTables tables(q, n);
+    Xoshiro256 rng(4);
+    std::vector<uint64_t> a(n);
+    for (auto &x : a)
+        x = rng.uniformBelow(q.value());
+    for (auto _ : state) {
+        ntt::forwardNtt(a, tables);
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ForwardNtt)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void
+BM_InverseNtt(benchmark::State &state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    rns::Modulus q(rns::generateNttPrimes(30, n, 1)[0]);
+    ntt::NttTables tables(q, n);
+    Xoshiro256 rng(5);
+    std::vector<uint64_t> a(n);
+    for (auto &x : a)
+        x = rng.uniformBelow(q.value());
+    for (auto _ : state) {
+        ntt::inverseNtt(a, tables);
+        benchmark::ClobberMemory();
+    }
+}
+BENCHMARK(BM_InverseNtt)->Arg(4096);
+
+void
+BM_LiftCoefficient(benchmark::State &state)
+{
+    auto params = fv::FvParams::paper();
+    const auto &conv = params->liftConverter();
+    Xoshiro256 rng(6);
+    std::vector<uint64_t> in(params->qBase()->size());
+    for (size_t i = 0; i < in.size(); ++i)
+        in[i] = rng.uniformBelow(params->qBase()->modulus(i).value());
+    std::vector<uint64_t> out(params->pBase()->size());
+    for (auto _ : state) {
+        conv.convert(in, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_LiftCoefficient);
+
+void
+BM_ScaleCoefficient(benchmark::State &state)
+{
+    auto params = fv::FvParams::paper();
+    const auto &scaler = params->scaler();
+    Xoshiro256 rng(7);
+    std::vector<uint64_t> in(params->fullBase()->size());
+    for (size_t i = 0; i < in.size(); ++i)
+        in[i] = rng.uniformBelow(params->fullBase()->modulus(i).value());
+    std::vector<uint64_t> out(params->pBase()->size());
+    for (auto _ : state) {
+        scaler.scale(in, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_ScaleCoefficient);
+
+/** Shared fixture for the paper-parameter evaluator benchmarks. */
+struct EvalFixture
+{
+    EvalFixture()
+        : params(fv::FvParams::paper()),
+          keygen(params, 8),
+          sk(keygen.generateSecretKey()),
+          pk(keygen.generatePublicKey(sk)),
+          rlk(keygen.generateRelinKeys(sk)),
+          encryptor(params, pk, 9),
+          evaluator(params, fv::ArithPath::kHps),
+          exact_evaluator(params, fv::ArithPath::kExactCrt)
+    {
+        fv::Plaintext m;
+        m.coeffs.assign(params->degree(), 1);
+        a = encryptor.encrypt(m);
+        b = encryptor.encrypt(m);
+    }
+
+    static EvalFixture &
+    instance()
+    {
+        static EvalFixture fixture;
+        return fixture;
+    }
+
+    std::shared_ptr<const fv::FvParams> params;
+    fv::KeyGenerator keygen;
+    fv::SecretKey sk;
+    fv::PublicKey pk;
+    fv::RelinKeys rlk;
+    fv::Encryptor encryptor;
+    fv::Evaluator evaluator;
+    fv::Evaluator exact_evaluator;
+    fv::Ciphertext a, b;
+};
+
+void
+BM_EvaluatorAdd(benchmark::State &state)
+{
+    auto &f = EvalFixture::instance();
+    for (auto _ : state) {
+        fv::Ciphertext c = f.evaluator.add(f.a, f.b);
+        benchmark::DoNotOptimize(c.polys.data());
+    }
+}
+BENCHMARK(BM_EvaluatorAdd)->Unit(benchmark::kMillisecond);
+
+void
+BM_EvaluatorMultHps(benchmark::State &state)
+{
+    auto &f = EvalFixture::instance();
+    for (auto _ : state) {
+        fv::Ciphertext c = f.evaluator.multiply(f.a, f.b, f.rlk);
+        benchmark::DoNotOptimize(c.polys.data());
+    }
+}
+BENCHMARK(BM_EvaluatorMultHps)->Unit(benchmark::kMillisecond);
+
+void
+BM_EvaluatorMultExactCrt(benchmark::State &state)
+{
+    auto &f = EvalFixture::instance();
+    for (auto _ : state) {
+        fv::Ciphertext c = f.exact_evaluator.multiply(f.a, f.b, f.rlk);
+        benchmark::DoNotOptimize(c.polys.data());
+    }
+}
+BENCHMARK(BM_EvaluatorMultExactCrt)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+} // namespace
+
+BENCHMARK_MAIN();

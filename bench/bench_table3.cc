@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Reproduces Table III: comparison of DMA data-transfer techniques for
+ * one 98304-byte residue polynomial (single burst vs 16 KiB vs 1 KiB
+ * chunks), plus a sweep over chunk sizes showing where the knee sits.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "hw/dma.h"
+
+using namespace heat;
+using namespace heat::hw;
+
+int
+main()
+{
+    HwConfig config = HwConfig::paper();
+    DmaModel dma(config);
+    const size_t bytes = 98304; // one R_q polynomial: 6 * 4096 * 4 bytes
+
+    bench::printHeader("Table III: data transfer techniques (us)");
+    bench::printRow("Single transfer of 98304 bytes", 76.0,
+                    dma.transferUs(bytes, bytes), "us");
+    bench::printRow("Transfers with 16384-byte chunks", 109.0,
+                    dma.transferUs(bytes, 16384), "us");
+    bench::printRow("Transfers with 1024-byte chunks", 202.0,
+                    dma.transferUs(bytes, 1024), "us");
+
+    bench::printHeader("Table III in Arm cycles (1.2 GHz)");
+    bench::printRow("Single transfer of 98304 bytes", 90708,
+                    static_cast<double>(config.usToArmCycles(
+                        dma.transferUs(bytes, bytes))),
+                    "cy");
+    bench::printRow("Transfers with 16384-byte chunks", 130686,
+                    static_cast<double>(config.usToArmCycles(
+                        dma.transferUs(bytes, 16384))),
+                    "cy");
+    bench::printRow("Transfers with 1024-byte chunks", 242771,
+                    static_cast<double>(config.usToArmCycles(
+                        dma.transferUs(bytes, 1024))),
+                    "cy");
+
+    std::printf("\nChunk-size sweep (98304 bytes):\n");
+    std::printf("%12s %12s %14s\n", "chunk (B)", "time (us)",
+                "eff. BW (MB/s)");
+    for (size_t chunk = 512; chunk <= bytes; chunk *= 2) {
+        const double us = dma.transferUs(bytes, std::min(chunk, bytes));
+        std::printf("%12zu %12.1f %14.0f\n", std::min(chunk, bytes), us,
+                    static_cast<double>(bytes) / us);
+    }
+    std::printf("\nRaw stream time (no driver overhead): %.1f us "
+                "(2 GB/s bus)\n",
+                dma.streamUs(bytes));
+    return 0;
+}

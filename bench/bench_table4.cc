@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Reproduces Table IV: FPGA resource utilization of one coprocessor and
+ * of the full two-coprocessor system (with DMA and interfacing) on the
+ * Zynq UltraScale+ ZU9EG, including the utilization percentages and the
+ * per-block breakdown behind them.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "fv/params.h"
+#include "hw/resource_model.h"
+
+using namespace heat;
+using namespace heat::hw;
+
+namespace {
+
+void
+printResources(const char *name, const Resources &r)
+{
+    std::printf("%-34s %9.0f %9.0f %7.0f %7.0f\n", name, r.lut, r.ff,
+                r.bram36, r.dsp);
+}
+
+} // namespace
+
+int
+main()
+{
+    auto params = fv::FvParams::paper();
+    HwConfig config = HwConfig::paper();
+    ResourceModel model(*params, config);
+
+    const Resources one = model.coprocessor();
+    const Resources two = model.system(2);
+
+    bench::printHeader("Table IV: resource utilization");
+    bench::printRow("Two coprocessors+interface: LUTs", 133692, two.lut,
+                    "  ");
+    bench::printRow("Two coprocessors+interface: Registers", 60312, two.ff,
+                    "  ");
+    bench::printRow("Two coprocessors+interface: BRAMs", 815, two.bram36,
+                    "  ");
+    bench::printRow("Two coprocessors+interface: DSPs", 416, two.dsp,
+                    "  ");
+    bench::printRow("Single coprocessor: LUTs", 63522, one.lut, "  ");
+    bench::printRow("Single coprocessor: Registers", 25622, one.ff, "  ");
+    bench::printRow("Single coprocessor: BRAMs", 388, one.bram36, "  ");
+    bench::printRow("Single coprocessor: DSPs", 208, one.dsp, "  ");
+
+    DeviceCapacity dev;
+    std::printf("\nUtilization on ZU9EG (paper: 49%% / 11%% / 89%% / "
+                "16%%):\n");
+    std::printf("  LUT %.0f%%  FF %.0f%%  BRAM %.0f%%  DSP %.0f%%\n",
+                ResourceModel::utilizationPct(two.lut, dev.lut),
+                ResourceModel::utilizationPct(two.ff, dev.ff),
+                ResourceModel::utilizationPct(two.bram36, dev.bram36),
+                ResourceModel::utilizationPct(two.dsp, dev.dsp));
+
+    std::printf("\nPer-block breakdown (one coprocessor):\n");
+    std::printf("%-34s %9s %9s %7s %7s\n", "block", "LUT", "FF", "BRAM",
+                "DSP");
+    printResources("butterfly core (x14)", model.butterflyCore());
+    printResources("RPAU incl. twiddle ROM (x7)", model.rpau());
+    printResources("Lift/Scale core (x2)", model.liftScaleCore());
+    printResources("memory file (84 slots)", model.memoryFile());
+    printResources("control + ISA", model.controlOverhead());
+    printResources("total coprocessor", one);
+    return 0;
+}

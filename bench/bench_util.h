@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Shared helpers for the reproduction benchmarks: paper-vs-measured
+ * table printing.
+ */
+
+#ifndef HEAT_BENCH_BENCH_UTIL_H
+#define HEAT_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+
+namespace heat::bench {
+
+/** Print a table header. */
+inline void
+printHeader(const std::string &title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+    std::printf("%-42s %14s %14s %9s\n", "metric", "paper", "this repo",
+                "ratio");
+    std::printf("%.*s\n", 82,
+                "-----------------------------------------------------------"
+                "-----------------------");
+}
+
+/** Print one paper-vs-measured row. */
+inline void
+printRow(const std::string &metric, double paper, double ours,
+         const char *unit)
+{
+    std::printf("%-42s %11.3f %s %11.3f %s %8.2fx\n", metric.c_str(), paper,
+                unit, ours, unit, ours / paper);
+}
+
+/** Print a row without a paper reference. */
+inline void
+printInfo(const std::string &metric, double value, const char *unit)
+{
+    std::printf("%-42s %14s %11.3f %s\n", metric.c_str(), "-", value, unit);
+}
+
+} // namespace heat::bench
+
+#endif // HEAT_BENCH_BENCH_UTIL_H

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Encrypted table lookup (private information retrieval), one of the
+ * depth-bounded applications the paper's parameter set targets
+ * (Sec. III-A mentions encrypted search in a table of 2^16 entries).
+ *
+ * The client encrypts the bits of a query index; the server
+ * homomorphically evaluates, for every table entry i, the equality
+ * indicator prod_j (1 XOR q_j XOR i_j) — a balanced product tree of
+ * multiplicative depth log2(bits) — multiplies each indicator by the
+ * entry value, and sums. The client decrypts exactly table[index]
+ * while the server learns nothing about the index.
+ *
+ * The demo uses an 8-entry table (3 index bits, depth 2) so it runs in
+ * seconds at the paper's full parameter set; the machinery is identical
+ * for 2^16 entries.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "fv/decryptor.h"
+#include "fv/encryptor.h"
+#include "fv/evaluator.h"
+#include "fv/keygen.h"
+#include "fv/params.h"
+
+using namespace heat;
+
+namespace {
+
+/** Encrypt a single bit into the constant coefficient. */
+fv::Ciphertext
+encryptBit(fv::Encryptor &encryptor, uint64_t bit)
+{
+    fv::Plaintext p;
+    p.coeffs = {bit & 1};
+    return encryptor.encrypt(p);
+}
+
+} // namespace
+
+int
+main()
+{
+    // t = 2: boolean circuit evaluation, exactly the paper's binary
+    // message configuration.
+    auto params = fv::FvParams::paper(/*t=*/2);
+    fv::KeyGenerator keygen(params, 4242);
+    fv::SecretKey sk = keygen.generateSecretKey();
+    fv::PublicKey pk = keygen.generatePublicKey(sk);
+    fv::RelinKeys rlk = keygen.generateRelinKeys(sk);
+    fv::Encryptor encryptor(params, pk, 1);
+    fv::Decryptor decryptor(params, sk);
+    fv::Evaluator evaluator(params);
+
+    const int index_bits = 3;
+    const size_t table_size = size_t(1) << index_bits;
+    // The server's public table: entry i holds a small bit pattern.
+    std::vector<uint64_t> table = {0b101, 0b111, 0b001, 0b010,
+                                   0b110, 0b011, 0b100, 0b000};
+
+    const uint64_t secret_index = 5;
+    std::printf("Client queries index %llu of a %zu-entry table "
+                "(server must not learn it).\n",
+                static_cast<unsigned long long>(secret_index), table_size);
+
+    // Client: encrypt the index bits.
+    std::vector<fv::Ciphertext> query;
+    for (int j = 0; j < index_bits; ++j)
+        query.push_back(encryptBit(encryptor, (secret_index >> j) & 1));
+
+    // Server: for each entry, build the equality indicator and weight it
+    // by the entry value (as a plaintext polynomial).
+    fv::Ciphertext result;
+    bool first = true;
+    for (size_t i = 0; i < table_size; ++i) {
+        // match_j = 1 XOR q_j XOR i_j  (over t = 2: addPlain of constants)
+        std::vector<fv::Ciphertext> match;
+        for (int j = 0; j < index_bits; ++j) {
+            fv::Ciphertext m = query[j];
+            const uint64_t bit = (i >> j) & 1;
+            fv::Plaintext c;
+            c.coeffs = {1 ^ bit};
+            evaluator.addPlainInPlace(m, c); // m = q_j + (1 + i_j) mod 2
+            match.push_back(std::move(m));
+        }
+        // Balanced product tree: depth ceil(log2(index_bits)).
+        while (match.size() > 1) {
+            std::vector<fv::Ciphertext> next;
+            for (size_t k = 0; k + 1 < match.size(); k += 2)
+                next.push_back(
+                    evaluator.multiply(match[k], match[k + 1], rlk));
+            if (match.size() % 2)
+                next.push_back(std::move(match.back()));
+            match = std::move(next);
+        }
+
+        // Weight by the entry value: value bits in the low coefficients.
+        fv::Plaintext value;
+        for (int bit = 0; bit < 3; ++bit)
+            value.coeffs.push_back((table[i] >> bit) & 1);
+        fv::Ciphertext contribution =
+            evaluator.multiplyPlain(match[0], value);
+
+        if (first) {
+            result = contribution;
+            first = false;
+        } else {
+            evaluator.addInPlace(result, contribution);
+        }
+    }
+
+    // Client: decrypt and reassemble the value bits.
+    fv::Plaintext plain = decryptor.decrypt(result);
+    uint64_t value = 0;
+    for (size_t bit = 0; bit < 3 && bit < plain.coeffs.size(); ++bit)
+        value |= (plain.coeffs[bit] & 1) << bit;
+
+    std::printf("retrieved value: 0b%llu%llu%llu (expected 0b%llu%llu%llu)"
+                "\n",
+                (value >> 2) & 1, (value >> 1) & 1, value & 1,
+                (table[secret_index] >> 2) & 1,
+                (table[secret_index] >> 1) & 1, table[secret_index] & 1);
+    std::printf("noise budget after depth-%d selection: %.0f bits\n",
+                2, decryptor.invariantNoiseBudget(result));
+    std::printf("%s\n", value == table[secret_index]
+                            ? "PIR lookup correct."
+                            : "MISMATCH - lookup failed!");
+    return value == table[secret_index] ? 0 : 1;
+}

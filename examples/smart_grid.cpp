@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Privacy-friendly smart-grid aggregation and forecasting — the paper's
+ * motivating application [Bos-Castryck-Iliashenko-Vercauteren,
+ * AFRICACRYPT 2017]. A utility aggregates encrypted consumption
+ * readings from many households and evaluates a linear autoregressive
+ * forecast, all without ever decrypting an individual meter.
+ *
+ * One ciphertext batches n = 4096 plaintext slots (t = 65537 is prime
+ * and = 1 mod 2n), so 4096 households ride in a single ciphertext and
+ * every homomorphic operation acts on all of them at once.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common/random.h"
+#include "fv/batch_encoder.h"
+#include "fv/decryptor.h"
+#include "fv/encryptor.h"
+#include "fv/evaluator.h"
+#include "fv/keygen.h"
+#include "fv/params.h"
+
+using namespace heat;
+
+int
+main()
+{
+    auto params = fv::FvParams::paper(/*t=*/65537);
+    const size_t households = params->degree();
+    const int hours = 6;
+    const uint64_t t = params->plainModulus();
+
+    fv::KeyGenerator keygen(params, 31337);
+    fv::SecretKey sk = keygen.generateSecretKey();
+    fv::PublicKey pk = keygen.generatePublicKey(sk);
+    fv::RelinKeys rlk = keygen.generateRelinKeys(sk);
+    fv::Encryptor encryptor(params, pk, 5);
+    fv::Decryptor decryptor(params, sk);
+    fv::Evaluator evaluator(params);
+    fv::BatchEncoder encoder(params);
+
+    std::printf("Smart-grid demo: %zu households, %d hourly readings "
+                "each (slot-batched)\n",
+                households, hours);
+
+    // Each hour every household submits an encrypted reading (watts,
+    // bounded so sums stay below t).
+    Xoshiro256 rng(99);
+    std::vector<std::vector<uint64_t>> readings(hours);
+    std::vector<fv::Ciphertext> encrypted;
+    for (int h = 0; h < hours; ++h) {
+        readings[h].resize(households);
+        for (auto &w : readings[h])
+            w = 100 + rng.uniformBelow(900); // 100..999 W
+        encrypted.push_back(
+            encryptor.encrypt(encoder.encode(readings[h])));
+    }
+
+    // --- 1. total consumption per household over the window -------------
+    fv::Ciphertext total = encrypted[0];
+    for (int h = 1; h < hours; ++h)
+        evaluator.addInPlace(total, encrypted[h]);
+    auto totals = encoder.decode(decryptor.decrypt(total));
+
+    uint64_t expect0 = 0;
+    for (int h = 0; h < hours; ++h)
+        expect0 += readings[h][0];
+    std::printf("\nhousehold 0 total: %llu W (expected %llu), "
+                "budget %.0f bits\n",
+                static_cast<unsigned long long>(totals[0]),
+                static_cast<unsigned long long>(expect0),
+                decryptor.invariantNoiseBudget(total));
+
+    // --- 2. linear forecast: x(t+1) ~ 3*x(t) - 2*x(t-1) + x(t-2) --------
+    // (an integer-weight autoregressive model in the spirit of the
+    // group-method-of-data-handling predictor of the paper's reference)
+    const int64_t w0 = 3, w1 = -2, w2 = 1;
+    fv::Plaintext p_w0(std::vector<uint64_t>{static_cast<uint64_t>(w0)});
+    fv::Plaintext p_w1(
+        std::vector<uint64_t>{static_cast<uint64_t>(t + w1)});
+    fv::Plaintext p_w2(std::vector<uint64_t>{static_cast<uint64_t>(w2)});
+
+    fv::Ciphertext forecast =
+        evaluator.multiplyPlain(encrypted[hours - 1], p_w0);
+    evaluator.addInPlace(
+        forecast, evaluator.multiplyPlain(encrypted[hours - 2], p_w1));
+    evaluator.addInPlace(
+        forecast, evaluator.multiplyPlain(encrypted[hours - 3], p_w2));
+    auto forecasts = encoder.decode(decryptor.decrypt(forecast));
+
+    for (size_t i = 0; i < 3; ++i) {
+        const int64_t expect =
+            w0 * static_cast<int64_t>(readings[hours - 1][i]) +
+            w1 * static_cast<int64_t>(readings[hours - 2][i]) +
+            w2 * static_cast<int64_t>(readings[hours - 3][i]);
+        const int64_t got =
+            forecasts[i] > t / 2 ? static_cast<int64_t>(forecasts[i]) -
+                                       static_cast<int64_t>(t)
+                                 : static_cast<int64_t>(forecasts[i]);
+        std::printf("household %zu forecast: %lld W (expected %lld)\n", i,
+                    static_cast<long long>(got),
+                    static_cast<long long>(expect));
+    }
+
+    // --- 3. squared-consumption aggregate (for variance billing) -------
+    fv::Ciphertext sq =
+        evaluator.multiply(encrypted[hours - 1], encrypted[hours - 1], rlk);
+    auto squares = encoder.decode(decryptor.decrypt(sq));
+    std::printf("\nhousehold 0 squared reading: %llu (expected %llu), "
+                "budget %.0f bits\n",
+                static_cast<unsigned long long>(squares[0]),
+                static_cast<unsigned long long>(
+                    readings[hours - 1][0] * readings[hours - 1][0] % t),
+                decryptor.invariantNoiseBudget(sq));
+
+    std::printf("\nAll aggregates computed under encryption: the utility "
+                "never saw a single reading.\n");
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Bit-manipulation helpers shared by the arithmetic and hardware-model
+ * layers: power-of-two predicates, bit reversal, wide multiplication.
+ */
+
+#ifndef HEAT_COMMON_BIT_UTIL_H
+#define HEAT_COMMON_BIT_UTIL_H
+
+#include <bit>
+#include <cstdint>
+
+namespace heat {
+
+/** Unsigned 128-bit integer used for 64x64 products. */
+using uint128_t = unsigned __int128;
+
+/** Signed 128-bit integer. */
+using int128_t = __int128;
+
+/** @return true iff @p x is a power of two (zero returns false). */
+constexpr bool
+isPowerOfTwo(uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** @return floor(log2(x)); @p x must be nonzero. */
+constexpr int
+log2Floor(uint64_t x)
+{
+    return 63 - std::countl_zero(x);
+}
+
+/** @return number of significant bits of @p x (0 for x == 0). */
+constexpr int
+bitLength(uint64_t x)
+{
+    return x == 0 ? 0 : 64 - std::countl_zero(x);
+}
+
+/** Reverse the lowest @p bits bits of @p x. */
+constexpr uint64_t
+reverseBits(uint64_t x, int bits)
+{
+    uint64_t r = 0;
+    for (int i = 0; i < bits; ++i) {
+        r = (r << 1) | (x & 1);
+        x >>= 1;
+    }
+    return r;
+}
+
+/** @return high 64 bits of the 128-bit product a*b. */
+constexpr uint64_t
+mulHigh64(uint64_t a, uint64_t b)
+{
+    return static_cast<uint64_t>((uint128_t(a) * b) >> 64);
+}
+
+/** @return full 128-bit product a*b. */
+constexpr uint128_t
+mulWide64(uint64_t a, uint64_t b)
+{
+    return uint128_t(a) * b;
+}
+
+} // namespace heat
+
+#endif // HEAT_COMMON_BIT_UTIL_H

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 spirit: panic() for internal
+ * invariant violations (simulator bugs), fatal() for user errors
+ * (bad configuration, unsupported parameters).
+ */
+
+#ifndef HEAT_COMMON_PANIC_H
+#define HEAT_COMMON_PANIC_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace heat {
+
+/** Exception thrown on unrecoverable internal errors (library bugs). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Exception thrown on user/configuration errors. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+namespace detail {
+
+inline void
+appendParts(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+appendParts(std::ostringstream &oss, const T &part, const Rest &...rest)
+{
+    oss << part;
+    appendParts(oss, rest...);
+}
+
+} // namespace detail
+
+/**
+ * Abort with a message describing an internal invariant violation.
+ * Use for conditions that should never happen regardless of user input.
+ */
+template <typename... Parts>
+[[noreturn]] void
+panic(const Parts &...parts)
+{
+    std::ostringstream oss;
+    oss << "panic: ";
+    detail::appendParts(oss, parts...);
+    throw PanicError(oss.str());
+}
+
+/**
+ * Abort with a message describing a user error (invalid parameters,
+ * unsupported configuration).
+ */
+template <typename... Parts>
+[[noreturn]] void
+fatal(const Parts &...parts)
+{
+    std::ostringstream oss;
+    oss << "fatal: ";
+    detail::appendParts(oss, parts...);
+    throw FatalError(oss.str());
+}
+
+/** Check an internal invariant; panic with a message if it fails. */
+template <typename... Parts>
+void
+panicIf(bool condition, const Parts &...parts)
+{
+    if (condition)
+        panic(parts...);
+}
+
+/** Check a user-facing requirement; fatal with a message if it fails. */
+template <typename... Parts>
+void
+fatalIf(bool condition, const Parts &...parts)
+{
+    if (condition)
+        fatal(parts...);
+}
+
+} // namespace heat
+
+#endif // HEAT_COMMON_PANIC_H

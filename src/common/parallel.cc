@@ -1,0 +1,58 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/panic.h"
+
+namespace heat {
+
+namespace {
+
+std::atomic<unsigned> g_threads{1};
+
+} // namespace
+
+void
+setThreadCount(unsigned count)
+{
+    fatalIf(count == 0, "thread count must be at least 1");
+    g_threads.store(count);
+}
+
+unsigned
+threadCount()
+{
+    return g_threads.load();
+}
+
+void
+parallelFor(size_t count, const std::function<void(size_t)> &fn)
+{
+    const unsigned threads =
+        static_cast<unsigned>(std::min<size_t>(g_threads.load(), count));
+    if (threads <= 1) {
+        for (size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    const size_t chunk = (count + threads - 1) / threads;
+    for (unsigned w = 0; w < threads; ++w) {
+        const size_t begin = static_cast<size_t>(w) * chunk;
+        const size_t end = std::min(count, begin + chunk);
+        if (begin >= end)
+            break;
+        workers.emplace_back([begin, end, &fn] {
+            for (size_t i = begin; i < end; ++i)
+                fn(i);
+        });
+    }
+    for (auto &t : workers)
+        t.join();
+}
+
+} // namespace heat

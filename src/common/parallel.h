@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Minimal data-parallel helper for the software library.
+ *
+ * The paper's CPU comparison points include multi-threaded baselines
+ * (Badawi et al. use 26 threads); this helper lets the evaluator
+ * parallelize across RNS residues and coefficient ranges. The global
+ * thread count defaults to 1 (fully deterministic, zero overhead); it
+ * is a process-wide knob intended to be set once at startup.
+ */
+
+#ifndef HEAT_COMMON_PARALLEL_H
+#define HEAT_COMMON_PARALLEL_H
+
+#include <cstddef>
+#include <functional>
+
+namespace heat {
+
+/** Set the worker-thread count used by parallelFor (>= 1). */
+void setThreadCount(unsigned count);
+
+/** @return the current worker-thread count. */
+unsigned threadCount();
+
+/**
+ * Run fn(i) for every i in [0, count). With threadCount() == 1 this is
+ * a plain loop; otherwise indices are partitioned into contiguous
+ * chunks across worker threads (fn must be safe to run concurrently
+ * for distinct i).
+ */
+void parallelFor(size_t count, const std::function<void(size_t)> &fn);
+
+} // namespace heat
+
+#endif // HEAT_COMMON_PARALLEL_H

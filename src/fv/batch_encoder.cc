@@ -1,0 +1,72 @@
+#include "fv/batch_encoder.h"
+
+#include "common/bit_util.h"
+#include "common/panic.h"
+#include "mp/primality.h"
+#include "ntt/ntt.h"
+
+namespace heat::fv {
+
+BatchEncoder::BatchEncoder(std::shared_ptr<const FvParams> params)
+    : params_(std::move(params))
+{
+    const uint64_t t = params_->plainModulus();
+    const size_t n = params_->degree();
+    fatalIf(!mp::isPrime(t), "batching requires a prime plain modulus");
+    fatalIf((t - 1) % (2 * n) != 0,
+            "batching requires t = 1 (mod 2n); try t = 65537 for n<=4096");
+    tables_ = std::make_shared<ntt::NttTables>(rns::Modulus(t), n);
+}
+
+Plaintext
+BatchEncoder::encode(const std::vector<uint64_t> &slots) const
+{
+    const size_t n = params_->degree();
+    fatalIf(slots.size() > n, "more slots than the ring degree");
+    const uint64_t t = params_->plainModulus();
+
+    std::vector<uint64_t> values(n, 0);
+    for (size_t i = 0; i < slots.size(); ++i)
+        values[i] = slots[i] % t;
+    // Slots live in the evaluation domain; the plaintext polynomial is
+    // their inverse NTT.
+    ntt::inverseNtt(values, *tables_);
+    return Plaintext(std::move(values));
+}
+
+std::vector<size_t>
+BatchEncoder::slotPermutation(uint32_t galois_element) const
+{
+    // Slot j is the evaluation at psi^(2*bitrev(j)+1). Under tau_g the
+    // value at exponent e comes from exponent e*g mod 2n.
+    const size_t n = params_->degree();
+    const int log_n = tables_->logDegree();
+    std::vector<size_t> slot_of_exponent(2 * n, SIZE_MAX);
+    for (size_t j = 0; j < n; ++j) {
+        const uint64_t e = 2 * reverseBits(j, log_n) + 1;
+        slot_of_exponent[e] = j;
+    }
+    std::vector<size_t> perm(n);
+    for (size_t j = 0; j < n; ++j) {
+        const uint64_t e = 2 * reverseBits(j, log_n) + 1;
+        const uint64_t src = (e * galois_element) & (2 * n - 1);
+        perm[j] = slot_of_exponent[src];
+    }
+    return perm;
+}
+
+std::vector<uint64_t>
+BatchEncoder::decode(const Plaintext &plain) const
+{
+    const size_t n = params_->degree();
+    fatalIf(plain.coeffs.size() > n, "plaintext longer than ring degree");
+    const uint64_t t = params_->plainModulus();
+
+    std::vector<uint64_t> values(n, 0);
+    for (size_t i = 0; i < plain.coeffs.size(); ++i)
+        values[i] = plain.coeffs[i] % t;
+    ntt::forwardNtt(values, *tables_);
+    return values;
+}
+
+} // namespace heat::fv

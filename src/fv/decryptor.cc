@@ -1,0 +1,99 @@
+#include "fv/decryptor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/panic.h"
+
+namespace heat::fv {
+
+Decryptor::Decryptor(std::shared_ptr<const FvParams> params, SecretKey sk)
+    : params_(std::move(params)), sk_(std::move(sk))
+{
+}
+
+ntt::RnsPoly
+Decryptor::dotProductWithSecret(const Ciphertext &ct) const
+{
+    fatalIf(ct.size() < 2 || ct.size() > 3,
+            "decryptor supports 2- and 3-element ciphertexts");
+
+    // acc = c1 * s (+ c2 * s^2), evaluated in the NTT domain.
+    ntt::RnsPoly c1 = ct[1];
+    c1.toNtt(params_->qContext());
+    c1.mulPointwiseInPlace(sk_.s_ntt);
+    if (ct.size() == 3) {
+        ntt::RnsPoly c2 = ct[2];
+        c2.toNtt(params_->qContext());
+        c2.mulPointwiseInPlace(sk_.s_ntt);
+        c2.mulPointwiseInPlace(sk_.s_ntt);
+        c1.addInPlace(c2);
+    }
+    c1.toCoeff(params_->qContext());
+    c1.addInPlace(ct[0]);
+    return c1;
+}
+
+Plaintext
+Decryptor::decrypt(const Ciphertext &ct) const
+{
+    const ntt::RnsPoly x = dotProductWithSecret(ct);
+    const mp::BigInt &q = params_->qBase()->product();
+    const mp::BigInt t(static_cast<int64_t>(params_->plainModulus()));
+    const mp::BigInt t_q = t * q;
+
+    Plaintext plain;
+    plain.coeffs.resize(params_->degree());
+    for (size_t j = 0; j < params_->degree(); ++j) {
+        // m_j = round(t * x_c / q) mod t with round-half-up on the
+        // centered representative.
+        mp::BigInt x_c = x.coefficientCentered(j);
+        mp::BigInt numer = t * x_c * mp::BigInt(2) + q;
+        mp::BigInt rem;
+        mp::BigInt m = numer.divMod(q * mp::BigInt(2), rem);
+        if (rem.isNegative())
+            m -= mp::BigInt(1);
+        plain.coeffs[j] = m.mod(t).toUint64();
+    }
+    // Trim trailing zero coefficients for convenience.
+    while (plain.coeffs.size() > 1 && plain.coeffs.back() == 0)
+        plain.coeffs.pop_back();
+    return plain;
+}
+
+double
+Decryptor::invariantNoiseBudget(const Ciphertext &ct) const
+{
+    const ntt::RnsPoly x = dotProductWithSecret(ct);
+    const mp::BigInt &q = params_->qBase()->product();
+    const mp::BigInt t(static_cast<int64_t>(params_->plainModulus()));
+
+    // Invariant noise: v_j = (t x_j - q round(t x_j / q)) / q in
+    // [-1/2, 1/2]; budget = -log2(2 max |v_j|).
+    mp::BigInt max_err;
+    for (size_t j = 0; j < params_->degree(); ++j) {
+        mp::BigInt tx = t * x.coefficientCentered(j);
+        mp::BigInt numer = tx * mp::BigInt(2) + q;
+        mp::BigInt rem;
+        mp::BigInt m = numer.divMod(q * mp::BigInt(2), rem);
+        if (rem.isNegative())
+            m -= mp::BigInt(1);
+        mp::BigInt err = (tx - m * q).abs();
+        if (err > max_err)
+            max_err = err;
+    }
+    if (max_err.isZero())
+        return static_cast<double>(q.bitLength() - 1);
+    // budget = log2(q) - log2(|e|) - 1, computed via bit lengths with a
+    // fractional correction from the top limbs.
+    auto log2_big = [](const mp::BigInt &v) {
+        const int bits = v.bitLength();
+        if (bits <= 52)
+            return std::log2(v.toDouble());
+        return static_cast<double>(bits) +
+               std::log2((v >> (bits - 52)).toDouble()) - 52.0;
+    };
+    return std::max(0.0, log2_big(q) - log2_big(max_err) - 1.0);
+}
+
+} // namespace heat::fv

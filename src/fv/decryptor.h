@@ -1,0 +1,49 @@
+/**
+ * @file
+ * FV decryption and exact noise measurement.
+ *
+ * Decryption computes m = round(t * [c0 + c1 s (+ c2 s^2)]_q / q) mod t
+ * per coefficient with exact BigInt arithmetic — decryption runs on the
+ * client, not the accelerator, so the reproduction keeps it exact and
+ * uses it as the ground truth for every homomorphic-correctness test.
+ */
+
+#ifndef HEAT_FV_DECRYPTOR_H
+#define HEAT_FV_DECRYPTOR_H
+
+#include <memory>
+
+#include "fv/keys.h"
+#include "fv/params.h"
+
+namespace heat::fv {
+
+/** Decrypts ciphertexts and measures their invariant noise budget. */
+class Decryptor
+{
+  public:
+    Decryptor(std::shared_ptr<const FvParams> params, SecretKey sk);
+
+    /** Decrypt a size-2 or size-3 ciphertext. */
+    Plaintext decrypt(const Ciphertext &ct) const;
+
+    /**
+     * Invariant noise budget in bits (SEAL convention): the budget is
+     * -log2(2 |v|) where t/q * [c(s)]_q = m + v (mod t). Decryption
+     * fails once the budget reaches zero.
+     *
+     * @return minimum budget over all coefficients, >= 0.
+     */
+    double invariantNoiseBudget(const Ciphertext &ct) const;
+
+  private:
+    /** [c0 + c1 s + c2 s^2]_q in coefficient form. */
+    ntt::RnsPoly dotProductWithSecret(const Ciphertext &ct) const;
+
+    std::shared_ptr<const FvParams> params_;
+    SecretKey sk_;
+};
+
+} // namespace heat::fv
+
+#endif // HEAT_FV_DECRYPTOR_H

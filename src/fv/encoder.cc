@@ -1,0 +1,68 @@
+#include "fv/encoder.h"
+
+#include "common/panic.h"
+
+namespace heat::fv {
+
+IntegerEncoder::IntegerEncoder(std::shared_ptr<const FvParams> params,
+                               uint64_t base)
+    : params_(std::move(params)),
+      base_(base == 0 ? params_->plainModulus() : base)
+{
+    fatalIf(base_ < 2, "encoder base must be at least 2");
+    fatalIf(base_ > params_->plainModulus(),
+            "encoder base cannot exceed the plain modulus");
+}
+
+Plaintext
+IntegerEncoder::encode(int64_t value) const
+{
+    const uint64_t t = params_->plainModulus();
+    const int64_t b = static_cast<int64_t>(base_);
+    Plaintext plain;
+    if (value == 0) {
+        plain.coeffs.push_back(0);
+        return plain;
+    }
+    int64_t v = value;
+    while (v != 0) {
+        // Balanced digit in (-b/2, b/2].
+        int64_t d = v % b;
+        if (d > b / 2)
+            d -= b;
+        else if (d <= -(b + 1) / 2)
+            d += b;
+        v = (v - d) / b;
+        plain.coeffs.push_back(
+            d < 0 ? t - static_cast<uint64_t>(-d) : static_cast<uint64_t>(d));
+    }
+    fatalIf(plain.coeffs.size() > params_->degree(),
+            "integer too large for the ring degree");
+    return plain;
+}
+
+mp::BigInt
+IntegerEncoder::decode(const Plaintext &plain) const
+{
+    const uint64_t t = params_->plainModulus();
+    const mp::BigInt b_big(static_cast<int64_t>(base_));
+    // Horner evaluation at x = b over digits centered mod t.
+    mp::BigInt acc;
+    for (size_t j = plain.coeffs.size(); j-- > 0;) {
+        uint64_t d = plain.coeffs[j] % t;
+        int64_t centered = d > t / 2
+                               ? static_cast<int64_t>(d) -
+                                     static_cast<int64_t>(t)
+                               : static_cast<int64_t>(d);
+        acc = acc * b_big + mp::BigInt(centered);
+    }
+    return acc;
+}
+
+int64_t
+IntegerEncoder::decodeInt64(const Plaintext &plain) const
+{
+    return decode(plain).toInt64();
+}
+
+} // namespace heat::fv

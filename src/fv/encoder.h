@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Integer encoders: map machine integers to plaintext polynomials.
+ *
+ * Values are written as *balanced* base-b digits (digits in (-b/2, b/2],
+ * stored modulo t) into the low coefficients of m(x). Decoding evaluates
+ * the polynomial at x = b over centered representatives mod t. Balanced
+ * digits leave headroom for digit growth during homomorphic additions
+ * and multiplications before coefficients wrap modulo t.
+ */
+
+#ifndef HEAT_FV_ENCODER_H
+#define HEAT_FV_ENCODER_H
+
+#include <cstdint>
+#include <memory>
+
+#include "fv/keys.h"
+#include "fv/params.h"
+#include "mp/bigint.h"
+
+namespace heat::fv {
+
+/** Encodes integers as balanced base-b digit polynomials. */
+class IntegerEncoder
+{
+  public:
+    /**
+     * @param params parameter set (fixes t and the ring degree).
+     * @param base digit radix b, 2 <= b <= t; 0 selects b = t.
+     */
+    explicit IntegerEncoder(std::shared_ptr<const FvParams> params,
+                            uint64_t base = 0);
+
+    /** @return the digit radix. */
+    uint64_t base() const { return base_; }
+
+    /** Encode a signed integer as balanced base-b digits (LSB first). */
+    Plaintext encode(int64_t value) const;
+
+    /**
+     * Decode by evaluating the polynomial at x = b with digit
+     * representatives centered mod t in (-t/2, t/2].
+     */
+    mp::BigInt decode(const Plaintext &plain) const;
+
+    /** decode() narrowed to int64 (panics on overflow). */
+    int64_t decodeInt64(const Plaintext &plain) const;
+
+  private:
+    std::shared_ptr<const FvParams> params_;
+    uint64_t base_;
+};
+
+} // namespace heat::fv
+
+#endif // HEAT_FV_ENCODER_H

@@ -1,0 +1,392 @@
+#include "fv/evaluator.h"
+
+#include "common/panic.h"
+#include "common/parallel.h"
+
+namespace heat::fv {
+
+Evaluator::Evaluator(std::shared_ptr<const FvParams> params, ArithPath path)
+    : params_(std::move(params)), path_(path)
+{
+}
+
+Ciphertext
+Evaluator::add(const Ciphertext &a, const Ciphertext &b) const
+{
+    Ciphertext c = a;
+    addInPlace(c, b);
+    return c;
+}
+
+void
+Evaluator::addInPlace(Ciphertext &a, const Ciphertext &b) const
+{
+    panicIf(a.size() != b.size(), "ciphertext size mismatch in add");
+    for (size_t i = 0; i < a.size(); ++i)
+        a[i].addInPlace(b[i]);
+}
+
+Ciphertext
+Evaluator::sub(const Ciphertext &a, const Ciphertext &b) const
+{
+    panicIf(a.size() != b.size(), "ciphertext size mismatch in sub");
+    Ciphertext c = a;
+    for (size_t i = 0; i < c.size(); ++i)
+        c[i].subInPlace(b[i]);
+    return c;
+}
+
+void
+Evaluator::negateInPlace(Ciphertext &a) const
+{
+    for (auto &poly : a.polys)
+        poly.negateInPlace();
+}
+
+namespace {
+
+/** Delta * plain embedded in R_q (coefficient form). */
+ntt::RnsPoly
+scalePlain(const FvParams &params, const Plaintext &plain)
+{
+    fatalIf(plain.coeffs.size() > params.degree(), "plaintext too long");
+    const auto &base = params.qBase();
+    ntt::RnsPoly poly(base, params.degree(), ntt::PolyForm::kCoeff);
+    const uint64_t t = params.plainModulus();
+    for (size_t i = 0; i < base->size(); ++i) {
+        const rns::Modulus &q_i = base->modulus(i);
+        const uint64_t d = params.deltaResidues()[i];
+        auto r = poly.residue(i);
+        for (size_t j = 0; j < plain.coeffs.size(); ++j)
+            r[j] = q_i.mul(d, plain.coeffs[j] % t);
+    }
+    return poly;
+}
+
+} // namespace
+
+void
+Evaluator::addPlainInPlace(Ciphertext &ct, const Plaintext &plain) const
+{
+    ct[0].addInPlace(scalePlain(*params_, plain));
+}
+
+void
+Evaluator::subPlainInPlace(Ciphertext &ct, const Plaintext &plain) const
+{
+    ct[0].subInPlace(scalePlain(*params_, plain));
+}
+
+Ciphertext
+Evaluator::multiplyPlain(const Ciphertext &ct, const Plaintext &plain) const
+{
+    fatalIf(plain.coeffs.size() > params_->degree(), "plaintext too long");
+    // Embed the plaintext unscaled in R_q and multiply both ciphertext
+    // polynomials by it in the NTT domain.
+    const auto &base = params_->qBase();
+    ntt::RnsPoly p(base, params_->degree(), ntt::PolyForm::kCoeff);
+    const uint64_t t = params_->plainModulus();
+    for (size_t i = 0; i < base->size(); ++i) {
+        auto r = p.residue(i);
+        const rns::Modulus &q_i = base->modulus(i);
+        for (size_t j = 0; j < plain.coeffs.size(); ++j)
+            r[j] = q_i.reduce(plain.coeffs[j] % t);
+    }
+    p.toNtt(params_->qContext());
+
+    Ciphertext out = ct;
+    for (auto &poly : out.polys) {
+        poly.toNtt(params_->qContext());
+        poly.mulPointwiseInPlace(p);
+        poly.toCoeff(params_->qContext());
+    }
+    return out;
+}
+
+ntt::RnsPoly
+Evaluator::liftToFull(const ntt::RnsPoly &q_poly) const
+{
+    panicIf(q_poly.form() != ntt::PolyForm::kCoeff,
+            "lift requires coefficient form");
+    const size_t n = params_->degree();
+    const auto &conv = params_->liftConverter();
+    const size_t kq = params_->qBase()->size();
+    const size_t kp = params_->pBase()->size();
+
+    ntt::RnsPoly out(params_->fullBase(), n, ntt::PolyForm::kCoeff);
+    const size_t chunks = std::max<size_t>(1, threadCount() * 4);
+    const size_t chunk = (n + chunks - 1) / chunks;
+    parallelFor(chunks, [&](size_t c) {
+        std::vector<uint64_t> in(kq), ext(kp);
+        const size_t end = std::min(n, (c + 1) * chunk);
+        for (size_t j = c * chunk; j < end; ++j) {
+            q_poly.gatherCoefficient(j, in);
+            if (path_ == ArithPath::kHps)
+                conv.convert(in, ext);
+            else
+                conv.convertExact(in, ext);
+            // q residues are unchanged by the centered lift (x == x - q
+            // mod q_i); the p residues come from the converter.
+            for (size_t i = 0; i < kq; ++i)
+                out.residue(i)[j] = in[i];
+            for (size_t i = 0; i < kp; ++i)
+                out.residue(kq + i)[j] = ext[i];
+        }
+    });
+    return out;
+}
+
+ntt::RnsPoly
+Evaluator::scaleToQ(const ntt::RnsPoly &full_poly) const
+{
+    panicIf(full_poly.form() != ntt::PolyForm::kCoeff,
+            "scale requires coefficient form");
+    const size_t n = params_->degree();
+    const auto &scaler = params_->scaler();
+    const auto &back = params_->scaleBackConverter();
+    const size_t kq = params_->qBase()->size();
+    const size_t kp = params_->pBase()->size();
+
+    ntt::RnsPoly out(params_->qBase(), n, ntt::PolyForm::kCoeff);
+    const size_t chunks = std::max<size_t>(1, threadCount() * 4);
+    const size_t chunk = (n + chunks - 1) / chunks;
+    parallelFor(chunks, [&](size_t c) {
+        std::vector<uint64_t> in(kq + kp), mid(kp), res(kq);
+        const size_t end = std::min(n, (c + 1) * chunk);
+        for (size_t j = c * chunk; j < end; ++j) {
+            full_poly.gatherCoefficient(j, in);
+            if (path_ == ArithPath::kHps) {
+                scaler.scale(in, mid);
+                back.convert(mid, res);
+            } else {
+                scaler.scaleExact(in, mid);
+                back.convertExact(mid, res);
+            }
+            out.scatterCoefficient(j, res);
+        }
+    });
+    return out;
+}
+
+Ciphertext
+Evaluator::multiplyNoRelin(const Ciphertext &a, const Ciphertext &b) const
+{
+    panicIf(a.size() != 2 || b.size() != 2,
+            "multiply expects 2-element ciphertexts");
+
+    // Step 1: Lift q->Q (Fig. 2 left column).
+    ntt::RnsPoly a0 = liftToFull(a[0]);
+    ntt::RnsPoly a1 = liftToFull(a[1]);
+    ntt::RnsPoly b0 = liftToFull(b[0]);
+    ntt::RnsPoly b1 = liftToFull(b[1]);
+
+    // Step 2: tensor product via NTT over R_Q.
+    const auto &ctx = params_->fullContext();
+    a0.toNtt(ctx);
+    a1.toNtt(ctx);
+    b0.toNtt(ctx);
+    b1.toNtt(ctx);
+
+    ntt::RnsPoly t0 = a0;
+    t0.mulPointwiseInPlace(b0);
+    ntt::RnsPoly t1 = a0;
+    t1.mulPointwiseInPlace(b1);
+    t1.addMulPointwise(a1, b0);
+    ntt::RnsPoly t2 = a1;
+    t2.mulPointwiseInPlace(b1);
+
+    t0.toCoeff(ctx);
+    t1.toCoeff(ctx);
+    t2.toCoeff(ctx);
+
+    // Step 3: Scale Q->q (round(t x / q)).
+    Ciphertext out;
+    out.polys.push_back(scaleToQ(t0));
+    out.polys.push_back(scaleToQ(t1));
+    out.polys.push_back(scaleToQ(t2));
+    return out;
+}
+
+std::vector<ntt::RnsPoly>
+Evaluator::rnsDigits(const ntt::RnsPoly &poly) const
+{
+    panicIf(poly.form() != ntt::PolyForm::kCoeff,
+            "digit decomposition requires coefficient form");
+    const auto &base = params_->qBase();
+    const size_t k = base->size();
+    const size_t n = params_->degree();
+
+    // Digit i broadcasts residue polynomial i to every channel; values
+    // are < 2^30, so reduction mod the other primes is at most one
+    // conditional subtraction — the paper's "cheap bit manipulation".
+    std::vector<ntt::RnsPoly> digits;
+    digits.reserve(k);
+    for (size_t i = 0; i < k; ++i) {
+        ntt::RnsPoly d(base, n, ntt::PolyForm::kCoeff);
+        auto src = poly.residue(i);
+        for (size_t c = 0; c < k; ++c) {
+            const rns::Modulus &q_c = base->modulus(c);
+            auto dst = d.residue(c);
+            for (size_t j = 0; j < n; ++j)
+                dst[j] = q_c.reduce(src[j]);
+        }
+        digits.push_back(std::move(d));
+    }
+    return digits;
+}
+
+std::vector<ntt::RnsPoly>
+Evaluator::positionalDigits(const ntt::RnsPoly &poly, int digit_bits) const
+{
+    panicIf(poly.form() != ntt::PolyForm::kCoeff,
+            "digit decomposition requires coefficient form");
+    const auto &base = params_->qBase();
+    const size_t k = base->size();
+    const size_t n = params_->degree();
+    const int q_bits = params_->qBits();
+    const size_t count =
+        (static_cast<size_t>(q_bits) + digit_bits - 1) / digit_bits;
+
+    // Positional decomposition needs the positional coefficient value:
+    // exactly the CRT reconstruction the traditional architecture
+    // materializes inside Scale (Sec. VI-C).
+    std::vector<ntt::RnsPoly> digits(
+        count, ntt::RnsPoly(base, n, ntt::PolyForm::kCoeff));
+    std::vector<uint64_t> residues(k);
+    for (size_t j = 0; j < n; ++j) {
+        poly.gatherCoefficient(j, residues);
+        mp::BigInt x = base->compose(residues);
+        for (size_t d = 0; d < count; ++d) {
+            mp::BigInt digit = (x >> static_cast<int>(d) * digit_bits) %
+                               mp::BigInt::powerOfTwo(digit_bits);
+            for (size_t c = 0; c < k; ++c) {
+                digits[d].residue(c)[j] =
+                    digit.modUint64(base->modulus(c).value());
+            }
+        }
+    }
+    return digits;
+}
+
+void
+Evaluator::relinearizeInPlace(Ciphertext &ct, const RelinKeys &rlk) const
+{
+    panicIf(ct.size() != 3, "relinearization expects a 3-element ct");
+
+    std::vector<ntt::RnsPoly> digits =
+        rlk.kind == DecompKind::kRnsDigits
+            ? rnsDigits(ct[2])
+            : positionalDigits(ct[2], rlk.digit_bits);
+    panicIf(digits.size() != rlk.digitCount(),
+            "digit count does not match key count");
+
+    const auto &ctx = params_->qContext();
+    ntt::RnsPoly acc0(params_->qBase(), params_->degree(),
+                      ntt::PolyForm::kNtt);
+    ntt::RnsPoly acc1(params_->qBase(), params_->degree(),
+                      ntt::PolyForm::kNtt);
+    for (size_t i = 0; i < digits.size(); ++i) {
+        digits[i].toNtt(ctx);
+        acc0.addMulPointwise(digits[i], rlk.keys[i][0]);
+        acc1.addMulPointwise(digits[i], rlk.keys[i][1]);
+    }
+    acc0.toCoeff(ctx);
+    acc1.toCoeff(ctx);
+
+    ct[0].addInPlace(acc0);
+    ct[1].addInPlace(acc1);
+    ct.polys.pop_back();
+}
+
+Ciphertext
+Evaluator::multiply(const Ciphertext &a, const Ciphertext &b,
+                    const RelinKeys &rlk) const
+{
+    Ciphertext c = multiplyNoRelin(a, b);
+    relinearizeInPlace(c, rlk);
+    return c;
+}
+
+Ciphertext
+Evaluator::square(const Ciphertext &ct, const RelinKeys &rlk) const
+{
+    return multiply(ct, ct, rlk);
+}
+
+Ciphertext
+Evaluator::applyGalois(const Ciphertext &ct, uint32_t galois_element,
+                       const GaloisKeys &gkeys) const
+{
+    panicIf(ct.size() != 2, "applyGalois expects a 2-element ciphertext");
+    fatalIf(!gkeys.has(galois_element), "missing Galois key for element ",
+            galois_element);
+    const RelinKeys &key = gkeys.keys.at(galois_element);
+    const size_t n = params_->degree();
+    const auto &base = params_->qBase();
+
+    // Permute both polynomials in coefficient representation.
+    Ciphertext permuted;
+    for (int half = 0; half < 2; ++half) {
+        ntt::RnsPoly out(base, n, ntt::PolyForm::kCoeff);
+        for (size_t k = 0; k < base->size(); ++k) {
+            applyGaloisToResidue(ct[half].residue(k), out.residue(k),
+                                 galois_element, base->modulus(k));
+        }
+        permuted.polys.push_back(std::move(out));
+    }
+
+    // Key-switch tau_g(c1) from s(x^g) back to s:
+    //   c0' = tau_g(c0) + sum_i D_i(tau_g(c1)) * key0_i
+    //   c1' =            sum_i D_i(tau_g(c1)) * key1_i
+    std::vector<ntt::RnsPoly> digits = rnsDigits(permuted[1]);
+    const auto &ctx = params_->qContext();
+    ntt::RnsPoly acc0(base, n, ntt::PolyForm::kNtt);
+    ntt::RnsPoly acc1(base, n, ntt::PolyForm::kNtt);
+    for (size_t i = 0; i < digits.size(); ++i) {
+        digits[i].toNtt(ctx);
+        acc0.addMulPointwise(digits[i], key.keys[i][0]);
+        acc1.addMulPointwise(digits[i], key.keys[i][1]);
+    }
+    acc0.toCoeff(ctx);
+    acc1.toCoeff(ctx);
+
+    Ciphertext out;
+    acc0.addInPlace(permuted[0]);
+    out.polys.push_back(std::move(acc0));
+    out.polys.push_back(std::move(acc1));
+    return out;
+}
+
+Ciphertext
+Evaluator::rotateSlots(const Ciphertext &ct, int steps,
+                       const GaloisKeys &gkeys) const
+{
+    return applyGalois(ct, galoisElementForStep(steps, params_->degree()),
+                       gkeys);
+}
+
+Ciphertext
+Evaluator::rotateColumns(const Ciphertext &ct,
+                         const GaloisKeys &gkeys) const
+{
+    return applyGalois(
+        ct, static_cast<uint32_t>(2 * params_->degree() - 1), gkeys);
+}
+
+Ciphertext
+Evaluator::sumAllSlots(const Ciphertext &ct, const GaloisKeys &gkeys) const
+{
+    // Rotate-and-add over the row orbit (size n/2), then fold in the
+    // conjugate column.
+    Ciphertext acc = ct;
+    for (size_t step = 1; step <= params_->degree() / 4; step *= 2) {
+        Ciphertext rotated =
+            rotateSlots(acc, static_cast<int>(step), gkeys);
+        addInPlace(acc, rotated);
+    }
+    Ciphertext swapped = rotateColumns(acc, gkeys);
+    addInPlace(acc, swapped);
+    return acc;
+}
+
+} // namespace heat::fv

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Homomorphic evaluation: FV.Add and FV.Mult (Fig. 2 of the paper).
+ *
+ * FV.Mult pipeline:
+ *   1. Lift q->Q of the four input polynomials (centered base extension),
+ *   2. NTT + coefficient-wise tensor products + inverse NTT over R_Q,
+ *   3. Scale Q->q of the three tensor polynomials (round(t x / q)),
+ *   4. WordDecomp of c~2 + ReLin with the relinearization key.
+ *
+ * The evaluator runs either arithmetic path of Sec. IV-C/D:
+ *   - ArithPath::kHps: the Halevi-Polyakov-Shoup small-integer datapath
+ *     (what the faster coprocessor implements), or
+ *   - ArithPath::kExactCrt: exact BigInt CRT reconstruction (the
+ *     traditional multi-precision datapath and the test oracle).
+ *
+ * Both paths produce valid ciphertexts of the same plaintext; kHps may
+ * differ from kExactCrt by +-1 in isolated coefficients (absorbed as
+ * noise), exactly as the HPS paper argues.
+ */
+
+#ifndef HEAT_FV_EVALUATOR_H
+#define HEAT_FV_EVALUATOR_H
+
+#include <memory>
+#include <vector>
+
+#include "fv/galois.h"
+#include "fv/keys.h"
+#include "fv/params.h"
+
+namespace heat::fv {
+
+/** Which Lift/Scale arithmetic the evaluator uses. */
+enum class ArithPath
+{
+    kHps,      ///< approximate-CRT small-integer arithmetic (fast)
+    kExactCrt, ///< exact BigInt CRT arithmetic (traditional baseline)
+};
+
+/** Computes on ciphertexts. */
+class Evaluator
+{
+  public:
+    explicit Evaluator(std::shared_ptr<const FvParams> params,
+                       ArithPath path = ArithPath::kHps);
+
+    /** @return the arithmetic path in use. */
+    ArithPath path() const { return path_; }
+
+    // --- linear operations ----------------------------------------------
+
+    /** c = a + b (component-wise polynomial addition). */
+    Ciphertext add(const Ciphertext &a, const Ciphertext &b) const;
+
+    /** a += b. */
+    void addInPlace(Ciphertext &a, const Ciphertext &b) const;
+
+    /** c = a - b. */
+    Ciphertext sub(const Ciphertext &a, const Ciphertext &b) const;
+
+    /** a = -a. */
+    void negateInPlace(Ciphertext &a) const;
+
+    /** ct += Delta * plain (no noise added). */
+    void addPlainInPlace(Ciphertext &ct, const Plaintext &plain) const;
+
+    /** ct -= Delta * plain. */
+    void subPlainInPlace(Ciphertext &ct, const Plaintext &plain) const;
+
+    /** c = ct * plain, plaintext multiplication (cheap, no relin). */
+    Ciphertext multiplyPlain(const Ciphertext &ct,
+                             const Plaintext &plain) const;
+
+    // --- multiplication ---------------------------------------------------
+
+    /** Full tensor product: returns a 3-element ciphertext. */
+    Ciphertext multiplyNoRelin(const Ciphertext &a,
+                               const Ciphertext &b) const;
+
+    /** Reduce a 3-element ciphertext back to 2 with @p rlk. */
+    void relinearizeInPlace(Ciphertext &ct, const RelinKeys &rlk) const;
+
+    /** multiplyNoRelin followed by relinearization. */
+    Ciphertext multiply(const Ciphertext &a, const Ciphertext &b,
+                        const RelinKeys &rlk) const;
+
+    /** ct^2 with relinearization. */
+    Ciphertext square(const Ciphertext &ct, const RelinKeys &rlk) const;
+
+    // --- Galois automorphisms and rotations -----------------------------
+
+    /**
+     * Apply tau_g (m(x) -> m(x^g)) to a 2-element ciphertext and
+     * key-switch back to the original secret with @p gkeys.
+     */
+    Ciphertext applyGalois(const Ciphertext &ct, uint32_t galois_element,
+                           const GaloisKeys &gkeys) const;
+
+    /** Rotate batched slots by @p steps (see BatchEncoder). */
+    Ciphertext rotateSlots(const Ciphertext &ct, int steps,
+                           const GaloisKeys &gkeys) const;
+
+    /** Swap the two slot "columns" (Galois element 2n - 1). */
+    Ciphertext rotateColumns(const Ciphertext &ct,
+                             const GaloisKeys &gkeys) const;
+
+    /**
+     * Sum across all n slots with log-many rotations: afterwards every
+     * slot holds the sum. Needs keys from generateRotationKeys().
+     */
+    Ciphertext sumAllSlots(const Ciphertext &ct,
+                           const GaloisKeys &gkeys) const;
+
+    // --- FV.Mult building blocks (public: golden models for the HW) -----
+
+    /** Lift q->Q: extend a coefficient-form q polynomial to the full
+     *  base (centered representative). */
+    ntt::RnsPoly liftToFull(const ntt::RnsPoly &q_poly) const;
+
+    /** Scale Q->q: round(t x / q) of a coefficient-form full-base
+     *  polynomial, result over the q base (includes the p->q switch). */
+    ntt::RnsPoly scaleToQ(const ntt::RnsPoly &full_poly) const;
+
+    /** WordDecomp (RNS flavour): one digit polynomial per q prime. */
+    std::vector<ntt::RnsPoly> rnsDigits(const ntt::RnsPoly &poly) const;
+
+    /** WordDecomp (positional flavour): base-2^bits digits. */
+    std::vector<ntt::RnsPoly> positionalDigits(const ntt::RnsPoly &poly,
+                                               int digit_bits) const;
+
+  private:
+    std::shared_ptr<const FvParams> params_;
+    ArithPath path_;
+};
+
+} // namespace heat::fv
+
+#endif // HEAT_FV_EVALUATOR_H

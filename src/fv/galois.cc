@@ -1,0 +1,49 @@
+#include "fv/galois.h"
+
+#include "common/panic.h"
+#include "mp/primality.h"
+
+namespace heat::fv {
+
+void
+applyGaloisToResidue(std::span<const uint64_t> in, std::span<uint64_t> out,
+                     uint32_t g, const rns::Modulus &modulus)
+{
+    const size_t n = in.size();
+    panicIf(out.size() != n, "galois output size mismatch");
+    panicIf((g & 1) == 0 || g >= 2 * n, "galois element must be odd, < 2n");
+    const uint64_t mask = 2 * n - 1; // 2n is a power of two
+    for (size_t i = 0; i < n; ++i) {
+        const uint64_t j = (static_cast<uint64_t>(i) * g) & mask;
+        if (j < n)
+            out[j] = in[i];
+        else
+            out[j - n] = modulus.negate(in[i]);
+    }
+}
+
+uint32_t
+galoisElementForStep(int steps, size_t degree)
+{
+    const uint64_t two_n = 2 * degree;
+    // Positive steps use powers of 3, negative steps powers of 3^{-1};
+    // 3 generates the order-n/2 subgroup permuting the slot "rows".
+    uint64_t g;
+    if (steps >= 0) {
+        g = mp::powMod64(3, static_cast<uint64_t>(steps), two_n);
+    } else {
+        // 3^{-1} mod 2n exists since gcd(3, 2n) = 1.
+        uint64_t inv = mp::powMod64(
+            3, static_cast<uint64_t>(degree) - 1, two_n); // ord(3) | n
+        // Fall back to explicit search if the order assumption fails.
+        if (mp::mulMod64(3, inv, two_n) != 1) {
+            inv = 1;
+            while (mp::mulMod64(3, inv, two_n) != 1)
+                inv += 2;
+        }
+        g = mp::powMod64(inv, static_cast<uint64_t>(-steps), two_n);
+    }
+    return static_cast<uint32_t>(g);
+}
+
+} // namespace heat::fv

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Galois automorphisms and slot rotations — the standard FV/BFV
+ * extension beyond the paper's core operation set (SEAL exposes the
+ * same capability; the paper's applications such as encrypted search
+ * and aggregation benefit directly).
+ *
+ * The automorphism tau_g: m(x) -> m(x^g) for odd g modulo 2n is a
+ * plaintext-slot permutation. Applying it to a ciphertext yields an
+ * encryption under the rotated secret s(x^g); a key-switch with a
+ * Galois key (structurally identical to a relinearization key, but
+ * embedding s(x^g) instead of s^2) returns to the original secret.
+ */
+
+#ifndef HEAT_FV_GALOIS_H
+#define HEAT_FV_GALOIS_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "fv/keys.h"
+
+namespace heat::fv {
+
+/** Key-switching keys for a set of Galois elements. */
+struct GaloisKeys
+{
+    /** keys[g] switches from s(x^g) back to s. */
+    std::map<uint32_t, RelinKeys> keys;
+
+    bool
+    has(uint32_t galois_element) const
+    {
+        return keys.count(galois_element) != 0;
+    }
+};
+
+/**
+ * Apply tau_g to a polynomial in coefficient representation:
+ * coefficient i moves to index i*g mod 2n, negated when the product
+ * wraps past n (x^n = -1).
+ *
+ * @param in input residues (length n), natural order.
+ * @param out output residues (length n).
+ * @param g odd Galois element in (0, 2n).
+ * @param modulus coefficient modulus of this residue.
+ */
+void applyGaloisToResidue(std::span<const uint64_t> in,
+                          std::span<uint64_t> out, uint32_t g,
+                          const rns::Modulus &modulus);
+
+/** @return the Galois element rotating batched slots by @p steps:
+ *  3^steps mod 2n (negative steps rotate the other way). */
+uint32_t galoisElementForStep(int steps, size_t degree);
+
+} // namespace heat::fv
+
+#endif // HEAT_FV_GALOIS_H

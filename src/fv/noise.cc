@@ -1,0 +1,63 @@
+#include "fv/noise.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace heat::fv {
+
+NoiseModel::NoiseModel(std::shared_ptr<const FvParams> params)
+    : params_(std::move(params))
+{
+    log_q_ = static_cast<double>(params_->qBits());
+    log_t_ = std::log2(static_cast<double>(params_->plainModulus()));
+    log_n_ = std::log2(static_cast<double>(params_->degree()));
+    b_err_ = 6.0 * params_->sigma();
+}
+
+double
+NoiseModel::freshBudgetBits() const
+{
+    // Fresh invariant noise: |v| <= t * B * (2n + 1) / q
+    // (public-key encryption with ternary u: e1 + u*e0-ish terms).
+    const double log_v = log_t_ + std::log2(b_err_) + log_n_ + 1.0 - log_q_;
+    return std::max(0.0, -log_v - 1.0);
+}
+
+double
+NoiseModel::multStep(double log_v) const
+{
+    // FV multiplication: v_mult ~ 2 n t (v1 + v2) plus the rounding term
+    // t * n / q and the relinearization term. For RNS digits the relin
+    // noise is t * n * k * 2^30 * B / q.
+    const double k = static_cast<double>(params_->rnsDigitCount());
+    const double log_mult = 1.0 + log_n_ + log_t_ + log_v + 1.0;
+    const double log_round = log_t_ + log_n_ - log_q_ + 1.0;
+    const double log_relin = log_t_ + log_n_ + std::log2(k) + 30.0 +
+                             std::log2(b_err_) - log_q_;
+    // Sum the three contributions in linear space (softmax-style).
+    const double m = std::max({log_mult, log_round, log_relin});
+    return m + std::log2(std::exp2(log_mult - m) +
+                         std::exp2(log_round - m) +
+                         std::exp2(log_relin - m));
+}
+
+double
+NoiseModel::budgetAfterDepth(int depth) const
+{
+    // Budget B corresponds to log |v| = -(B + 1).
+    double log_v = -(freshBudgetBits() + 1.0);
+    for (int i = 0; i < depth; ++i)
+        log_v = multStep(log_v);
+    return std::max(0.0, -log_v - 1.0);
+}
+
+int
+NoiseModel::supportedDepth() const
+{
+    int depth = 0;
+    while (depth < 64 && budgetAfterDepth(depth + 1) > 0.0)
+        ++depth;
+    return depth;
+}
+
+} // namespace heat::fv

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Analytical noise-growth model for FV.
+ *
+ * The paper sizes its parameter set for multiplicative depth 4
+ * (Sec. III-A). This model reproduces that sizing decision: it tracks the
+ * invariant-noise budget through fresh encryption, additions and
+ * relinearized multiplications using the standard FV bounds, and reports
+ * the supported depth for a parameter set. It is a design heuristic, not
+ * a proof; tests compare it against measured budgets with slack.
+ */
+
+#ifndef HEAT_FV_NOISE_H
+#define HEAT_FV_NOISE_H
+
+#include <memory>
+
+#include "fv/params.h"
+
+namespace heat::fv {
+
+/** Closed-form noise-budget estimates. */
+class NoiseModel
+{
+  public:
+    explicit NoiseModel(std::shared_ptr<const FvParams> params);
+
+    /** Expected invariant-noise budget of a fresh encryption, in bits. */
+    double freshBudgetBits() const;
+
+    /** Budget (bits) remaining after @p depth relinearized squarings. */
+    double budgetAfterDepth(int depth) const;
+
+    /** Largest depth with positive predicted budget. */
+    int supportedDepth() const;
+
+  private:
+    /** log2 of the invariant noise after one mult given input log2. */
+    double multStep(double log_v) const;
+
+    std::shared_ptr<const FvParams> params_;
+    double log_q_;
+    double log_t_;
+    double log_n_;
+    double b_err_; // high-probability error bound, 6 sigma
+};
+
+} // namespace heat::fv
+
+#endif // HEAT_FV_NOISE_H

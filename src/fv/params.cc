@@ -1,0 +1,107 @@
+#include "fv/params.h"
+
+#include <cmath>
+
+#include "common/bit_util.h"
+#include "common/panic.h"
+#include "rns/prime_gen.h"
+
+namespace heat::fv {
+
+namespace {
+
+size_t
+defaultPPrimeCount(const FvConfig &config)
+{
+    // Need p > 2^15 * n * q * t so the scaled tensor coefficient
+    // round(t * x / q), |x| <= n * (q/2)^2, fits centered in p with
+    // margin. In bits: log2(p) >= log2(n) + log2(q) + log2(t) + 15.
+    const int needed_bits = log2Floor(config.degree) +
+                            static_cast<int>(config.q_prime_count) *
+                                config.prime_bits +
+                            bitLength(config.plain_modulus) + 15;
+    return (static_cast<size_t>(needed_bits) + config.prime_bits - 1) /
+           config.prime_bits;
+}
+
+} // namespace
+
+FvParams::FvParams(const FvConfig &config) : config_(config)
+{
+    fatalIf(!isPowerOfTwo(config.degree), "degree must be a power of two");
+    fatalIf(config.q_prime_count == 0, "need at least one q prime");
+    fatalIf(config.plain_modulus < 2, "plaintext modulus must be >= 2");
+
+    if (config_.p_prime_count == 0)
+        config_.p_prime_count = defaultPPrimeCount(config_);
+
+    const size_t total = config_.q_prime_count + config_.p_prime_count;
+    std::vector<uint64_t> primes = rns::generateNttPrimes(
+        config_.prime_bits, config_.degree, total);
+
+    std::vector<uint64_t> q_primes(primes.begin(),
+                                   primes.begin() + config_.q_prime_count);
+    std::vector<uint64_t> p_primes(primes.begin() + config_.q_prime_count,
+                                   primes.end());
+
+    q_ = std::make_shared<const rns::RnsBase>(q_primes);
+    p_ = std::make_shared<const rns::RnsBase>(p_primes);
+    full_ = std::make_shared<const rns::RnsBase>(
+        rns::RnsBase::concat(*q_, *p_));
+
+    q_context_ = ntt::NttContext(*q_, config_.degree);
+    full_context_ = ntt::NttContext(*full_, config_.degree);
+
+    lift_ = rns::FastBaseConverter(*q_, *p_);
+    scale_back_ = rns::FastBaseConverter(*p_, *q_);
+    scaler_ = rns::ScaleRounder(*q_, *p_, config_.plain_modulus);
+
+    delta_ = q_->product() /
+             mp::BigInt::fromUint64(config_.plain_modulus);
+    delta_residues_.resize(q_->size());
+    for (size_t i = 0; i < q_->size(); ++i)
+        delta_residues_[i] = delta_.modUint64(q_->modulus(i).value());
+}
+
+std::shared_ptr<const FvParams>
+FvParams::create(const FvConfig &config)
+{
+    return std::shared_ptr<const FvParams>(new FvParams(config));
+}
+
+std::shared_ptr<const FvParams>
+FvParams::paper(uint64_t t)
+{
+    FvConfig config;
+    config.degree = 4096;
+    config.plain_modulus = t;
+    config.sigma = 102.0;
+    config.q_prime_count = 6;
+    config.p_prime_count = 7;
+    return create(config);
+}
+
+std::shared_ptr<const FvParams>
+FvParams::tableV(int row, uint64_t t)
+{
+    fatalIf(row < 0 || row > 3, "Table V has rows 0..3");
+    FvConfig config;
+    config.degree = size_t(4096) << row;
+    config.plain_modulus = t;
+    config.sigma = 102.0;
+    config.q_prime_count = size_t(6) << row;
+    config.p_prime_count = 0; // derive
+    return create(config);
+}
+
+double
+FvParams::estimatedSecurityBits() const
+{
+    // Fitted to the lwe-estimator operating points the paper cites:
+    // (n=4096, log q=180) ~ 80+ bits. Indicative, not a security claim.
+    const double n = static_cast<double>(config_.degree);
+    const double logq = static_cast<double>(qBits());
+    return 7.2 * n / logq - 110.0;
+}
+
+} // namespace heat::fv

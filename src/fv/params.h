@@ -1,0 +1,149 @@
+/**
+ * @file
+ * FV parameter sets and derived constants.
+ *
+ * The paper's parameter set (Sec. III-A/B): n = 4096, q = product of six
+ * 30-bit NTT-friendly primes (180 bits), extended base Q = q * p with p a
+ * product of seven more 30-bit primes (390 bits), discrete Gaussian with
+ * sigma = 102, plaintext modulus t (2 for binary messages), multiplicative
+ * depth 4, at least 80-bit security.
+ *
+ * FvParams owns every derived object the scheme and the hardware model
+ * need: RNS bases, NTT contexts, base converters, the HPS scaler and the
+ * Delta = floor(q/t) encryption constant.
+ */
+
+#ifndef HEAT_FV_PARAMS_H
+#define HEAT_FV_PARAMS_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mp/bigint.h"
+#include "ntt/ntt_tables.h"
+#include "rns/base_convert.h"
+#include "rns/rns_base.h"
+#include "rns/scale_round.h"
+
+namespace heat::fv {
+
+/** User-facing knobs of an FV parameter set. */
+struct FvConfig
+{
+    /** Polynomial degree n (power of two). */
+    size_t degree = 4096;
+    /** Plaintext modulus t. */
+    uint64_t plain_modulus = 2;
+    /** Discrete Gaussian standard deviation. */
+    double sigma = 102.0;
+    /** Number of primes in the ciphertext base q. */
+    size_t q_prime_count = 6;
+    /**
+     * Number of primes in the auxiliary base p; 0 selects the smallest
+     * count with p > 2^15 * n * q * t (safe for the tensor scaling).
+     */
+    size_t p_prime_count = 0;
+    /** Width of each RNS prime in bits. */
+    int prime_bits = 30;
+};
+
+/** Immutable FV parameter set with all derived constants. */
+class FvParams
+{
+  public:
+    /** Build a parameter set from @p config. */
+    static std::shared_ptr<const FvParams> create(const FvConfig &config);
+
+    /**
+     * The paper's parameter set: (n, log q) = (4096, 180), sigma = 102.
+     *
+     * @param t plaintext modulus (paper uses 2 for binary messages).
+     */
+    static std::shared_ptr<const FvParams> paper(uint64_t t = 2);
+
+    /**
+     * Parameter set for row @p row of Table V: row 0 is the paper set,
+     * each following row doubles n and the bit size of q.
+     */
+    static std::shared_ptr<const FvParams> tableV(int row, uint64_t t = 2);
+
+    // --- basic accessors -------------------------------------------------
+
+    size_t degree() const { return config_.degree; }
+    uint64_t plainModulus() const { return config_.plain_modulus; }
+    double sigma() const { return config_.sigma; }
+    const FvConfig &config() const { return config_; }
+
+    /** @return ciphertext base q (the first q_prime_count primes). */
+    const std::shared_ptr<const rns::RnsBase> &qBase() const { return q_; }
+
+    /** @return auxiliary base p. */
+    const std::shared_ptr<const rns::RnsBase> &pBase() const { return p_; }
+
+    /** @return full base Q = q * p (q primes first). */
+    const std::shared_ptr<const rns::RnsBase> &fullBase() const
+    {
+        return full_;
+    }
+
+    /** @return NTT context over the q base. */
+    const ntt::NttContext &qContext() const { return q_context_; }
+
+    /** @return NTT context over the full base. */
+    const ntt::NttContext &fullContext() const { return full_context_; }
+
+    /** @return the q -> p base converter (Lift q->Q, HPS). */
+    const rns::FastBaseConverter &liftConverter() const { return lift_; }
+
+    /** @return the p -> q base converter (Scale's final base switch). */
+    const rns::FastBaseConverter &scaleBackConverter() const
+    {
+        return scale_back_;
+    }
+
+    /** @return the HPS scale-and-round engine. */
+    const rns::ScaleRounder &scaler() const { return scaler_; }
+
+    /** @return Delta = floor(q / t). */
+    const mp::BigInt &delta() const { return delta_; }
+
+    /** @return Delta mod q_i for each q-base prime. */
+    const std::vector<uint64_t> &deltaResidues() const
+    {
+        return delta_residues_;
+    }
+
+    /** @return number of RNS relinearization digits (= q primes). */
+    size_t rnsDigitCount() const { return q_->size(); }
+
+    /** @return log2 of q, rounded up to whole bits. */
+    int qBits() const { return q_->product().bitLength(); }
+
+    /**
+     * Rough security estimate in bits for (n, log q) using the
+     * conservative rule of thumb lambda ~ 7.2 * n / log2(q) - 110 fitted
+     * to the LWE-estimator values the paper cites (>= 80 bits for the
+     * paper set). Indicative only.
+     */
+    double estimatedSecurityBits() const;
+
+  private:
+    explicit FvParams(const FvConfig &config);
+
+    FvConfig config_;
+    std::shared_ptr<const rns::RnsBase> q_;
+    std::shared_ptr<const rns::RnsBase> p_;
+    std::shared_ptr<const rns::RnsBase> full_;
+    ntt::NttContext q_context_;
+    ntt::NttContext full_context_;
+    rns::FastBaseConverter lift_;
+    rns::FastBaseConverter scale_back_;
+    rns::ScaleRounder scaler_;
+    mp::BigInt delta_;
+    std::vector<uint64_t> delta_residues_;
+};
+
+} // namespace heat::fv
+
+#endif // HEAT_FV_PARAMS_H

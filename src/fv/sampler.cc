@@ -1,0 +1,113 @@
+#include "fv/sampler.h"
+
+#include <cmath>
+
+#include "common/panic.h"
+
+namespace heat::fv {
+
+Sampler::Sampler(std::shared_ptr<const FvParams> params, uint64_t seed)
+    : params_(std::move(params)), rng_(seed)
+{
+    buildCdt(params_->sigma());
+}
+
+void
+Sampler::buildCdt(double sigma)
+{
+    // Tail cut at 12 sigma: the mass beyond is ~exp(-72) < 2^-100.
+    const int tail = static_cast<int>(std::ceil(12.0 * sigma));
+    std::vector<long double> weights(tail + 1);
+    long double total = 0.0L;
+    for (int x = 0; x <= tail; ++x) {
+        long double w = std::exp(
+            -static_cast<long double>(x) * x / (2.0L * sigma * sigma));
+        if (x == 0)
+            w *= 0.5L; // zero is sampled once but gets two signs
+        weights[x] = w;
+        total += w;
+    }
+    cdt_.resize(tail + 1);
+    long double cum = 0.0L;
+    const long double scale = 9223372036854775808.0L; // 2^63
+    for (int x = 0; x <= tail; ++x) {
+        cum += weights[x];
+        long double v = cum / total * scale;
+        cdt_[x] = v >= scale ? (uint64_t(1) << 63)
+                             : static_cast<uint64_t>(v);
+    }
+    cdt_.back() = uint64_t(1) << 63;
+}
+
+int64_t
+Sampler::gaussianScalar()
+{
+    const uint64_t r = rng_.next();
+    const uint64_t u = r >> 1;          // 63 uniform bits
+    const bool negative = r & 1;
+
+    // Binary search the smallest k with cdt_[k] > u.
+    size_t lo = 0, hi = cdt_.size() - 1;
+    while (lo < hi) {
+        size_t mid = (lo + hi) / 2;
+        if (cdt_[mid] > u)
+            hi = mid;
+        else
+            lo = mid + 1;
+    }
+    int64_t mag = static_cast<int64_t>(lo);
+    return negative ? -mag : mag;
+}
+
+ntt::RnsPoly
+Sampler::uniformQ()
+{
+    const auto &base = params_->qBase();
+    ntt::RnsPoly poly(base, params_->degree(), ntt::PolyForm::kCoeff);
+    // CRT is a bijection, so independently uniform residues represent a
+    // uniformly random element of [0, q).
+    for (size_t i = 0; i < base->size(); ++i) {
+        const uint64_t q_i = base->modulus(i).value();
+        for (auto &x : poly.residue(i))
+            x = rng_.uniformBelow(q_i);
+    }
+    return poly;
+}
+
+ntt::RnsPoly
+Sampler::ternaryQ()
+{
+    const auto &base = params_->qBase();
+    ntt::RnsPoly poly(base, params_->degree(), ntt::PolyForm::kCoeff);
+    for (size_t j = 0; j < params_->degree(); ++j) {
+        const uint64_t v = rng_.uniformBelow(3); // 0, 1, 2 -> -1, 0, 1
+        for (size_t i = 0; i < base->size(); ++i) {
+            const rns::Modulus &q_i = base->modulus(i);
+            uint64_t r = 0;
+            if (v == 1)
+                r = 1;
+            else if (v == 0)
+                r = q_i.value() - 1;
+            poly.residue(i)[j] = r;
+        }
+    }
+    return poly;
+}
+
+ntt::RnsPoly
+Sampler::gaussianQ()
+{
+    const auto &base = params_->qBase();
+    ntt::RnsPoly poly(base, params_->degree(), ntt::PolyForm::kCoeff);
+    for (size_t j = 0; j < params_->degree(); ++j) {
+        const int64_t e = gaussianScalar();
+        for (size_t i = 0; i < base->size(); ++i) {
+            const uint64_t q_i = base->modulus(i).value();
+            const uint64_t mag = static_cast<uint64_t>(e < 0 ? -e : e) % q_i;
+            poly.residue(i)[j] = e < 0 ? (mag == 0 ? 0 : q_i - mag) : mag;
+        }
+    }
+    return poly;
+}
+
+} // namespace heat::fv

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Randomness for FV: uniform ring elements, signed-binary (ternary)
+ * secrets, and the sigma = 102 discrete Gaussian error distribution
+ * sampled through a cumulative distribution table (CDT).
+ */
+
+#ifndef HEAT_FV_SAMPLER_H
+#define HEAT_FV_SAMPLER_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "fv/params.h"
+#include "ntt/rns_poly.h"
+
+namespace heat::fv {
+
+/** Samples the polynomials FV needs, deterministically from a seed. */
+class Sampler
+{
+  public:
+    /**
+     * @param params parameter set (fixes degree, bases and sigma).
+     * @param seed PRNG seed; equal seeds reproduce identical samples.
+     */
+    Sampler(std::shared_ptr<const FvParams> params, uint64_t seed);
+
+    /** Uniformly random polynomial over R_q (independent residues). */
+    ntt::RnsPoly uniformQ();
+
+    /**
+     * Polynomial with coefficients uniform in {-1, 0, 1} over R_q
+     * ("uniformly random signed binary" in the paper's words).
+     */
+    ntt::RnsPoly ternaryQ();
+
+    /** Discrete Gaussian error polynomial over R_q. */
+    ntt::RnsPoly gaussianQ();
+
+    /** One discrete Gaussian sample (signed). */
+    int64_t gaussianScalar();
+
+    /** @return the CDT tail cut (maximum magnitude). */
+    int64_t tailBound() const { return static_cast<int64_t>(cdt_.size()); }
+
+  private:
+    void buildCdt(double sigma);
+
+    std::shared_ptr<const FvParams> params_;
+    Xoshiro256 rng_;
+    /** cdt_[k] = P(|X| <= k) scaled to 2^63. */
+    std::vector<uint64_t> cdt_;
+};
+
+} // namespace heat::fv
+
+#endif // HEAT_FV_SAMPLER_H

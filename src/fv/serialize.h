@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Binary serialization for key material, plaintexts and ciphertexts.
+ *
+ * The paper's system moves ciphertexts between networked clients, the
+ * Arm server and DDR (Sec. V-D, contiguous 32-bit residue words so DMA
+ * bursts stay unbroken); this module provides the matching wire format:
+ *
+ *   [magic "HEAT"] [version u32] [params fingerprint u64] [payload]
+ *
+ * Residues are written as little-endian uint32 words (the 30-bit
+ * residues of the paper's parameter sets fit one word; wider moduli are
+ * rejected). Deserialization verifies magic, version and fingerprint so
+ * mismatched parameter sets fail loudly rather than corrupting data.
+ */
+
+#ifndef HEAT_FV_SERIALIZE_H
+#define HEAT_FV_SERIALIZE_H
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "fv/galois.h"
+#include "fv/keys.h"
+#include "fv/params.h"
+
+namespace heat::fv {
+
+/** @return a stable 64-bit fingerprint of a parameter set. */
+uint64_t paramsFingerprint(const FvParams &params);
+
+// --- ciphertexts and plaintexts -----------------------------------------
+
+void savePlaintext(const Plaintext &plain, std::ostream &out);
+Plaintext loadPlaintext(std::istream &in);
+
+void saveCiphertext(const FvParams &params, const Ciphertext &ct,
+                    std::ostream &out);
+Ciphertext loadCiphertext(const std::shared_ptr<const FvParams> &params,
+                          std::istream &in);
+
+/** Serialized byte size of a ciphertext (header + residue words). */
+size_t ciphertextByteSize(const FvParams &params, const Ciphertext &ct);
+
+// --- keys -------------------------------------------------------------------
+
+void saveSecretKey(const FvParams &params, const SecretKey &sk,
+                   std::ostream &out);
+SecretKey loadSecretKey(const std::shared_ptr<const FvParams> &params,
+                        std::istream &in);
+
+void savePublicKey(const FvParams &params, const PublicKey &pk,
+                   std::ostream &out);
+PublicKey loadPublicKey(const std::shared_ptr<const FvParams> &params,
+                        std::istream &in);
+
+void saveRelinKeys(const FvParams &params, const RelinKeys &rlk,
+                   std::ostream &out);
+RelinKeys loadRelinKeys(const std::shared_ptr<const FvParams> &params,
+                        std::istream &in);
+
+void saveGaloisKeys(const FvParams &params, const GaloisKeys &gkeys,
+                    std::ostream &out);
+GaloisKeys loadGaloisKeys(const std::shared_ptr<const FvParams> &params,
+                          std::istream &in);
+
+} // namespace heat::fv
+
+#endif // HEAT_FV_SERIALIZE_H

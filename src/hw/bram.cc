@@ -1,0 +1,42 @@
+#include "hw/bram.h"
+
+#include "common/panic.h"
+
+namespace heat::hw {
+
+BramBank::BramBank(uint32_t first_word, uint32_t words)
+    : first_word_(first_word), words_(words)
+{
+}
+
+void
+BramBank::recordRead(Cycle cycle, uint32_t addr)
+{
+    panicIf(!contains(addr), "read address ", addr, " outside bank");
+    if (cycle == last_read_cycle_)
+        ++conflicts_;
+    last_read_cycle_ = cycle;
+    ++reads_;
+}
+
+void
+BramBank::recordWrite(Cycle cycle, uint32_t addr)
+{
+    panicIf(!contains(addr), "write address ", addr, " outside bank");
+    if (cycle == last_write_cycle_)
+        ++conflicts_;
+    last_write_cycle_ = cycle;
+    ++writes_;
+}
+
+void
+BramBank::reset()
+{
+    last_read_cycle_ = ~Cycle(0);
+    last_write_cycle_ = ~Cycle(0);
+    reads_ = 0;
+    writes_ = 0;
+    conflicts_ = 0;
+}
+
+} // namespace heat::hw

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Model of a banked BRAM block with port-usage accounting.
+ *
+ * A residue polynomial (n coefficients, two per 60-bit word) lives in two
+ * "brown blocks" (Fig. 3): the lower block serves word addresses
+ * [0, n/4), the upper block [n/4, n/2). Each block exposes one read port
+ * and one write port per cycle (the two physical BRAM36K ports are split
+ * one-for-read, one-for-write during NTT). The model records every access
+ * and counts conflicts — the paper's central claim for the dual-core NTT
+ * is that its schedule produces zero.
+ */
+
+#ifndef HEAT_HW_BRAM_H
+#define HEAT_HW_BRAM_H
+
+#include <cstdint>
+
+#include "hw/config.h"
+
+namespace heat::hw {
+
+/** One dual-port memory block (an aligned pair of BRAM36Ks). */
+class BramBank
+{
+  public:
+    BramBank() = default;
+
+    /**
+     * @param first_word lowest word address this bank serves.
+     * @param words number of 60-bit words.
+     */
+    BramBank(uint32_t first_word, uint32_t words);
+
+    /** @return true iff @p addr falls in this bank. */
+    bool
+    contains(uint32_t addr) const
+    {
+        return addr >= first_word_ && addr < first_word_ + words_;
+    }
+
+    /**
+     * Record a read at @p cycle. A second read in the same cycle is a
+     * port conflict.
+     */
+    void recordRead(Cycle cycle, uint32_t addr);
+
+    /** Record a write at @p cycle (see recordRead). */
+    void recordWrite(Cycle cycle, uint32_t addr);
+
+    /** @return number of port conflicts observed. */
+    uint64_t conflicts() const { return conflicts_; }
+
+    /** @return total reads served. */
+    uint64_t reads() const { return reads_; }
+
+    /** @return total writes served. */
+    uint64_t writes() const { return writes_; }
+
+    /** Forget all recorded activity. */
+    void reset();
+
+  private:
+    uint32_t first_word_ = 0;
+    uint32_t words_ = 0;
+    Cycle last_read_cycle_ = ~Cycle(0);
+    Cycle last_write_cycle_ = ~Cycle(0);
+    uint64_t reads_ = 0;
+    uint64_t writes_ = 0;
+    uint64_t conflicts_ = 0;
+};
+
+} // namespace heat::hw
+
+#endif // HEAT_HW_BRAM_H

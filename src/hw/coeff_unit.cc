@@ -1,0 +1,42 @@
+#include "hw/coeff_unit.h"
+
+#include "common/panic.h"
+
+namespace heat::hw {
+
+void
+CoeffUnit::mul(std::span<uint64_t> dst, std::span<const uint64_t> a,
+               std::span<const uint64_t> b, const rns::Modulus &q) const
+{
+    panicIf(dst.size() != a.size() || a.size() != b.size(),
+            "coeff unit operand size mismatch");
+    const bool hw_path = q.bits() <= rns::kRnsPrimeBits;
+    for (size_t i = 0; i < dst.size(); ++i) {
+        // The hardware multiplies in the DSP array and reduces through
+        // the sliding-window circuit.
+        const uint64_t prod = a[i] * b[i];
+        dst[i] = hw_path ? q.slidingWindowReduce(prod) : q.mul(a[i], b[i]);
+    }
+}
+
+void
+CoeffUnit::add(std::span<uint64_t> dst, std::span<const uint64_t> a,
+               std::span<const uint64_t> b, const rns::Modulus &q) const
+{
+    panicIf(dst.size() != a.size() || a.size() != b.size(),
+            "coeff unit operand size mismatch");
+    for (size_t i = 0; i < dst.size(); ++i)
+        dst[i] = q.add(a[i], b[i]);
+}
+
+void
+CoeffUnit::sub(std::span<uint64_t> dst, std::span<const uint64_t> a,
+               std::span<const uint64_t> b, const rns::Modulus &q) const
+{
+    panicIf(dst.size() != a.size() || a.size() != b.size(),
+            "coeff unit operand size mismatch");
+    for (size_t i = 0; i < dst.size(); ++i)
+        dst[i] = q.sub(a[i], b[i]);
+}
+
+} // namespace heat::hw

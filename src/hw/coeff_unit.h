@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Coefficient-wise arithmetic unit of an RPAU.
+ *
+ * Executes the Coeff-wise Multiplication/Addition/Subtraction
+ * instructions: one 60-bit word (two coefficients) per cycle streamed
+ * through the two multiplier/adder lanes, reusing the butterfly cores'
+ * arithmetic (Fig. 4 datapath without the butterfly cross-connection).
+ */
+
+#ifndef HEAT_HW_COEFF_UNIT_H
+#define HEAT_HW_COEFF_UNIT_H
+
+#include <cstdint>
+#include <span>
+
+#include "hw/config.h"
+#include "rns/modulus.h"
+
+namespace heat::hw {
+
+/** Element-wise polynomial arithmetic: functional + timing. */
+class CoeffUnit
+{
+  public:
+    explicit CoeffUnit(const HwConfig &config) : config_(config) {}
+
+    /** dst = a * b mod q, element-wise (through the HW reducer path). */
+    void mul(std::span<uint64_t> dst, std::span<const uint64_t> a,
+             std::span<const uint64_t> b, const rns::Modulus &q) const;
+
+    /** dst = a + b mod q. */
+    void add(std::span<uint64_t> dst, std::span<const uint64_t> a,
+             std::span<const uint64_t> b, const rns::Modulus &q) const;
+
+    /** dst = a - b mod q. */
+    void sub(std::span<uint64_t> dst, std::span<const uint64_t> a,
+             std::span<const uint64_t> b, const rns::Modulus &q) const;
+
+    /** Cycles for one instruction over an n-coefficient polynomial. */
+    Cycle
+    cycles(size_t degree) const
+    {
+        return static_cast<Cycle>(degree / 2 +
+                                  config_.coeff_pipeline_depth);
+    }
+
+  private:
+    HwConfig config_;
+};
+
+} // namespace heat::hw
+
+#endif // HEAT_HW_COEFF_UNIT_H

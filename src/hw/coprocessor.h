@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The instruction-set coprocessor (Fig. 10): seven RPAUs, two Lift/Scale
+ * cores and the on-chip memory file behind a small instruction set.
+ *
+ * Execution is functional *and* timed: every instruction updates the
+ * memory-file contents through the same arithmetic kernels the software
+ * evaluator uses (results are bit-exact against fv::Evaluator's HPS
+ * path) and charges a cycle cost derived from the block models
+ * (NttEngine, LiftUnit, ScaleUnit, CoeffUnit) plus the Arm dispatch
+ * overhead. DMA time (relinearization keys) is tracked separately in
+ * microseconds of the 250 MHz domain.
+ */
+
+#ifndef HEAT_HW_COPROCESSOR_H
+#define HEAT_HW_COPROCESSOR_H
+
+#include <memory>
+#include <vector>
+
+#include "fv/keys.h"
+#include "fv/params.h"
+#include "hw/config.h"
+#include "hw/dma.h"
+#include "hw/isa.h"
+#include "hw/lift_unit.h"
+#include "hw/memory_file.h"
+#include "hw/rpau.h"
+#include "hw/scale_unit.h"
+
+namespace heat::hw {
+
+/** One coprocessor instance. */
+class Coprocessor
+{
+  public:
+    /**
+     * @param params FV parameter set.
+     * @param config hardware configuration.
+     * @param rlk relinearization keys resident in DDR (may be null if
+     *        the workload never issues kKeyLoad).
+     */
+    Coprocessor(std::shared_ptr<const fv::FvParams> params,
+                const HwConfig &config,
+                const fv::RelinKeys *rlk = nullptr);
+
+    /** @return the parameter set. */
+    const fv::FvParams &params() const { return *params_; }
+
+    /** @return the configuration. */
+    const HwConfig &config() const { return config_; }
+
+    /** @return the memory file. */
+    MemoryFile &memory() { return memory_; }
+    const MemoryFile &memory() const { return memory_; }
+
+    /** @return RPAU @p i. */
+    const Rpau &rpau(size_t i) const { return rpaus_[i]; }
+
+    /** Upload an operand polynomial (coefficient form, natural order).
+     *  Transfer timing is the host model's responsibility. */
+    PolyId uploadPoly(const ntt::RnsPoly &poly);
+
+    /** Overwrite an existing record with fresh operand data. */
+    void uploadInto(PolyId id, const ntt::RnsPoly &poly);
+
+    /** Download a result polynomial. */
+    ntt::RnsPoly downloadPoly(PolyId id) const;
+
+    /** Execute a program; returns its statistics. */
+    ExecStats execute(const Program &program);
+
+    /** Cycle cost of one instruction (dispatch overhead included). */
+    Cycle instructionCycles(const Instruction &instr) const;
+
+    /** DMA microseconds charged by an instruction (kKeyLoad only). */
+    double instructionDmaUs(const Instruction &instr) const;
+
+    /** Serialized size of one polynomial over base @p tag in bytes
+     *  (30-bit residues in 32-bit words). */
+    size_t polyBytes(BaseTag tag) const;
+
+  private:
+    void exec(const Instruction &instr);
+    void execTransform(const Instruction &instr, bool inverse);
+    void execCoeffOp(const Instruction &instr);
+    void execRearrange(const Instruction &instr);
+    void execKeyLoad(const Instruction &instr);
+
+    std::shared_ptr<const fv::FvParams> params_;
+    HwConfig config_;
+    MemoryFile memory_;
+    std::vector<Rpau> rpaus_;
+    LiftUnit lift_unit_;
+    ScaleUnit scale_unit_;
+    DmaModel dma_;
+    const fv::RelinKeys *rlk_;
+};
+
+} // namespace heat::hw
+
+#endif // HEAT_HW_COPROCESSOR_H

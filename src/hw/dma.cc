@@ -1,0 +1,27 @@
+#include "hw/dma.h"
+
+#include "common/panic.h"
+
+namespace heat::hw {
+
+double
+DmaModel::streamUs(size_t bytes) const
+{
+    return static_cast<double>(bytes) / config_.dma_bytes_per_cycle /
+           config_.dma_clock_hz * 1e6;
+}
+
+double
+DmaModel::transferUs(size_t bytes, size_t chunk_bytes) const
+{
+    panicIf(chunk_bytes == 0, "chunk size must be positive");
+    const size_t chunks = (bytes + chunk_bytes - 1) / chunk_bytes;
+    const size_t warm = std::min<size_t>(
+        chunks, static_cast<size_t>(config_.dma_warm_descriptors));
+    const double desc_us =
+        static_cast<double>(warm) * config_.dma_desc_first_us +
+        static_cast<double>(chunks - warm) * config_.dma_desc_steady_us;
+    return config_.dma_setup_us + desc_us + streamUs(bytes);
+}
+
+} // namespace heat::hw

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Model of the AXI DMA between DDR and the coprocessors (Sec. V-D).
+ *
+ * The model reproduces Table III: a transfer of B bytes split into C
+ * chunks costs
+ *
+ *   setup + sum of per-descriptor overheads + B / (bus bytes/cycle * f)
+ *
+ * where the first few descriptors pay the full driver/interrupt cost and
+ * later ones are pipelined by the scatter-gather engine. The constants
+ * are fitted to the paper's three measurements (76 / 109 / 202 us for a
+ * 98304-byte polynomial as one, 16 KiB, and 1 KiB chunks).
+ */
+
+#ifndef HEAT_HW_DMA_H
+#define HEAT_HW_DMA_H
+
+#include <cstddef>
+
+#include "hw/config.h"
+
+namespace heat::hw {
+
+/** DMA timing model. */
+class DmaModel
+{
+  public:
+    explicit DmaModel(const HwConfig &config) : config_(config) {}
+
+    /**
+     * Time to move @p bytes split into chunks of @p chunk_bytes.
+     *
+     * @return microseconds, including driver setup.
+     */
+    double transferUs(size_t bytes, size_t chunk_bytes) const;
+
+    /** Single-descriptor transfer (the paper's fastest mode). */
+    double
+    transferUs(size_t bytes) const
+    {
+        return transferUs(bytes, bytes);
+    }
+
+    /** Raw streaming time without driver overheads. */
+    double streamUs(size_t bytes) const;
+
+  private:
+    HwConfig config_;
+};
+
+} // namespace heat::hw
+
+#endif // HEAT_HW_DMA_H

@@ -1,0 +1,110 @@
+#include "hw/isa.h"
+
+#include <sstream>
+
+namespace heat::hw {
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::kNtt:
+        return "NTT";
+      case Opcode::kIntt:
+        return "Inverse-NTT";
+      case Opcode::kCoeffMul:
+        return "Coeff-wise Multiplication";
+      case Opcode::kCoeffAdd:
+        return "Coeff-wise Addition";
+      case Opcode::kCoeffSub:
+        return "Coeff-wise Subtraction";
+      case Opcode::kRearrange:
+        return "Memory Rearrange";
+      case Opcode::kLift:
+        return "Lift q->Q";
+      case Opcode::kScale:
+        return "Scale Q->q";
+      case Opcode::kKeyLoad:
+        return "Relin-key DMA";
+    }
+    return "?";
+}
+
+namespace {
+
+const char *
+mnemonic(Opcode op)
+{
+    switch (op) {
+      case Opcode::kNtt:
+        return "ntt";
+      case Opcode::kIntt:
+        return "intt";
+      case Opcode::kCoeffMul:
+        return "cmul";
+      case Opcode::kCoeffAdd:
+        return "cadd";
+      case Opcode::kCoeffSub:
+        return "csub";
+      case Opcode::kRearrange:
+        return "rearr";
+      case Opcode::kLift:
+        return "lift";
+      case Opcode::kScale:
+        return "scale";
+      case Opcode::kKeyLoad:
+        return "kload";
+    }
+    return "?";
+}
+
+void
+appendPoly(std::ostringstream &oss, PolyId id)
+{
+    if (id == kNoPoly)
+        oss << " -";
+    else
+        oss << " p" << id;
+}
+
+} // namespace
+
+std::string
+disassemble(const Instruction &instr)
+{
+    std::ostringstream oss;
+    oss << mnemonic(instr.op);
+    if (instr.op == Opcode::kKeyLoad) {
+        oss << " digit=" << instr.aux;
+    } else {
+        appendPoly(oss, instr.dst);
+        if (instr.src0 != kNoPoly)
+            appendPoly(oss, instr.src0);
+        if (instr.src1 != kNoPoly)
+            appendPoly(oss, instr.src1);
+        oss << " b" << static_cast<int>(instr.batch);
+    }
+    if (!instr.extra.empty()) {
+        oss << " ->";
+        for (PolyId id : instr.extra)
+            appendPoly(oss, id);
+    }
+    return oss.str();
+}
+
+std::string
+Program::listing() const
+{
+    std::ostringstream oss;
+    for (size_t i = 0; i < instrs.size(); ++i) {
+        oss << (i < 10 ? "  " : i < 100 ? " " : "") << i << ": "
+            << disassemble(instrs[i]) << "\n";
+    }
+    oss << "outputs:";
+    for (PolyId id : outputs)
+        oss << " p" << id;
+    oss << "\n";
+    return oss.str();
+}
+
+} // namespace heat::hw

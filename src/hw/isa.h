@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The coprocessor's instruction set (Table II of the paper).
+ *
+ * One instruction operates on one *batch* of residues: batch 0 covers
+ * the q primes (RPAUs 0..5), batch 1 the seven extension primes
+ * (RPAUs 0..6). All RPAUs of a batch execute in parallel, which is why
+ * the per-instruction cost is independent of the batch width.
+ *
+ * Opcodes:
+ *   kNtt / kIntt           forward / inverse NTT of one batch
+ *   kCoeffMul/Add/Sub      coefficient-wise arithmetic, one batch
+ *   kRearrange             layout permutation natural <-> paired
+ *   kLift                  Lift q->Q (extends a q poly to the full base)
+ *   kScale                 Scale Q->q (optionally emitting WordDecomp
+ *                          digit broadcasts during writeback)
+ *   kKeyLoad               DMA one relinearization key pair from DDR
+ */
+
+#ifndef HEAT_HW_ISA_H
+#define HEAT_HW_ISA_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hw/config.h"
+#include "hw/memory_file.h"
+
+namespace heat::hw {
+
+/** Coprocessor opcodes. */
+enum class Opcode : uint8_t
+{
+    kNtt,
+    kIntt,
+    kCoeffMul,
+    kCoeffAdd,
+    kCoeffSub,
+    kRearrange,
+    kLift,
+    kScale,
+    kKeyLoad,
+};
+
+/** @return a printable mnemonic. */
+const char *opcodeName(Opcode op);
+
+/** One coprocessor instruction. */
+struct Instruction
+{
+    Opcode op;
+    /** Destination (also in-place operand for transforms). */
+    PolyId dst = kNoPoly;
+    /** First source operand. */
+    PolyId src0 = kNoPoly;
+    /** Second source operand. */
+    PolyId src1 = kNoPoly;
+    /** Residue batch: 0 = q primes, 1 = extension primes. */
+    uint8_t batch = 0;
+    /** Auxiliary immediate (relin digit index for kKeyLoad). */
+    uint32_t aux = 0;
+    /** Extra destinations: WordDecomp digit broadcasts for kScale,
+     *  key-buffer targets for kKeyLoad. */
+    std::vector<PolyId> extra;
+};
+
+/** A straight-line instruction sequence plus its external interface. */
+struct Program
+{
+    std::vector<Instruction> instrs;
+    /** Result polynomial handles (c0, c1 for Mult/Add). */
+    std::vector<PolyId> outputs;
+
+    /** @return a full assembly-style listing of the program. */
+    std::string listing() const;
+};
+
+/** @return a one-line assembly-style rendering of an instruction. */
+std::string disassemble(const Instruction &instr);
+
+/** Per-opcode execution statistics. */
+struct OpStats
+{
+    uint64_t calls = 0;
+    Cycle fpga_cycles = 0;
+    double dma_us = 0.0;
+};
+
+/** Aggregated statistics of one program run. */
+struct ExecStats
+{
+    std::map<Opcode, OpStats> per_op;
+    Cycle fpga_cycles = 0;
+    double dma_us = 0.0;
+
+    /** Total time in microseconds at the given configuration. */
+    double
+    totalUs(const HwConfig &config) const
+    {
+        return config.cyclesToUs(fpga_cycles) + dma_us;
+    }
+};
+
+} // namespace heat::hw
+
+#endif // HEAT_HW_ISA_H

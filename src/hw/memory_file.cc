@@ -1,0 +1,115 @@
+#include "hw/memory_file.h"
+
+#include "common/panic.h"
+
+namespace heat::hw {
+
+MemoryFile::MemoryFile(std::shared_ptr<const fv::FvParams> params,
+                       const HwConfig &config)
+    : params_(std::move(params)),
+      capacity_(config.n_rpaus * config.slots_per_rpau)
+{
+}
+
+size_t
+MemoryFile::residueCount(BaseTag tag) const
+{
+    return tag == BaseTag::kQ ? params_->qBase()->size()
+                              : params_->fullBase()->size();
+}
+
+PolyId
+MemoryFile::allocate(BaseTag tag, Layout layout)
+{
+    const size_t need = slotsFor(tag);
+    fatalIf(in_use_ + need > capacity_,
+            "memory file exhausted: need ", need, " slots, ",
+            capacity_ - in_use_, " free (capacity ", capacity_, ")");
+    in_use_ += need;
+    peak_ = std::max(peak_, in_use_);
+
+    PolyRecord rec;
+    rec.base = tag;
+    rec.layout.assign(residueCount(tag), layout);
+    rec.data.assign(residueCount(tag) * params_->degree(), 0);
+    rec.valid = true;
+    records_.push_back(std::move(rec));
+    return static_cast<PolyId>(records_.size() - 1);
+}
+
+void
+MemoryFile::free(PolyId id)
+{
+    release(id);
+    PolyRecord &rec = records_[id];
+    rec.valid = false;
+    rec.data.clear();
+    rec.data.shrink_to_fit();
+}
+
+void
+MemoryFile::release(PolyId id)
+{
+    PolyRecord &rec = record(id);
+    panicIf(rec.released, "double release of polynomial ", id);
+    in_use_ -= slotsFor(rec.base);
+    rec.released = true;
+}
+
+void
+MemoryFile::extendToFull(PolyId id)
+{
+    PolyRecord &rec = record(id);
+    panicIf(rec.base != BaseTag::kQ, "polynomial already extended");
+    const size_t extra = residueCount(BaseTag::kFull) -
+                         residueCount(BaseTag::kQ);
+    fatalIf(in_use_ + extra > capacity_,
+            "memory file exhausted during lift");
+    in_use_ += extra;
+    peak_ = std::max(peak_, in_use_);
+    rec.base = BaseTag::kFull;
+    rec.layout.resize(residueCount(BaseTag::kFull), Layout::kNatural);
+    rec.data.resize(residueCount(BaseTag::kFull) * params_->degree(), 0);
+}
+
+PolyRecord &
+MemoryFile::record(PolyId id)
+{
+    panicIf(id >= records_.size() || !records_[id].valid,
+            "invalid polynomial id ", id);
+    return records_[id];
+}
+
+const PolyRecord &
+MemoryFile::record(PolyId id) const
+{
+    panicIf(id >= records_.size() || !records_[id].valid,
+            "invalid polynomial id ", id);
+    return records_[id];
+}
+
+PolyId
+MemoryFile::import(const ntt::RnsPoly &poly, Layout layout)
+{
+    const BaseTag tag = poly.residueCount() == residueCount(BaseTag::kQ)
+                            ? BaseTag::kQ
+                            : BaseTag::kFull;
+    panicIf(poly.residueCount() != residueCount(tag),
+            "imported polynomial has unexpected residue count");
+    PolyId id = allocate(tag, layout);
+    record(id).data = poly.data();
+    return id;
+}
+
+ntt::RnsPoly
+MemoryFile::exportPoly(PolyId id) const
+{
+    const PolyRecord &rec = record(id);
+    const auto base = rec.base == BaseTag::kQ ? params_->qBase()
+                                              : params_->fullBase();
+    ntt::RnsPoly poly(base, params_->degree(), ntt::PolyForm::kCoeff);
+    poly.data() = rec.data;
+    return poly;
+}
+
+} // namespace heat::hw

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The coprocessor's on-chip memory file.
+ *
+ * Polynomials are stored as residue-polynomial slots of n/2 60-bit words
+ * (two coefficients per word, four BRAM36K per slot). Residue k of the
+ * paper's 13-prime base maps to RPAU (k < 6 ? k : k - 6) — the resource
+ * sharing of Sec. V-A1 — and instructions operate on one of two batches:
+ * batch 0 = the q primes, batch 1 = the extension primes.
+ *
+ * The pool holds 84 slots (Table IV's BRAM budget: 84*4 = 336 BRAM36K
+ * for data + 49 for twiddle ROMs + interface = 388). Slot exhaustion is
+ * a hard error: FV.Mult must be schedulable inside this budget, and the
+ * ProgramBuilder's allocation discipline is part of the reproduction.
+ *
+ * Each residue carries a layout tag mirroring the physical data order:
+ * kNatural (coefficient order, what Lift/Scale stream), kPaired (the
+ * bit-reversed paired-word order the NTT engine consumes — REARRANGE
+ * converts), and kNttDomain (evaluation order).
+ */
+
+#ifndef HEAT_HW_MEMORY_FILE_H
+#define HEAT_HW_MEMORY_FILE_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fv/params.h"
+#include "hw/config.h"
+#include "ntt/rns_poly.h"
+
+namespace heat::hw {
+
+/** Identifier of a polynomial resident in the memory file. */
+using PolyId = uint32_t;
+
+/** Sentinel for "no polynomial". */
+constexpr PolyId kNoPoly = ~PolyId(0);
+
+/** Physical data order of one residue polynomial. */
+enum class Layout : uint8_t
+{
+    kNatural,  ///< coefficient order (Lift/Scale streaming order)
+    kPaired,   ///< paired/bit-reversed word order (NTT engine input)
+    kNttDomain ///< evaluation (NTT) order
+};
+
+/** Which RNS base a resident polynomial spans. */
+enum class BaseTag : uint8_t
+{
+    kQ,   ///< ciphertext base q
+    kFull ///< extended base Q = q * p
+};
+
+/** A polynomial resident in the memory file. */
+struct PolyRecord
+{
+    BaseTag base = BaseTag::kQ;
+    /** Layout per residue (size = residue count). */
+    std::vector<Layout> layout;
+    /** Residue-major coefficient data. */
+    std::vector<uint64_t> data;
+    bool valid = false;
+    /** Slots returned to the allocator (record still readable). */
+    bool released = false;
+};
+
+/** Slot-accounted storage for resident polynomials. */
+class MemoryFile
+{
+  public:
+    MemoryFile(std::shared_ptr<const fv::FvParams> params,
+               const HwConfig &config);
+
+    /** @return residue count of base @p tag. */
+    size_t residueCount(BaseTag tag) const;
+
+    /** @return total slot capacity (n_rpaus * slots_per_rpau). */
+    size_t capacity() const { return capacity_; }
+
+    /** @return slots currently allocated. */
+    size_t slotsInUse() const { return in_use_; }
+
+    /** @return maximum slots ever allocated (memory high-water mark). */
+    size_t peakSlots() const { return peak_; }
+
+    /** Allocate a zeroed polynomial over base @p tag. */
+    PolyId allocate(BaseTag tag, Layout layout = Layout::kNatural);
+
+    /** Release a polynomial's slots and invalidate the record. */
+    void free(PolyId id);
+
+    /**
+     * Return a polynomial's slots to the allocator while keeping the
+     * record readable. Program building performs slot accounting
+     * statically: the builder only releases a record after its last use
+     * in program order, so a later allocation can safely reuse the
+     * physical slots even though the simulator keeps the old data for
+     * inspection.
+     */
+    void release(PolyId id);
+
+    /** Extend a q-base polynomial to the full base (Lift allocation). */
+    void extendToFull(PolyId id);
+
+    /** @return mutable record (must be valid). */
+    PolyRecord &record(PolyId id);
+
+    /** @return const record (must be valid). */
+    const PolyRecord &record(PolyId id) const;
+
+    /** Copy an RnsPoly into a fresh record (operand upload). */
+    PolyId import(const ntt::RnsPoly &poly, Layout layout);
+
+    /** Read a record back out as an RnsPoly (coefficient form). */
+    ntt::RnsPoly exportPoly(PolyId id) const;
+
+    /** Degree n. */
+    size_t degree() const { return params_->degree(); }
+
+    /** Parameter set. */
+    const fv::FvParams &params() const { return *params_; }
+
+  private:
+    size_t slotsFor(BaseTag tag) const { return residueCount(tag); }
+
+    std::shared_ptr<const fv::FvParams> params_;
+    size_t capacity_;
+    size_t in_use_ = 0;
+    size_t peak_ = 0;
+    std::vector<PolyRecord> records_;
+};
+
+} // namespace heat::hw
+
+#endif // HEAT_HW_MEMORY_FILE_H

@@ -1,0 +1,16 @@
+#include "hw/mod_reduce_unit.h"
+
+namespace heat::hw {
+
+ModReduceUnit::ModReduceUnit(const rns::Modulus &modulus)
+    : modulus_(modulus)
+{
+}
+
+uint64_t
+ModReduceUnit::reduce(uint64_t x) const
+{
+    return modulus_.slidingWindowReduce(x);
+}
+
+} // namespace heat::hw

@@ -1,0 +1,2 @@
+// PowerModel is header-only; this translation unit anchors the target.
+#include "hw/power_model.h"

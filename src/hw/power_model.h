@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Power model calibrated to the Power Advantage Tool measurements of
+ * Sec. VI-C: 5.3 W static; continuous homomorphic multiplication adds
+ * 1.0 W of processing-system activity (Arm cores, DDR, DMA) plus 1.2 W
+ * per active coprocessor (2.2 W dynamic single-core, 3.4 W dual-core,
+ * 8.7 W peak total).
+ */
+
+#ifndef HEAT_HW_POWER_MODEL_H
+#define HEAT_HW_POWER_MODEL_H
+
+#include <cstddef>
+
+namespace heat::hw {
+
+/** Board-level power estimates (watts). */
+class PowerModel
+{
+  public:
+    /** Static (idle) power of the MPSoC + board. */
+    double staticW() const { return static_w_; }
+
+    /** Dynamic power with @p active_coprocessors running Mult. */
+    double
+    dynamicW(size_t active_coprocessors) const
+    {
+        if (active_coprocessors == 0)
+            return 0.0;
+        return ps_active_w_ +
+               per_coproc_w_ * static_cast<double>(active_coprocessors);
+    }
+
+    /** Total power. */
+    double
+    totalW(size_t active_coprocessors) const
+    {
+        return staticW() + dynamicW(active_coprocessors);
+    }
+
+    /**
+     * Energy per homomorphic multiplication in millijoules at a given
+     * throughput (mults/s) and active-core count.
+     */
+    double
+    energyPerMultMj(double mults_per_second,
+                    size_t active_coprocessors) const
+    {
+        return totalW(active_coprocessors) / mults_per_second * 1e3;
+    }
+
+  private:
+    double static_w_ = 5.3;
+    double ps_active_w_ = 1.0;
+    double per_coproc_w_ = 1.2;
+};
+
+} // namespace heat::hw
+
+#endif // HEAT_HW_POWER_MODEL_H

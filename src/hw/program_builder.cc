@@ -1,0 +1,167 @@
+#include "hw/program_builder.h"
+
+#include "common/panic.h"
+
+namespace heat::hw {
+
+namespace {
+
+Instruction
+make(Opcode op, PolyId dst, PolyId src0 = kNoPoly, PolyId src1 = kNoPoly,
+     uint8_t batch = 0)
+{
+    Instruction i;
+    i.op = op;
+    i.dst = dst;
+    i.src0 = src0;
+    i.src1 = src1;
+    i.batch = batch;
+    return i;
+}
+
+} // namespace
+
+Program
+ProgramBuilder::buildAdd(std::array<PolyId, 2> a, std::array<PolyId, 2> b)
+{
+    MemoryFile &mem = cp_.memory();
+    Program p;
+    for (int i = 0; i < 2; ++i) {
+        PolyId c = mem.allocate(BaseTag::kQ, Layout::kNatural);
+        p.instrs.push_back(make(Opcode::kCoeffAdd, c, a[i], b[i], 0));
+        p.outputs.push_back(c);
+    }
+    return p;
+}
+
+void
+ProgramBuilder::emitForward(Program &p, PolyId id, bool full)
+{
+    const int batches = full ? 2 : 1;
+    for (int b = 0; b < batches; ++b) {
+        p.instrs.push_back(make(Opcode::kRearrange, id, kNoPoly, kNoPoly,
+                                static_cast<uint8_t>(b)));
+        p.instrs.push_back(make(Opcode::kNtt, id, kNoPoly, kNoPoly,
+                                static_cast<uint8_t>(b)));
+    }
+}
+
+void
+ProgramBuilder::emitInverse(Program &p, PolyId id, bool full)
+{
+    const int batches = full ? 2 : 1;
+    for (int b = 0; b < batches; ++b) {
+        p.instrs.push_back(make(Opcode::kIntt, id, kNoPoly, kNoPoly,
+                                static_cast<uint8_t>(b)));
+        p.instrs.push_back(make(Opcode::kRearrange, id, kNoPoly, kNoPoly,
+                                static_cast<uint8_t>(b)));
+    }
+}
+
+Program
+ProgramBuilder::buildMult(std::array<PolyId, 2> a, std::array<PolyId, 2> b)
+{
+    MemoryFile &mem = cp_.memory();
+    const size_t digits = cp_.params().rnsDigitCount();
+    Program p;
+
+    const PolyId a0 = a[0], a1 = a[1], b0 = b[0], b1 = b[1];
+
+    // --- Step 1: Lift q->Q of the four input polynomials --------------
+    for (PolyId x : {a0, a1, b0, b1}) {
+        p.instrs.push_back(make(Opcode::kLift, x));
+        mem.extendToFull(x); // build-time slot accounting
+    }
+
+    // --- Step 2: forward transforms ------------------------------------
+    for (PolyId x : {a0, a1, b0, b1})
+        emitForward(p, x, true);
+
+    // --- Step 3: tensor products in the NTT domain ----------------------
+    PolyId t1 = mem.allocate(BaseTag::kFull, Layout::kNttDomain);
+    for (uint8_t batch = 0; batch < 2; ++batch)
+        p.instrs.push_back(make(Opcode::kCoeffMul, t1, a0, b1, batch));
+    for (uint8_t batch = 0; batch < 2; ++batch)
+        p.instrs.push_back(make(Opcode::kCoeffMul, a0, a0, b0, batch));
+    for (uint8_t batch = 0; batch < 2; ++batch)
+        p.instrs.push_back(make(Opcode::kCoeffMul, b0, a1, b0, batch));
+    for (uint8_t batch = 0; batch < 2; ++batch)
+        p.instrs.push_back(make(Opcode::kCoeffAdd, b0, b0, t1, batch));
+    for (uint8_t batch = 0; batch < 2; ++batch)
+        p.instrs.push_back(make(Opcode::kCoeffMul, a1, a1, b1, batch));
+    mem.release(t1);
+    mem.release(b1);
+
+    // --- Step 4: inverse transforms -------------------------------------
+    for (PolyId x : {a0, b0, a1})
+        emitInverse(p, x, true);
+
+    // --- Step 5: Scale Q->q ----------------------------------------------
+    PolyId c0 = mem.allocate(BaseTag::kQ, Layout::kNatural);
+    p.instrs.push_back(make(Opcode::kScale, c0, a0));
+    mem.release(a0);
+    PolyId c1 = mem.allocate(BaseTag::kQ, Layout::kNatural);
+    p.instrs.push_back(make(Opcode::kScale, c1, b0));
+    mem.release(b0);
+
+    // Scale of c~2 broadcasts the WordDecomp digits during writeback.
+    PolyId c2 = mem.allocate(BaseTag::kQ, Layout::kNatural);
+    std::vector<PolyId> digit_ids;
+    for (size_t i = 0; i < digits; ++i)
+        digit_ids.push_back(mem.allocate(BaseTag::kQ, Layout::kNatural));
+    {
+        Instruction scale = make(Opcode::kScale, c2, a1);
+        scale.extra = digit_ids;
+        p.instrs.push_back(scale);
+    }
+    mem.release(a1);
+    mem.release(c2); // only the digits are consumed downstream
+
+    // --- Step 6: relinearization ------------------------------------------
+    PolyId acc0 = mem.allocate(BaseTag::kQ, Layout::kNttDomain);
+    PolyId acc1 = mem.allocate(BaseTag::kQ, Layout::kNttDomain);
+    PolyId key0 = mem.allocate(BaseTag::kQ, Layout::kNttDomain);
+    PolyId key1 = mem.allocate(BaseTag::kQ, Layout::kNttDomain);
+    PolyId tmp = mem.allocate(BaseTag::kQ, Layout::kNttDomain);
+    for (size_t i = 0; i < digits; ++i) {
+        Instruction load = make(Opcode::kKeyLoad, kNoPoly);
+        load.aux = static_cast<uint32_t>(i);
+        load.extra = {key0, key1};
+        p.instrs.push_back(load);
+
+        emitForward(p, digit_ids[i], false);
+        if (i == 0) {
+            // The first digit's products initialize the accumulators
+            // (also resetting them when the program is re-executed).
+            p.instrs.push_back(
+                make(Opcode::kCoeffMul, acc0, digit_ids[i], key0, 0));
+            p.instrs.push_back(
+                make(Opcode::kCoeffMul, acc1, digit_ids[i], key1, 0));
+        } else {
+            p.instrs.push_back(
+                make(Opcode::kCoeffMul, tmp, digit_ids[i], key0, 0));
+            p.instrs.push_back(
+                make(Opcode::kCoeffAdd, acc0, acc0, tmp, 0));
+            p.instrs.push_back(
+                make(Opcode::kCoeffMul, tmp, digit_ids[i], key1, 0));
+            p.instrs.push_back(
+                make(Opcode::kCoeffAdd, acc1, acc1, tmp, 0));
+        }
+        mem.release(digit_ids[i]);
+    }
+    mem.release(key0);
+    mem.release(key1);
+    mem.release(tmp);
+
+    emitInverse(p, acc0, false);
+    emitInverse(p, acc1, false);
+    p.instrs.push_back(make(Opcode::kCoeffAdd, c0, c0, acc0, 0));
+    p.instrs.push_back(make(Opcode::kCoeffAdd, c1, c1, acc1, 0));
+    mem.release(acc0);
+    mem.release(acc1);
+
+    p.outputs = {c0, c1};
+    return p;
+}
+
+} // namespace heat::hw

@@ -1,0 +1,114 @@
+#include "hw/resource_model.h"
+
+#include <cmath>
+
+namespace heat::hw {
+
+ResourceModel::ResourceModel(const fv::FvParams &params,
+                             const HwConfig &config)
+    : params_(params), config_(config)
+{
+}
+
+Resources
+ResourceModel::mult30x30() const
+{
+    // 30x30 on DSP48E2 (27x18 native): 2x2 tile of DSPs plus stitching.
+    return {450, 220, 0, 4};
+}
+
+Resources
+ResourceModel::mac30x60() const
+{
+    // 30x60 with accumulator: 8 DSPs (paper stores reciprocals with 60
+    // significant fractional bits).
+    return {300, 420, 0, 8};
+}
+
+Resources
+ResourceModel::slidingWindowReducer() const
+{
+    // Six unrolled fold stages, each a 64-entry LUTRAM table lookup plus
+    // a wide add, then two conditional subtractions.
+    return {1100, 380, 0, 0};
+}
+
+Resources
+ResourceModel::butterflyCore() const
+{
+    Resources r = mult30x30() + slidingWindowReducer();
+    r += {650, 150, 0, 0}; // modular adder + subtractor + pipeline regs
+    return r;
+}
+
+Resources
+ResourceModel::rpau() const
+{
+    const double cores = static_cast<double>(config_.butterfly_cores);
+    Resources r = cores * butterflyCore();
+    // Address generator for the Fig. 3 schedule plus batch control.
+    r += {900, 400, 0, 0};
+    // Twiddle ROM: n twiddles x 30 bits for each of the two primes the
+    // RPAU serves (inverse twiddles are derived by index arithmetic).
+    const double bits = 2.0 * static_cast<double>(params_.degree()) * 30.0;
+    r += {0, 0, std::ceil(bits / 36864.0), 0};
+    return r;
+}
+
+Resources
+ResourceModel::liftScaleCore() const
+{
+    const size_t kp = params_.pBase()->size();
+    Resources r;
+    r += mult30x30();                              // Block 1 (a_i * q~_i)
+    r += static_cast<double>(kp) * mac30x60();     // Block 2 MAC lanes
+    r += mac30x60();                               // Block 3 reciprocal
+    r += mult30x30();                              // Block 4 (v' * q)
+    r += {5200, 1500, 1, 0}; // sequencers, constants ROM, buffers
+    return r;
+}
+
+Resources
+ResourceModel::memoryFile() const
+{
+    const double slots =
+        static_cast<double>(config_.n_rpaus * config_.slots_per_rpau);
+    // One residue slot = n/2 x 60-bit words = four BRAM36K; ~30 LUTs of
+    // banking/muxing per slot.
+    return {slots * 30.0, slots * 8.0, slots * 4.0, 0};
+}
+
+Resources
+ResourceModel::controlOverhead() const
+{
+    // Instruction decode, sequencer, completion/status logic.
+    return {6902, 1050, 1, 8};
+}
+
+Resources
+ResourceModel::coprocessor() const
+{
+    Resources r;
+    r += static_cast<double>(config_.n_rpaus) * rpau();
+    r += static_cast<double>(config_.lift_scale_cores) * liftScaleCore();
+    r += memoryFile();
+    r += controlOverhead();
+    return r;
+}
+
+Resources
+ResourceModel::system(size_t count) const
+{
+    Resources r = static_cast<double>(count) * coprocessor();
+    // DMA, interfacing units and the mutex IP (Fig. 11).
+    r += {6648, 9068, 39, 0};
+    return r;
+}
+
+double
+ResourceModel::utilizationPct(double used, double capacity)
+{
+    return used / capacity * 100.0;
+}
+
+} // namespace heat::hw

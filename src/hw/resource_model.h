@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Hierarchical FPGA resource model reproducing Table IV.
+ *
+ * Primitive costs (a 30x30 DSP multiplier, a 30x60 MAC lane, the
+ * sliding-window reducer, BRAM banks) are composed bottom-up into
+ * butterfly cores, RPAUs, Lift/Scale cores, the memory file and finally
+ * coprocessors and the two-coprocessor system. Primitive LUT/FF
+ * constants are calibrated against the paper's Vivado utilization
+ * numbers for the Zynq UltraScale+ ZU9EG; the *structure* (what
+ * composes into what, and the DSP/BRAM counts, which follow directly
+ * from operand widths) is the model's content.
+ */
+
+#ifndef HEAT_HW_RESOURCE_MODEL_H
+#define HEAT_HW_RESOURCE_MODEL_H
+
+#include <cstddef>
+
+#include "fv/params.h"
+#include "hw/config.h"
+
+namespace heat::hw {
+
+/** FPGA resource vector. */
+struct Resources
+{
+    double lut = 0;
+    double ff = 0;
+    double bram36 = 0;
+    double dsp = 0;
+
+    Resources &
+    operator+=(const Resources &o)
+    {
+        lut += o.lut;
+        ff += o.ff;
+        bram36 += o.bram36;
+        dsp += o.dsp;
+        return *this;
+    }
+
+    friend Resources
+    operator+(Resources a, const Resources &b)
+    {
+        a += b;
+        return a;
+    }
+
+    friend Resources
+    operator*(double k, Resources r)
+    {
+        r.lut *= k;
+        r.ff *= k;
+        r.bram36 *= k;
+        r.dsp *= k;
+        return r;
+    }
+};
+
+/** ZU9EG device capacity (ZCU102 board). */
+struct DeviceCapacity
+{
+    double lut = 274080;
+    double ff = 548160;
+    double bram36 = 912;
+    double dsp = 2520;
+};
+
+/** Bottom-up resource estimation. */
+class ResourceModel
+{
+  public:
+    ResourceModel(const fv::FvParams &params, const HwConfig &config);
+
+    // --- primitives ------------------------------------------------------
+
+    /** 30x30 multiplier: 4 DSP48E2 (27x18 native). */
+    Resources mult30x30() const;
+
+    /** 30x60 MAC lane (reciprocal/constant multiplies): 8 DSPs. */
+    Resources mac30x60() const;
+
+    /** Unrolled sliding-window reducer (6 fold stages + correction). */
+    Resources slidingWindowReducer() const;
+
+    /** One butterfly core: multiplier + reducer + modular add/sub. */
+    Resources butterflyCore() const;
+
+    // --- blocks ------------------------------------------------------------
+
+    /** One RPAU: butterfly cores, coeff unit control, twiddle ROM. */
+    Resources rpau() const;
+
+    /** One HPS Lift/Scale core (Blocks 1-5 of Figs. 6/9). */
+    Resources liftScaleCore() const;
+
+    /** The memory file: 4 BRAM36 per residue slot plus addressing. */
+    Resources memoryFile() const;
+
+    /** Instruction decoder, sequencer, and top-level control. */
+    Resources controlOverhead() const;
+
+    // --- aggregates ----------------------------------------------------------
+
+    /** One coprocessor (Table IV row 2). */
+    Resources coprocessor() const;
+
+    /** @p count coprocessors plus DMA and interfacing (Table IV row 1). */
+    Resources system(size_t count) const;
+
+    /** Utilization percentage against the ZU9EG. */
+    static double utilizationPct(double used, double capacity);
+
+  private:
+    const fv::FvParams &params_;
+    HwConfig config_;
+};
+
+} // namespace heat::hw
+
+#endif // HEAT_HW_RESOURCE_MODEL_H

@@ -1,0 +1,79 @@
+#include "hw/scale_unit.h"
+
+#include "common/panic.h"
+
+namespace heat::hw {
+
+ScaleUnit::ScaleUnit(std::shared_ptr<const fv::FvParams> params,
+                     const HwConfig &config)
+    : params_(std::move(params)), config_(config)
+{
+}
+
+void
+ScaleUnit::run(MemoryFile &memory, PolyId src, PolyId dst,
+               const std::vector<PolyId> &digits) const
+{
+    const PolyRecord &in = memory.record(src);
+    panicIf(in.base != BaseTag::kFull, "scale input must be full base");
+    for (Layout l : in.layout)
+        panicIf(l != Layout::kNatural, "scale input must be natural order");
+
+    PolyRecord &out = memory.record(dst);
+    panicIf(out.base != BaseTag::kQ, "scale output must be a q polynomial");
+
+    const size_t n = memory.degree();
+    const size_t kq = params_->qBase()->size();
+    const size_t kp = params_->pBase()->size();
+    const auto &scaler = params_->scaler();
+    const auto &back = params_->scaleBackConverter();
+    const bool hps = config_.lift_scale_arch == LiftScaleArch::kHps;
+
+    panicIf(!digits.empty() && digits.size() != kq,
+            "digit broadcast needs one record per q prime");
+
+    std::vector<uint64_t> full(kq + kp), mid(kp), res(kq);
+    for (size_t j = 0; j < n; ++j) {
+        for (size_t i = 0; i < kq + kp; ++i)
+            full[i] = in.data[i * n + j];
+        if (hps) {
+            scaler.scale(full, mid);
+            back.convert(mid, res);
+        } else {
+            scaler.scaleExact(full, mid);
+            back.convertExact(mid, res);
+        }
+        for (size_t i = 0; i < kq; ++i)
+            out.data[i * n + j] = res[i];
+
+        // WordDecomp broadcast: digit i is residue i reduced modulo
+        // every q channel (at most one conditional subtraction).
+        for (size_t d = 0; d < digits.size(); ++d) {
+            PolyRecord &dig = memory.record(digits[d]);
+            for (size_t c = 0; c < kq; ++c) {
+                dig.data[c * n + j] =
+                    params_->qBase()->modulus(c).reduce(res[d]);
+            }
+        }
+    }
+    for (auto &l : out.layout)
+        l = Layout::kNatural;
+    for (PolyId d : digits) {
+        for (auto &l : memory.record(d).layout)
+            l = Layout::kNatural;
+    }
+}
+
+Cycle
+ScaleUnit::cycles() const
+{
+    const size_t n = params_->degree();
+    const size_t cores = config_.lift_scale_cores;
+    const int beat = config_.lift_scale_arch == LiftScaleArch::kHps
+                         ? config_.lift_beat
+                         : config_.trad_scale_beat;
+    return static_cast<Cycle>(config_.scale_fill +
+                              (n + cores - 1) / cores * beat);
+}
+
+} // namespace heat::hw

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The HPS Scale Q->q unit (Sec. V-C, Fig. 9).
+ *
+ * Block-level pipelined datapath computing round(t*x/q) in the p base
+ * (Blocks 1-4: fractional MAC, seven modular MAC lanes, own-residue
+ * contribution, final add) chained into the Lift datapath for the p->q
+ * base switch (Block 5). Because the two stages are block-pipelined, one
+ * Scale costs about the same as one Lift (Table II: 82.7 vs 82.6 us).
+ *
+ * During result writeback the unit can broadcast each output residue to
+ * all q channels — materializing the WordDecomp digit polynomials for
+ * relinearization at zero extra cost ("cheap bit-level manipulation").
+ */
+
+#ifndef HEAT_HW_SCALE_UNIT_H
+#define HEAT_HW_SCALE_UNIT_H
+
+#include <memory>
+#include <vector>
+
+#include "fv/params.h"
+#include "hw/config.h"
+#include "hw/memory_file.h"
+
+namespace heat::hw {
+
+/** Scale Q->q: functional execution + timing. */
+class ScaleUnit
+{
+  public:
+    ScaleUnit(std::shared_ptr<const fv::FvParams> params,
+              const HwConfig &config);
+
+    /**
+     * Scale the full-base record @p src into the q-base record @p dst.
+     *
+     * @param digits optional pre-allocated q-base records (one per q
+     *        prime) receiving the WordDecomp digit broadcasts.
+     */
+    void run(MemoryFile &memory, PolyId src, PolyId dst,
+             const std::vector<PolyId> &digits) const;
+
+    /** Cycle cost of one scale instruction. */
+    Cycle cycles() const;
+
+  private:
+    std::shared_ptr<const fv::FvParams> params_;
+    HwConfig config_;
+};
+
+} // namespace heat::hw
+
+#endif // HEAT_HW_SCALE_UNIT_H

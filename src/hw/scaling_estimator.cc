@@ -1,0 +1,49 @@
+#include "hw/scaling_estimator.h"
+
+namespace heat::hw {
+
+ScalingEstimator::ScalingEstimator(double base_lut, double base_ff,
+                                   double base_bram, double base_dsp,
+                                   double base_compute_ms,
+                                   double base_comm_ms)
+    : lut_(base_lut),
+      ff_(base_ff),
+      bram_(base_bram),
+      dsp_(base_dsp),
+      compute_ms_(base_compute_ms),
+      comm_ms_(base_comm_ms)
+{
+}
+
+std::vector<ScalingRow>
+ScalingEstimator::estimate(size_t rows) const
+{
+    std::vector<ScalingRow> table;
+    double lut = lut_, ff = ff_, bram = bram_, dsp = dsp_;
+    double compute = compute_ms_, comm = comm_ms_;
+    for (size_t i = 0; i < rows; ++i) {
+        ScalingRow row;
+        row.log2_degree = 12 + i;
+        row.log_q = 180u << i;
+        row.lut = lut;
+        row.ff = ff;
+        row.bram36 = bram;
+        row.dsp = dsp;
+        row.compute_ms = compute;
+        row.comm_ms = comm;
+        row.total_ms = compute + comm;
+        table.push_back(row);
+
+        // Sec. VI-D doubling rule: 2x logic, 4x memory and transfers,
+        // net 2.17x computation.
+        lut *= 2.0;
+        ff *= 2.0;
+        bram *= 4.0;
+        dsp *= 2.0;
+        compute *= kComputeGrowth;
+        comm *= kCommGrowth;
+    }
+    return table;
+}
+
+} // namespace heat::hw

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The Sec. VI-D estimation model behind Table V.
+ *
+ * Starting from the measured base configuration (n = 2^12,
+ * log q = 180), every doubling of both the polynomial degree and the
+ * coefficient size multiplies the work by ~4.34x; doubling the number
+ * of RPAUs and Lift/Scale cores (2x logic) leaves a net ~2.17x
+ * computation-time growth, while off-chip transfer volume grows ~4x.
+ * Resources scale 2x in logic (LUT/FF/DSP) and 4x in memory (BRAM).
+ */
+
+#ifndef HEAT_HW_SCALING_ESTIMATOR_H
+#define HEAT_HW_SCALING_ESTIMATOR_H
+
+#include <cstddef>
+#include <vector>
+
+namespace heat::hw {
+
+/** One row of Table V. */
+struct ScalingRow
+{
+    size_t log2_degree;  ///< log2(n)
+    size_t log_q;        ///< ciphertext modulus bits
+    double lut;          ///< estimated LUTs
+    double ff;           ///< estimated registers
+    double bram36;       ///< estimated BRAM36 blocks
+    double dsp;          ///< estimated DSP slices
+    double compute_ms;   ///< Mult computation time
+    double comm_ms;      ///< off-chip communication time
+    double total_ms;     ///< compute + communication
+};
+
+/** Iterative scaling model of Sec. VI-D. */
+class ScalingEstimator
+{
+  public:
+    /**
+     * @param base_lut .. base_dsp resources of the measured single
+     *        coprocessor.
+     * @param base_compute_ms measured Mult computation time.
+     * @param base_comm_ms measured Mult communication time.
+     */
+    ScalingEstimator(double base_lut, double base_ff, double base_bram,
+                     double base_dsp, double base_compute_ms,
+                     double base_comm_ms);
+
+    /** Rows for n = 2^12 ... 2^(12+rows-1) (Table V has 4 rows). */
+    std::vector<ScalingRow> estimate(size_t rows) const;
+
+    /** Growth factor of net computation per doubling (~2.17). */
+    static constexpr double kComputeGrowth = 4.34 / 2.0;
+
+    /** Growth factor of communication per doubling. */
+    static constexpr double kCommGrowth = 4.0;
+
+  private:
+    double lut_, ff_, bram_, dsp_;
+    double compute_ms_, comm_ms_;
+};
+
+} // namespace heat::hw
+
+#endif // HEAT_HW_SCALING_ESTIMATOR_H

@@ -1,0 +1,90 @@
+#include "hw/trad_lift_scale.h"
+
+#include <algorithm>
+
+namespace heat::hw {
+
+namespace {
+
+constexpr size_t kWordBits = 30;
+
+} // namespace
+
+TradLiftScaleModel::TradLiftScaleModel(
+    std::shared_ptr<const fv::FvParams> params, const HwConfig &config)
+    : params_(std::move(params)), config_(config)
+{
+    // One guard word absorbs the sum-of-products carry growth.
+    q_words_ = (static_cast<size_t>(params_->qBits()) + kWordBits - 1) /
+                   kWordBits +
+               1;
+    full_words_ =
+        (static_cast<size_t>(
+             params_->fullBase()->product().bitLength()) +
+         kWordBits - 1) /
+        kWordBits;
+}
+
+size_t
+TradLiftScaleModel::liftSopCycles() const
+{
+    // k MACs, each producing a q-width partial sum word-serially.
+    return params_->qBase()->size() * q_words_;
+}
+
+size_t
+TradLiftScaleModel::liftDivisionCycles() const
+{
+    // Reciprocal multiplication: q_words x q_words word products on the
+    // single 30x30 DSP lane of the division block.
+    return q_words_ * q_words_;
+}
+
+size_t
+TradLiftScaleModel::liftResidueCycles() const
+{
+    // Each of the kp extension residues folds the full-width
+    // reconstruction word-serially: kp * (full_words) word operations.
+    return params_->pBase()->size() * full_words_;
+}
+
+size_t
+TradLiftScaleModel::liftBeat() const
+{
+    const size_t beat = std::max(
+        {liftSopCycles(), liftDivisionCycles(), liftResidueCycles()});
+    return beat + 1; // streaming handoff
+}
+
+size_t
+TradLiftScaleModel::scaleDivisionCycles() const
+{
+    // Dividend is Q-width (~2x) and the reciprocal needs ~2x precision
+    // (> 571 bits for the paper set): ~4x the Lift division (Sec. V-C).
+    const size_t recip_words = 2 * q_words_ + 4;
+    return full_words_ * recip_words + 2;
+}
+
+size_t
+TradLiftScaleModel::scaleBeat() const
+{
+    // Division dominates every other block by design (the other blocks
+    // were sized to match its throughput, Sec. V-C).
+    return scaleDivisionCycles();
+}
+
+double
+TradLiftScaleModel::singleCoreLiftUs() const
+{
+    return static_cast<double>(params_->degree()) *
+           static_cast<double>(liftBeat()) / config_.fpga_clock_hz * 1e6;
+}
+
+double
+TradLiftScaleModel::singleCoreScaleUs() const
+{
+    return static_cast<double>(params_->degree()) *
+           static_cast<double>(scaleBeat()) / config_.fpga_clock_hz * 1e6;
+}
+
+} // namespace heat::hw

@@ -1,0 +1,580 @@
+#include "mp/bigint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <ostream>
+
+#include "common/bit_util.h"
+#include "common/panic.h"
+
+namespace heat::mp {
+
+namespace {
+
+constexpr uint64_t kLimbBase = uint64_t(1) << 32;
+
+} // namespace
+
+void
+BigInt::normalize()
+{
+    while (!limbs_.empty() && limbs_.back() == 0)
+        limbs_.pop_back();
+    if (limbs_.empty())
+        negative_ = false;
+}
+
+BigInt::BigInt(int64_t value)
+{
+    negative_ = value < 0;
+    // Careful with INT64_MIN: negate in unsigned domain.
+    uint64_t mag = negative_ ? ~static_cast<uint64_t>(value) + 1
+                             : static_cast<uint64_t>(value);
+    if (mag != 0)
+        limbs_.push_back(static_cast<uint32_t>(mag));
+    if (mag >> 32)
+        limbs_.push_back(static_cast<uint32_t>(mag >> 32));
+}
+
+BigInt
+BigInt::fromUint64(uint64_t value)
+{
+    BigInt r;
+    if (value != 0)
+        r.limbs_.push_back(static_cast<uint32_t>(value));
+    if (value >> 32)
+        r.limbs_.push_back(static_cast<uint32_t>(value >> 32));
+    return r;
+}
+
+BigInt
+BigInt::fromLimbs(std::vector<uint32_t> limbs)
+{
+    BigInt r;
+    r.limbs_ = std::move(limbs);
+    r.normalize();
+    return r;
+}
+
+BigInt
+BigInt::powerOfTwo(int exponent)
+{
+    panicIf(exponent < 0, "powerOfTwo with negative exponent");
+    BigInt r;
+    r.limbs_.assign(exponent / 32 + 1, 0);
+    r.limbs_.back() = uint32_t(1) << (exponent % 32);
+    return r;
+}
+
+BigInt
+BigInt::fromString(const std::string &text)
+{
+    fatalIf(text.empty(), "BigInt::fromString: empty string");
+    size_t pos = 0;
+    bool negative = false;
+    if (text[pos] == '-') {
+        negative = true;
+        ++pos;
+    } else if (text[pos] == '+') {
+        ++pos;
+    }
+    fatalIf(pos >= text.size(), "BigInt::fromString: no digits in '", text,
+            "'");
+
+    BigInt r;
+    if (text.size() - pos > 2 && text[pos] == '0' &&
+        (text[pos + 1] == 'x' || text[pos + 1] == 'X')) {
+        for (size_t i = pos + 2; i < text.size(); ++i) {
+            char c = static_cast<char>(std::tolower(text[i]));
+            int digit;
+            if (c >= '0' && c <= '9')
+                digit = c - '0';
+            else if (c >= 'a' && c <= 'f')
+                digit = c - 'a' + 10;
+            else
+                fatal("BigInt::fromString: bad hex digit '", c, "'");
+            r = (r << 4) + BigInt(digit);
+        }
+    } else {
+        const BigInt ten(10);
+        for (size_t i = pos; i < text.size(); ++i) {
+            char c = text[i];
+            fatalIf(c < '0' || c > '9',
+                    "BigInt::fromString: bad decimal digit '", c, "'");
+            r = r * ten + BigInt(c - '0');
+        }
+    }
+    r.negative_ = negative && !r.isZero();
+    return r;
+}
+
+int
+BigInt::bitLength() const
+{
+    if (limbs_.empty())
+        return 0;
+    return static_cast<int>(limbs_.size() - 1) * 32 +
+           heat::bitLength(limbs_.back());
+}
+
+bool
+BigInt::bit(int i) const
+{
+    if (i < 0)
+        return false;
+    size_t limb = static_cast<size_t>(i) / 32;
+    if (limb >= limbs_.size())
+        return false;
+    return (limbs_[limb] >> (i % 32)) & 1;
+}
+
+uint64_t
+BigInt::toUint64() const
+{
+    panicIf(negative_, "toUint64 on negative value");
+    panicIf(limbs_.size() > 2, "toUint64 overflow");
+    uint64_t v = 0;
+    if (limbs_.size() > 1)
+        v = uint64_t(limbs_[1]) << 32;
+    if (!limbs_.empty())
+        v |= limbs_[0];
+    return v;
+}
+
+int64_t
+BigInt::toInt64() const
+{
+    BigInt mag = abs();
+    uint64_t v = mag.toUint64();
+    if (negative_) {
+        panicIf(v > uint64_t(1) << 63, "toInt64 overflow");
+        return -static_cast<int64_t>(v - 1) - 1;
+    }
+    panicIf(v > static_cast<uint64_t>(INT64_MAX), "toInt64 overflow");
+    return static_cast<int64_t>(v);
+}
+
+double
+BigInt::toDouble() const
+{
+    double v = 0;
+    for (auto it = limbs_.rbegin(); it != limbs_.rend(); ++it)
+        v = v * 4294967296.0 + static_cast<double>(*it);
+    return negative_ ? -v : v;
+}
+
+int
+BigInt::compareMagnitudes(const BigInt &a, const BigInt &b)
+{
+    if (a.limbs_.size() != b.limbs_.size())
+        return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+    for (size_t i = a.limbs_.size(); i-- > 0;) {
+        if (a.limbs_[i] != b.limbs_[i])
+            return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+    }
+    return 0;
+}
+
+int
+BigInt::compare(const BigInt &other) const
+{
+    if (negative_ != other.negative_)
+        return negative_ ? -1 : 1;
+    int mag = compareMagnitudes(*this, other);
+    return negative_ ? -mag : mag;
+}
+
+BigInt
+BigInt::operator-() const
+{
+    BigInt r = *this;
+    if (!r.isZero())
+        r.negative_ = !r.negative_;
+    return r;
+}
+
+BigInt
+BigInt::abs() const
+{
+    BigInt r = *this;
+    r.negative_ = false;
+    return r;
+}
+
+BigInt
+BigInt::addMagnitudes(const BigInt &a, const BigInt &b)
+{
+    BigInt r;
+    const size_t n = std::max(a.limbs_.size(), b.limbs_.size());
+    r.limbs_.resize(n + 1, 0);
+    uint64_t carry = 0;
+    for (size_t i = 0; i < n; ++i) {
+        uint64_t sum = carry;
+        if (i < a.limbs_.size())
+            sum += a.limbs_[i];
+        if (i < b.limbs_.size())
+            sum += b.limbs_[i];
+        r.limbs_[i] = static_cast<uint32_t>(sum);
+        carry = sum >> 32;
+    }
+    r.limbs_[n] = static_cast<uint32_t>(carry);
+    r.normalize();
+    return r;
+}
+
+BigInt
+BigInt::subMagnitudes(const BigInt &a, const BigInt &b)
+{
+    BigInt r;
+    r.limbs_.resize(a.limbs_.size(), 0);
+    int64_t borrow = 0;
+    for (size_t i = 0; i < a.limbs_.size(); ++i) {
+        int64_t diff = int64_t(a.limbs_[i]) - borrow;
+        if (i < b.limbs_.size())
+            diff -= b.limbs_[i];
+        if (diff < 0) {
+            diff += static_cast<int64_t>(kLimbBase);
+            borrow = 1;
+        } else {
+            borrow = 0;
+        }
+        r.limbs_[i] = static_cast<uint32_t>(diff);
+    }
+    panicIf(borrow != 0, "subMagnitudes underflow");
+    r.normalize();
+    return r;
+}
+
+BigInt
+BigInt::operator+(const BigInt &o) const
+{
+    if (negative_ == o.negative_) {
+        BigInt r = addMagnitudes(*this, o);
+        r.negative_ = negative_ && !r.isZero();
+        return r;
+    }
+    int cmp = compareMagnitudes(*this, o);
+    if (cmp == 0)
+        return BigInt();
+    BigInt r = cmp > 0 ? subMagnitudes(*this, o) : subMagnitudes(o, *this);
+    r.negative_ = (cmp > 0 ? negative_ : o.negative_) && !r.isZero();
+    return r;
+}
+
+BigInt
+BigInt::operator-(const BigInt &o) const
+{
+    return *this + (-o);
+}
+
+BigInt
+BigInt::operator*(const BigInt &o) const
+{
+    if (isZero() || o.isZero())
+        return BigInt();
+    BigInt r;
+    r.limbs_.assign(limbs_.size() + o.limbs_.size(), 0);
+    for (size_t i = 0; i < limbs_.size(); ++i) {
+        uint64_t carry = 0;
+        const uint64_t ai = limbs_[i];
+        for (size_t j = 0; j < o.limbs_.size(); ++j) {
+            uint64_t cur = r.limbs_[i + j] + ai * o.limbs_[j] + carry;
+            r.limbs_[i + j] = static_cast<uint32_t>(cur);
+            carry = cur >> 32;
+        }
+        size_t k = i + o.limbs_.size();
+        while (carry) {
+            uint64_t cur = r.limbs_[k] + carry;
+            r.limbs_[k] = static_cast<uint32_t>(cur);
+            carry = cur >> 32;
+            ++k;
+        }
+    }
+    r.negative_ = negative_ != o.negative_;
+    r.normalize();
+    return r;
+}
+
+BigInt
+BigInt::operator<<(int bits) const
+{
+    panicIf(bits < 0, "negative shift");
+    if (isZero() || bits == 0)
+        return *this;
+    const int limb_shift = bits / 32;
+    const int bit_shift = bits % 32;
+    BigInt r;
+    r.negative_ = negative_;
+    r.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+    for (size_t i = 0; i < limbs_.size(); ++i) {
+        uint64_t v = uint64_t(limbs_[i]) << bit_shift;
+        r.limbs_[i + limb_shift] |= static_cast<uint32_t>(v);
+        r.limbs_[i + limb_shift + 1] |= static_cast<uint32_t>(v >> 32);
+    }
+    r.normalize();
+    return r;
+}
+
+BigInt
+BigInt::operator>>(int bits) const
+{
+    panicIf(bits < 0, "negative shift");
+    if (isZero() || bits == 0)
+        return *this;
+    const size_t limb_shift = static_cast<size_t>(bits) / 32;
+    const int bit_shift = bits % 32;
+    if (limb_shift >= limbs_.size())
+        return BigInt();
+    BigInt r;
+    r.negative_ = negative_;
+    r.limbs_.assign(limbs_.size() - limb_shift, 0);
+    for (size_t i = 0; i < r.limbs_.size(); ++i) {
+        uint64_t v = limbs_[i + limb_shift] >> bit_shift;
+        if (bit_shift && i + limb_shift + 1 < limbs_.size())
+            v |= uint64_t(limbs_[i + limb_shift + 1]) << (32 - bit_shift);
+        r.limbs_[i] = static_cast<uint32_t>(v);
+    }
+    r.normalize();
+    return r;
+}
+
+void
+BigInt::divModMagnitudes(const BigInt &a, const BigInt &b, BigInt &quotient,
+                         BigInt &remainder)
+{
+    panicIf(b.isZero(), "division by zero");
+    if (compareMagnitudes(a, b) < 0) {
+        quotient = BigInt();
+        remainder = a.abs();
+        return;
+    }
+    if (b.limbs_.size() == 1) {
+        // Short division by a single limb.
+        const uint64_t d = b.limbs_[0];
+        BigInt q;
+        q.limbs_.assign(a.limbs_.size(), 0);
+        uint64_t rem = 0;
+        for (size_t i = a.limbs_.size(); i-- > 0;) {
+            uint64_t cur = (rem << 32) | a.limbs_[i];
+            q.limbs_[i] = static_cast<uint32_t>(cur / d);
+            rem = cur % d;
+        }
+        q.normalize();
+        quotient = q;
+        remainder = fromUint64(rem);
+        return;
+    }
+
+    // Knuth Algorithm D. Normalize so the divisor's top limb has its
+    // high bit set.
+    const int shift = 32 - heat::bitLength(b.limbs_.back());
+    BigInt u = a.abs() << shift;
+    BigInt v = b.abs() << shift;
+    const size_t n = v.limbs_.size();
+    const size_t m = u.limbs_.size() - n;
+    u.limbs_.push_back(0); // u has m+n+1 limbs
+
+    BigInt q;
+    q.limbs_.assign(m + 1, 0);
+
+    const uint64_t v_high = v.limbs_[n - 1];
+    const uint64_t v_next = v.limbs_[n - 2];
+
+    for (size_t j = m + 1; j-- > 0;) {
+        // Estimate the quotient digit from the top limbs.
+        uint64_t numer = (uint64_t(u.limbs_[j + n]) << 32) |
+                         u.limbs_[j + n - 1];
+        uint64_t qhat = numer / v_high;
+        uint64_t rhat = numer % v_high;
+        while (qhat >= kLimbBase ||
+               qhat * v_next > ((rhat << 32) | u.limbs_[j + n - 2])) {
+            --qhat;
+            rhat += v_high;
+            if (rhat >= kLimbBase)
+                break;
+        }
+
+        // Multiply-subtract qhat * v from u[j .. j+n].
+        int64_t borrow = 0;
+        uint64_t carry = 0;
+        for (size_t i = 0; i < n; ++i) {
+            uint64_t p = qhat * v.limbs_[i] + carry;
+            carry = p >> 32;
+            int64_t t = int64_t(u.limbs_[i + j]) -
+                        int64_t(p & 0xFFFFFFFFull) - borrow;
+            if (t < 0) {
+                t += static_cast<int64_t>(kLimbBase);
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            u.limbs_[i + j] = static_cast<uint32_t>(t);
+        }
+        int64_t t = int64_t(u.limbs_[j + n]) - int64_t(carry) - borrow;
+        if (t < 0) {
+            // Estimate was one too large: add the divisor back.
+            t += static_cast<int64_t>(kLimbBase);
+            --qhat;
+            uint64_t c = 0;
+            for (size_t i = 0; i < n; ++i) {
+                uint64_t sum = uint64_t(u.limbs_[i + j]) + v.limbs_[i] + c;
+                u.limbs_[i + j] = static_cast<uint32_t>(sum);
+                c = sum >> 32;
+            }
+            t += static_cast<int64_t>(c);
+        }
+        u.limbs_[j + n] = static_cast<uint32_t>(t);
+        q.limbs_[j] = static_cast<uint32_t>(qhat);
+    }
+
+    q.normalize();
+    quotient = q;
+    u.limbs_.resize(n);
+    u.normalize();
+    remainder = u >> shift;
+}
+
+BigInt
+BigInt::divMod(const BigInt &divisor, BigInt &remainder) const
+{
+    BigInt q, r;
+    divModMagnitudes(*this, divisor, q, r);
+    // Truncated semantics: quotient sign is XOR, remainder follows dividend.
+    q.negative_ = (negative_ != divisor.negative_) && !q.isZero();
+    r.negative_ = negative_ && !r.isZero();
+    remainder = r;
+    return q;
+}
+
+BigInt
+BigInt::operator/(const BigInt &o) const
+{
+    BigInt r;
+    return divMod(o, r);
+}
+
+BigInt
+BigInt::operator%(const BigInt &o) const
+{
+    BigInt r;
+    divMod(o, r);
+    return r;
+}
+
+BigInt
+BigInt::mod(const BigInt &modulus) const
+{
+    panicIf(modulus.isZero() || modulus.isNegative(),
+            "mod requires a positive modulus");
+    BigInt r = *this % modulus;
+    if (r.isNegative())
+        r += modulus;
+    return r;
+}
+
+uint64_t
+BigInt::modUint64(uint64_t m) const
+{
+    panicIf(m == 0, "modUint64 by zero");
+    panicIf(negative_, "modUint64 on negative value");
+    uint128_t rem = 0;
+    for (size_t i = limbs_.size(); i-- > 0;)
+        rem = ((rem << 32) | limbs_[i]) % m;
+    return static_cast<uint64_t>(rem);
+}
+
+BigInt
+BigInt::modPow(const BigInt &exponent, const BigInt &modulus) const
+{
+    panicIf(exponent.isNegative(), "modPow with negative exponent");
+    BigInt base = mod(modulus);
+    BigInt result(1);
+    result = result.mod(modulus);
+    for (int i = exponent.bitLength(); i-- > 0;) {
+        result = (result * result).mod(modulus);
+        if (exponent.bit(i))
+            result = (result * base).mod(modulus);
+    }
+    return result;
+}
+
+BigInt
+BigInt::modInverse(const BigInt &modulus) const
+{
+    // Extended Euclid on (modulus, this mod modulus).
+    BigInt r0 = modulus, r1 = mod(modulus);
+    BigInt t0(0), t1(1);
+    while (!r1.isZero()) {
+        BigInt rem;
+        BigInt q = r0.divMod(r1, rem);
+        r0 = r1;
+        r1 = rem;
+        BigInt t2 = t0 - q * t1;
+        t0 = t1;
+        t1 = t2;
+    }
+    panicIf(r0 != BigInt(1), "modInverse: arguments not coprime");
+    return t0.mod(modulus);
+}
+
+BigInt
+BigInt::gcd(BigInt a, BigInt b)
+{
+    a = a.abs();
+    b = b.abs();
+    while (!b.isZero()) {
+        BigInt r = a % b;
+        a = b;
+        b = r;
+    }
+    return a;
+}
+
+std::string
+BigInt::toString() const
+{
+    if (isZero())
+        return "0";
+    std::string digits;
+    BigInt v = abs();
+    const BigInt chunk_div(1000000000); // 10^9 per short division
+    while (!v.isZero()) {
+        BigInt rem;
+        v = v.divMod(chunk_div, rem);
+        uint64_t r = rem.isZero() ? 0 : rem.toUint64();
+        for (int i = 0; i < 9; ++i) {
+            digits.push_back(static_cast<char>('0' + r % 10));
+            r /= 10;
+        }
+    }
+    while (digits.size() > 1 && digits.back() == '0')
+        digits.pop_back();
+    if (negative_)
+        digits.push_back('-');
+    std::reverse(digits.begin(), digits.end());
+    return digits;
+}
+
+std::string
+BigInt::toHexString() const
+{
+    if (isZero())
+        return "0x0";
+    static const char *kHex = "0123456789abcdef";
+    std::string out;
+    for (size_t i = limbs_.size(); i-- > 0;) {
+        for (int nibble = 7; nibble >= 0; --nibble)
+            out.push_back(kHex[(limbs_[i] >> (nibble * 4)) & 0xF]);
+    }
+    size_t first = out.find_first_not_of('0');
+    out = out.substr(first);
+    return (negative_ ? "-0x" : "0x") + out;
+}
+
+std::ostream &
+operator<<(std::ostream &os, const BigInt &v)
+{
+    return os << v.toString();
+}
+
+} // namespace heat::mp

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Arbitrary-precision signed integers built on 32-bit limbs.
+ *
+ * This is the multi-precision substrate used by the traditional-CRT
+ * Lift/Scale datapath, exact decryption, CRT constant generation and the
+ * noise-budget meter. The FV coprocessor's fast path (HPS) deliberately
+ * avoids this type — which is precisely the paper's point — but the exact
+ * reference is required both as the baseline architecture and as the golden
+ * model for verifying the approximate datapaths.
+ *
+ * Representation: sign-magnitude with little-endian uint32 limbs and no
+ * leading zero limbs. Zero is the empty limb vector with positive sign.
+ */
+
+#ifndef HEAT_MP_BIGINT_H
+#define HEAT_MP_BIGINT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace heat::mp {
+
+/** Arbitrary-precision signed integer (sign-magnitude, 32-bit limbs). */
+class BigInt
+{
+  public:
+    /** Construct zero. */
+    BigInt() = default;
+
+    /** Construct from a signed 64-bit value. */
+    BigInt(int64_t value);  // NOLINT: implicit by design
+
+    /** Construct from an unsigned 64-bit value. */
+    static BigInt fromUint64(uint64_t value);
+
+    /**
+     * Construct from a decimal string, optionally signed
+     * ("-123", "456"), or a hex string with 0x prefix ("0xabc").
+     */
+    static BigInt fromString(const std::string &text);
+
+    /** Construct from little-endian 32-bit limbs (non-negative). */
+    static BigInt fromLimbs(std::vector<uint32_t> limbs);
+
+    /** @return 2^exponent. */
+    static BigInt powerOfTwo(int exponent);
+
+    // --- observers ---------------------------------------------------
+
+    /** @return true iff the value is zero. */
+    bool isZero() const { return limbs_.empty(); }
+
+    /** @return true iff the value is negative. */
+    bool isNegative() const { return negative_; }
+
+    /** @return number of significant bits of |value| (0 for zero). */
+    int bitLength() const;
+
+    /** @return bit @p i (0 = LSB) of |value|. */
+    bool bit(int i) const;
+
+    /** @return the value as uint64_t; panics if it does not fit. */
+    uint64_t toUint64() const;
+
+    /** @return the value as int64_t; panics if it does not fit. */
+    int64_t toInt64() const;
+
+    /** @return closest double (may lose precision; sign preserved). */
+    double toDouble() const;
+
+    /** @return decimal string representation. */
+    std::string toString() const;
+
+    /** @return lowercase hex representation with 0x prefix. */
+    std::string toHexString() const;
+
+    /** @return little-endian limb vector of |value|. */
+    const std::vector<uint32_t> &limbs() const { return limbs_; }
+
+    // --- comparison ---------------------------------------------------
+
+    /** Three-way compare: negative, zero or positive as *this <=> other. */
+    int compare(const BigInt &other) const;
+
+    bool operator==(const BigInt &o) const { return compare(o) == 0; }
+    bool operator!=(const BigInt &o) const { return compare(o) != 0; }
+    bool operator<(const BigInt &o) const { return compare(o) < 0; }
+    bool operator<=(const BigInt &o) const { return compare(o) <= 0; }
+    bool operator>(const BigInt &o) const { return compare(o) > 0; }
+    bool operator>=(const BigInt &o) const { return compare(o) >= 0; }
+
+    // --- arithmetic ----------------------------------------------------
+
+    BigInt operator-() const;
+    BigInt abs() const;
+
+    BigInt operator+(const BigInt &o) const;
+    BigInt operator-(const BigInt &o) const;
+    BigInt operator*(const BigInt &o) const;
+
+    /**
+     * Truncated division (C++ semantics): quotient rounds toward zero,
+     * remainder takes the dividend's sign. Divisor must be nonzero.
+     */
+    BigInt operator/(const BigInt &o) const;
+    BigInt operator%(const BigInt &o) const;
+
+    BigInt &operator+=(const BigInt &o) { return *this = *this + o; }
+    BigInt &operator-=(const BigInt &o) { return *this = *this - o; }
+    BigInt &operator*=(const BigInt &o) { return *this = *this * o; }
+    BigInt &operator/=(const BigInt &o) { return *this = *this / o; }
+    BigInt &operator%=(const BigInt &o) { return *this = *this % o; }
+
+    BigInt operator<<(int bits) const;
+    BigInt operator>>(int bits) const;
+
+    /**
+     * Compute quotient and remainder in one pass (truncated division).
+     *
+     * @param divisor nonzero divisor.
+     * @param remainder receives dividend - quotient*divisor.
+     * @return the quotient.
+     */
+    BigInt divMod(const BigInt &divisor, BigInt &remainder) const;
+
+    // --- number theory ---------------------------------------------------
+
+    /** @return non-negative residue in [0, modulus); modulus > 0. */
+    BigInt mod(const BigInt &modulus) const;
+
+    /** @return |this| mod m for a 64-bit modulus (this must be >= 0). */
+    uint64_t modUint64(uint64_t m) const;
+
+    /** @return (this ^ exponent) mod modulus; exponent >= 0, modulus > 0. */
+    BigInt modPow(const BigInt &exponent, const BigInt &modulus) const;
+
+    /**
+     * Modular inverse in [0, modulus).
+     * Panics if gcd(this, modulus) != 1.
+     */
+    BigInt modInverse(const BigInt &modulus) const;
+
+    /** Greatest common divisor of |a| and |b|. */
+    static BigInt gcd(BigInt a, BigInt b);
+
+  private:
+    static BigInt addMagnitudes(const BigInt &a, const BigInt &b);
+    /** Requires |a| >= |b|. */
+    static BigInt subMagnitudes(const BigInt &a, const BigInt &b);
+    static int compareMagnitudes(const BigInt &a, const BigInt &b);
+    static void divModMagnitudes(const BigInt &a, const BigInt &b,
+                                 BigInt &quotient, BigInt &remainder);
+
+    void normalize();
+
+    bool negative_ = false;
+    std::vector<uint32_t> limbs_;
+};
+
+/** Stream a BigInt in decimal. */
+std::ostream &operator<<(std::ostream &os, const BigInt &v);
+
+} // namespace heat::mp
+
+#endif // HEAT_MP_BIGINT_H

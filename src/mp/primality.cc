@@ -1,0 +1,66 @@
+#include "mp/primality.h"
+
+#include <initializer_list>
+
+#include "common/bit_util.h"
+
+namespace heat::mp {
+
+uint64_t
+mulMod64(uint64_t a, uint64_t b, uint64_t m)
+{
+    return static_cast<uint64_t>(uint128_t(a) * b % m);
+}
+
+uint64_t
+powMod64(uint64_t base, uint64_t exp, uint64_t m)
+{
+    uint64_t result = 1 % m;
+    base %= m;
+    while (exp) {
+        if (exp & 1)
+            result = mulMod64(result, base, m);
+        base = mulMod64(base, base, m);
+        exp >>= 1;
+    }
+    return result;
+}
+
+bool
+isPrime(uint64_t n)
+{
+    if (n < 2)
+        return false;
+    for (uint64_t p : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull,
+                       23ull, 29ull, 31ull, 37ull}) {
+        if (n == p)
+            return true;
+        if (n % p == 0)
+            return false;
+    }
+    uint64_t d = n - 1;
+    int s = 0;
+    while ((d & 1) == 0) {
+        d >>= 1;
+        ++s;
+    }
+    for (uint64_t a : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull,
+                       23ull, 29ull, 31ull, 37ull}) {
+        uint64_t x = powMod64(a, d, n);
+        if (x == 1 || x == n - 1)
+            continue;
+        bool composite = true;
+        for (int i = 1; i < s; ++i) {
+            x = mulMod64(x, x, n);
+            if (x == n - 1) {
+                composite = false;
+                break;
+            }
+        }
+        if (composite)
+            return false;
+    }
+    return true;
+}
+
+} // namespace heat::mp

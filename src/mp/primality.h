@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Deterministic primality testing for 64-bit integers.
+ *
+ * Used when generating the 30-bit NTT-friendly RNS primes. The
+ * Miller-Rabin witness set {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}
+ * is deterministic for all n < 3.3 * 10^24, far beyond the 64-bit range.
+ */
+
+#ifndef HEAT_MP_PRIMALITY_H
+#define HEAT_MP_PRIMALITY_H
+
+#include <cstdint>
+
+namespace heat::mp {
+
+/** @return true iff @p n is prime (deterministic for all 64-bit n). */
+bool isPrime(uint64_t n);
+
+/** Modular multiplication on 64-bit operands via 128-bit product. */
+uint64_t mulMod64(uint64_t a, uint64_t b, uint64_t m);
+
+/** Modular exponentiation base^exp mod m on 64-bit operands. */
+uint64_t powMod64(uint64_t base, uint64_t exp, uint64_t m);
+
+} // namespace heat::mp
+
+#endif // HEAT_MP_PRIMALITY_H

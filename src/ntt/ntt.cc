@@ -1,0 +1,113 @@
+#include "ntt/ntt.h"
+
+#include "common/panic.h"
+
+namespace heat::ntt {
+
+void
+forwardNtt(std::span<uint64_t> a, const NttTables &tables)
+{
+    const size_t n = tables.degree();
+    panicIf(a.size() != n, "NTT operand size mismatch");
+    const rns::Modulus &q = tables.modulus();
+    panicIf(q.bits() > 60, "lazy NTT requires q < 2^60");
+    const uint64_t two_q = 2 * q.value();
+
+    // Cooley-Tukey, decimation in time; stage m doubles from 1 to n/2.
+    // Harvey-style lazy reduction: values live in [0, 4q) between
+    // stages, with one normalization pass at the end — the canonical
+    // output is identical to the strict implementation.
+    size_t t = n;
+    for (size_t m = 1; m < n; m <<= 1) {
+        t >>= 1;
+        for (size_t i = 0; i < m; ++i) {
+            const size_t j1 = 2 * i * t;
+            const uint64_t w = tables.rootPower(m + i);
+            const uint64_t w_shoup = tables.rootPowerShoup(m + i);
+            for (size_t j = j1; j < j1 + t; ++j) {
+                uint64_t u = a[j];
+                if (u >= two_q)
+                    u -= two_q; // [0, 2q)
+                const uint64_t v =
+                    q.mulShoupLazy(a[j + t], w, w_shoup); // [0, 2q)
+                a[j] = u + v;                             // [0, 4q)
+                a[j + t] = u - v + two_q;                 // [0, 4q)
+            }
+        }
+    }
+    for (auto &x : a) {
+        if (x >= two_q)
+            x -= two_q;
+        if (x >= q.value())
+            x -= q.value();
+    }
+}
+
+void
+inverseNtt(std::span<uint64_t> a, const NttTables &tables)
+{
+    const size_t n = tables.degree();
+    panicIf(a.size() != n, "NTT operand size mismatch");
+    const rns::Modulus &q = tables.modulus();
+
+    panicIf(q.bits() > 60, "lazy NTT requires q < 2^60");
+    const uint64_t two_q = 2 * q.value();
+
+    // Gentleman-Sande, undoing the forward stages in reverse order;
+    // lazy reduction keeps values in [0, 2q) between stages.
+    size_t t = 1;
+    for (size_t h = n >> 1; h >= 1; h >>= 1) {
+        for (size_t i = 0; i < h; ++i) {
+            const size_t j1 = 2 * i * t;
+            const uint64_t w = tables.invRootPower(h + i);
+            const uint64_t w_shoup = tables.invRootPowerShoup(h + i);
+            for (size_t j = j1; j < j1 + t; ++j) {
+                const uint64_t u = a[j];
+                const uint64_t v = a[j + t];
+                uint64_t s = u + v; // [0, 4q)
+                if (s >= two_q)
+                    s -= two_q;
+                a[j] = s;
+                a[j + t] = q.mulShoupLazy(u - v + two_q, w, w_shoup);
+            }
+        }
+        t <<= 1;
+    }
+
+    // Final scaling by n^{-1} with strict normalization — the extra
+    // pass the hardware INTT also performs (Table II: Inverse-NTT is
+    // slower than NTT).
+    const uint64_t n_inv = tables.invDegree();
+    const uint64_t n_inv_shoup = tables.invDegreeShoup();
+    for (auto &x : a) {
+        uint64_t r = q.mulShoupLazy(x, n_inv, n_inv_shoup);
+        x = r >= q.value() ? r - q.value() : r;
+    }
+}
+
+void
+negacyclicMulReference(std::span<const uint64_t> a,
+                       std::span<const uint64_t> b, std::span<uint64_t> c,
+                       const rns::Modulus &modulus)
+{
+    const size_t n = a.size();
+    panicIf(b.size() != n || c.size() != n, "operand size mismatch");
+    for (size_t k = 0; k < n; ++k)
+        c[k] = 0;
+    for (size_t i = 0; i < n; ++i) {
+        if (a[i] == 0)
+            continue;
+        for (size_t j = 0; j < n; ++j) {
+            const size_t k = i + j;
+            const uint64_t prod = modulus.mul(a[i], b[j]);
+            if (k < n) {
+                c[k] = modulus.add(c[k], prod);
+            } else {
+                // x^n = -1: wrapped terms are subtracted.
+                c[k - n] = modulus.sub(c[k - n], prod);
+            }
+        }
+    }
+}
+
+} // namespace heat::ntt

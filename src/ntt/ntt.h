@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Negacyclic number-theoretic transform over Z_q[x]/(x^n + 1).
+ *
+ * Forward transform: iterative Cooley-Tukey with the 2n-th root psi merged
+ * into the twiddles (no separate pre-scaling pass); natural-order input,
+ * bit-reversed output. Inverse: Gentleman-Sande, bit-reversed input,
+ * natural output, final scaling by n^{-1}. Coefficient-wise operations are
+ * valid on bit-reversed-domain data, so transforms pair up without explicit
+ * permutations — in the hardware model the REARRANGE instruction carries
+ * the same role explicitly.
+ */
+
+#ifndef HEAT_NTT_NTT_H
+#define HEAT_NTT_NTT_H
+
+#include <cstdint>
+#include <span>
+
+#include "ntt/ntt_tables.h"
+
+namespace heat::ntt {
+
+/**
+ * In-place forward negacyclic NTT.
+ *
+ * @param a coefficients in natural order, values in [0, q); on return,
+ *          evaluations in bit-reversed order.
+ * @param tables twiddle tables matching a's modulus and size.
+ */
+void forwardNtt(std::span<uint64_t> a, const NttTables &tables);
+
+/**
+ * In-place inverse negacyclic NTT (including the n^{-1} scaling).
+ *
+ * @param a evaluations in bit-reversed order; on return, coefficients in
+ *          natural order.
+ * @param tables twiddle tables matching a's modulus and size.
+ */
+void inverseNtt(std::span<uint64_t> a, const NttTables &tables);
+
+/**
+ * Reference negacyclic product c = a * b mod (x^n + 1, q), schoolbook
+ * O(n^2). Oracle for tests and the honest "no-NTT" baseline.
+ */
+void negacyclicMulReference(std::span<const uint64_t> a,
+                            std::span<const uint64_t> b,
+                            std::span<uint64_t> c,
+                            const rns::Modulus &modulus);
+
+} // namespace heat::ntt
+
+#endif // HEAT_NTT_NTT_H

@@ -1,0 +1,44 @@
+#include "ntt/ntt_tables.h"
+
+#include "common/bit_util.h"
+#include "common/panic.h"
+#include "rns/prime_gen.h"
+
+namespace heat::ntt {
+
+NttTables::NttTables(const rns::Modulus &modulus, size_t n)
+    : modulus_(modulus), n_(n)
+{
+    fatalIf(!isPowerOfTwo(n), "NTT degree must be a power of two");
+    log_n_ = log2Floor(n);
+    fatalIf((modulus.value() - 1) % (2 * n) != 0,
+            "modulus is not NTT-friendly for this degree");
+
+    psi_ = rns::findPrimitiveRoot(modulus.value(), n);
+
+    root_powers_.resize(n);
+    root_shoup_.resize(n);
+    inv_root_powers_.resize(n);
+    inv_root_shoup_.resize(n);
+
+    const uint64_t psi_inv = modulus.inverse(psi_);
+    for (size_t i = 0; i < n; ++i) {
+        const uint64_t e = reverseBits(i, log_n_);
+        root_powers_[i] = modulus.pow(psi_, e);
+        root_shoup_[i] = modulus.shoupPrecompute(root_powers_[i]);
+        inv_root_powers_[i] = modulus.pow(psi_inv, e);
+        inv_root_shoup_[i] = modulus.shoupPrecompute(inv_root_powers_[i]);
+    }
+
+    inv_degree_ = modulus.inverse(n % modulus.value());
+    inv_degree_shoup_ = modulus.shoupPrecompute(inv_degree_);
+}
+
+NttContext::NttContext(const rns::RnsBase &base, size_t n) : n_(n)
+{
+    tables_.reserve(base.size());
+    for (size_t i = 0; i < base.size(); ++i)
+        tables_.push_back(std::make_shared<NttTables>(base.modulus(i), n));
+}
+
+} // namespace heat::ntt

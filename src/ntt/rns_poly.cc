@@ -1,0 +1,193 @@
+#include "ntt/rns_poly.h"
+
+#include "common/panic.h"
+#include "common/parallel.h"
+#include "ntt/ntt.h"
+
+namespace heat::ntt {
+
+RnsPoly::RnsPoly(std::shared_ptr<const rns::RnsBase> base, size_t n,
+                 PolyForm form)
+    : base_(std::move(base)), n_(n), form_(form)
+{
+    panicIf(!base_, "RnsPoly needs a base");
+    data_.assign(base_->size() * n_, 0);
+}
+
+std::span<uint64_t>
+RnsPoly::residue(size_t i)
+{
+    panicIf(i >= residueCount(), "residue index out of range");
+    return {data_.data() + i * n_, n_};
+}
+
+std::span<const uint64_t>
+RnsPoly::residue(size_t i) const
+{
+    panicIf(i >= residueCount(), "residue index out of range");
+    return {data_.data() + i * n_, n_};
+}
+
+void
+RnsPoly::gatherCoefficient(size_t coeff, std::span<uint64_t> out) const
+{
+    panicIf(coeff >= n_, "coefficient index out of range");
+    panicIf(out.size() != residueCount(), "gather size mismatch");
+    for (size_t i = 0; i < residueCount(); ++i)
+        out[i] = data_[i * n_ + coeff];
+}
+
+void
+RnsPoly::scatterCoefficient(size_t coeff, std::span<const uint64_t> in)
+{
+    panicIf(coeff >= n_, "coefficient index out of range");
+    panicIf(in.size() != residueCount(), "scatter size mismatch");
+    for (size_t i = 0; i < residueCount(); ++i)
+        data_[i * n_ + coeff] = in[i];
+}
+
+void
+RnsPoly::checkCompatible(const RnsPoly &other) const
+{
+    panicIf(n_ != other.n_, "degree mismatch");
+    panicIf(!(*base_ == *other.base_), "RNS base mismatch");
+    panicIf(form_ != other.form_, "representation form mismatch");
+}
+
+void
+RnsPoly::addInPlace(const RnsPoly &other)
+{
+    checkCompatible(other);
+    for (size_t i = 0; i < residueCount(); ++i) {
+        const rns::Modulus &q = base_->modulus(i);
+        auto a = residue(i);
+        auto b = other.residue(i);
+        for (size_t j = 0; j < n_; ++j)
+            a[j] = q.add(a[j], b[j]);
+    }
+}
+
+void
+RnsPoly::subInPlace(const RnsPoly &other)
+{
+    checkCompatible(other);
+    for (size_t i = 0; i < residueCount(); ++i) {
+        const rns::Modulus &q = base_->modulus(i);
+        auto a = residue(i);
+        auto b = other.residue(i);
+        for (size_t j = 0; j < n_; ++j)
+            a[j] = q.sub(a[j], b[j]);
+    }
+}
+
+void
+RnsPoly::negateInPlace()
+{
+    for (size_t i = 0; i < residueCount(); ++i) {
+        const rns::Modulus &q = base_->modulus(i);
+        for (auto &x : residue(i))
+            x = q.negate(x);
+    }
+}
+
+void
+RnsPoly::mulPointwiseInPlace(const RnsPoly &other)
+{
+    checkCompatible(other);
+    panicIf(form_ != PolyForm::kNtt, "pointwise mul requires NTT form");
+    for (size_t i = 0; i < residueCount(); ++i) {
+        const rns::Modulus &q = base_->modulus(i);
+        auto a = residue(i);
+        auto b = other.residue(i);
+        for (size_t j = 0; j < n_; ++j)
+            a[j] = q.mul(a[j], b[j]);
+    }
+}
+
+void
+RnsPoly::addMulPointwise(const RnsPoly &a, const RnsPoly &b)
+{
+    checkCompatible(a);
+    checkCompatible(b);
+    panicIf(form_ != PolyForm::kNtt, "pointwise MAC requires NTT form");
+    for (size_t i = 0; i < residueCount(); ++i) {
+        const rns::Modulus &q = base_->modulus(i);
+        auto acc = residue(i);
+        auto x = a.residue(i);
+        auto y = b.residue(i);
+        for (size_t j = 0; j < n_; ++j)
+            acc[j] = q.add(acc[j], q.mul(x[j], y[j]));
+    }
+}
+
+void
+RnsPoly::mulScalarInPlace(std::span<const uint64_t> scalar_residues)
+{
+    panicIf(scalar_residues.size() != residueCount(),
+            "scalar residue count mismatch");
+    for (size_t i = 0; i < residueCount(); ++i) {
+        const rns::Modulus &q = base_->modulus(i);
+        const uint64_t s = scalar_residues[i];
+        const uint64_t s_shoup = q.shoupPrecompute(s % q.value());
+        for (auto &x : residue(i))
+            x = q.mulShoup(x, s % q.value(), s_shoup);
+    }
+}
+
+void
+RnsPoly::toNtt(const NttContext &context)
+{
+    panicIf(form_ != PolyForm::kCoeff, "toNtt requires coefficient form");
+    panicIf(context.degree() != n_ || context.size() != residueCount(),
+            "NTT context mismatch");
+    parallelFor(residueCount(), [this, &context](size_t i) {
+        forwardNtt(residue(i), context.tables(i));
+    });
+    form_ = PolyForm::kNtt;
+}
+
+void
+RnsPoly::toCoeff(const NttContext &context)
+{
+    panicIf(form_ != PolyForm::kNtt, "toCoeff requires NTT form");
+    panicIf(context.degree() != n_ || context.size() != residueCount(),
+            "NTT context mismatch");
+    parallelFor(residueCount(), [this, &context](size_t i) {
+        inverseNtt(residue(i), context.tables(i));
+    });
+    form_ = PolyForm::kCoeff;
+}
+
+RnsPoly
+RnsPoly::fromBigCoefficients(std::shared_ptr<const rns::RnsBase> base,
+                             size_t n,
+                             const std::vector<mp::BigInt> &coeffs)
+{
+    panicIf(coeffs.size() > n, "too many coefficients");
+    RnsPoly poly(std::move(base), n, PolyForm::kCoeff);
+    for (size_t i = 0; i < poly.residueCount(); ++i) {
+        const mp::BigInt q_i(
+            static_cast<int64_t>(poly.base().modulus(i).value()));
+        auto r = poly.residue(i);
+        for (size_t j = 0; j < coeffs.size(); ++j)
+            r[j] = coeffs[j].mod(q_i).toUint64();
+    }
+    return poly;
+}
+
+mp::BigInt
+RnsPoly::coefficientCentered(size_t i) const
+{
+    std::vector<uint64_t> residues(residueCount());
+    gatherCoefficient(i, residues);
+    return base_->composeCentered(residues);
+}
+
+bool
+RnsPoly::operator==(const RnsPoly &other) const
+{
+    return n_ == other.n_ && form_ == other.form_ &&
+           *base_ == *other.base_ && data_ == other.data_;
+}
+
+} // namespace heat::ntt

@@ -1,0 +1,98 @@
+#include "rns/base_convert.h"
+
+#include "common/bit_util.h"
+#include "common/panic.h"
+
+namespace heat::rns {
+
+FastBaseConverter::FastBaseConverter(const RnsBase &from, const RnsBase &to)
+    : from_(from), to_(to)
+{
+    // Common fixed-point scale for all reciprocals. For 30-bit primes this
+    // is 89 fractional bits: the top 29 are zero, leaving 60 significant
+    // bits so each reciprocal fits one 64-bit word (paper Sec. V-B2).
+    int min_bits = 64;
+    for (const auto &m : from_.moduli())
+        min_bits = std::min(min_bits, m.bits());
+    frac_bits_ = min_bits - 1 + 60;
+
+    recip_.resize(from_.size());
+    for (size_t i = 0; i < from_.size(); ++i) {
+        mp::BigInt scaled = mp::BigInt::powerOfTwo(frac_bits_);
+        mp::BigInt q_i = mp::BigInt::fromUint64(from_.modulus(i).value());
+        // round(2^frac / q_i)
+        mp::BigInt r = (scaled * mp::BigInt(2) + q_i) / (q_i * mp::BigInt(2));
+        recip_[i] = r.toUint64();
+    }
+
+    qstar_mod_.assign(from_.size(),
+                      std::vector<uint64_t>(to_.size(), 0));
+    q_mod_.resize(to_.size());
+    for (size_t j = 0; j < to_.size(); ++j) {
+        const uint64_t b_j = to_.modulus(j).value();
+        q_mod_[j] = from_.product().modUint64(b_j);
+        for (size_t i = 0; i < from_.size(); ++i)
+            qstar_mod_[i][j] = from_.puncturedProduct(i).modUint64(b_j);
+    }
+}
+
+void
+FastBaseConverter::computeLambdas(std::span<const uint64_t> in,
+                                  std::vector<uint64_t> &lambda) const
+{
+    panicIf(in.size() != from_.size(), "input size mismatch");
+    lambda.resize(from_.size());
+    for (size_t i = 0; i < from_.size(); ++i)
+        lambda[i] = from_.modulus(i).mul(in[i], from_.crtInverse(i));
+}
+
+uint64_t
+FastBaseConverter::roundedQuotient(std::span<const uint64_t> lambda) const
+{
+    // v' = round(sum lambda_i / q_i) evaluated with 60-significant-bit
+    // fixed-point reciprocals. lambda_i < 2^30 and recip_i < 2^61, so the
+    // accumulated sum stays far below 2^128 even for 48-prime bases.
+    uint128_t acc = 0;
+    for (size_t i = 0; i < lambda.size(); ++i)
+        acc += mulWide64(lambda[i], recip_[i]);
+    acc += uint128_t(1) << (frac_bits_ - 1);
+    return static_cast<uint64_t>(acc >> frac_bits_);
+}
+
+void
+FastBaseConverter::convert(std::span<const uint64_t> in,
+                           std::span<uint64_t> out) const
+{
+    panicIf(out.size() != to_.size(), "output size mismatch");
+    std::vector<uint64_t> lambda;
+    computeLambdas(in, lambda);
+    const uint64_t v = roundedQuotient(lambda);
+
+    for (size_t j = 0; j < to_.size(); ++j) {
+        const Modulus &b_j = to_.modulus(j);
+        // sum_i lambda_i * (q*_i mod b_j): each product is < 2^60 and at
+        // most 48 terms accumulate, so a 128-bit accumulator suffices.
+        uint128_t acc = 0;
+        for (size_t i = 0; i < from_.size(); ++i)
+            acc += mulWide64(lambda[i], qstar_mod_[i][j]);
+        uint64_t s = b_j.reduce128(acc);
+        uint64_t corr = b_j.mul(b_j.reduce(v), q_mod_[j]);
+        out[j] = b_j.sub(s, corr);
+    }
+}
+
+void
+FastBaseConverter::convertExact(std::span<const uint64_t> in,
+                                std::span<uint64_t> out) const
+{
+    panicIf(in.size() != from_.size(), "input size mismatch");
+    panicIf(out.size() != to_.size(), "output size mismatch");
+    std::vector<uint64_t> residues(in.begin(), in.end());
+    mp::BigInt x = from_.composeCentered(residues);
+    for (size_t j = 0; j < to_.size(); ++j) {
+        mp::BigInt b_j(static_cast<int64_t>(to_.modulus(j).value()));
+        out[j] = x.mod(b_j).toUint64();
+    }
+}
+
+} // namespace heat::rns

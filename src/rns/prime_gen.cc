@@ -1,0 +1,51 @@
+#include "rns/prime_gen.h"
+
+#include "common/bit_util.h"
+#include "common/panic.h"
+#include "mp/primality.h"
+
+namespace heat::rns {
+
+std::vector<uint64_t>
+generateNttPrimes(int bits, size_t degree, size_t count)
+{
+    fatalIf(bits < 4 || bits > 61, "prime width out of range");
+    fatalIf(!isPowerOfTwo(degree), "degree must be a power of two");
+
+    const uint64_t two_n = 2 * static_cast<uint64_t>(degree);
+    const uint64_t upper = uint64_t(1) << bits;
+    const uint64_t lower = uint64_t(1) << (bits - 1);
+
+    std::vector<uint64_t> primes;
+    // Largest candidate < 2^bits congruent to 1 mod 2n.
+    uint64_t candidate = ((upper - 2) / two_n) * two_n + 1;
+    while (primes.size() < count && candidate > lower) {
+        if (mp::isPrime(candidate))
+            primes.push_back(candidate);
+        candidate -= two_n;
+    }
+    fatalIf(primes.size() < count, "not enough ", bits,
+            "-bit NTT primes for degree ", degree);
+    return primes;
+}
+
+uint64_t
+findPrimitiveRoot(uint64_t q, size_t degree)
+{
+    const uint64_t two_n = 2 * static_cast<uint64_t>(degree);
+    fatalIf((q - 1) % two_n != 0, "prime is not NTT friendly");
+    const uint64_t cofactor = (q - 1) / two_n;
+
+    // psi = x^((q-1)/2n) is a 2n-th root of unity; it is primitive iff
+    // psi^n = -1. Search deterministically over small candidates.
+    for (uint64_t x = 2; x < q; ++x) {
+        uint64_t psi = mp::powMod64(x, cofactor, q);
+        if (psi == 1)
+            continue;
+        if (mp::powMod64(psi, degree, q) == q - 1)
+            return psi;
+    }
+    panic("no primitive root found for q=", q);
+}
+
+} // namespace heat::rns

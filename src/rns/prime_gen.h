@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Generation of NTT-friendly RNS primes.
+ *
+ * Every RNS prime must satisfy q_i = 1 (mod 2n) so that Z_{q_i} contains a
+ * primitive 2n-th root of unity and the negacyclic NTT over
+ * Z_{q_i}[x]/(x^n + 1) exists. The paper uses 30-bit primes; generation
+ * searches downward from 2^30 so runs are deterministic and reproducible.
+ */
+
+#ifndef HEAT_RNS_PRIME_GEN_H
+#define HEAT_RNS_PRIME_GEN_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace heat::rns {
+
+/**
+ * Generate @p count distinct NTT-friendly primes of exactly @p bits bits
+ * with prime = 1 (mod 2 * degree), searching downward from 2^bits.
+ *
+ * @param bits prime width in bits (e.g. 30).
+ * @param degree polynomial degree n (power of two).
+ * @param count number of primes to produce.
+ * @return primes in decreasing order.
+ */
+std::vector<uint64_t> generateNttPrimes(int bits, size_t degree,
+                                        size_t count);
+
+/**
+ * Find a primitive 2n-th root of unity modulo the prime @p q where
+ * q = 1 (mod 2n).
+ *
+ * @param q NTT-friendly prime.
+ * @param degree polynomial degree n (power of two).
+ * @return psi with psi^(2n) = 1 and psi^n = -1 (mod q).
+ */
+uint64_t findPrimitiveRoot(uint64_t q, size_t degree);
+
+} // namespace heat::rns
+
+#endif // HEAT_RNS_PRIME_GEN_H

@@ -1,0 +1,88 @@
+#include "rns/rns_base.h"
+
+#include "common/panic.h"
+
+namespace heat::rns {
+
+RnsBase::RnsBase(const std::vector<uint64_t> &primes)
+{
+    fatalIf(primes.empty(), "RnsBase needs at least one modulus");
+    product_ = mp::BigInt(1);
+    for (uint64_t p : primes) {
+        moduli_.emplace_back(p);
+        product_ *= mp::BigInt::fromUint64(p);
+    }
+    for (size_t i = 0; i < primes.size(); ++i) {
+        for (size_t j = i + 1; j < primes.size(); ++j)
+            fatalIf(primes[i] == primes[j], "RNS moduli must be distinct");
+    }
+
+    qstar_.resize(moduli_.size());
+    qtilde_.resize(moduli_.size());
+    for (size_t i = 0; i < moduli_.size(); ++i) {
+        qstar_[i] = product_ / mp::BigInt::fromUint64(moduli_[i].value());
+        uint64_t qstar_mod_qi = qstar_[i].modUint64(moduli_[i].value());
+        qtilde_[i] = moduli_[i].inverse(qstar_mod_qi);
+    }
+}
+
+std::vector<uint64_t>
+RnsBase::decompose(const mp::BigInt &value) const
+{
+    panicIf(value.isNegative() || value >= product_,
+            "decompose input out of [0, q)");
+    std::vector<uint64_t> residues(moduli_.size());
+    for (size_t i = 0; i < moduli_.size(); ++i)
+        residues[i] = value.modUint64(moduli_[i].value());
+    return residues;
+}
+
+mp::BigInt
+RnsBase::compose(const std::vector<uint64_t> &residues) const
+{
+    panicIf(residues.size() != moduli_.size(),
+            "residue count does not match base size");
+    // x = sum_i ([x_i * q~_i] mod q_i) * q*_i mod q  (Theorem 1).
+    mp::BigInt acc;
+    for (size_t i = 0; i < moduli_.size(); ++i) {
+        uint64_t lambda = moduli_[i].mul(residues[i], qtilde_[i]);
+        acc += qstar_[i] * mp::BigInt::fromUint64(lambda);
+    }
+    return acc.mod(product_);
+}
+
+mp::BigInt
+RnsBase::composeCentered(const std::vector<uint64_t> &residues) const
+{
+    mp::BigInt x = compose(residues);
+    // Shift representatives above q/2 down by q: result in (-q/2, q/2].
+    if (x * mp::BigInt(2) > product_)
+        x -= product_;
+    return x;
+}
+
+RnsBase
+RnsBase::concat(const RnsBase &a, const RnsBase &b)
+{
+    std::vector<uint64_t> primes;
+    primes.reserve(a.size() + b.size());
+    for (const auto &m : a.moduli())
+        primes.push_back(m.value());
+    for (const auto &m : b.moduli())
+        primes.push_back(m.value());
+    return RnsBase(primes);
+}
+
+bool
+RnsBase::operator==(const RnsBase &other) const
+{
+    if (moduli_.size() != other.moduli_.size())
+        return false;
+    for (size_t i = 0; i < moduli_.size(); ++i) {
+        if (moduli_[i] != other.moduli_[i])
+            return false;
+    }
+    return true;
+}
+
+} // namespace heat::rns

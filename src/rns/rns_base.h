@@ -1,0 +1,87 @@
+/**
+ * @file
+ * A residue number system base: an ordered set of coprime word-sized
+ * primes together with the CRT constants needed for decomposition,
+ * reconstruction and fast base conversion.
+ *
+ * Terminology follows the paper (Sec. III-B): for base {q_0, ..., q_{k-1}}
+ * with product q, the punctured products are q*_i = q / q_i and the CRT
+ * inverses are q~_i = (q*_i)^{-1} mod q_i.
+ */
+
+#ifndef HEAT_RNS_RNS_BASE_H
+#define HEAT_RNS_RNS_BASE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "mp/bigint.h"
+#include "rns/modulus.h"
+
+namespace heat::rns {
+
+/** An RNS base: coprime moduli plus precomputed CRT constants. */
+class RnsBase
+{
+  public:
+    RnsBase() = default;
+
+    /** Build a base from prime values (must be pairwise distinct). */
+    explicit RnsBase(const std::vector<uint64_t> &primes);
+
+    /** @return number of moduli k. */
+    size_t size() const { return moduli_.size(); }
+
+    /** @return the i-th modulus. */
+    const Modulus &modulus(size_t i) const { return moduli_[i]; }
+
+    /** @return all moduli. */
+    const std::vector<Modulus> &moduli() const { return moduli_; }
+
+    /** @return the base product q = prod q_i. */
+    const mp::BigInt &product() const { return product_; }
+
+    /** @return q*_i = q / q_i. */
+    const mp::BigInt &puncturedProduct(size_t i) const { return qstar_[i]; }
+
+    /** @return q~_i = (q*_i)^{-1} mod q_i. */
+    uint64_t crtInverse(size_t i) const { return qtilde_[i]; }
+
+    /**
+     * Decompose a non-negative integer x < q into residues x mod q_i.
+     *
+     * @param value integer in [0, q).
+     * @return residue vector of length size().
+     */
+    std::vector<uint64_t> decompose(const mp::BigInt &value) const;
+
+    /**
+     * CRT-reconstruct the unique x in [0, q) from residues
+     * (the "traditional CRT" of Theorem 1).
+     */
+    mp::BigInt compose(const std::vector<uint64_t> &residues) const;
+
+    /**
+     * Reconstruct the centered representative in (-q/2, q/2].
+     */
+    mp::BigInt composeCentered(const std::vector<uint64_t> &residues) const;
+
+    /**
+     * Concatenate two bases (used to form Q = q * p from q and p).
+     * Moduli must remain pairwise distinct.
+     */
+    static RnsBase concat(const RnsBase &a, const RnsBase &b);
+
+    /** @return true iff @p other has the same moduli in the same order. */
+    bool operator==(const RnsBase &other) const;
+
+  private:
+    std::vector<Modulus> moduli_;
+    mp::BigInt product_;
+    std::vector<mp::BigInt> qstar_;
+    std::vector<uint64_t> qtilde_;
+};
+
+} // namespace heat::rns
+
+#endif // HEAT_RNS_RNS_BASE_H

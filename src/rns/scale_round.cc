@@ -1,0 +1,104 @@
+#include "rns/scale_round.h"
+
+#include "common/bit_util.h"
+#include "common/panic.h"
+
+namespace heat::rns {
+
+ScaleRounder::ScaleRounder(const RnsBase &q_base, const RnsBase &p_base,
+                           uint64_t t)
+    : q_(q_base), p_(p_base), full_(RnsBase::concat(q_base, p_base)), t_(t)
+{
+    fatalIf(t == 0, "plaintext modulus must be positive");
+
+    const mp::BigInt t_big = mp::BigInt::fromUint64(t);
+    const mp::BigInt &p_prod = p_.product();
+
+    rfrac_.resize(q_.size());
+    imod_.assign(q_.size(), std::vector<uint64_t>(p_.size(), 0));
+    for (size_t i = 0; i < q_.size(); ++i) {
+        const uint64_t q_i = q_.modulus(i).value();
+        // Q~_i = (Q / q_i)^{-1} mod q_i, taken from the full base.
+        const uint64_t qtilde_i = full_.crtInverse(i);
+        // numerator = t * Q~_i * p; constant c_i = numerator / q_i.
+        mp::BigInt num = t_big * mp::BigInt::fromUint64(qtilde_i) * p_prod;
+        mp::BigInt rem;
+        mp::BigInt integer_part = num.divMod(
+            mp::BigInt::fromUint64(q_i), rem);
+        // R_i = frac = rem / q_i, stored as round(rem * 2^60 / q_i).
+        mp::BigInt r_fixed =
+            (rem * mp::BigInt::powerOfTwo(kFracBits) * mp::BigInt(2) +
+             mp::BigInt::fromUint64(q_i)) /
+            (mp::BigInt::fromUint64(q_i) * mp::BigInt(2));
+        rfrac_[i] = r_fixed.toUint64();
+        for (size_t j = 0; j < p_.size(); ++j)
+            imod_[i][j] = integer_part.modUint64(p_.modulus(j).value());
+    }
+
+    cj_.resize(p_.size());
+    for (size_t j = 0; j < p_.size(); ++j) {
+        const uint64_t p_j = p_.modulus(j).value();
+        const uint64_t qtilde_j = full_.crtInverse(q_.size() + j);
+        mp::BigInt pstar_j = p_prod / mp::BigInt::fromUint64(p_j);
+        mp::BigInt c = t_big * mp::BigInt::fromUint64(qtilde_j) * pstar_j;
+        cj_[j] = c.modUint64(p_j);
+    }
+}
+
+void
+ScaleRounder::scale(std::span<const uint64_t> in,
+                    std::span<uint64_t> out) const
+{
+    panicIf(in.size() != q_.size() + p_.size(), "input size mismatch");
+    panicIf(out.size() != p_.size(), "output size mismatch");
+
+    // Block 1: fractional sum-of-products. Each term is < 2^30 * 2^60 and
+    // at most 48 terms accumulate: fits 128 bits.
+    uint128_t sop_r = 0;
+    for (size_t i = 0; i < q_.size(); ++i)
+        sop_r += mulWide64(in[i], rfrac_[i]);
+    const uint64_t rounded_r = static_cast<uint64_t>(
+        (sop_r + (uint128_t(1) << (kFracBits - 1))) >> kFracBits);
+
+    for (size_t j = 0; j < p_.size(); ++j) {
+        const Modulus &p_j = p_.modulus(j);
+        // Block 2: integer sum-of-products modulo p_j.
+        uint128_t acc = 0;
+        for (size_t i = 0; i < q_.size(); ++i)
+            acc += mulWide64(in[i], imod_[i][j]);
+        // Block 3: contribution of x's own p-base residue.
+        acc += mulWide64(in[q_.size() + j], cj_[j]);
+        // Block 4: add the rounded fractional part and reduce.
+        acc += rounded_r;
+        out[j] = p_j.reduce128(acc);
+    }
+}
+
+void
+ScaleRounder::scaleExact(std::span<const uint64_t> in,
+                         std::span<uint64_t> out) const
+{
+    panicIf(in.size() != full_.size(), "input size mismatch");
+    panicIf(out.size() != p_.size(), "output size mismatch");
+
+    std::vector<uint64_t> residues(in.begin(), in.end());
+    mp::BigInt x = full_.composeCentered(residues);
+    const mp::BigInt q_prod = q_.product();
+    // Round half up: floor((2*t*x + q) / (2*q)) — floor division, which
+    // for negative numerators needs an explicit adjustment because BigInt
+    // division truncates toward zero.
+    mp::BigInt numer = mp::BigInt::fromUint64(t_) * x * mp::BigInt(2) +
+                       q_prod;
+    mp::BigInt denom = q_prod * mp::BigInt(2);
+    mp::BigInt rem;
+    mp::BigInt y = numer.divMod(denom, rem);
+    if (rem.isNegative())
+        y -= mp::BigInt(1);
+
+    for (size_t j = 0; j < p_.size(); ++j) {
+        mp::BigInt p_j(static_cast<int64_t>(p_.modulus(j).value()));
+        out[j] = y.mod(p_j).toUint64();
+    }
+}
+
+} // namespace heat::rns

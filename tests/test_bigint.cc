@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Unit and property tests for the multi-precision integer substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "mp/bigint.h"
+#include "mp/primality.h"
+
+namespace heat::mp {
+namespace {
+
+TEST(BigInt, DefaultIsZero)
+{
+    BigInt z;
+    EXPECT_TRUE(z.isZero());
+    EXPECT_FALSE(z.isNegative());
+    EXPECT_EQ(z.toString(), "0");
+    EXPECT_EQ(z.bitLength(), 0);
+}
+
+TEST(BigInt, Int64RoundTrip)
+{
+    for (int64_t v : {int64_t(0), int64_t(1), int64_t(-1), int64_t(42),
+                      int64_t(-123456789), INT64_MAX, INT64_MIN + 1}) {
+        EXPECT_EQ(BigInt(v).toInt64(), v) << v;
+    }
+}
+
+TEST(BigInt, Int64MinRoundTrip)
+{
+    EXPECT_EQ(BigInt(INT64_MIN).toInt64(), INT64_MIN);
+}
+
+TEST(BigInt, Uint64RoundTrip)
+{
+    for (uint64_t v : {uint64_t(0), uint64_t(1), UINT64_MAX,
+                       uint64_t(0x123456789ABCDEF0)}) {
+        EXPECT_EQ(BigInt::fromUint64(v).toUint64(), v) << v;
+    }
+}
+
+TEST(BigInt, DecimalStringRoundTrip)
+{
+    for (const char *s : {"0", "1", "-1", "123456789012345678901234567890",
+                          "-98765432109876543210"}) {
+        EXPECT_EQ(BigInt::fromString(s).toString(), s) << s;
+    }
+}
+
+TEST(BigInt, HexParsing)
+{
+    EXPECT_EQ(BigInt::fromString("0xff").toUint64(), 255u);
+    EXPECT_EQ(BigInt::fromString("0x123456789abcdef").toUint64(),
+              0x123456789abcdefull);
+    EXPECT_EQ(BigInt::fromString("-0x10").toInt64(), -16);
+    EXPECT_EQ(BigInt::fromString("0xff").toHexString(), "0xff");
+}
+
+TEST(BigInt, PowerOfTwo)
+{
+    EXPECT_EQ(BigInt::powerOfTwo(0).toUint64(), 1u);
+    EXPECT_EQ(BigInt::powerOfTwo(63).toUint64(), uint64_t(1) << 63);
+    EXPECT_EQ(BigInt::powerOfTwo(200).bitLength(), 201);
+}
+
+TEST(BigInt, CompareOrdering)
+{
+    BigInt a(-5), b(0), c(7);
+    EXPECT_LT(a, b);
+    EXPECT_LT(b, c);
+    EXPECT_LT(a, c);
+    EXPECT_GT(c, a);
+    EXPECT_EQ(BigInt(3), BigInt(3));
+    EXPECT_NE(BigInt(3), BigInt(-3));
+    EXPECT_LT(BigInt(-7), BigInt(-5));
+}
+
+TEST(BigInt, AdditionMatchesInt128)
+{
+    Xoshiro256 rng(1);
+    for (int iter = 0; iter < 2000; ++iter) {
+        int64_t a = static_cast<int64_t>(rng.next() >> 2) *
+                    (rng.next() & 1 ? 1 : -1);
+        int64_t b = static_cast<int64_t>(rng.next() >> 2) *
+                    (rng.next() & 1 ? 1 : -1);
+        __int128 expect = static_cast<__int128>(a) + b;
+        BigInt got = BigInt(a) + BigInt(b);
+        EXPECT_EQ(got.toString(),
+                  (BigInt(a) + BigInt(b)).toString());
+        // Verify against 128-bit arithmetic via subtraction.
+        BigInt back = got - BigInt(b);
+        EXPECT_EQ(back.toInt64(), a);
+        (void)expect;
+    }
+}
+
+TEST(BigInt, MultiplicationMatchesUint128)
+{
+    Xoshiro256 rng(2);
+    for (int iter = 0; iter < 2000; ++iter) {
+        uint64_t a = rng.next();
+        uint64_t b = rng.next();
+        unsigned __int128 p = static_cast<unsigned __int128>(a) * b;
+        BigInt got = BigInt::fromUint64(a) * BigInt::fromUint64(b);
+        BigInt expect = (BigInt::fromUint64(static_cast<uint64_t>(p >> 64))
+                         << 64) +
+                        BigInt::fromUint64(static_cast<uint64_t>(p));
+        EXPECT_EQ(got, expect);
+    }
+}
+
+TEST(BigInt, MulSignRules)
+{
+    EXPECT_EQ((BigInt(-3) * BigInt(4)).toInt64(), -12);
+    EXPECT_EQ((BigInt(-3) * BigInt(-4)).toInt64(), 12);
+    EXPECT_EQ((BigInt(3) * BigInt(-4)).toInt64(), -12);
+    EXPECT_TRUE((BigInt(0) * BigInt(-4)).isZero());
+}
+
+TEST(BigInt, ShiftRoundTrip)
+{
+    Xoshiro256 rng(3);
+    for (int iter = 0; iter < 500; ++iter) {
+        BigInt v = BigInt::fromUint64(rng.next());
+        int s = static_cast<int>(rng.uniformBelow(200));
+        EXPECT_EQ((v << s) >> s, v) << s;
+    }
+}
+
+TEST(BigInt, ShiftMatchesMultiplication)
+{
+    BigInt v = BigInt::fromString("123456789123456789123456789");
+    EXPECT_EQ(v << 5, v * BigInt(32));
+    EXPECT_EQ(v << 100, v * BigInt::powerOfTwo(100));
+}
+
+TEST(BigInt, DivisionInvariantRandom)
+{
+    // For random multi-limb a, b: a == (a/b)*b + (a%b) with |a%b| < |b|.
+    Xoshiro256 rng(4);
+    for (int iter = 0; iter < 2000; ++iter) {
+        BigInt a = (BigInt::fromUint64(rng.next()) << 64) +
+                   BigInt::fromUint64(rng.next());
+        BigInt b = BigInt::fromUint64(rng.next() >> (rng.next() % 40));
+        if (b.isZero())
+            continue;
+        if (rng.next() & 1)
+            a = -a;
+        if (rng.next() & 1)
+            b = -b;
+        BigInt r;
+        BigInt q = a.divMod(b, r);
+        EXPECT_EQ(q * b + r, a);
+        EXPECT_LT(r.abs(), b.abs());
+        // Truncated semantics: remainder carries the dividend's sign.
+        if (!r.isZero()) {
+            EXPECT_EQ(r.isNegative(), a.isNegative());
+        }
+    }
+}
+
+TEST(BigInt, KnuthDAddBackCase)
+{
+    // Divisor with high limb 0xFFFFFFFF triggers the rare add-back
+    // branch of Algorithm D.
+    BigInt a = BigInt::fromString("0x7fffffff800000010000000000000000");
+    BigInt b = BigInt::fromString("0x800000008000000200000005");
+    BigInt r;
+    BigInt q = a.divMod(b, r);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_LT(r.abs(), b.abs());
+}
+
+TEST(BigInt, DivisionBySingleLimb)
+{
+    BigInt a = BigInt::fromString("340282366920938463463374607431768211455");
+    BigInt q = a / BigInt(3);
+    EXPECT_EQ(q * BigInt(3) + a % BigInt(3), a);
+}
+
+TEST(BigInt, ModAlwaysNonNegative)
+{
+    EXPECT_EQ(BigInt(-7).mod(BigInt(5)).toUint64(), 3u);
+    EXPECT_EQ(BigInt(7).mod(BigInt(5)).toUint64(), 2u);
+    EXPECT_EQ(BigInt(-10).mod(BigInt(5)).toUint64(), 0u);
+}
+
+TEST(BigInt, ModUint64MatchesBigMod)
+{
+    Xoshiro256 rng(5);
+    for (int iter = 0; iter < 500; ++iter) {
+        BigInt a = (BigInt::fromUint64(rng.next()) << 70) +
+                   BigInt::fromUint64(rng.next());
+        uint64_t m = (rng.next() | 1) >> 20;
+        if (m == 0)
+            continue;
+        EXPECT_EQ(a.modUint64(m),
+                  (a % BigInt::fromUint64(m)).toUint64());
+    }
+}
+
+TEST(BigInt, ModPowSmallCases)
+{
+    EXPECT_EQ(BigInt(2).modPow(BigInt(10), BigInt(1000)).toUint64(), 24u);
+    EXPECT_EQ(BigInt(3).modPow(BigInt(0), BigInt(7)).toUint64(), 1u);
+    // Fermat: a^(p-1) = 1 mod p.
+    BigInt p(1000003);
+    EXPECT_EQ(BigInt(12345).modPow(p - BigInt(1), p).toUint64(), 1u);
+}
+
+TEST(BigInt, ModInverseProperty)
+{
+    Xoshiro256 rng(6);
+    BigInt m = BigInt::fromString("1000000000000000003"); // prime
+    for (int iter = 0; iter < 200; ++iter) {
+        BigInt a = BigInt::fromUint64(rng.next() % 999999999999999999ull + 1);
+        BigInt inv = a.modInverse(m);
+        EXPECT_EQ((a * inv).mod(m).toUint64(), 1u);
+    }
+}
+
+TEST(BigInt, GcdProperties)
+{
+    EXPECT_EQ(BigInt::gcd(BigInt(12), BigInt(18)).toUint64(), 6u);
+    EXPECT_EQ(BigInt::gcd(BigInt(-12), BigInt(18)).toUint64(), 6u);
+    EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(5)).toUint64(), 5u);
+    EXPECT_EQ(BigInt::gcd(BigInt(17), BigInt(13)).toUint64(), 1u);
+}
+
+TEST(BigInt, ToDoubleApproximation)
+{
+    EXPECT_DOUBLE_EQ(BigInt(1000000).toDouble(), 1e6);
+    EXPECT_DOUBLE_EQ(BigInt(-1000000).toDouble(), -1e6);
+    double big = BigInt::powerOfTwo(100).toDouble();
+    EXPECT_NEAR(big, std::pow(2.0, 100), big * 1e-10);
+}
+
+TEST(BigInt, BitAccess)
+{
+    BigInt v(0b101101);
+    EXPECT_TRUE(v.bit(0));
+    EXPECT_FALSE(v.bit(1));
+    EXPECT_TRUE(v.bit(2));
+    EXPECT_TRUE(v.bit(3));
+    EXPECT_FALSE(v.bit(4));
+    EXPECT_TRUE(v.bit(5));
+    EXPECT_FALSE(v.bit(6));
+    EXPECT_FALSE(v.bit(1000));
+}
+
+TEST(Primality, KnownPrimes)
+{
+    EXPECT_TRUE(isPrime(2));
+    EXPECT_TRUE(isPrime(3));
+    EXPECT_TRUE(isPrime(1073741789)); // 30-bit prime
+    EXPECT_TRUE(isPrime(0xFFFFFFFFFFFFFFC5ull)); // largest 64-bit prime
+    EXPECT_FALSE(isPrime(0));
+    EXPECT_FALSE(isPrime(1));
+    EXPECT_FALSE(isPrime(1073741790));
+}
+
+TEST(Primality, CarmichaelNumbersRejected)
+{
+    for (uint64_t c : {561ull, 1105ull, 1729ull, 2465ull, 2821ull,
+                       6601ull, 8911ull, 825265ull}) {
+        EXPECT_FALSE(isPrime(c)) << c;
+    }
+}
+
+TEST(Primality, MatchesTrialDivisionSweep)
+{
+    auto trial = [](uint64_t n) {
+        if (n < 2)
+            return false;
+        for (uint64_t d = 2; d * d <= n; ++d) {
+            if (n % d == 0)
+                return false;
+        }
+        return true;
+    };
+    for (uint64_t n = 0; n < 2000; ++n)
+        EXPECT_EQ(isPrime(n), trial(n)) << n;
+}
+
+TEST(Primality, PowMod64Matches)
+{
+    Xoshiro256 rng(7);
+    for (int iter = 0; iter < 200; ++iter) {
+        uint64_t b = rng.next() >> 34;
+        uint64_t e = rng.next() >> 50;
+        uint64_t m = (rng.next() >> 34) | 1;
+        if (m < 2)
+            continue;
+        BigInt expect = BigInt::fromUint64(b).modPow(
+            BigInt::fromUint64(e), BigInt::fromUint64(m));
+        EXPECT_EQ(powMod64(b, e, m), expect.toUint64());
+    }
+}
+
+} // namespace
+} // namespace heat::mp

@@ -1,0 +1,369 @@
+/**
+ * @file
+ * Property-based tests of the FV scheme's algebra, noise-threshold
+ * failure behaviour, the paper's depth-4 sizing claim on the full
+ * parameter set, and end-to-end operation of a Table V row-1 (n = 8192)
+ * configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/parallel.h"
+#include "common/random.h"
+#include "fv/decryptor.h"
+#include "fv/encoder.h"
+#include "fv/encryptor.h"
+#include "fv/evaluator.h"
+#include "fv/keygen.h"
+#include "fv/noise.h"
+#include "fv/params.h"
+
+namespace heat::fv {
+namespace {
+
+struct Rig
+{
+    explicit Rig(std::shared_ptr<const FvParams> p, uint64_t seed = 77)
+        : params(p),
+          keygen(p, seed),
+          sk(keygen.generateSecretKey()),
+          pk(keygen.generatePublicKey(sk)),
+          rlk(keygen.generateRelinKeys(sk)),
+          encryptor(p, pk, seed + 1),
+          decryptor(p, sk),
+          evaluator(p)
+    {
+    }
+
+    Plaintext
+    randomPlain(uint64_t seed) const
+    {
+        Xoshiro256 rng(seed);
+        Plaintext m;
+        m.coeffs.resize(params->degree());
+        for (auto &c : m.coeffs)
+            c = rng.uniformBelow(params->plainModulus());
+        return m;
+    }
+
+    Plaintext
+    decrypted(const Ciphertext &ct) const
+    {
+        return decryptor.decrypt(ct);
+    }
+
+    std::shared_ptr<const FvParams> params;
+    KeyGenerator keygen;
+    SecretKey sk;
+    PublicKey pk;
+    RelinKeys rlk;
+    Encryptor encryptor;
+    Decryptor decryptor;
+    Evaluator evaluator;
+};
+
+std::shared_ptr<const FvParams>
+smallParams(uint64_t t = 16, size_t primes = 3)
+{
+    FvConfig config;
+    config.degree = 256;
+    config.plain_modulus = t;
+    config.sigma = 3.2;
+    config.q_prime_count = primes;
+    return FvParams::create(config);
+}
+
+void
+expectSamePlain(const Plaintext &a, const Plaintext &b, uint64_t t)
+{
+    const size_t n = std::max(a.coeffs.size(), b.coeffs.size());
+    for (size_t i = 0; i < n; ++i) {
+        uint64_t av = i < a.coeffs.size() ? a.coeffs[i] % t : 0;
+        uint64_t bv = i < b.coeffs.size() ? b.coeffs[i] % t : 0;
+        ASSERT_EQ(av, bv) << "coeff " << i;
+    }
+}
+
+TEST(FvAlgebra, AdditionIsCommutative)
+{
+    Rig rig(smallParams());
+    Ciphertext a = rig.encryptor.encrypt(rig.randomPlain(1));
+    Ciphertext b = rig.encryptor.encrypt(rig.randomPlain(2));
+    // Addition is coefficient arithmetic: the ciphertexts are equal,
+    // not merely decryption-equal.
+    Ciphertext ab = rig.evaluator.add(a, b);
+    Ciphertext ba = rig.evaluator.add(b, a);
+    EXPECT_EQ(ab[0], ba[0]);
+    EXPECT_EQ(ab[1], ba[1]);
+}
+
+TEST(FvAlgebra, AdditionIsAssociative)
+{
+    Rig rig(smallParams());
+    Ciphertext a = rig.encryptor.encrypt(rig.randomPlain(3));
+    Ciphertext b = rig.encryptor.encrypt(rig.randomPlain(4));
+    Ciphertext c = rig.encryptor.encrypt(rig.randomPlain(5));
+    Ciphertext left = rig.evaluator.add(rig.evaluator.add(a, b), c);
+    Ciphertext right = rig.evaluator.add(a, rig.evaluator.add(b, c));
+    EXPECT_EQ(left[0], right[0]);
+    EXPECT_EQ(left[1], right[1]);
+}
+
+TEST(FvAlgebra, MultiplicationIsCommutative)
+{
+    Rig rig(smallParams(4));
+    Plaintext ma = rig.randomPlain(6);
+    Plaintext mb = rig.randomPlain(7);
+    Ciphertext a = rig.encryptor.encrypt(ma);
+    Ciphertext b = rig.encryptor.encrypt(mb);
+    Plaintext ab = rig.decrypted(rig.evaluator.multiply(a, b, rig.rlk));
+    Plaintext ba = rig.decrypted(rig.evaluator.multiply(b, a, rig.rlk));
+    expectSamePlain(ab, ba, 4);
+}
+
+TEST(FvAlgebra, MultiplicationDistributesOverAddition)
+{
+    Rig rig(smallParams(4, 4));
+    Ciphertext a = rig.encryptor.encrypt(rig.randomPlain(8));
+    Ciphertext b = rig.encryptor.encrypt(rig.randomPlain(9));
+    Ciphertext c = rig.encryptor.encrypt(rig.randomPlain(10));
+
+    Plaintext lhs = rig.decrypted(
+        rig.evaluator.multiply(a, rig.evaluator.add(b, c), rig.rlk));
+    Plaintext rhs = rig.decrypted(
+        rig.evaluator.add(rig.evaluator.multiply(a, b, rig.rlk),
+                          rig.evaluator.multiply(a, c, rig.rlk)));
+    expectSamePlain(lhs, rhs, 4);
+}
+
+TEST(FvAlgebra, MultiplicationAssociationOrdersAgree)
+{
+    Rig rig(smallParams(2, 4));
+    Ciphertext a = rig.encryptor.encrypt(rig.randomPlain(11));
+    Ciphertext b = rig.encryptor.encrypt(rig.randomPlain(12));
+    Ciphertext c = rig.encryptor.encrypt(rig.randomPlain(13));
+
+    Plaintext lhs = rig.decrypted(rig.evaluator.multiply(
+        rig.evaluator.multiply(a, b, rig.rlk), c, rig.rlk));
+    Plaintext rhs = rig.decrypted(rig.evaluator.multiply(
+        a, rig.evaluator.multiply(b, c, rig.rlk), rig.rlk));
+    expectSamePlain(lhs, rhs, 2);
+}
+
+TEST(FvAlgebra, SubtractionOfSelfIsZero)
+{
+    Rig rig(smallParams());
+    Ciphertext a = rig.encryptor.encrypt(rig.randomPlain(14));
+    Plaintext zero = rig.decrypted(rig.evaluator.sub(a, a));
+    for (uint64_t c : zero.coeffs)
+        EXPECT_EQ(c % 16, 0u);
+}
+
+TEST(FvAlgebra, MultiplicativeIdentity)
+{
+    Rig rig(smallParams(16));
+    Plaintext m = rig.randomPlain(15);
+    Plaintext one;
+    one.coeffs = {1};
+    Ciphertext a = rig.encryptor.encrypt(m);
+    Ciphertext e1 = rig.encryptor.encrypt(one);
+    expectSamePlain(rig.decrypted(rig.evaluator.multiply(a, e1, rig.rlk)),
+                    m, 16);
+}
+
+TEST(FvAlgebra, PlainOpsAgreeWithEncryptedOps)
+{
+    Rig rig(smallParams(16));
+    Plaintext ma = rig.randomPlain(16);
+    Plaintext mb = rig.randomPlain(17);
+    Ciphertext a = rig.encryptor.encrypt(ma);
+
+    // addPlain == add(encrypt)
+    Ciphertext via_plain = a;
+    rig.evaluator.addPlainInPlace(via_plain, mb);
+    Ciphertext via_enc =
+        rig.evaluator.add(a, rig.encryptor.encrypt(mb));
+    expectSamePlain(rig.decrypted(via_plain), rig.decrypted(via_enc), 16);
+
+    // multiplyPlain == multiply(encrypt)
+    Plaintext prod_plain =
+        rig.decrypted(rig.evaluator.multiplyPlain(a, mb));
+    Plaintext prod_enc = rig.decrypted(rig.evaluator.multiply(
+        a, rig.encryptor.encrypt(mb), rig.rlk));
+    expectSamePlain(prod_plain, prod_enc, 16);
+}
+
+TEST(FvAlgebra, EncryptionIsRandomized)
+{
+    Rig rig(smallParams());
+    Plaintext m = rig.randomPlain(18);
+    Ciphertext a = rig.encryptor.encrypt(m);
+    Ciphertext b = rig.encryptor.encrypt(m);
+    EXPECT_NE(a[0], b[0]); // fresh randomness per encryption
+    expectSamePlain(rig.decrypted(a), rig.decrypted(b), 16);
+}
+
+TEST(FvAlgebra, EncryptZeroDecryptsToZero)
+{
+    Rig rig(smallParams());
+    Plaintext zero = rig.decrypted(rig.encryptor.encryptZero());
+    for (uint64_t c : zero.coeffs)
+        EXPECT_EQ(c % 16, 0u);
+}
+
+TEST(FvNoiseFailure, BudgetExhaustionBreaksDecryption)
+{
+    // One-prime q: a couple of squarings must exhaust the 30-bit budget
+    // — the "noise threshold" / depth concept of Sec. II-A, observed.
+    FvConfig config;
+    config.degree = 256;
+    config.plain_modulus = 2;
+    config.sigma = 3.2;
+    config.q_prime_count = 1;
+    Rig rig(FvParams::create(config));
+
+    Plaintext m;
+    m.coeffs = {1, 1};
+    Ciphertext ct = rig.encryptor.encrypt(m);
+    EXPECT_GT(rig.decryptor.invariantNoiseBudget(ct), 0.0);
+
+    // Reference squarings mod (x^n + 1, 2).
+    auto square_plain = [](const Plaintext &p, size_t n) {
+        Plaintext out;
+        out.coeffs.assign(n, 0);
+        for (size_t i = 0; i < p.coeffs.size(); ++i) {
+            for (size_t j = 0; j < p.coeffs.size(); ++j) {
+                if (!(p.coeffs[i] & p.coeffs[j] & 1))
+                    continue;
+                out.coeffs[(i + j) % n] ^= 1;
+            }
+        }
+        return out;
+    };
+
+    Plaintext expect = m;
+    bool failed = false;
+    double last_budget = 64.0;
+    for (int depth = 0; depth < 6 && !failed; ++depth) {
+        ct = rig.evaluator.square(ct, rig.rlk);
+        expect = square_plain(expect, 256);
+        const double budget = rig.decryptor.invariantNoiseBudget(ct);
+        Plaintext got = rig.decryptor.decrypt(ct);
+        bool mismatch = false;
+        for (size_t i = 0; i < 256; ++i) {
+            uint64_t g = i < got.coeffs.size() ? got.coeffs[i] % 2 : 0;
+            if (g != expect.coeffs[i])
+                mismatch = true;
+        }
+        if (mismatch) {
+            // Once decryption breaks, the remaining budget must be
+            // (essentially) gone — the Sec. II-A noise threshold.
+            EXPECT_LT(budget, 3.0);
+            failed = true;
+        } else {
+            EXPECT_LT(budget, last_budget + 1e-9);
+        }
+        last_budget = budget;
+    }
+    EXPECT_TRUE(failed)
+        << "decryption should fail within a few squarings at 30-bit q";
+}
+
+TEST(FvNoiseFailure, ModelAgreesBudgetShrinksWithSmallerQ)
+{
+    NoiseModel big(FvParams::create(smallParams(2, 4)->config()));
+    NoiseModel small(FvParams::create(smallParams(2, 2)->config()));
+    EXPECT_GT(big.freshBudgetBits(), small.freshBudgetBits());
+    EXPECT_GE(big.supportedDepth(), small.supportedDepth());
+}
+
+TEST(FvPaperClaims, DepthFourAtPaperParameters)
+{
+    // Sec. III-A: the parameter set supports multiplicative depth 4.
+    auto params = FvParams::paper(2);
+    EXPECT_GE(NoiseModel(params).supportedDepth(), 4);
+
+    Rig rig(params, 2027);
+    Plaintext m;
+    m.coeffs = {1, 1, 0, 1}; // sparse binary message
+    Ciphertext ct = rig.encryptor.encrypt(m);
+    // Reference plaintext squarings mod (x^n + 1, 2).
+    auto square_plain = [&](const Plaintext &p) {
+        const size_t n = params->degree();
+        Plaintext out;
+        out.coeffs.assign(n, 0);
+        for (size_t i = 0; i < p.coeffs.size(); ++i) {
+            for (size_t j = 0; j < p.coeffs.size(); ++j) {
+                if (!(p.coeffs[i] & p.coeffs[j] & 1))
+                    continue;
+                size_t k = i + j;
+                if (k < n)
+                    out.coeffs[k] ^= 1;
+                else
+                    out.coeffs[k - n] ^= 1; // -1 == 1 mod 2
+            }
+        }
+        return out;
+    };
+
+    Plaintext expect = m;
+    for (int depth = 1; depth <= 4; ++depth) {
+        ct = rig.evaluator.square(ct, rig.rlk);
+        expect = square_plain(expect);
+        const double budget = rig.decryptor.invariantNoiseBudget(ct);
+        ASSERT_GT(budget, 0.0) << "depth " << depth;
+        expectSamePlain(rig.decrypted(ct), expect, 2);
+    }
+}
+
+TEST(FvParallel, MultithreadedEvaluatorIsBitIdentical)
+{
+    auto params = smallParams(4, 4);
+    Rig rig(params, 91);
+    Ciphertext a = rig.encryptor.encrypt(rig.randomPlain(50));
+    Ciphertext b = rig.encryptor.encrypt(rig.randomPlain(51));
+
+    Ciphertext serial = rig.evaluator.multiply(a, b, rig.rlk);
+    setThreadCount(8);
+    Ciphertext parallel = rig.evaluator.multiply(a, b, rig.rlk);
+    setThreadCount(1);
+    EXPECT_EQ(serial[0], parallel[0]);
+    EXPECT_EQ(serial[1], parallel[1]);
+}
+
+TEST(FvParallel, ParallelForCoversAllIndices)
+{
+    setThreadCount(5);
+    std::vector<std::atomic<int>> hits(103);
+    parallelFor(103, [&](size_t i) { ++hits[i]; });
+    setThreadCount(1);
+    for (auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(FvTableV, Row1ParameterSetWorksEndToEnd)
+{
+    // Table V row 2: (n, log q) = (2^13, 360) — built and exercised,
+    // not just estimated.
+    auto params = FvParams::tableV(1, 2);
+    EXPECT_EQ(params->degree(), 8192u);
+    EXPECT_EQ(params->qBits(), 360);
+
+    Rig rig(params, 31);
+    Plaintext m0, m1;
+    m0.coeffs = {1, 0, 1};
+    m1.coeffs = {1, 1};
+    Ciphertext prod = rig.evaluator.multiply(rig.encryptor.encrypt(m0),
+                                             rig.encryptor.encrypt(m1),
+                                             rig.rlk);
+    // (1 + x^2)(1 + x) = 1 + x + x^2 + x^3 mod 2.
+    Plaintext expect;
+    expect.coeffs = {1, 1, 1, 1};
+    expectSamePlain(rig.decrypted(prod), expect, 2);
+    EXPECT_GT(rig.decryptor.invariantNoiseBudget(prod), 0.0);
+}
+
+} // namespace
+} // namespace heat::fv

@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Tests for the negacyclic NTT and the RnsPoly container: transform
+ * round-trips, convolution against the schoolbook reference, linearity,
+ * and element-wise polynomial operations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/panic.h"
+
+#include "common/random.h"
+#include "ntt/ntt.h"
+#include "ntt/rns_poly.h"
+#include "rns/prime_gen.h"
+
+namespace heat::ntt {
+namespace {
+
+class NttDegreeTest : public ::testing::TestWithParam<size_t>
+{
+  protected:
+    rns::Modulus
+    modulusFor(size_t n)
+    {
+        auto primes = rns::generateNttPrimes(30, n, 1);
+        return rns::Modulus(primes[0]);
+    }
+};
+
+TEST_P(NttDegreeTest, ForwardInverseRoundTrip)
+{
+    const size_t n = GetParam();
+    rns::Modulus q = modulusFor(n);
+    NttTables tables(q, n);
+    Xoshiro256 rng(n);
+
+    std::vector<uint64_t> a(n), orig(n);
+    for (size_t i = 0; i < n; ++i)
+        a[i] = orig[i] = rng.uniformBelow(q.value());
+    forwardNtt(a, tables);
+    inverseNtt(a, tables);
+    EXPECT_EQ(a, orig);
+}
+
+TEST_P(NttDegreeTest, InverseForwardRoundTrip)
+{
+    const size_t n = GetParam();
+    rns::Modulus q = modulusFor(n);
+    NttTables tables(q, n);
+    Xoshiro256 rng(n + 1);
+
+    std::vector<uint64_t> a(n), orig(n);
+    for (size_t i = 0; i < n; ++i)
+        a[i] = orig[i] = rng.uniformBelow(q.value());
+    inverseNtt(a, tables);
+    forwardNtt(a, tables);
+    EXPECT_EQ(a, orig);
+}
+
+TEST_P(NttDegreeTest, ConvolutionMatchesSchoolbook)
+{
+    const size_t n = GetParam();
+    if (n > 512)
+        GTEST_SKIP() << "schoolbook reference too slow beyond n=512";
+    rns::Modulus q = modulusFor(n);
+    NttTables tables(q, n);
+    Xoshiro256 rng(n + 2);
+
+    std::vector<uint64_t> a(n), b(n), expect(n);
+    for (size_t i = 0; i < n; ++i) {
+        a[i] = rng.uniformBelow(q.value());
+        b[i] = rng.uniformBelow(q.value());
+    }
+    negacyclicMulReference(a, b, expect, q);
+
+    forwardNtt(a, tables);
+    forwardNtt(b, tables);
+    for (size_t i = 0; i < n; ++i)
+        a[i] = q.mul(a[i], b[i]);
+    inverseNtt(a, tables);
+    EXPECT_EQ(a, expect);
+}
+
+TEST_P(NttDegreeTest, NegacyclicWraparound)
+{
+    // x^(n/2) * x^(n/2) = x^n = -1.
+    const size_t n = GetParam();
+    rns::Modulus q = modulusFor(n);
+    NttTables tables(q, n);
+
+    std::vector<uint64_t> a(n, 0), b(n, 0);
+    a[n / 2] = 1;
+    b[n / 2] = 1;
+    forwardNtt(a, tables);
+    forwardNtt(b, tables);
+    for (size_t i = 0; i < n; ++i)
+        a[i] = q.mul(a[i], b[i]);
+    inverseNtt(a, tables);
+    EXPECT_EQ(a[0], q.value() - 1);
+    for (size_t i = 1; i < n; ++i)
+        EXPECT_EQ(a[i], 0u) << i;
+}
+
+TEST_P(NttDegreeTest, Linearity)
+{
+    const size_t n = GetParam();
+    rns::Modulus q = modulusFor(n);
+    NttTables tables(q, n);
+    Xoshiro256 rng(n + 3);
+
+    std::vector<uint64_t> a(n), b(n), sum(n);
+    for (size_t i = 0; i < n; ++i) {
+        a[i] = rng.uniformBelow(q.value());
+        b[i] = rng.uniformBelow(q.value());
+        sum[i] = q.add(a[i], b[i]);
+    }
+    forwardNtt(a, tables);
+    forwardNtt(b, tables);
+    forwardNtt(sum, tables);
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(sum[i], q.add(a[i], b[i]));
+}
+
+TEST_P(NttDegreeTest, ConstantPolynomialIsFixedPoint)
+{
+    // NTT of the constant c is c in every slot.
+    const size_t n = GetParam();
+    rns::Modulus q = modulusFor(n);
+    NttTables tables(q, n);
+
+    std::vector<uint64_t> a(n, 0);
+    a[0] = 12345 % q.value();
+    forwardNtt(a, tables);
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(a[i], 12345 % q.value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, NttDegreeTest,
+                         ::testing::Values(size_t(8), size_t(16),
+                                           size_t(64), size_t(256),
+                                           size_t(1024), size_t(4096)));
+
+class RnsPolyTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        auto primes = rns::generateNttPrimes(30, kN, 3);
+        base_ = std::make_shared<const rns::RnsBase>(primes);
+        context_ = NttContext(*base_, kN);
+    }
+
+    static constexpr size_t kN = 256;
+    std::shared_ptr<const rns::RnsBase> base_;
+    NttContext context_;
+};
+
+TEST_F(RnsPolyTest, ZeroInitialized)
+{
+    RnsPoly p(base_, kN);
+    for (size_t i = 0; i < p.residueCount(); ++i) {
+        for (uint64_t x : p.residue(i))
+            EXPECT_EQ(x, 0u);
+    }
+}
+
+TEST_F(RnsPolyTest, AddSubInverse)
+{
+    Xoshiro256 rng(21);
+    RnsPoly a(base_, kN), b(base_, kN);
+    for (size_t i = 0; i < a.residueCount(); ++i) {
+        for (size_t j = 0; j < kN; ++j) {
+            a.residue(i)[j] = rng.uniformBelow(base_->modulus(i).value());
+            b.residue(i)[j] = rng.uniformBelow(base_->modulus(i).value());
+        }
+    }
+    RnsPoly c = a;
+    c.addInPlace(b);
+    c.subInPlace(b);
+    EXPECT_EQ(c, a);
+}
+
+TEST_F(RnsPolyTest, NegateTwiceIsIdentity)
+{
+    Xoshiro256 rng(22);
+    RnsPoly a(base_, kN);
+    for (size_t i = 0; i < a.residueCount(); ++i) {
+        for (size_t j = 0; j < kN; ++j)
+            a.residue(i)[j] = rng.uniformBelow(base_->modulus(i).value());
+    }
+    RnsPoly b = a;
+    b.negateInPlace();
+    b.negateInPlace();
+    EXPECT_EQ(b, a);
+}
+
+TEST_F(RnsPolyTest, NttMulMatchesSchoolbookPerResidue)
+{
+    Xoshiro256 rng(23);
+    RnsPoly a(base_, kN), b(base_, kN);
+    for (size_t i = 0; i < a.residueCount(); ++i) {
+        for (size_t j = 0; j < kN; ++j) {
+            a.residue(i)[j] = rng.uniformBelow(base_->modulus(i).value());
+            b.residue(i)[j] = rng.uniformBelow(base_->modulus(i).value());
+        }
+    }
+    // Schoolbook per residue.
+    RnsPoly expect(base_, kN);
+    for (size_t i = 0; i < a.residueCount(); ++i) {
+        std::vector<uint64_t> out(kN);
+        negacyclicMulReference(a.residue(i), b.residue(i), out,
+                               base_->modulus(i));
+        std::copy(out.begin(), out.end(), expect.residue(i).begin());
+    }
+
+    a.toNtt(context_);
+    b.toNtt(context_);
+    a.mulPointwiseInPlace(b);
+    a.toCoeff(context_);
+    EXPECT_EQ(a.data(), expect.data());
+}
+
+TEST_F(RnsPolyTest, GatherScatterRoundTrip)
+{
+    Xoshiro256 rng(24);
+    RnsPoly a(base_, kN);
+    for (size_t i = 0; i < a.residueCount(); ++i) {
+        for (size_t j = 0; j < kN; ++j)
+            a.residue(i)[j] = rng.uniformBelow(base_->modulus(i).value());
+    }
+    RnsPoly b(base_, kN);
+    std::vector<uint64_t> buf(a.residueCount());
+    for (size_t j = 0; j < kN; ++j) {
+        a.gatherCoefficient(j, buf);
+        b.scatterCoefficient(j, buf);
+    }
+    EXPECT_EQ(a, b);
+}
+
+TEST_F(RnsPolyTest, FromBigCoefficientsNegative)
+{
+    std::vector<mp::BigInt> coeffs = {mp::BigInt(-1), mp::BigInt(5),
+                                      mp::BigInt(-100)};
+    RnsPoly p = RnsPoly::fromBigCoefficients(base_, kN, coeffs);
+    for (size_t i = 0; i < p.residueCount(); ++i) {
+        const uint64_t q_i = base_->modulus(i).value();
+        EXPECT_EQ(p.residue(i)[0], q_i - 1);
+        EXPECT_EQ(p.residue(i)[1], 5u);
+        EXPECT_EQ(p.residue(i)[2], q_i - 100);
+    }
+    EXPECT_EQ(p.coefficientCentered(0), mp::BigInt(-1));
+    EXPECT_EQ(p.coefficientCentered(2), mp::BigInt(-100));
+}
+
+TEST_F(RnsPolyTest, MulScalarInPlace)
+{
+    Xoshiro256 rng(25);
+    RnsPoly a(base_, kN);
+    for (size_t i = 0; i < a.residueCount(); ++i) {
+        for (size_t j = 0; j < kN; ++j)
+            a.residue(i)[j] = rng.uniformBelow(base_->modulus(i).value());
+    }
+    // Scalar 1 leaves the polynomial unchanged; unit-vector scalar zeroes
+    // all but one channel.
+    RnsPoly b = a;
+    std::vector<uint64_t> ones(a.residueCount(), 1);
+    b.mulScalarInPlace(ones);
+    EXPECT_EQ(b, a);
+
+    std::vector<uint64_t> unit(a.residueCount(), 0);
+    unit[1] = 1;
+    b.mulScalarInPlace(unit);
+    for (size_t i = 0; i < b.residueCount(); ++i) {
+        for (size_t j = 0; j < kN; ++j) {
+            EXPECT_EQ(b.residue(i)[j], i == 1 ? a.residue(i)[j] : 0u);
+        }
+    }
+}
+
+TEST_F(RnsPolyTest, FormMismatchPanics)
+{
+    RnsPoly a(base_, kN), b(base_, kN);
+    a.toNtt(context_);
+    EXPECT_THROW(a.addInPlace(b), PanicError);
+    EXPECT_THROW(b.mulPointwiseInPlace(a), PanicError);
+    EXPECT_THROW(a.toNtt(context_), PanicError);
+}
+
+} // namespace
+} // namespace heat::ntt

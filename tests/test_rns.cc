@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Tests for the RNS substrate: CRT compose/decompose, the HPS fast base
+ * converter (Lift q->Q) and the HPS scale-and-round (Scale Q->q), each
+ * validated against exact BigInt references on random and adversarial
+ * inputs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "mp/bigint.h"
+#include "rns/base_convert.h"
+#include "rns/prime_gen.h"
+#include "rns/rns_base.h"
+#include "rns/scale_round.h"
+
+namespace heat::rns {
+namespace {
+
+RnsBase
+makeBase(size_t count, size_t degree = 4096, size_t skip = 0)
+{
+    auto primes = generateNttPrimes(30, degree, count + skip);
+    primes.erase(primes.begin(), primes.begin() + skip);
+    return RnsBase(primes);
+}
+
+mp::BigInt
+randomBelow(Xoshiro256 &rng, const mp::BigInt &bound)
+{
+    const int bits = bound.bitLength();
+    while (true) {
+        std::vector<uint32_t> limbs((bits + 31) / 32);
+        for (auto &l : limbs)
+            l = static_cast<uint32_t>(rng.next());
+        mp::BigInt v = mp::BigInt::fromLimbs(std::move(limbs)) %
+                       mp::BigInt::powerOfTwo(bits);
+        if (v < bound)
+            return v;
+    }
+}
+
+TEST(RnsBase, ComposeDecomposeRoundTrip)
+{
+    RnsBase base = makeBase(6);
+    Xoshiro256 rng(11);
+    for (int iter = 0; iter < 200; ++iter) {
+        mp::BigInt x = randomBelow(rng, base.product());
+        auto residues = base.decompose(x);
+        EXPECT_EQ(base.compose(residues), x);
+    }
+}
+
+TEST(RnsBase, ComposeEdgeValues)
+{
+    RnsBase base = makeBase(4);
+    for (const mp::BigInt &x :
+         {mp::BigInt(0), mp::BigInt(1), base.product() - mp::BigInt(1),
+          base.product() / mp::BigInt(2)}) {
+        EXPECT_EQ(base.compose(base.decompose(x)), x);
+    }
+}
+
+TEST(RnsBase, CenteredComposeSign)
+{
+    RnsBase base = makeBase(3);
+    mp::BigInt half = base.product() / mp::BigInt(2);
+    // Small positive stays positive; q-1 becomes -1.
+    EXPECT_EQ(base.composeCentered(base.decompose(mp::BigInt(5))),
+              mp::BigInt(5));
+    EXPECT_EQ(
+        base.composeCentered(base.decompose(base.product() - mp::BigInt(7))),
+        mp::BigInt(-7));
+    // Values just above q/2 are negative.
+    mp::BigInt x = half + mp::BigInt(1);
+    EXPECT_TRUE(base.composeCentered(base.decompose(x)).isNegative());
+}
+
+TEST(RnsBase, CrtConstantsAreInverses)
+{
+    RnsBase base = makeBase(6);
+    for (size_t i = 0; i < base.size(); ++i) {
+        const Modulus &q_i = base.modulus(i);
+        uint64_t qstar_mod =
+            base.puncturedProduct(i).modUint64(q_i.value());
+        EXPECT_EQ(q_i.mul(qstar_mod, base.crtInverse(i)), 1u);
+    }
+}
+
+TEST(RnsBase, UniformResiduesAreConsistent)
+{
+    // CRT bijection: any residue combination corresponds to exactly one
+    // x in [0, q); compose then decompose is the identity.
+    RnsBase base = makeBase(5);
+    Xoshiro256 rng(12);
+    for (int iter = 0; iter < 200; ++iter) {
+        std::vector<uint64_t> residues(base.size());
+        for (size_t i = 0; i < base.size(); ++i)
+            residues[i] = rng.uniformBelow(base.modulus(i).value());
+        auto round_trip = base.decompose(base.compose(residues));
+        EXPECT_EQ(round_trip, residues);
+    }
+}
+
+class BaseConvertTest
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>>
+{
+};
+
+TEST_P(BaseConvertTest, MatchesExactOnRandomInputs)
+{
+    const auto [kq, kp] = GetParam();
+    RnsBase q = makeBase(kq);
+    RnsBase p = makeBase(kp, 4096, kq);
+    FastBaseConverter conv(q, p);
+
+    Xoshiro256 rng(13);
+    std::vector<uint64_t> out_fast(p.size()), out_exact(p.size());
+    for (int iter = 0; iter < 500; ++iter) {
+        mp::BigInt x = randomBelow(rng, q.product());
+        auto in = q.decompose(x);
+        conv.convert(in, out_fast);
+        conv.convertExact(in, out_exact);
+        EXPECT_EQ(out_fast, out_exact) << "x = " << x.toString();
+    }
+}
+
+TEST_P(BaseConvertTest, CenteredSemantics)
+{
+    const auto [kq, kp] = GetParam();
+    RnsBase q = makeBase(kq);
+    RnsBase p = makeBase(kp, 4096, kq);
+    FastBaseConverter conv(q, p);
+
+    // Small x maps to x; q - s maps to -s.
+    std::vector<uint64_t> out(p.size());
+    for (uint64_t s : {uint64_t(1), uint64_t(12345), uint64_t(1) << 28}) {
+        auto in = q.decompose(mp::BigInt::fromUint64(s));
+        conv.convert(in, out);
+        for (size_t j = 0; j < p.size(); ++j)
+            EXPECT_EQ(out[j], s % p.modulus(j).value());
+
+        auto in_neg = q.decompose(q.product() - mp::BigInt::fromUint64(s));
+        conv.convert(in_neg, out);
+        for (size_t j = 0; j < p.size(); ++j) {
+            EXPECT_EQ(out[j],
+                      p.modulus(j).negate(s % p.modulus(j).value()));
+        }
+    }
+}
+
+TEST_P(BaseConvertTest, BoundaryNeighborhood)
+{
+    // Near q/2 the centered representative flips sign; both choices are
+    // valid lifts of x mod q, so accept either, but require the result
+    // to represent x or x - q exactly.
+    const auto [kq, kp] = GetParam();
+    RnsBase q = makeBase(kq);
+    RnsBase p = makeBase(kp, 4096, kq);
+    FastBaseConverter conv(q, p);
+
+    mp::BigInt half = q.product() / mp::BigInt(2);
+    std::vector<uint64_t> out(p.size());
+    for (int d = -3; d <= 3; ++d) {
+        mp::BigInt x = half + mp::BigInt(d);
+        auto in = q.decompose(x);
+        conv.convert(in, out);
+        bool matches_pos = true, matches_neg = true;
+        for (size_t j = 0; j < p.size(); ++j) {
+            mp::BigInt pj(static_cast<int64_t>(p.modulus(j).value()));
+            if (out[j] != x.mod(pj).toUint64())
+                matches_pos = false;
+            if (out[j] != (x - q.product()).mod(pj).toUint64())
+                matches_neg = false;
+        }
+        EXPECT_TRUE(matches_pos || matches_neg) << d;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BaseSizes, BaseConvertTest,
+    ::testing::Values(std::make_pair(size_t(6), size_t(7)), // paper set
+                      std::make_pair(size_t(1), size_t(2)),
+                      std::make_pair(size_t(3), size_t(4)),
+                      std::make_pair(size_t(12), size_t(13))));
+
+TEST(ScaleRound, MatchesExactOnRandomInputs)
+{
+    RnsBase q = makeBase(6);
+    RnsBase p = makeBase(7, 4096, 6);
+    RnsBase full = RnsBase::concat(q, p);
+    for (uint64_t t : {uint64_t(2), uint64_t(256), uint64_t(65537)}) {
+        ScaleRounder scaler(q, p, t);
+        Xoshiro256 rng(14 + t);
+        std::vector<uint64_t> out_fast(p.size()), out_exact(p.size());
+        int mismatches = 0;
+        for (int iter = 0; iter < 300; ++iter) {
+            // Tensor-sized inputs: |x| <= n * (q/2)^2.
+            mp::BigInt bound =
+                (q.product() * q.product() >> 2) * mp::BigInt(4096);
+            mp::BigInt x = randomBelow(rng, bound * mp::BigInt(2)) - bound;
+            auto in = full.decompose(x.mod(full.product()));
+            scaler.scale(in, out_fast);
+            scaler.scaleExact(in, out_exact);
+            if (out_fast != out_exact)
+                ++mismatches;
+        }
+        // The 60-bit fixed point can differ from exact rounding only
+        // within ~2^-30 of a rounding boundary: essentially never.
+        EXPECT_LE(mismatches, 1) << "t = " << t;
+    }
+}
+
+TEST(ScaleRound, ExactScalingOfKnownValues)
+{
+    RnsBase q = makeBase(3);
+    RnsBase p = makeBase(4, 4096, 3);
+    RnsBase full = RnsBase::concat(q, p);
+    const uint64_t t = 2;
+    ScaleRounder scaler(q, p, t);
+
+    // x = q * m / t  =>  round(t x / q) = m exactly.
+    std::vector<uint64_t> out(p.size());
+    for (uint64_t m : {uint64_t(0), uint64_t(1), uint64_t(999)}) {
+        mp::BigInt x = q.product() * mp::BigInt::fromUint64(m) /
+                       mp::BigInt::fromUint64(t);
+        auto in = full.decompose(x);
+        scaler.scale(in, out);
+        // t * x / q = m - (m mod t)/t-ish; with t | m exact.
+        scaler.scaleExact(in, out);
+        std::vector<uint64_t> fast(p.size());
+        scaler.scale(in, fast);
+        EXPECT_EQ(fast, out);
+    }
+}
+
+TEST(ScaleRound, NegativeValuesScaleCorrectly)
+{
+    RnsBase q = makeBase(4);
+    RnsBase p = makeBase(5, 4096, 4);
+    RnsBase full = RnsBase::concat(q, p);
+    ScaleRounder scaler(q, p, 2);
+
+    // For x = -k*q/2 (t=2): round(t*x/q) = -k.
+    std::vector<uint64_t> out(p.size());
+    for (int64_t k = 1; k < 20; ++k) {
+        mp::BigInt x = full.product() -
+                       q.product() * mp::BigInt(k) / mp::BigInt(2);
+        auto in = full.decompose(x);
+        scaler.scale(in, out);
+        for (size_t j = 0; j < p.size(); ++j) {
+            mp::BigInt pj(static_cast<int64_t>(p.modulus(j).value()));
+            EXPECT_EQ(out[j], mp::BigInt(-k).mod(pj).toUint64());
+        }
+    }
+}
+
+TEST(ScaleRound, RoundingIsHalfUp)
+{
+    RnsBase q = makeBase(2);
+    RnsBase p = makeBase(3, 4096, 2);
+    RnsBase full = RnsBase::concat(q, p);
+    ScaleRounder scaler(q, p, 2);
+
+    // x = floor(q/4)+1 (t=2): t*x/q is just above 1/2 -> rounds to 1.
+    mp::BigInt x = q.product() / mp::BigInt(4) + mp::BigInt(1);
+    auto in = full.decompose(x);
+    std::vector<uint64_t> out(p.size());
+    scaler.scaleExact(in, out);
+    for (size_t j = 0; j < p.size(); ++j)
+        EXPECT_EQ(out[j], 1u);
+}
+
+TEST(FastBaseConverter, ReciprocalPrecisionMatchesPaper)
+{
+    // For 30-bit primes the fixed point is 89 fractional bits and each
+    // reciprocal has at most 60 significant bits (top 29 are zero).
+    RnsBase q = makeBase(6);
+    RnsBase p = makeBase(7, 4096, 6);
+    FastBaseConverter conv(q, p);
+    EXPECT_EQ(conv.reciprocalFracBits(), 89);
+    for (size_t i = 0; i < q.size(); ++i)
+        EXPECT_LE(bitLength(conv.reciprocal(i)), 61);
+}
+
+} // namespace
+} // namespace heat::rns

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Round-trip and failure-injection tests for the binary wire format:
+ * plaintexts, ciphertexts, all key types, fingerprint and corruption
+ * checks, and an end-to-end client/server exchange.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/panic.h"
+#include "common/random.h"
+#include "fv/decryptor.h"
+#include "fv/encryptor.h"
+#include "fv/evaluator.h"
+#include "fv/keygen.h"
+#include "fv/params.h"
+#include "fv/serialize.h"
+
+namespace heat::fv {
+namespace {
+
+std::shared_ptr<const FvParams>
+smallParams(uint64_t t = 65537)
+{
+    FvConfig config;
+    config.degree = 256;
+    config.plain_modulus = t;
+    config.sigma = 3.2;
+    config.q_prime_count = 3;
+    return FvParams::create(config);
+}
+
+TEST(Serialize, FingerprintIsStableAndDiscriminating)
+{
+    auto p1 = smallParams();
+    auto p2 = smallParams();
+    EXPECT_EQ(paramsFingerprint(*p1), paramsFingerprint(*p2));
+    auto p3 = smallParams(257);
+    EXPECT_NE(paramsFingerprint(*p1), paramsFingerprint(*p3));
+    EXPECT_NE(paramsFingerprint(*p1),
+              paramsFingerprint(*FvParams::paper()));
+}
+
+TEST(Serialize, PlaintextRoundTrip)
+{
+    Plaintext plain;
+    plain.coeffs = {1, 0, 65536, 42, 0, 7};
+    std::stringstream ss;
+    savePlaintext(plain, ss);
+    EXPECT_EQ(loadPlaintext(ss), plain);
+}
+
+TEST(Serialize, CiphertextRoundTrip)
+{
+    auto params = smallParams();
+    KeyGenerator keygen(params, 1);
+    SecretKey sk = keygen.generateSecretKey();
+    PublicKey pk = keygen.generatePublicKey(sk);
+    Encryptor encryptor(params, pk, 2);
+
+    Plaintext m;
+    m.coeffs = {1, 2, 3, 4, 5};
+    Ciphertext ct = encryptor.encrypt(m);
+
+    std::stringstream ss;
+    saveCiphertext(*params, ct, ss);
+    EXPECT_EQ(static_cast<size_t>(ss.tellp()),
+              ciphertextByteSize(*params, ct));
+    Ciphertext back = loadCiphertext(params, ss);
+    ASSERT_EQ(back.size(), ct.size());
+    for (size_t i = 0; i < ct.size(); ++i)
+        EXPECT_EQ(back[i], ct[i]);
+
+    // The reloaded ciphertext still decrypts.
+    Decryptor decryptor(params, std::move(sk));
+    EXPECT_EQ(decryptor.decrypt(back).coeffs[2], 3u);
+}
+
+TEST(Serialize, ThreeElementCiphertextRoundTrip)
+{
+    auto params = smallParams(4);
+    KeyGenerator keygen(params, 3);
+    SecretKey sk = keygen.generateSecretKey();
+    PublicKey pk = keygen.generatePublicKey(sk);
+    Encryptor encryptor(params, pk, 4);
+    Evaluator evaluator(params);
+
+    Plaintext m;
+    m.coeffs = {1, 1};
+    Ciphertext ct3 =
+        evaluator.multiplyNoRelin(encryptor.encrypt(m), encryptor.encrypt(m));
+    ASSERT_EQ(ct3.size(), 3u);
+
+    std::stringstream ss;
+    saveCiphertext(*params, ct3, ss);
+    Ciphertext back = loadCiphertext(params, ss);
+    ASSERT_EQ(back.size(), 3u);
+    for (size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(back[i], ct3[i]);
+}
+
+TEST(Serialize, KeyRoundTrips)
+{
+    auto params = smallParams();
+    KeyGenerator keygen(params, 5);
+    SecretKey sk = keygen.generateSecretKey();
+    PublicKey pk = keygen.generatePublicKey(sk);
+    RelinKeys rlk = keygen.generateRelinKeys(sk);
+    GaloisKeys gkeys = keygen.generateGaloisKeys(
+        sk, {3u, static_cast<uint32_t>(2 * params->degree() - 1)});
+
+    std::stringstream ss;
+    saveSecretKey(*params, sk, ss);
+    savePublicKey(*params, pk, ss);
+    saveRelinKeys(*params, rlk, ss);
+    saveGaloisKeys(*params, gkeys, ss);
+
+    SecretKey sk2 = loadSecretKey(params, ss);
+    PublicKey pk2 = loadPublicKey(params, ss);
+    RelinKeys rlk2 = loadRelinKeys(params, ss);
+    GaloisKeys gkeys2 = loadGaloisKeys(params, ss);
+
+    EXPECT_EQ(sk2.s_ntt, sk.s_ntt);
+    EXPECT_EQ(pk2.p0_ntt, pk.p0_ntt);
+    EXPECT_EQ(pk2.p1_ntt, pk.p1_ntt);
+    ASSERT_EQ(rlk2.digitCount(), rlk.digitCount());
+    for (size_t i = 0; i < rlk.digitCount(); ++i) {
+        EXPECT_EQ(rlk2.keys[i][0], rlk.keys[i][0]);
+        EXPECT_EQ(rlk2.keys[i][1], rlk.keys[i][1]);
+    }
+    ASSERT_EQ(gkeys2.keys.size(), gkeys.keys.size());
+    EXPECT_TRUE(gkeys2.has(3u));
+}
+
+TEST(Serialize, PositionalRelinKeysKeepKind)
+{
+    auto params = smallParams();
+    KeyGenerator keygen(params, 6);
+    SecretKey sk = keygen.generateSecretKey();
+    RelinKeys rlk = keygen.generatePositionalRelinKeys(sk, 45);
+
+    std::stringstream ss;
+    saveRelinKeys(*params, rlk, ss);
+    RelinKeys back = loadRelinKeys(params, ss);
+    EXPECT_EQ(back.kind, DecompKind::kPositional);
+    EXPECT_EQ(back.digit_bits, 45);
+    EXPECT_EQ(back.digitCount(), rlk.digitCount());
+}
+
+TEST(Serialize, WrongParamsRejected)
+{
+    auto params = smallParams();
+    auto other = smallParams(257);
+    KeyGenerator keygen(params, 7);
+    SecretKey sk = keygen.generateSecretKey();
+    PublicKey pk = keygen.generatePublicKey(sk);
+    Encryptor encryptor(params, pk, 8);
+    Plaintext m;
+    m.coeffs = {1};
+    Ciphertext ct = encryptor.encrypt(m);
+
+    std::stringstream ss;
+    saveCiphertext(*params, ct, ss);
+    EXPECT_THROW(loadCiphertext(other, ss), FatalError);
+}
+
+TEST(Serialize, CorruptMagicRejected)
+{
+    std::stringstream ss;
+    savePlaintext(Plaintext({1, 2, 3}), ss);
+    std::string bytes = ss.str();
+    bytes[0] = 'X';
+    std::stringstream bad(bytes);
+    EXPECT_THROW(loadPlaintext(bad), FatalError);
+}
+
+TEST(Serialize, TruncatedStreamRejected)
+{
+    auto params = smallParams();
+    KeyGenerator keygen(params, 9);
+    SecretKey sk = keygen.generateSecretKey();
+    PublicKey pk = keygen.generatePublicKey(sk);
+    Encryptor encryptor(params, pk, 10);
+    Plaintext m;
+    m.coeffs = {1};
+    std::stringstream ss;
+    saveCiphertext(*params, encryptor.encrypt(m), ss);
+    std::string bytes = ss.str().substr(0, ss.str().size() / 2);
+    std::stringstream bad(bytes);
+    EXPECT_THROW(loadCiphertext(params, bad), FatalError);
+}
+
+TEST(Serialize, WrongPayloadKindRejected)
+{
+    auto params = smallParams();
+    KeyGenerator keygen(params, 11);
+    SecretKey sk = keygen.generateSecretKey();
+    std::stringstream ss;
+    saveSecretKey(*params, sk, ss);
+    EXPECT_THROW(loadCiphertext(params, ss), FatalError);
+}
+
+TEST(Serialize, EndToEndClientServerExchange)
+{
+    // Client encrypts and serializes; server deserializes, computes,
+    // serializes the result; client decrypts.
+    auto params = smallParams(4);
+    KeyGenerator keygen(params, 12);
+    SecretKey sk = keygen.generateSecretKey();
+    PublicKey pk = keygen.generatePublicKey(sk);
+    RelinKeys rlk = keygen.generateRelinKeys(sk);
+    Encryptor encryptor(params, pk, 13);
+
+    Plaintext m0, m1;
+    m0.coeffs = {1, 2, 3};
+    m1.coeffs = {2, 0, 1};
+    std::stringstream wire;
+    saveCiphertext(*params, encryptor.encrypt(m0), wire);
+    saveCiphertext(*params, encryptor.encrypt(m1), wire);
+    saveRelinKeys(*params, rlk, wire);
+
+    // Server side.
+    Ciphertext a = loadCiphertext(params, wire);
+    Ciphertext b = loadCiphertext(params, wire);
+    RelinKeys server_rlk = loadRelinKeys(params, wire);
+    Evaluator evaluator(params);
+    Ciphertext product = evaluator.multiply(a, b, server_rlk);
+    std::stringstream reply;
+    saveCiphertext(*params, product, reply);
+
+    // Client side.
+    Decryptor decryptor(params, std::move(sk));
+    Plaintext result = decryptor.decrypt(loadCiphertext(params, reply));
+    // (1 + 2x + 3x^2)(2 + x^2) mod 4 = 2 + 4x + 7x^2 + 2x^3 + 3x^4.
+    EXPECT_EQ(result.coeffs[0], 2u);
+    EXPECT_EQ(result.coeffs[1], 0u);
+    EXPECT_EQ(result.coeffs[2], 3u);
+    EXPECT_EQ(result.coeffs[3], 2u);
+    EXPECT_EQ(result.coeffs[4], 3u);
+}
+
+} // namespace
+} // namespace heat::fv

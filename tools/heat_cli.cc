@@ -1,0 +1,271 @@
+/**
+ * @file
+ * heat_cli — command-line front end for the FV library, wired through
+ * the binary serialization format. Mirrors the workflow of the paper's
+ * cloud service: a client generates keys and encrypts locally, ships
+ * ciphertexts and evaluation keys to a server, the server computes
+ * blindly, the client decrypts.
+ *
+ *   heat_cli keygen  --dir keys [--t 65537] [--seed 1]
+ *   heat_cli encrypt --dir keys --value 1234 --out a.ct
+ *   heat_cli eval    --dir keys --op add|mul|sub a.ct b.ct --out c.ct
+ *   heat_cli decrypt --dir keys c.ct
+ *   heat_cli info    c.ct
+ *
+ * All commands default to the paper's parameter set (n = 4096, 180-bit
+ * q, sigma = 102) with t = 65537; pass --t to change the plaintext
+ * modulus (it must match across keygen/encrypt/eval/decrypt — the
+ * fingerprint in every file enforces this).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/panic.h"
+#include "fv/decryptor.h"
+#include "fv/encoder.h"
+#include "fv/encryptor.h"
+#include "fv/evaluator.h"
+#include "fv/keygen.h"
+#include "fv/params.h"
+#include "fv/serialize.h"
+
+using namespace heat;
+
+namespace {
+
+struct Args
+{
+    std::string command;
+    std::map<std::string, std::string> options;
+    std::vector<std::string> positional;
+};
+
+Args
+parseArgs(int argc, char **argv)
+{
+    Args args;
+    if (argc < 2)
+        return args;
+    args.command = argv[1];
+    for (int i = 2; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a.rfind("--", 0) == 0) {
+            std::string key = a.substr(2);
+            if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0)) {
+                args.options[key] = argv[++i];
+            } else {
+                args.options[key] = "";
+            }
+        } else {
+            args.positional.push_back(a);
+        }
+    }
+    return args;
+}
+
+std::string
+option(const Args &args, const std::string &key, const std::string &dflt)
+{
+    auto it = args.options.find(key);
+    return it == args.options.end() ? dflt : it->second;
+}
+
+std::shared_ptr<const fv::FvParams>
+paramsFor(const Args &args)
+{
+    const uint64_t t = std::stoull(option(args, "t", "65537"));
+    return fv::FvParams::paper(t);
+}
+
+std::ifstream
+openIn(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    fatalIf(!in, "cannot open ", path);
+    return in;
+}
+
+std::ofstream
+openOut(const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    fatalIf(!out, "cannot create ", path);
+    return out;
+}
+
+int
+cmdKeygen(const Args &args)
+{
+    auto params = paramsFor(args);
+    const std::string dir = option(args, "dir", "keys");
+    const uint64_t seed = std::stoull(option(args, "seed", "1"));
+
+    fv::KeyGenerator keygen(params, seed);
+    fv::SecretKey sk = keygen.generateSecretKey();
+    fv::PublicKey pk = keygen.generatePublicKey(sk);
+    fv::RelinKeys rlk = keygen.generateRelinKeys(sk);
+
+    {
+        auto out = openOut(dir + "/secret.key");
+        fv::saveSecretKey(*params, sk, out);
+    }
+    {
+        auto out = openOut(dir + "/public.key");
+        fv::savePublicKey(*params, pk, out);
+    }
+    {
+        auto out = openOut(dir + "/relin.key");
+        fv::saveRelinKeys(*params, rlk, out);
+    }
+    std::printf("wrote %s/{secret,public,relin}.key  (n=%zu, log q=%d, "
+                "t=%llu, fingerprint %016llx)\n",
+                dir.c_str(), params->degree(), params->qBits(),
+                static_cast<unsigned long long>(params->plainModulus()),
+                static_cast<unsigned long long>(
+                    fv::paramsFingerprint(*params)));
+    return 0;
+}
+
+int
+cmdEncrypt(const Args &args)
+{
+    auto params = paramsFor(args);
+    const std::string dir = option(args, "dir", "keys");
+    const std::string out_path = option(args, "out", "out.ct");
+    fatalIf(args.options.count("value") == 0, "need --value N");
+    const int64_t value = std::stoll(args.options.at("value"));
+
+    auto pk_in = openIn(dir + "/public.key");
+    fv::PublicKey pk = fv::loadPublicKey(params, pk_in);
+
+    fv::Encryptor encryptor(
+        params, std::move(pk),
+        std::stoull(option(args, "seed", "99")));
+    fv::IntegerEncoder encoder(params, 2);
+    fv::Ciphertext ct = encryptor.encrypt(encoder.encode(value));
+
+    auto out = openOut(out_path);
+    fv::saveCiphertext(*params, ct, out);
+    std::printf("encrypted %lld -> %s (%zu bytes)\n",
+                static_cast<long long>(value), out_path.c_str(),
+                fv::ciphertextByteSize(*params, ct));
+    return 0;
+}
+
+int
+cmdEval(const Args &args)
+{
+    auto params = paramsFor(args);
+    const std::string dir = option(args, "dir", "keys");
+    const std::string op = option(args, "op", "add");
+    const std::string out_path = option(args, "out", "out.ct");
+    fatalIf(args.positional.size() != 2,
+            "eval needs two ciphertext files");
+
+    auto a_in = openIn(args.positional[0]);
+    auto b_in = openIn(args.positional[1]);
+    fv::Ciphertext a = fv::loadCiphertext(params, a_in);
+    fv::Ciphertext b = fv::loadCiphertext(params, b_in);
+
+    fv::Evaluator evaluator(params);
+    fv::Ciphertext c;
+    if (op == "add") {
+        c = evaluator.add(a, b);
+    } else if (op == "sub") {
+        c = evaluator.sub(a, b);
+    } else if (op == "mul") {
+        auto rlk_in = openIn(dir + "/relin.key");
+        fv::RelinKeys rlk = fv::loadRelinKeys(params, rlk_in);
+        c = evaluator.multiply(a, b, rlk);
+    } else {
+        fatal("unknown --op '", op, "' (add|sub|mul)");
+    }
+
+    auto out = openOut(out_path);
+    fv::saveCiphertext(*params, c, out);
+    std::printf("%s(%s, %s) -> %s\n", op.c_str(),
+                args.positional[0].c_str(), args.positional[1].c_str(),
+                out_path.c_str());
+    return 0;
+}
+
+int
+cmdDecrypt(const Args &args)
+{
+    auto params = paramsFor(args);
+    const std::string dir = option(args, "dir", "keys");
+    fatalIf(args.positional.size() != 1,
+            "decrypt needs one ciphertext file");
+
+    auto sk_in = openIn(dir + "/secret.key");
+    fv::SecretKey sk = fv::loadSecretKey(params, sk_in);
+    auto ct_in = openIn(args.positional[0]);
+    fv::Ciphertext ct = fv::loadCiphertext(params, ct_in);
+
+    fv::Decryptor decryptor(params, std::move(sk));
+    fv::IntegerEncoder encoder(params, 2);
+    const double budget = decryptor.invariantNoiseBudget(ct);
+    fv::Plaintext plain = decryptor.decrypt(ct);
+    std::printf("value: %s\nnoise budget: %.0f bits%s\n",
+                encoder.decode(plain).toString().c_str(), budget,
+                budget <= 0 ? "  (EXHAUSTED - result unreliable)" : "");
+    return 0;
+}
+
+int
+cmdInfo(const Args &args)
+{
+    fatalIf(args.positional.size() != 1, "info needs one file");
+    auto params = paramsFor(args);
+    auto in = openIn(args.positional[0]);
+    fv::Ciphertext ct = fv::loadCiphertext(params, in);
+    std::printf("%s: %zu-element ciphertext, %zu residues x %zu "
+                "coefficients, %zu bytes\n",
+                args.positional[0].c_str(), ct.size(),
+                ct[0].residueCount(), ct[0].degree(),
+                fv::ciphertextByteSize(*params, ct));
+    return 0;
+}
+
+void
+usage()
+{
+    std::printf(
+        "heat_cli — FV homomorphic encryption tool (HEAT reproduction)\n"
+        "  heat_cli keygen  --dir keys [--t 65537] [--seed 1]\n"
+        "  heat_cli encrypt --dir keys --value 1234 --out a.ct\n"
+        "  heat_cli eval    --dir keys --op add|sub|mul a.ct b.ct "
+        "--out c.ct\n"
+        "  heat_cli decrypt --dir keys c.ct\n"
+        "  heat_cli info    c.ct\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args = parseArgs(argc, argv);
+    try {
+        if (args.command == "keygen")
+            return cmdKeygen(args);
+        if (args.command == "encrypt")
+            return cmdEncrypt(args);
+        if (args.command == "eval")
+            return cmdEval(args);
+        if (args.command == "decrypt")
+            return cmdDecrypt(args);
+        if (args.command == "info")
+            return cmdInfo(args);
+        usage();
+        return args.command.empty() ? 1 : 2;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
