@@ -20,6 +20,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench_util.h"
 #include "common/random.h"
 #include "fv/decryptor.h"
 #include "fv/encryptor.h"
@@ -56,8 +57,9 @@ multUs(const HwConfig &config)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonReporter json("ablation", argc, argv);
     auto params = fv::FvParams::paper();
     const size_t n = params->degree();
 
@@ -87,9 +89,15 @@ main()
         auto p = fv::FvParams::paper();
         LiftUnit lift(p, config);
         ResourceModel rm(*p, config);
+        const double mult_us = multUs(config);
         std::printf("%8zu %14.1f %14.2f %14.0f\n", cores,
-                    config.cyclesToUs(lift.cycles()), multUs(config) / 1e3,
+                    config.cyclesToUs(lift.cycles()), mult_us / 1e3,
                     rm.coprocessor().dsp);
+        char kernel[48];
+        std::snprintf(kernel, sizeof(kernel), "mult_lift_cores%zu",
+                      cores);
+        json.record(kernel, mult_us * 1e3, "ns", n,
+                    p->qBase()->size());
     }
     std::printf("-> the paper's 2 cores balance the Lift/Scale time "
                 "against the NTT-dominated remainder.\n\n");
@@ -197,6 +205,8 @@ main()
         std::printf("  software: sliding window %.1f ns, Barrett %.1f ns "
                     "per reduction\n",
                     ns_sw, ns_b);
+        json.record("reduce_sliding_window", ns_sw, "ns", 0, 1);
+        json.record("reduce_barrett", ns_b, "ns", 0, 1);
     }
     std::printf("-> in hardware the sliding window trades DSPs (the "
                 "scarce multiplier resource) for LUT-based tables; in "

@@ -18,8 +18,9 @@ using namespace heat;
 using namespace heat::hw;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonReporter json("crt_vs_hps", argc, argv);
     auto params = fv::FvParams::paper();
 
     // --- single-core Lift/Scale of the traditional architecture -------
@@ -58,6 +59,15 @@ main()
     std::printf("\nSlowdown of the traditional architecture: %.2fx "
                 "(paper: <2x thanks to the 3x smaller relin key)\n",
                 slow_ms / fast_ms);
+
+    const size_t n = params->degree();
+    const size_t k = params->qBase()->size();
+    json.record("trad_lift_single_core", model.singleCoreLiftUs() * 1e3,
+                "ns", n, k);
+    json.record("trad_scale_single_core", model.singleCoreScaleUs() * 1e3,
+                "ns", n, k);
+    json.record("hps_mult", fast_ms * 1e6, "ns", n, k);
+    json.record("trad_mult", slow_ms * 1e6, "ns", n, k);
 
     // --- relinearization key sizes ----------------------------------------
     fv::KeyGenerator keygen(params, 1);

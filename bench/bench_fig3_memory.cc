@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "bench_util.h"
 #include "hw/bram.h"
 #include "hw/ntt_engine.h"
 
@@ -46,8 +47,9 @@ printRegime(const NttEngine &engine, int stage, const char *label,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonReporter json("fig3_memory", argc, argv);
     const size_t n = 4096;
     HwConfig config = HwConfig::paper();
     NttEngine engine(config, n);
@@ -88,5 +90,10 @@ main()
     std::printf("  naive same-bank schedule conflicts per stage: %llu "
                 "(=> serialized reads, ~2x stage time)\n",
                 static_cast<unsigned long long>(naive_conflicts));
+
+    json.record("ntt_transform", config.cyclesToUs(cycles) * 1e3, "ns",
+                n, 1);
+    json.record("ntt_port_conflicts", static_cast<double>(conflicts),
+                "count", n, 1);
     return 0;
 }

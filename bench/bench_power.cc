@@ -15,8 +15,9 @@ using namespace heat;
 using namespace heat::hw;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonReporter json("power", argc, argv);
     PowerModel power;
 
     bench::printHeader("Sec. VI-C: power (W)");
@@ -38,5 +39,12 @@ main()
                 "Mult/s: %.0f mJ per Mult (~%.0fx more energy)\n",
                 40.0 / 30.3 * 1e3,
                 (40.0 / 30.3 * 1e3) / power.energyPerMultMj(mps, 2));
+
+    json.record("power_static", power.staticW(), "W", params->degree(),
+                params->qBase()->size());
+    json.record("power_peak_total", power.totalW(2), "W",
+                params->degree(), params->qBase()->size());
+    json.record("energy_per_mult", power.energyPerMultMj(mps, 2), "mJ",
+                params->degree(), params->qBase()->size());
     return 0;
 }

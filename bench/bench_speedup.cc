@@ -49,8 +49,9 @@ measureUs(int iters, const std::function<void()> &fn)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonReporter json("speedup", argc, argv);
     auto params = fv::FvParams::paper();
 
     // --- accelerator side (simulated) -----------------------------------
@@ -72,13 +73,20 @@ main()
     fv::Ciphertext a = encryptor.encrypt(m);
     fv::Ciphertext b = encryptor.encrypt(m);
 
+    const size_t n = params->degree();
+    const size_t k = params->qBase()->size();
     const double sw_mult_us = measureUs(
         5, [&] { fv::Ciphertext c = evaluator.multiply(a, b, rlk); });
     const double sw_add_us =
         measureUs(50, [&] { fv::Ciphertext c = evaluator.add(a, b); });
+    json.record("sw_mult", sw_mult_us * 1e3, "ns", n, k);
+    json.record("sw_add", sw_add_us * 1e3, "ns", n, k);
     setThreadCount(4); // best on this host; more threads thrash
     const double sw_mult_mt_us = measureUs(
         5, [&] { fv::Ciphertext c = evaluator.multiply(a, b, rlk); });
+    // Recorded before the thread count resets so the record carries
+    // threads=4.
+    json.record("sw_mult", sw_mult_mt_us * 1e3, "ns", n, k);
     setThreadCount(1);
 
     bench::printHeader("Sec. VI-E: throughput and speedup");
@@ -120,5 +128,10 @@ main()
                 "compute utilization: %.0f%%\n",
                 hw2.dma_utilization * 100.0,
                 hw2.coproc_utilization[0] * 100.0);
+
+    json.record("hw_mults_per_s_2coproc", hw2.mults_per_second, "ops/s",
+                n, k);
+    json.record("hw_mults_per_s_1coproc", hw1.mults_per_second, "ops/s",
+                n, k);
     return 0;
 }

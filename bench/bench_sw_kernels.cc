@@ -9,6 +9,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string_view>
+#include <vector>
+
+#include "bench_util.h"
 #include "common/random.h"
 #include "fv/encryptor.h"
 #include "fv/evaluator.h"
@@ -212,6 +216,61 @@ BENCHMARK(BM_EvaluatorMultExactCrt)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(3);
 
+/**
+ * Console output as usual, plus one JSON-lines record per benchmark
+ * (ns per iteration) through the shared reporter when --json is given.
+ */
+class JsonLinesReporter : public benchmark::ConsoleReporter
+{
+  public:
+    explicit JsonLinesReporter(const heat::bench::JsonReporter &json)
+        : json_(json)
+    {
+    }
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        ConsoleReporter::ReportRuns(runs);
+        for (const auto &run : runs) {
+            if (run.run_type != Run::RT_Iteration || run.iterations == 0)
+                continue;
+            const double ns = run.real_accumulated_time /
+                              static_cast<double>(run.iterations) * 1e9;
+            json_.record(run.benchmark_name(), ns, "ns");
+        }
+    }
+
+  private:
+    const heat::bench::JsonReporter &json_;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    heat::bench::JsonReporter json("sw_kernels", argc, argv);
+
+    // Strip --json <path> before google-benchmark sees the arguments;
+    // it rejects flags it does not know.
+    std::vector<char *> args;
+    for (int i = 0; i < argc; ++i) {
+        if (std::string_view(argv[i]) == "--json") {
+            if (i + 1 < argc &&
+                !std::string_view(argv[i + 1]).starts_with("--"))
+                ++i;
+            continue;
+        }
+        args.push_back(argv[i]);
+    }
+    int bench_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&bench_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data()))
+        return 1;
+
+    JsonLinesReporter reporter(json);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    return 0;
+}

@@ -18,8 +18,9 @@ using namespace heat;
 using namespace heat::hw;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonReporter json("table1", argc, argv);
     auto params = fv::FvParams::paper();
     HwConfig config = HwConfig::paper();
     Coprocessor cp(params, config);
@@ -77,5 +78,13 @@ main()
     std::printf("\nAdd in SW / Add in HW (incl. transfers): %.0fx "
                 "(paper: ~80x)\n",
                 add_sw_us / (add_hw_us + send_us + recv_us));
+
+    const size_t n = params->degree();
+    const size_t k = params->qBase()->size();
+    json.record("hw_mult", mult_us * 1e3, "ns", n, k);
+    json.record("hw_add", add_hw_us * 1e3, "ns", n, k);
+    json.record("sw_add", add_sw_us * 1e3, "ns", n, k);
+    json.record("send_two_ciphertexts", send_us * 1e3, "ns", n, k);
+    json.record("receive_ciphertext", recv_us * 1e3, "ns", n, k);
     return 0;
 }

@@ -16,8 +16,9 @@ using namespace heat;
 using namespace heat::hw;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonReporter json("table2", argc, argv);
     auto params = fv::FvParams::paper();
     HwConfig config = HwConfig::paper();
     Coprocessor cp(params, config);
@@ -55,6 +56,8 @@ main()
         const double us =
             config.cyclesToUs(cp.instructionCycles(instr));
         bench::printRow(opcodeName(row.op), row.paper_us, us, "us");
+        json.record(std::string("instr_") + opcodeName(row.op), us * 1e3,
+                    "ns", params->degree(), params->qBase()->size());
     }
 
     std::printf("\n%-32s %10s %10s\n", "instruction", "#calls/Mult",

@@ -14,8 +14,9 @@ using namespace heat;
 using namespace heat::hw;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonReporter json("table3", argc, argv);
     HwConfig config = HwConfig::paper();
     DmaModel dma(config);
     const size_t bytes = 98304; // one R_q polynomial: 6 * 4096 * 4 bytes
@@ -53,5 +54,12 @@ main()
     std::printf("\nRaw stream time (no driver overhead): %.1f us "
                 "(2 GB/s bus)\n",
                 dma.streamUs(bytes));
+
+    json.record("dma_single_burst", dma.transferUs(bytes, bytes) * 1e3,
+                "ns", 4096, 6);
+    json.record("dma_16384B_chunks", dma.transferUs(bytes, 16384) * 1e3,
+                "ns", 4096, 6);
+    json.record("dma_1024B_chunks", dma.transferUs(bytes, 1024) * 1e3,
+                "ns", 4096, 6);
     return 0;
 }

@@ -27,8 +27,9 @@ printResources(const char *name, const Resources &r)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonReporter json("table4", argc, argv);
     auto params = fv::FvParams::paper();
     HwConfig config = HwConfig::paper();
     ResourceModel model(*params, config);
@@ -68,5 +69,14 @@ main()
     printResources("memory file (84 slots)", model.memoryFile());
     printResources("control + ISA", model.controlOverhead());
     printResources("total coprocessor", one);
+
+    const size_t n = params->degree();
+    const size_t k = params->qBase()->size();
+    json.record("system2_lut", two.lut, "lut", n, k);
+    json.record("system2_ff", two.ff, "ff", n, k);
+    json.record("system2_bram36", two.bram36, "bram", n, k);
+    json.record("system2_dsp", two.dsp, "dsp", n, k);
+    json.record("coproc_lut", one.lut, "lut", n, k);
+    json.record("coproc_dsp", one.dsp, "dsp", n, k);
     return 0;
 }

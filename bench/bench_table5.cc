@@ -42,8 +42,9 @@ printTable(const char *title, const std::vector<ScalingRow> &rows)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonReporter json("table5", argc, argv);
     // Paper's own base row: 64K/25K/0.4K/0.2K, 4.46 + 0.54 ms.
     ScalingEstimator paper_base(64e3, 25e3, 0.4e3, 0.2e3, 4.46, 0.54);
     printTable("Table V (paper base row):", paper_base.estimate(4));
@@ -73,8 +74,16 @@ main()
 
     ScalingEstimator ours(one.lut, one.ff, one.bram36, one.dsp,
                           (comp_us + key_dma_us) / 1e3, comm_us / 1e3);
-    printTable("Table V (this repo's measured base row):",
-               ours.estimate(4));
+    const std::vector<ScalingRow> our_rows = ours.estimate(4);
+    printTable("Table V (this repo's measured base row):", our_rows);
+
+    for (const auto &r : our_rows) {
+        char kernel[48];
+        std::snprintf(kernel, sizeof(kernel), "scaled_mult_logq%zu",
+                      r.log_q);
+        json.record(kernel, r.total_ms * 1e6, "ns",
+                    size_t(1) << r.log2_degree, 0);
+    }
 
     std::printf("\nPaper row 4 check: (2^15, 1440) -> 45.6 / 34.6 / 80.2 "
                 "ms; growth factors: compute x%.2f, comm x%.0f per "

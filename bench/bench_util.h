@@ -1,7 +1,8 @@
 /**
  * @file
  * Shared helpers for the reproduction benchmarks: paper-vs-measured
- * table printing.
+ * table printing and the `--json <path>` structured reporter that
+ * feeds the repo's performance trajectory (BENCH_*.json).
  */
 
 #ifndef HEAT_BENCH_BENCH_UTIL_H
@@ -9,6 +10,10 @@
 
 #include <cstdio>
 #include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/parallel.h"
 
 namespace heat::bench {
 
@@ -39,6 +44,94 @@ printInfo(const std::string &metric, double value, const char *unit)
 {
     std::printf("%-42s %14s %11.3f %s\n", metric.c_str(), "-", value, unit);
 }
+
+/** One structured measurement for the JSON-lines trajectory. */
+struct JsonRecord
+{
+    std::string kernel; ///< measurement name
+    double value = 0.0; ///< measured value in @ref unit
+    std::string unit = "ns";
+    size_t n = 0;      ///< polynomial degree (0 when not applicable)
+    size_t moduli = 0; ///< RNS moduli count (0 when not applicable)
+};
+
+/**
+ * Appends one JSON object per record to the file named by the
+ * `--json <path>` command-line option (JSON-lines format). Without the
+ * option every record() is a no-op, so benchmarks stay pure console
+ * tools by default. The thread count is sampled at record() time via
+ * heat::threadCount() so multi-threaded measurements tag themselves.
+ */
+class JsonReporter
+{
+  public:
+    JsonReporter(std::string suite, int argc, char **argv)
+        : suite_(std::move(suite))
+    {
+        for (int i = 1; i < argc; ++i) {
+            if (std::string_view(argv[i]) != "--json")
+                continue;
+            // A following flag is not a path; don't swallow it.
+            if (i + 1 < argc &&
+                !std::string_view(argv[i + 1]).starts_with("--")) {
+                path_ = argv[i + 1];
+            } else {
+                std::fprintf(stderr, "bench: --json needs a path; no "
+                                     "records will be written\n");
+            }
+        }
+    }
+
+    /** @return true iff `--json <path>` was passed. */
+    bool enabled() const { return !path_.empty(); }
+
+    /** Append one record; no-op when not enabled(). */
+    void
+    record(const JsonRecord &r) const
+    {
+        if (!enabled())
+            return;
+        std::FILE *f = std::fopen(path_.c_str(), "a");
+        if (f == nullptr) {
+            std::fprintf(stderr, "bench: cannot open %s for append\n",
+                         path_.c_str());
+            return;
+        }
+        std::fprintf(f,
+                     "{\"suite\":\"%s\",\"kernel\":\"%s\",\"value\":%.9g,"
+                     "\"unit\":\"%s\",\"n\":%zu,\"moduli\":%zu,"
+                     "\"threads\":%u}\n",
+                     escape(suite_).c_str(), escape(r.kernel).c_str(),
+                     r.value, escape(r.unit).c_str(), r.n, r.moduli,
+                     threadCount());
+        std::fclose(f);
+    }
+
+    /** Convenience overload mirroring printRow-style call sites. */
+    void
+    record(const std::string &kernel, double value, const char *unit,
+           size_t n = 0, size_t moduli = 0) const
+    {
+        record(JsonRecord{kernel, value, unit, n, moduli});
+    }
+
+  private:
+    static std::string
+    escape(const std::string &s)
+    {
+        std::string out;
+        out.reserve(s.size());
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out.push_back('\\');
+            out.push_back(c);
+        }
+        return out;
+    }
+
+    std::string suite_;
+    std::string path_;
+};
 
 } // namespace heat::bench
 

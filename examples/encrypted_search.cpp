@@ -119,9 +119,14 @@ main()
 
     std::printf("retrieved value: 0b%llu%llu%llu (expected 0b%llu%llu%llu)"
                 "\n",
-                (value >> 2) & 1, (value >> 1) & 1, value & 1,
-                (table[secret_index] >> 2) & 1,
-                (table[secret_index] >> 1) & 1, table[secret_index] & 1);
+                static_cast<unsigned long long>((value >> 2) & 1),
+                static_cast<unsigned long long>((value >> 1) & 1),
+                static_cast<unsigned long long>(value & 1),
+                static_cast<unsigned long long>(
+                    (table[secret_index] >> 2) & 1),
+                static_cast<unsigned long long>(
+                    (table[secret_index] >> 1) & 1),
+                static_cast<unsigned long long>(table[secret_index] & 1));
     std::printf("noise budget after depth-%d selection: %.0f bits\n",
                 2, decryptor.invariantNoiseBudget(result));
     std::printf("%s\n", value == table[secret_index]

@@ -7,6 +7,19 @@
 #ifndef HEAT_COMMON_BIT_UTIL_H
 #define HEAT_COMMON_BIT_UTIL_H
 
+// std::countl_zero below produces a long, confusing error cascade when
+// the compiler runs in an older language mode; fail with one clear
+// message instead.
+#if __cplusplus < 202002L &&                                               \
+    !(defined(_MSVC_LANG) && _MSVC_LANG >= 202002L)
+#error "heat requires C++20 (std::countl_zero in <bit>): compile with -std=c++20 or newer"
+#endif
+
+#include <version>
+#ifndef __cpp_lib_bitops
+#error "heat requires a standard library with <bit> bit operations (__cpp_lib_bitops)"
+#endif
+
 #include <bit>
 #include <cstdint>
 

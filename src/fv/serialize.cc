@@ -213,7 +213,7 @@ loadCiphertext(const std::shared_ptr<const FvParams> &params,
 }
 
 size_t
-ciphertextByteSize(const FvParams &params, const Ciphertext &ct)
+ciphertextByteSize(const FvParams & /*params*/, const Ciphertext &ct)
 {
     size_t size = 4 + 4 + 4 + 8 + 4; // header + count
     for (const auto &poly : ct.polys)

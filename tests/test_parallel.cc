@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for heat::parallelFor and the determinism of the code paths
+ * that use it: every index must run exactly once at any thread count,
+ * and the RNS-residue loops in RnsPoly and the coefficient-chunked
+ * loops in the FV evaluator must produce bit-identical results at
+ * thread counts {1, 2, 8}.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/random.h"
+#include "fv/decryptor.h"
+#include "fv/encryptor.h"
+#include "fv/evaluator.h"
+#include "fv/keygen.h"
+#include "fv/params.h"
+#include "ntt/ntt_tables.h"
+#include "ntt/rns_poly.h"
+#include "rns/prime_gen.h"
+
+namespace heat {
+namespace {
+
+/** Restores the process-wide thread count on scope exit. */
+class ThreadCountGuard
+{
+  public:
+    ThreadCountGuard() : saved_(threadCount()) {}
+    ~ThreadCountGuard() { setThreadCount(saved_); }
+
+  private:
+    unsigned saved_;
+};
+
+class ParallelForTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(ParallelForTest, CoversEveryIndexExactlyOnce)
+{
+    ThreadCountGuard guard;
+    setThreadCount(GetParam());
+
+    constexpr size_t kCount = 1000;
+    std::vector<std::atomic<int>> hits(kCount);
+    parallelFor(kCount, [&](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < kCount; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST_P(ParallelForTest, RnsPolyNttMatchesSingleThread)
+{
+    ThreadCountGuard guard;
+
+    constexpr size_t kN = 256;
+    auto primes = rns::generateNttPrimes(30, kN, 3);
+    auto base = std::make_shared<const rns::RnsBase>(primes);
+    ntt::NttContext context(*base, kN);
+
+    Xoshiro256 rng(77);
+    ntt::RnsPoly input(base, kN);
+    for (size_t i = 0; i < input.residueCount(); ++i) {
+        for (size_t j = 0; j < kN; ++j)
+            input.residue(i)[j] =
+                rng.uniformBelow(base->modulus(i).value());
+    }
+
+    setThreadCount(1);
+    ntt::RnsPoly reference = input;
+    reference.toNtt(context);
+
+    setThreadCount(GetParam());
+    ntt::RnsPoly parallel_ntt = input;
+    parallel_ntt.toNtt(context);
+    EXPECT_EQ(parallel_ntt, reference);
+
+    parallel_ntt.toCoeff(context);
+    EXPECT_EQ(parallel_ntt, input);
+}
+
+TEST_P(ParallelForTest, EvaluatorMultiplyMatchesSingleThread)
+{
+    ThreadCountGuard guard;
+
+    // Small parameter set so the lift/scale chunk loops run quickly.
+    fv::FvConfig config;
+    config.degree = 256;
+    config.plain_modulus = 4;
+    config.sigma = 3.2;
+    config.q_prime_count = 3;
+    auto params = fv::FvParams::create(config);
+
+    fv::KeyGenerator keygen(params, 4242);
+    fv::SecretKey sk = keygen.generateSecretKey();
+    fv::PublicKey pk = keygen.generatePublicKey(sk);
+    fv::RelinKeys rlk = keygen.generateRelinKeys(sk);
+    fv::Encryptor encryptor(params, pk, 7);
+    fv::Decryptor decryptor(params, sk);
+    fv::Evaluator evaluator(params);
+
+    fv::Plaintext m;
+    m.coeffs = {1, 2, 0, 3};
+    fv::Ciphertext a = encryptor.encrypt(m);
+    fv::Ciphertext b = encryptor.encrypt(m);
+
+    setThreadCount(1);
+    fv::Ciphertext reference = evaluator.multiply(a, b, rlk);
+
+    setThreadCount(GetParam());
+    fv::Ciphertext parallel_ct = evaluator.multiply(a, b, rlk);
+
+    ASSERT_EQ(parallel_ct.size(), reference.size());
+    for (size_t i = 0; i < reference.size(); ++i)
+        EXPECT_EQ(parallel_ct[i], reference[i]) << "poly " << i;
+
+    // Both decrypt to the true product:
+    // (1 + 2x + 3x^3)^2 = 1 + 4x + 4x^2 + 6x^3 + 12x^4 + 9x^6, mod t=4.
+    setThreadCount(1);
+    const std::vector<uint64_t> expect = {1, 0, 0, 2, 0, 0, 1};
+    fv::Plaintext plain = decryptor.decrypt(parallel_ct);
+    EXPECT_EQ(decryptor.decrypt(reference), plain);
+    const size_t len = std::max(expect.size(), plain.coeffs.size());
+    for (size_t i = 0; i < len; ++i) {
+        const uint64_t got =
+            i < plain.coeffs.size() ? plain.coeffs[i] % 4 : 0;
+        EXPECT_EQ(got, i < expect.size() ? expect[i] : 0) << "coeff " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelForTest,
+                         ::testing::Values(1u, 2u, 8u));
+
+} // namespace
+} // namespace heat
