@@ -1,102 +1,160 @@
 /**
  * @file
- * The cloud-accelerator demo: a server (the Arm processing system of
- * Fig. 11) dispatches a batch of homomorphic multiplications to the two
- * simulated FPGA coprocessors, reports the sustained throughput, power
- * and energy (the paper's headline: ~400 Mult/s at under 9 W), and
- * verifies one hardware-produced ciphertext bit-exactly against the
- * software evaluator before decrypting it.
+ * The cloud-accelerator demo, now on the serving layer: an
+ * ExecutionService shards homomorphic operations across N simulated
+ * coprocessors while a synthetic multi-client load driver (one thread
+ * per client, each with its own keys-sharing encryptor seed) submits
+ * interleaved Add and Mult requests and verifies every decrypted
+ * result against plaintext arithmetic. One hardware Mult is also
+ * checked bit-exactly against the software evaluator — the
+ * conformance oracle the differential test suite runs at scale.
  */
 
 #include <cstdio>
+#include <future>
+#include <thread>
+#include <vector>
 
+#include "common/random.h"
 #include "fv/decryptor.h"
 #include "fv/encryptor.h"
 #include "fv/evaluator.h"
 #include "fv/keygen.h"
 #include "fv/params.h"
-#include "hw/coprocessor.h"
 #include "hw/power_model.h"
-#include "hw/program_builder.h"
 #include "hw/system.h"
+#include "service/service.h"
 
 using namespace heat;
+
+namespace {
+
+struct ClientResult
+{
+    size_t ops = 0;
+    size_t wrong = 0;
+};
+
+/** One synthetic client: encrypts random bits, submits pairs of
+ *  requests, and checks the decrypted results. */
+ClientResult
+runClient(size_t client_id, size_t ops,
+          service::ExecutionService &svc,
+          const std::shared_ptr<const fv::FvParams> &params,
+          const fv::PublicKey &pk, const fv::SecretKey &sk)
+{
+    fv::Encryptor encryptor(params, pk, /*seed=*/1000 + client_id);
+    fv::Decryptor decryptor(params, fv::SecretKey{sk.s_ntt});
+    Xoshiro256 rng(77 * (client_id + 1));
+    const uint64_t t = params->plainModulus();
+
+    ClientResult result;
+    std::vector<std::future<fv::Ciphertext>> futures;
+    std::vector<uint64_t> expected;
+    for (size_t i = 0; i < ops; ++i) {
+        // Degree-0 messages keep the plaintext check trivial: the
+        // constant coefficient of x+y resp. x*y mod t.
+        const uint64_t m0 = rng.uniformBelow(t);
+        const uint64_t m1 = rng.uniformBelow(t);
+        fv::Ciphertext x = encryptor.encrypt(fv::Plaintext({m0}));
+        fv::Ciphertext y = encryptor.encrypt(fv::Plaintext({m1}));
+        const bool mult = i % 2 == 0;
+        futures.push_back(svc.submit(mult ? service::Op::kMult
+                                          : service::Op::kAdd,
+                                     std::move(x), std::move(y)));
+        expected.push_back(mult ? m0 * m1 % t : (m0 + m1) % t);
+    }
+    for (size_t i = 0; i < futures.size(); ++i) {
+        fv::Plaintext got = decryptor.decrypt(futures[i].get());
+        const uint64_t c0 = got.coeffs.empty() ? 0 : got.coeffs[0];
+        ++result.ops;
+        if (c0 != expected[i])
+            ++result.wrong;
+    }
+    return result;
+}
+
+} // namespace
 
 int
 main()
 {
-    auto params = fv::FvParams::paper(/*t=*/2);
+    auto params = fv::FvParams::paper(/*t=*/65537);
     fv::KeyGenerator keygen(params, 777);
     fv::SecretKey sk = keygen.generateSecretKey();
     fv::PublicKey pk = keygen.generatePublicKey(sk);
     fv::RelinKeys rlk = keygen.generateRelinKeys(sk);
-    fv::Encryptor encryptor(params, pk, 3);
-    fv::Decryptor decryptor(params, sk);
-    fv::Evaluator evaluator(params);
 
-    // --- functional check: run one Mult through the simulated HW --------
-    fv::Plaintext m0, m1;
-    m0.coeffs = {1, 0, 1, 1};
-    m1.coeffs = {1, 1};
-    fv::Ciphertext x = encryptor.encrypt(m0);
-    fv::Ciphertext y = encryptor.encrypt(m1);
+    // --- conformance: one hardware Mult vs the software evaluator -------
+    {
+        fv::Encryptor encryptor(params, pk, 3);
+        fv::Evaluator evaluator(params);
+        fv::Ciphertext x = encryptor.encrypt(fv::Plaintext({3, 0, 1}));
+        fv::Ciphertext y = encryptor.encrypt(fv::Plaintext({5, 2}));
 
-    hw::HwConfig config = hw::HwConfig::paper();
-    hw::Coprocessor cp(params, config, &rlk);
-    std::array<hw::PolyId, 2> a{cp.uploadPoly(x[0]), cp.uploadPoly(x[1])};
-    std::array<hw::PolyId, 2> b{cp.uploadPoly(y[0]), cp.uploadPoly(y[1])};
-    hw::ProgramBuilder builder(cp);
-    hw::Program prog = builder.buildMult(a, b);
-    hw::ExecStats stats = cp.execute(prog);
+        service::ServiceConfig probe_cfg;
+        probe_cfg.workers = 1;
+        service::ExecutionService probe(params, rlk, probe_cfg);
+        fv::Ciphertext hw_result =
+            probe.submit(service::Op::kMult, x, y).get();
+        const bool bit_exact =
+            hw_result == evaluator.multiply(x, y, rlk);
+        std::printf("hardware Mult vs software evaluator: %s\n",
+                    bit_exact ? "bit-exact" : "MISMATCH");
+        if (!bit_exact)
+            return 1;
+    }
 
-    fv::Ciphertext hw_result;
-    hw_result.polys.push_back(cp.downloadPoly(prog.outputs[0]));
-    hw_result.polys.push_back(cp.downloadPoly(prog.outputs[1]));
+    // --- the serving run: clients x workers ------------------------------
+    const size_t n_workers = 2;   // the paper's two-coprocessor system
+    const size_t n_clients = 4;   // synthetic load driver threads
+    const size_t ops_per_client = 6;
 
-    fv::Ciphertext sw_result = evaluator.multiply(x, y, rlk);
-    const bool bit_exact =
-        hw_result[0].data() == sw_result[0].data() &&
-        hw_result[1].data() == sw_result[1].data();
+    service::ServiceConfig cfg;
+    cfg.workers = n_workers;
+    cfg.max_batch = 4;
+    service::ExecutionService svc(params, rlk, cfg);
 
-    fv::Plaintext product = decryptor.decrypt(hw_result);
-    std::printf("coprocessor Mult: %zu instructions, %.3f ms compute + "
-                "%.3f ms key DMA\n",
-                prog.instrs.size(),
-                config.cyclesToUs(stats.fpga_cycles) / 1e3,
-                stats.dma_us / 1e3);
-    std::printf("result vs software evaluator: %s\n",
-                bit_exact ? "bit-exact" : "MISMATCH");
-    std::printf("decrypted product (m0*m1 mod (x^n+1, 2)): ");
-    for (size_t i = 0; i < product.coeffs.size() && i < 8; ++i)
-        std::printf("%llu",
-                    static_cast<unsigned long long>(product.coeffs[i]));
-    std::printf("...\n");
-    std::printf("memory-file peak: %zu of %zu slots\n",
-                cp.memory().peakSlots(), cp.memory().capacity());
+    std::vector<std::thread> clients;
+    std::vector<ClientResult> results(n_clients);
+    for (size_t c = 0; c < n_clients; ++c) {
+        clients.emplace_back([&, c] {
+            results[c] =
+                runClient(c, ops_per_client, svc, params, pk, sk);
+        });
+    }
+    for (std::thread &t : clients)
+        t.join();
+    svc.drain();
 
-    std::printf("\nMult program head (of %zu instructions):\n",
-                prog.instrs.size());
-    for (size_t i = 0; i < 6 && i < prog.instrs.size(); ++i)
-        std::printf("  %2zu: %s\n", i,
-                    hw::disassemble(prog.instrs[i]).c_str());
-    std::printf("  ...\n");
+    service::ServiceStats stats = svc.stats();
+    size_t total_ops = 0, total_wrong = 0;
+    for (const ClientResult &r : results) {
+        total_ops += r.ops;
+        total_wrong += r.wrong;
+    }
+    std::printf("\nserving run: %zu clients -> %zu workers, "
+                "%zu ops (%zu batches)\n",
+                n_clients, svc.workerCount(),
+                static_cast<size_t>(stats.ops_completed),
+                static_cast<size_t>(stats.batches));
+    std::printf("  decrypted results: %zu/%zu correct\n",
+                total_ops - total_wrong, total_ops);
+    std::printf("  modeled accelerator makespan: %.1f ms -> %.0f ops/s\n",
+                stats.makespan_us / 1e3, stats.modeledOpsPerSecond());
+    std::printf("  modeled host transfer time: %.1f ms, key DMA: "
+                "%.1f ms\n",
+                stats.host_us / 1e3, stats.dma_us / 1e3);
 
-    // --- throughput run on the full two-coprocessor system ---------------
-    const size_t batch = 1000;
-    hw::HeatSystem system(params, config, 2);
-    hw::ThroughputResult run = system.simulate(batch);
+    // --- context: the contention-aware two-coprocessor throughput -------
+    hw::HeatSystem system(params, cfg.hw, n_workers);
+    hw::ThroughputResult run = system.simulate(1000);
     hw::PowerModel power;
-
-    std::printf("\nserver batch: %zu multiplications on 2 coprocessors\n",
-                batch);
-    std::printf("  makespan: %.1f ms -> %.0f Mult/s (paper: 400)\n",
-                run.makespan_us / 1e3, run.mults_per_second);
-    std::printf("  DMA busy: %.0f%%, coprocessor busy: %.0f%% / %.0f%%\n",
-                run.dma_utilization * 100,
-                run.coproc_utilization[0] * 100,
-                run.coproc_utilization[1] * 100);
-    std::printf("  power: %.1f W total -> %.1f mJ per multiplication\n",
-                power.totalW(2),
-                power.energyPerMultMj(run.mults_per_second, 2));
-    return bit_exact ? 0 : 1;
+    std::printf("\nreference batch of 1000 Mults on %zu coprocessors "
+                "(DMA-arbitrated):\n", n_workers);
+    std::printf("  %.0f Mult/s (paper: 400), %.1f W total -> %.1f mJ "
+                "per Mult\n",
+                run.mults_per_second, power.totalW(n_workers),
+                power.energyPerMultMj(run.mults_per_second, n_workers));
+    return total_wrong == 0 ? 0 : 1;
 }

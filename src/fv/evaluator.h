@@ -17,6 +17,11 @@
  * Both paths produce valid ciphertexts of the same plaintext; kHps may
  * differ from kExactCrt by +-1 in isolated coefficients (absorbed as
  * noise), exactly as the HPS paper argues.
+ *
+ * Thread safety: every entry point is const and the evaluator holds no
+ * mutable state — one Evaluator may be shared by any number of threads
+ * (the serving layer's workers and the differential tests rely on
+ * this). All derived constants live in the immutable FvParams.
  */
 
 #ifndef HEAT_FV_EVALUATOR_H

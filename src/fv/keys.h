@@ -45,6 +45,8 @@ struct Ciphertext
     size_t size() const { return polys.size(); }
     ntt::RnsPoly &operator[](size_t i) { return polys[i]; }
     const ntt::RnsPoly &operator[](size_t i) const { return polys[i]; }
+
+    bool operator==(const Ciphertext &o) const = default;
 };
 
 /** Secret key: ternary s, stored in NTT form over the q base. */

@@ -40,6 +40,12 @@ ArmHostModel::receiveCiphertextUs() const
 }
 
 double
+ArmHostModel::receiveCiphertextsUs(size_t count) const
+{
+    return static_cast<double>(count) * receiveCiphertextUs();
+}
+
+double
 ArmHostModel::softwareAddUs() const
 {
     // One modular add per coefficient per residue per polynomial, at

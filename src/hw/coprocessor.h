@@ -57,6 +57,10 @@ class Coprocessor
     /** @return RPAU @p i. */
     const Rpau &rpau(size_t i) const { return rpaus_[i]; }
 
+    /** Reprogram: drop all memory-file contents so a different op
+     *  schedule can allocate from a clean slate. */
+    void reset() { memory_.reset(); }
+
     /** Upload an operand polynomial (coefficient form, natural order).
      *  Transfer timing is the host model's responsibility. */
     PolyId uploadPoly(const ntt::RnsPoly &poly);

@@ -64,6 +64,8 @@ struct Instruction
     /** Extra destinations: WordDecomp digit broadcasts for kScale,
      *  key-buffer targets for kKeyLoad. */
     std::vector<PolyId> extra;
+
+    bool operator==(const Instruction &o) const = default;
 };
 
 /** A straight-line instruction sequence plus its external interface. */
@@ -75,6 +77,8 @@ struct Program
 
     /** @return a full assembly-style listing of the program. */
     std::string listing() const;
+
+    bool operator==(const Program &o) const = default;
 };
 
 /** @return a one-line assembly-style rendering of an instruction. */

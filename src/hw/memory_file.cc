@@ -18,6 +18,14 @@ MemoryFile::residueCount(BaseTag tag) const
                               : params_->fullBase()->size();
 }
 
+void
+MemoryFile::reset()
+{
+    records_.clear();
+    in_use_ = 0;
+    peak_ = 0;
+}
+
 PolyId
 MemoryFile::allocate(BaseTag tag, Layout layout)
 {

@@ -85,6 +85,14 @@ class MemoryFile
     /** @return maximum slots ever allocated (memory high-water mark). */
     size_t peakSlots() const { return peak_; }
 
+    /**
+     * Drop every record and return all slots: the reprogramming step
+     * between op schedules (a Mult program alone peaks at 78 of the 84
+     * slots, so plans for different operations cannot stay resident
+     * simultaneously). Also clears the peak-slot watermark.
+     */
+    void reset();
+
     /** Allocate a zeroed polynomial over base @p tag. */
     PolyId allocate(BaseTag tag, Layout layout = Layout::kNatural);
 

@@ -21,6 +21,60 @@ make(Opcode op, PolyId dst, PolyId src0 = kNoPoly, PolyId src1 = kNoPoly,
 
 } // namespace
 
+namespace {
+
+OpPlan
+makePlan(Coprocessor &cp, OpPlan::Kind kind)
+{
+    OpPlan plan;
+    plan.kind = kind;
+    ntt::RnsPoly zero(cp.params().qBase(), cp.params().degree());
+    plan.in_a = {cp.uploadPoly(zero), cp.uploadPoly(zero)};
+    plan.in_b = {cp.uploadPoly(zero), cp.uploadPoly(zero)};
+    ProgramBuilder builder(cp);
+    plan.program = kind == OpPlan::Kind::kAdd
+                       ? builder.buildAdd(plan.in_a, plan.in_b)
+                       : builder.buildMult(plan.in_a, plan.in_b);
+    return plan;
+}
+
+} // namespace
+
+OpPlan
+makeAddPlan(Coprocessor &cp)
+{
+    return makePlan(cp, OpPlan::Kind::kAdd);
+}
+
+OpPlan
+makeMultPlan(Coprocessor &cp)
+{
+    return makePlan(cp, OpPlan::Kind::kMult);
+}
+
+void
+preparePlanSlots(Coprocessor &cp, const OpPlan &plan)
+{
+    const OpPlan replay = plan.kind == OpPlan::Kind::kAdd
+                              ? makeAddPlan(cp)
+                              : makeMultPlan(cp);
+    panicIf(!(replay == plan),
+            "preparePlanSlots: replayed allocation diverges from the "
+            "plan; the coprocessor was not freshly constructed with the "
+            "plan's parameters");
+}
+
+void
+uploadPlanInputs(Coprocessor &cp, const OpPlan &plan,
+                 const std::array<const ntt::RnsPoly *, 2> &a,
+                 const std::array<const ntt::RnsPoly *, 2> &b)
+{
+    for (int i = 0; i < 2; ++i) {
+        cp.uploadInto(plan.in_a[i], *a[i]);
+        cp.uploadInto(plan.in_b[i], *b[i]);
+    }
+}
+
 Program
 ProgramBuilder::buildAdd(std::array<PolyId, 2> a, std::array<PolyId, 2> b)
 {

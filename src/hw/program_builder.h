@@ -23,6 +23,54 @@
 
 namespace heat::hw {
 
+/**
+ * A built program together with its operand bindings — a plain value.
+ *
+ * Slot allocation inside the memory file is deterministic: building the
+ * same plan against any freshly-constructed coprocessor with the same
+ * parameter set and configuration yields identical PolyIds and an
+ * identical instruction stream. A plan can therefore be built once and
+ * dispatched to any worker's coprocessor, provided that worker prepared
+ * its memory file with preparePlanSlots() (or built the same plan
+ * itself). Re-execution only requires re-uploading the inputs.
+ */
+struct OpPlan
+{
+    /** Which high-level operation the program implements. */
+    enum class Kind : uint8_t { kAdd, kMult };
+
+    Kind kind = Kind::kAdd;
+    Program program;
+    /** Operand slots for the first ciphertext (c0, c1). */
+    std::array<PolyId, 2> in_a{kNoPoly, kNoPoly};
+    /** Operand slots for the second ciphertext (c0, c1). */
+    std::array<PolyId, 2> in_b{kNoPoly, kNoPoly};
+
+    bool operator==(const OpPlan &o) const = default;
+};
+
+/**
+ * Build the FV.Add plan against @p cp, allocating its operand and
+ * result slots. @p cp must be freshly constructed (or in the same
+ * allocation state as every other coprocessor the plan will run on).
+ */
+OpPlan makeAddPlan(Coprocessor &cp);
+
+/** Build the FV.Mult-with-relinearization plan against @p cp. */
+OpPlan makeMultPlan(Coprocessor &cp);
+
+/**
+ * Replay @p plan's slot allocations on another coprocessor so the plan
+ * becomes executable there. Panics if the replayed allocation diverges
+ * from the plan (the coprocessor was not in the expected state).
+ */
+void preparePlanSlots(Coprocessor &cp, const OpPlan &plan);
+
+/** Upload both operand ciphertext polynomial pairs of @p plan. */
+void uploadPlanInputs(Coprocessor &cp, const OpPlan &plan,
+                      const std::array<const ntt::RnsPoly *, 2> &a,
+                      const std::array<const ntt::RnsPoly *, 2> &b);
+
 /** Emits coprocessor programs for the high-level FV operations. */
 class ProgramBuilder
 {

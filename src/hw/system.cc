@@ -8,37 +8,44 @@
 
 namespace heat::hw {
 
-HeatSystem::HeatSystem(std::shared_ptr<const fv::FvParams> params,
-                       const HwConfig &config, size_t n_coprocessors)
-    : params_(params), config_(config), n_coproc_(n_coprocessors)
+MultJobProfile
+profileMultJob(const std::shared_ptr<const fv::FvParams> &params,
+               const HwConfig &config)
 {
-    fatalIf(n_coprocessors == 0, "need at least one coprocessor");
-
-    // Derive the per-Mult profile by building (not executing) the Mult
-    // program against a scratch coprocessor and pricing each
-    // instruction with the block timing models.
-    Coprocessor scratch(params_, config_);
-    ntt::RnsPoly zero(params_->qBase(), params_->degree());
-    std::array<PolyId, 2> a{scratch.uploadPoly(zero),
-                            scratch.uploadPoly(zero)};
-    std::array<PolyId, 2> b{scratch.uploadPoly(zero),
-                            scratch.uploadPoly(zero)};
-    ProgramBuilder builder(scratch);
-    Program mult = builder.buildMult(a, b);
+    MultJobProfile profile;
+    Coprocessor scratch(params, config);
+    OpPlan plan = makeMultPlan(scratch);
 
     Cycle compute_cycles = 0;
-    for (const Instruction &instr : mult.instrs) {
+    for (const Instruction &instr : plan.program.instrs) {
         compute_cycles += scratch.instructionCycles(instr);
         if (instr.op == Opcode::kKeyLoad) {
-            ++profile_.key_segments;
-            profile_.key_dma_us = scratch.instructionDmaUs(instr);
+            ++profile.key_segments;
+            profile.key_dma_us = scratch.instructionDmaUs(instr);
         }
     }
-    profile_.compute_us = config_.cyclesToUs(compute_cycles);
+    profile.compute_us = config.cyclesToUs(compute_cycles);
 
-    ArmHostModel host(params_, config_);
-    profile_.send_us = host.sendCiphertextsUs(2);
-    profile_.receive_us = host.receiveCiphertextUs();
+    ArmHostModel host(params, config);
+    profile.send_us = host.sendCiphertextsUs(2);
+    profile.receive_us = host.receiveCiphertextUs();
+    return profile;
+}
+
+HeatSystem::HeatSystem(std::shared_ptr<const fv::FvParams> params,
+                       const HwConfig &config, size_t n_coprocessors)
+    : HeatSystem(params, config, n_coprocessors,
+                 profileMultJob(params, config))
+{
+}
+
+HeatSystem::HeatSystem(std::shared_ptr<const fv::FvParams> params,
+                       const HwConfig &config, size_t n_coprocessors,
+                       const MultJobProfile &profile)
+    : params_(std::move(params)), config_(config),
+      n_coproc_(n_coprocessors), profile_(profile)
+{
+    fatalIf(n_coprocessors == 0, "need at least one coprocessor");
 }
 
 ThroughputResult

@@ -47,6 +47,17 @@ struct MultJobProfile
     double receive_us = 0.0;     ///< result download (DMA-held)
 };
 
+/**
+ * Price one FV.Mult job: build (without executing) the Mult program
+ * against a scratch coprocessor and sum the per-instruction block-model
+ * costs plus the host-side transfer times. Pure function of its inputs;
+ * callers that construct many systems or service workers can compute
+ * the profile once and share it.
+ */
+MultJobProfile profileMultJob(
+    const std::shared_ptr<const fv::FvParams> &params,
+    const HwConfig &config);
+
 /** The Arm + two-coprocessor system. */
 class HeatSystem
 {
@@ -58,6 +69,12 @@ class HeatSystem
      */
     HeatSystem(std::shared_ptr<const fv::FvParams> params,
                const HwConfig &config, size_t n_coprocessors = 2);
+
+    /** Same, with a precomputed per-Mult profile (skips the scratch
+     *  coprocessor build — cheap construction for serving layers). */
+    HeatSystem(std::shared_ptr<const fv::FvParams> params,
+               const HwConfig &config, size_t n_coprocessors,
+               const MultJobProfile &profile);
 
     /** @return the per-Mult timing profile used by the simulation. */
     const MultJobProfile &profile() const { return profile_; }

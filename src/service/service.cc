@@ -1,0 +1,271 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "hw/arm_host.h"
+#include "hw/coprocessor.h"
+
+namespace heat::service {
+
+ExecutionService::ExecutionService(
+    std::shared_ptr<const fv::FvParams> params, fv::RelinKeys rlk,
+    ServiceConfig config)
+    : params_(std::move(params)), rlk_(std::move(rlk)),
+      config_(config)
+{
+    fatalIf(config_.workers == 0, "service needs at least one worker");
+    fatalIf(config_.max_batch == 0, "max_batch must be at least 1");
+    fatalIf(rlk_.kind != fv::DecompKind::kRnsDigits,
+            "the coprocessor key-load schedule needs kRnsDigits "
+            "relinearization keys");
+    fatalIf(rlk_.digitCount() != params_->rnsDigitCount(),
+            "relinearization keys do not match the parameter set");
+
+    // Build the prototype plans once; this also proves each program
+    // fits the memory file before any worker starts. Each plan assumes
+    // a freshly-reprogrammed memory file (a Mult alone peaks at 78 of
+    // 84 slots, so plans are installed one at a time).
+    hw::Coprocessor prototype(params_, config_.hw, &rlk_);
+    add_plan_ = hw::makeAddPlan(prototype);
+    prototype.reset();
+    mult_plan_ = hw::makeMultPlan(prototype);
+
+    started_ = !config_.start_paused;
+    worker_clock_us_.assign(config_.workers, 0.0);
+    threads_.reserve(config_.workers);
+    for (size_t w = 0; w < config_.workers; ++w)
+        threads_.emplace_back([this, w] { workerLoop(w); });
+}
+
+ExecutionService::~ExecutionService()
+{
+    shutdown();
+}
+
+void
+ExecutionService::validateOperand(const fv::Ciphertext &ct) const
+{
+    fatalIf(ct.size() != 2, "service operands must be size-2 "
+                            "ciphertexts (relinearize first)");
+    for (size_t i = 0; i < ct.size(); ++i) {
+        fatalIf(ct[i].degree() != params_->degree() ||
+                    ct[i].residueCount() != params_->qBase()->size(),
+                "operand polynomial does not match the parameter set");
+        fatalIf(ct[i].form() != ntt::PolyForm::kCoeff,
+                "operands must be in coefficient form (what the DMA "
+                "streams to the accelerator)");
+    }
+}
+
+std::future<fv::Ciphertext>
+ExecutionService::submit(Op op, fv::Ciphertext a, fv::Ciphertext b)
+{
+    validateOperand(a);
+    validateOperand(b);
+
+    Job job;
+    job.op = op;
+    job.a = std::move(a);
+    job.b = std::move(b);
+    std::future<fv::Ciphertext> future = job.promise.get_future();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopping_)
+            throw ServiceStoppedError("submit after shutdown");
+        queue_.push_back(std::move(job));
+    }
+    work_cv_.notify_one();
+    return future;
+}
+
+void
+ExecutionService::start()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        started_ = true;
+    }
+    work_cv_.notify_all();
+}
+
+void
+ExecutionService::drain()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] {
+        return (queue_.empty() && in_flight_ == 0) || stopping_;
+    });
+}
+
+void
+ExecutionService::shutdown()
+{
+    // Serializes concurrent shutdown() callers: the join phase below
+    // must run once; later callers block here until it finished.
+    std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+    std::deque<Job> orphans;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+        orphans.swap(queue_);
+    }
+    work_cv_.notify_all();
+    idle_cv_.notify_all();
+    for (std::thread &t : threads_) {
+        if (t.joinable())
+            t.join();
+    }
+    if (!orphans.empty()) {
+        auto stopped = std::make_exception_ptr(
+            ServiceStoppedError("service shut down before execution"));
+        for (Job &job : orphans)
+            job.promise.set_exception(stopped);
+        std::lock_guard<std::mutex> lock(mu_);
+        stats_.ops_rejected += orphans.size();
+    }
+}
+
+bool
+ExecutionService::stopped() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stopping_;
+}
+
+size_t
+ExecutionService::queueDepth() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+}
+
+ServiceStats
+ExecutionService::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ServiceStats snapshot = stats_;
+    snapshot.makespan_us = worker_clock_us_.empty()
+                               ? 0.0
+                               : *std::max_element(
+                                     worker_clock_us_.begin(),
+                                     worker_clock_us_.end());
+    return snapshot;
+}
+
+void
+ExecutionService::workerLoop(size_t worker_index)
+{
+    // Per-worker hardware instance. Exactly one plan is installed at a
+    // time: switching op kinds reprograms the memory file and replays
+    // the new plan's slot allocations (build-time work only — resident
+    // operands are re-uploaded per job anyway).
+    std::optional<hw::Coprocessor> cp;
+    std::optional<hw::OpPlan::Kind> installed;
+    auto rebuild = [&] {
+        cp.emplace(params_, config_.hw, &rlk_);
+        installed.reset();
+    };
+    auto install = [&](const hw::OpPlan &plan) {
+        if (installed == plan.kind)
+            return;
+        if (installed)
+            cp->reset();
+        hw::preparePlanSlots(*cp, plan);
+        installed = plan.kind;
+    };
+    rebuild();
+    const hw::ArmHostModel host(params_, config_.hw);
+    const auto dispatch =
+        static_cast<hw::Cycle>(config_.hw.dispatch_overhead);
+
+    for (;;) {
+        std::vector<Job> batch;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            work_cv_.wait(lock, [this] {
+                return stopping_ || (started_ && !queue_.empty());
+            });
+            if (queue_.empty())
+                return; // stopping, nothing left to do
+            while (!queue_.empty() && batch.size() < config_.max_batch) {
+                batch.push_back(std::move(queue_.front()));
+                queue_.pop_front();
+            }
+            in_flight_ += batch.size();
+        }
+        // Group by op kind: the ops are independent, and grouping
+        // bounds memory-file reprogramming to one install per kind.
+        std::stable_sort(batch.begin(), batch.end(),
+                         [](const Job &x, const Job &y) {
+                             return x.op < y.op;
+                         });
+
+        size_t batch_completed = 0;
+        hw::Cycle batch_cycles = 0;
+        hw::Cycle amortized_cycles = 0;
+        double batch_dma_us = 0.0;
+        bool first_in_batch = true;
+        for (Job &job : batch) {
+            const hw::OpPlan &plan =
+                job.op == Op::kAdd ? add_plan_ : mult_plan_;
+            try {
+                install(plan);
+                hw::uploadPlanInputs(*cp, plan, {&job.a[0], &job.a[1]},
+                                     {&job.b[0], &job.b[1]});
+                hw::ExecStats s = cp->execute(plan.program);
+                batch_cycles += s.fpga_cycles;
+                batch_dma_us += s.dma_us;
+                if (!first_in_batch) {
+                    // Back-to-back programs stream from the queued
+                    // instruction sequence: their per-instruction Arm
+                    // dispatch overlaps the previous compute.
+                    amortized_cycles +=
+                        dispatch * plan.program.instrs.size();
+                }
+                first_in_batch = false;
+
+                fv::Ciphertext out;
+                out.polys.push_back(
+                    cp->downloadPoly(plan.program.outputs[0]));
+                out.polys.push_back(
+                    cp->downloadPoly(plan.program.outputs[1]));
+                job.promise.set_value(std::move(out));
+                ++batch_completed;
+            } catch (...) {
+                job.promise.set_exception(std::current_exception());
+                // The failed program may have left memory-file layouts
+                // inconsistent; rebuild this worker's coprocessor so
+                // later jobs start from a clean instance.
+                rebuild();
+                first_in_batch = true;
+            }
+        }
+
+        const double batch_host_us =
+            host.sendCiphertextsUs(2 * batch.size()) +
+            host.receiveCiphertextsUs(batch.size());
+        const double batch_accel_us =
+            config_.hw.cyclesToUs(batch_cycles -
+                                  std::min(batch_cycles,
+                                           amortized_cycles)) +
+            batch_dma_us;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            stats_.ops_completed += batch_completed;
+            stats_.ops_failed += batch.size() - batch_completed;
+            stats_.batches += 1;
+            stats_.fpga_cycles += batch_cycles;
+            stats_.dma_us += batch_dma_us;
+            stats_.host_us += batch_host_us;
+            worker_clock_us_[worker_index] +=
+                batch_host_us + batch_accel_us;
+            in_flight_ -= batch.size();
+            if (queue_.empty() && in_flight_ == 0)
+                idle_cv_.notify_all();
+        }
+    }
+}
+
+} // namespace heat::service

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Asynchronous multi-coprocessor execution service — the serving layer
+ * the ROADMAP's production system needs on top of the paper's single
+ * accelerator (Sec. V): a request queue, a pool of worker threads each
+ * owning one simulated coprocessor, and a futures-based submit API.
+ *
+ * Workers drain the queue in batches (up to ServiceConfig::max_batch
+ * independent operations per dequeue) and execute the batch as
+ * back-to-back programs on their coprocessor. Functionally every
+ * operation is bit-exact against fv::Evaluator's HPS path (the
+ * differential test suite pins this); for timing, the service keeps a
+ * modeled clock per worker in which the per-instruction Arm dispatch
+ * overhead of all but the first program of a batch overlaps with
+ * compute — the amortisation a real instruction queue in front of the
+ * lock-step RPAUs provides (cf. Medha's macro-instruction pipeline).
+ *
+ * Shutdown semantics: shutdown() (also run by the destructor) stops
+ * intake, lets in-flight batches finish, joins the workers, and fails
+ * every still-queued job's future with ServiceStoppedError — submitted
+ * work never hangs.
+ */
+
+#ifndef HEAT_SERVICE_SERVICE_H
+#define HEAT_SERVICE_SERVICE_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/panic.h"
+#include "fv/keys.h"
+#include "fv/params.h"
+#include "hw/config.h"
+#include "hw/program_builder.h"
+
+namespace heat::service {
+
+/** Homomorphic operations the service executes. */
+enum class Op : uint8_t
+{
+    kAdd, ///< FV.Add
+    kMult ///< FV.Mult with relinearization
+};
+
+/** Tunables of the execution service. */
+struct ServiceConfig
+{
+    /** Worker threads, one simulated coprocessor each. */
+    size_t workers = 2;
+    /** Maximum independent operations executed per dequeue. */
+    size_t max_batch = 8;
+    /** Per-coprocessor hardware configuration. */
+    hw::HwConfig hw = hw::HwConfig::paper();
+    /**
+     * Start with the workers idle: submissions queue up but nothing
+     * executes until start() is called. Lets a deployment (or a test)
+     * pre-fill the queue so the very first dequeues run at full batch
+     * width.
+     */
+    bool start_paused = false;
+};
+
+/** Delivered through the futures of jobs cancelled by shutdown(). */
+class ServiceStoppedError : public std::runtime_error
+{
+  public:
+    explicit ServiceStoppedError(const std::string &msg)
+        : std::runtime_error(msg)
+    {
+    }
+};
+
+/** Aggregate execution statistics (monotonic over the service life). */
+struct ServiceStats
+{
+    uint64_t ops_completed = 0;
+    /** Jobs whose execution threw; their futures carry the error. */
+    uint64_t ops_failed = 0;
+    /** Jobs still queued when shutdown() ran; their futures fail. */
+    uint64_t ops_rejected = 0;
+    uint64_t batches = 0;
+    /** Summed coprocessor compute cycles (dispatch included). */
+    hw::Cycle fpga_cycles = 0;
+    /** Summed relinearization-key DMA time. */
+    double dma_us = 0.0;
+    /** Modeled Arm-side operand/result transfer time. */
+    double host_us = 0.0;
+    /** Modeled makespan: the busiest worker's clock (us). */
+    double makespan_us = 0.0;
+
+    /** Modeled service throughput (ops/s of the simulated hardware). */
+    double
+    modeledOpsPerSecond() const
+    {
+        return makespan_us > 0.0
+                   ? static_cast<double>(ops_completed) / makespan_us * 1e6
+                   : 0.0;
+    }
+};
+
+/**
+ * The execution service. Construction spawns the worker pool; each
+ * worker builds its own hw::Coprocessor plus the shared operation
+ * plans (hw::OpPlan values — identical across workers because memory-
+ * file allocation is deterministic), so submission never blocks on
+ * hardware setup.
+ *
+ * Thread safety: submit(), drain(), shutdown() and stats() may be
+ * called concurrently from any number of client threads.
+ */
+class ExecutionService
+{
+  public:
+    /**
+     * @param params FV parameter set (shared, immutable).
+     * @param rlk relinearization keys (kRnsDigits kind — what the HPS
+     *        coprocessor's key-load schedule consumes).
+     * @param config service tunables.
+     */
+    ExecutionService(std::shared_ptr<const fv::FvParams> params,
+                     fv::RelinKeys rlk, ServiceConfig config = {});
+
+    /** Shuts down (failing queued jobs) and joins the workers. */
+    ~ExecutionService();
+
+    ExecutionService(const ExecutionService &) = delete;
+    ExecutionService &operator=(const ExecutionService &) = delete;
+
+    /**
+     * Enqueue one operation on two size-2 ciphertexts. Shape errors
+     * (wrong element count, base, or degree) throw FatalError
+     * synchronously; a stopped service throws ServiceStoppedError.
+     *
+     * @return future resolving to the result ciphertext.
+     */
+    std::future<fv::Ciphertext> submit(Op op, fv::Ciphertext a,
+                                       fv::Ciphertext b);
+
+    /** Release the workers of a start_paused service. Idempotent. */
+    void start();
+
+    /** Block until the queue is empty and no batch is in flight. */
+    void drain();
+
+    /**
+     * Stop intake, finish in-flight batches, join the workers and fail
+     * every still-queued future with ServiceStoppedError. Idempotent.
+     */
+    void shutdown();
+
+    /** @return true once shutdown() has begun. */
+    bool stopped() const;
+
+    /** @return configured worker count. */
+    size_t workerCount() const { return config_.workers; }
+
+    /** @return jobs currently queued (excludes in-flight batches). */
+    size_t queueDepth() const;
+
+    /** @return a snapshot of the aggregate statistics. */
+    ServiceStats stats() const;
+
+    /** @return the service configuration. */
+    const ServiceConfig &config() const { return config_; }
+
+  private:
+    struct Job
+    {
+        Op op;
+        fv::Ciphertext a;
+        fv::Ciphertext b;
+        std::promise<fv::Ciphertext> promise;
+    };
+
+    void workerLoop(size_t worker_index);
+    void validateOperand(const fv::Ciphertext &ct) const;
+
+    std::shared_ptr<const fv::FvParams> params_;
+    fv::RelinKeys rlk_;
+    ServiceConfig config_;
+    /** Prototype plans, built once; workers replay their allocation. */
+    hw::OpPlan add_plan_;
+    hw::OpPlan mult_plan_;
+
+    mutable std::mutex mu_;
+    /** Serializes concurrent shutdown() calls (thread join phase). */
+    std::mutex shutdown_mu_;
+    std::condition_variable work_cv_;
+    std::condition_variable idle_cv_;
+    std::deque<Job> queue_;
+    size_t in_flight_ = 0;
+    bool started_ = true;
+    bool stopping_ = false;
+    ServiceStats stats_;
+    /** Modeled busy time per worker (us). */
+    std::vector<double> worker_clock_us_;
+
+    /** Last member: threads must not outlive anything they touch. */
+    std::vector<std::thread> threads_;
+};
+
+} // namespace heat::service
+
+#endif // HEAT_SERVICE_SERVICE_H

@@ -202,6 +202,113 @@ TEST(Serialize, WrongPayloadKindRejected)
     EXPECT_THROW(loadCiphertext(params, ss), FatalError);
 }
 
+TEST(Serialize, RandomizedCiphertextRoundTripProperty)
+{
+    // Property: for randomized keys and plaintexts, serialize ->
+    // deserialize is the identity on ciphertexts, and the reloaded
+    // ciphertext decrypts to the same plaintext as the original.
+    for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+        auto params = smallParams(seed % 2 == 0 ? 65537 : 4);
+        KeyGenerator keygen(params, seed);
+        SecretKey sk = keygen.generateSecretKey();
+        PublicKey pk = keygen.generatePublicKey(sk);
+        Encryptor encryptor(params, pk, seed ^ 0xF00D);
+        Decryptor decryptor(params, SecretKey{sk.s_ntt});
+
+        Xoshiro256 rng(seed * 31);
+        Plaintext m;
+        m.coeffs.resize(params->degree());
+        for (auto &c : m.coeffs)
+            c = rng.uniformBelow(params->plainModulus());
+        Ciphertext ct = encryptor.encrypt(m);
+
+        std::stringstream ss;
+        saveCiphertext(*params, ct, ss);
+        Ciphertext back = loadCiphertext(params, ss);
+        EXPECT_EQ(back, ct) << "seed " << seed;
+        EXPECT_EQ(decryptor.decrypt(back), decryptor.decrypt(ct));
+    }
+}
+
+TEST(Serialize, RandomizedKeyRoundTripProperty)
+{
+    for (uint64_t seed : {7u, 8u, 9u}) {
+        auto params = smallParams();
+        KeyGenerator keygen(params, seed);
+        SecretKey sk = keygen.generateSecretKey();
+        PublicKey pk = keygen.generatePublicKey(sk);
+        RelinKeys rlk = keygen.generateRelinKeys(sk);
+
+        std::stringstream ss;
+        saveSecretKey(*params, sk, ss);
+        savePublicKey(*params, pk, ss);
+        saveRelinKeys(*params, rlk, ss);
+
+        EXPECT_EQ(loadSecretKey(params, ss).s_ntt, sk.s_ntt);
+        PublicKey pk2 = loadPublicKey(params, ss);
+        EXPECT_EQ(pk2.p0_ntt, pk.p0_ntt);
+        EXPECT_EQ(pk2.p1_ntt, pk.p1_ntt);
+        RelinKeys rlk2 = loadRelinKeys(params, ss);
+        ASSERT_EQ(rlk2.digitCount(), rlk.digitCount());
+        for (size_t i = 0; i < rlk.digitCount(); ++i) {
+            EXPECT_EQ(rlk2.keys[i][0], rlk.keys[i][0]);
+            EXPECT_EQ(rlk2.keys[i][1], rlk.keys[i][1]);
+        }
+    }
+}
+
+TEST(Serialize, TruncationAtEveryRegionRejected)
+{
+    // Sweep cut points across every region of the wire format — inside
+    // the magic, the header, and the payload, and one byte short of the
+    // end. Every truncation must fail loudly with FatalError, never
+    // return a partial object or hang.
+    auto params = smallParams();
+    KeyGenerator keygen(params, 21);
+    SecretKey sk = keygen.generateSecretKey();
+    PublicKey pk = keygen.generatePublicKey(sk);
+    Encryptor encryptor(params, pk, 22);
+    Plaintext m;
+    m.coeffs = {1, 2, 3};
+    std::stringstream ss;
+    saveCiphertext(*params, encryptor.encrypt(m), ss);
+    const std::string bytes = ss.str();
+    ASSERT_GT(bytes.size(), 32u);
+
+    const size_t cuts[] = {0,
+                           2,                    // inside the magic
+                           6,                    // inside the version
+                           14,                   // inside the fingerprint
+                           bytes.size() / 4,
+                           bytes.size() / 2,
+                           bytes.size() - 5,
+                           bytes.size() - 1};
+    for (size_t cut : cuts) {
+        std::stringstream bad(bytes.substr(0, cut));
+        EXPECT_THROW(loadCiphertext(params, bad), FatalError)
+            << "cut at " << cut << " of " << bytes.size();
+    }
+    // The untruncated buffer still loads (the sweep is the only thing
+    // failing, not the format).
+    std::stringstream good(bytes);
+    EXPECT_NO_THROW(loadCiphertext(params, good));
+}
+
+TEST(Serialize, TruncatedRelinKeysRejected)
+{
+    auto params = smallParams();
+    KeyGenerator keygen(params, 23);
+    RelinKeys rlk = keygen.generateRelinKeys(keygen.generateSecretKey());
+    std::stringstream ss;
+    saveRelinKeys(*params, rlk, ss);
+    const std::string bytes = ss.str();
+    for (size_t denom : {8u, 3u, 2u}) {
+        std::stringstream bad(bytes.substr(0, bytes.size() / denom));
+        EXPECT_THROW(loadRelinKeys(params, bad), FatalError)
+            << "kept 1/" << denom;
+    }
+}
+
 TEST(Serialize, EndToEndClientServerExchange)
 {
     // Client encrypts and serializes; server deserializes, computes,

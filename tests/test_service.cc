@@ -1,0 +1,380 @@
+/**
+ * @file
+ * Tests of the asynchronous execution service: plan value semantics
+ * (a program built on one coprocessor dispatches to any other),
+ * concurrent multi-client submission across worker-pool sizes with
+ * deterministic bit-exact results, operand validation, statistics
+ * accounting, and the shutdown-while-queued regression (cancelled
+ * futures must fail fast, never hang).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/panic.h"
+#include "common/random.h"
+#include "fv/decryptor.h"
+#include "fv/encryptor.h"
+#include "fv/evaluator.h"
+#include "fv/keygen.h"
+#include "fv/params.h"
+#include "hw/coprocessor.h"
+#include "hw/program_builder.h"
+#include "service/service.h"
+
+namespace heat::service {
+namespace {
+
+using fv::Ciphertext;
+using fv::Plaintext;
+
+struct ServiceRig
+{
+    ServiceRig()
+    {
+        fv::FvConfig cfg;
+        cfg.degree = 256;
+        cfg.plain_modulus = 4;
+        cfg.sigma = 3.2;
+        cfg.q_prime_count = 3;
+        params = fv::FvParams::create(cfg);
+        fv::KeyGenerator keygen(params, 99);
+        sk = keygen.generateSecretKey();
+        pk = keygen.generatePublicKey(sk);
+        rlk = keygen.generateRelinKeys(sk);
+        evaluator = std::make_unique<fv::Evaluator>(params);
+        hw = hw::HwConfig::paper();
+        hw.n_rpaus = (params->fullBase()->size() + 1) / 2;
+    }
+
+    ServiceConfig
+    serviceConfig(size_t workers, size_t max_batch = 4) const
+    {
+        ServiceConfig cfg;
+        cfg.workers = workers;
+        cfg.max_batch = max_batch;
+        cfg.hw = hw;
+        return cfg;
+    }
+
+    Plaintext
+    randomPlain(uint64_t seed) const
+    {
+        Xoshiro256 rng(seed);
+        Plaintext p;
+        p.coeffs.resize(params->degree());
+        for (auto &c : p.coeffs)
+            c = rng.uniformBelow(params->plainModulus());
+        return p;
+    }
+
+    std::shared_ptr<const fv::FvParams> params;
+    fv::SecretKey sk;
+    fv::PublicKey pk;
+    fv::RelinKeys rlk;
+    std::unique_ptr<fv::Evaluator> evaluator;
+    hw::HwConfig hw;
+};
+
+TEST(OpPlan, IsAValueDispatchableToAnyCoprocessor)
+{
+    ServiceRig rig;
+    // Plans built on two independent fresh coprocessors are identical
+    // values: allocation inside the memory file is deterministic.
+    hw::Coprocessor cp1(rig.params, rig.hw, &rig.rlk);
+    hw::Coprocessor cp2(rig.params, rig.hw, &rig.rlk);
+    hw::OpPlan plan1 = hw::makeMultPlan(cp1);
+    hw::OpPlan plan2 = hw::makeMultPlan(cp2);
+    EXPECT_EQ(plan1, plan2);
+
+    // A plan built elsewhere executes on a third coprocessor after its
+    // slots are replayed there.
+    fv::Encryptor encryptor(rig.params, rig.pk, 7);
+    Ciphertext x = encryptor.encrypt(rig.randomPlain(1));
+    Ciphertext y = encryptor.encrypt(rig.randomPlain(2));
+    hw::Coprocessor cp3(rig.params, rig.hw, &rig.rlk);
+    hw::preparePlanSlots(cp3, plan1);
+    hw::uploadPlanInputs(cp3, plan1, {&x[0], &x[1]}, {&y[0], &y[1]});
+    cp3.execute(plan1.program);
+    Ciphertext out;
+    out.polys.push_back(cp3.downloadPoly(plan1.program.outputs[0]));
+    out.polys.push_back(cp3.downloadPoly(plan1.program.outputs[1]));
+    EXPECT_EQ(out, rig.evaluator->multiply(x, y, rig.rlk));
+}
+
+TEST(OpPlan, ReplayOnDirtyCoprocessorPanics)
+{
+    ServiceRig rig;
+    hw::Coprocessor cp(rig.params, rig.hw, &rig.rlk);
+    hw::OpPlan plan = hw::makeAddPlan(cp);
+    // cp already hosts the plan: replaying on the non-fresh memory
+    // file must be rejected, not silently misbind slots.
+    EXPECT_THROW(hw::preparePlanSlots(cp, plan), PanicError);
+}
+
+/** Client workload: submit pairs, remember the evaluator's answers. */
+struct ClientRun
+{
+    std::vector<std::future<Ciphertext>> futures;
+    std::vector<Ciphertext> expected;
+};
+
+ClientRun
+submitMixedOps(ServiceRig &rig, ExecutionService &svc, uint64_t seed,
+               size_t ops)
+{
+    fv::Encryptor encryptor(rig.params, rig.pk, seed);
+    ClientRun run;
+    for (size_t i = 0; i < ops; ++i) {
+        Ciphertext x =
+            encryptor.encrypt(rig.randomPlain(seed * 1000 + 2 * i));
+        Ciphertext y =
+            encryptor.encrypt(rig.randomPlain(seed * 1000 + 2 * i + 1));
+        if (i % 2 == 0) {
+            run.expected.push_back(
+                rig.evaluator->multiply(x, y, rig.rlk));
+            run.futures.push_back(
+                svc.submit(Op::kMult, std::move(x), std::move(y)));
+        } else {
+            run.expected.push_back(rig.evaluator->add(x, y));
+            run.futures.push_back(
+                svc.submit(Op::kAdd, std::move(x), std::move(y)));
+        }
+    }
+    return run;
+}
+
+class ServiceMatrix
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>>
+{
+};
+
+TEST_P(ServiceMatrix, ConcurrentClientsGetBitExactResults)
+{
+    const auto [n_clients, n_workers] = GetParam();
+    ServiceRig rig;
+    ExecutionService svc(rig.params, rig.rlk,
+                         rig.serviceConfig(n_workers));
+
+    const size_t ops_per_client = 4;
+    std::vector<ClientRun> runs(n_clients);
+    std::vector<std::thread> clients;
+    for (size_t c = 0; c < n_clients; ++c) {
+        clients.emplace_back([&, c] {
+            runs[c] = submitMixedOps(rig, svc, 10 + c, ops_per_client);
+        });
+    }
+    for (std::thread &t : clients)
+        t.join();
+
+    fv::Decryptor decryptor(rig.params, fv::SecretKey{rig.sk.s_ntt});
+    for (size_t c = 0; c < n_clients; ++c) {
+        for (size_t i = 0; i < runs[c].futures.size(); ++i) {
+            Ciphertext got = runs[c].futures[i].get();
+            // Results are deterministic — bit-exact against the
+            // software evaluator — regardless of which worker ran the
+            // op or how ops were batched.
+            EXPECT_EQ(got, runs[c].expected[i])
+                << "client " << c << " op " << i;
+            EXPECT_EQ(decryptor.decrypt(got),
+                      decryptor.decrypt(runs[c].expected[i]));
+        }
+    }
+    svc.drain();
+    ServiceStats stats = svc.stats();
+    EXPECT_EQ(stats.ops_completed, n_clients * ops_per_client);
+    EXPECT_EQ(stats.ops_rejected, 0u);
+    EXPECT_GE(stats.batches, 1u);
+    EXPECT_GT(stats.makespan_us, 0.0);
+    EXPECT_GT(stats.modeledOpsPerSecond(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ClientsByWorkers, ServiceMatrix,
+    ::testing::Values(std::make_pair(2u, 1u), std::make_pair(2u, 4u),
+                      std::make_pair(8u, 1u), std::make_pair(8u, 4u)));
+
+TEST(Service, ResultsIdenticalAcrossWorkerCounts)
+{
+    ServiceRig rig;
+    std::vector<std::vector<Ciphertext>> outcomes;
+    for (size_t workers : {1u, 4u}) {
+        ExecutionService svc(rig.params, rig.rlk,
+                             rig.serviceConfig(workers, 2));
+        ClientRun run = submitMixedOps(rig, svc, 5, 6);
+        std::vector<Ciphertext> results;
+        for (auto &f : run.futures)
+            results.push_back(f.get());
+        outcomes.push_back(std::move(results));
+    }
+    ASSERT_EQ(outcomes[0].size(), outcomes[1].size());
+    for (size_t i = 0; i < outcomes[0].size(); ++i)
+        EXPECT_EQ(outcomes[0][i], outcomes[1][i]) << "op " << i;
+}
+
+TEST(Service, ShutdownWhileQueuedFailsFuturesFast)
+{
+    // Regression: jobs still queued at shutdown must fail with
+    // ServiceStoppedError — nothing may hang, and accounting must add
+    // up. The service starts paused so the queue is provably deep when
+    // shutdown runs.
+    ServiceRig rig;
+    ServiceConfig cfg = rig.serviceConfig(1, /*max_batch=*/1);
+    cfg.start_paused = true;
+    ExecutionService svc(rig.params, rig.rlk, cfg);
+
+    fv::Encryptor encryptor(rig.params, rig.pk, 31);
+    const size_t submitted = 24;
+    std::vector<std::future<Ciphertext>> futures;
+    for (size_t i = 0; i < submitted; ++i) {
+        futures.push_back(svc.submit(
+            Op::kMult, encryptor.encrypt(rig.randomPlain(2 * i)),
+            encryptor.encrypt(rig.randomPlain(2 * i + 1))));
+    }
+    EXPECT_EQ(svc.queueDepth(), submitted);
+    svc.shutdown();
+    EXPECT_TRUE(svc.stopped());
+
+    size_t completed = 0, rejected = 0;
+    for (auto &f : futures) {
+        try {
+            f.get();
+            ++completed;
+        } catch (const ServiceStoppedError &) {
+            ++rejected;
+        }
+    }
+    EXPECT_EQ(completed + rejected, submitted);
+    EXPECT_GE(rejected, 1u) << "queue should not have drained before "
+                               "shutdown with a single serial worker";
+    ServiceStats stats = svc.stats();
+    EXPECT_EQ(stats.ops_completed, completed);
+    EXPECT_EQ(stats.ops_rejected, rejected);
+
+    // Submitting after shutdown is refused synchronously.
+    EXPECT_THROW(svc.submit(Op::kAdd,
+                            encryptor.encrypt(rig.randomPlain(100)),
+                            encryptor.encrypt(rig.randomPlain(101))),
+                 ServiceStoppedError);
+}
+
+TEST(Service, ShutdownIsIdempotentAndDestructorSafe)
+{
+    ServiceRig rig;
+    fv::Encryptor encryptor(rig.params, rig.pk, 37);
+    std::future<Ciphertext> orphan;
+    {
+        ExecutionService svc(rig.params, rig.rlk,
+                             rig.serviceConfig(1, 1));
+        for (int i = 0; i < 6; ++i) {
+            orphan = svc.submit(
+                Op::kMult, encryptor.encrypt(rig.randomPlain(50 + i)),
+                encryptor.encrypt(rig.randomPlain(60 + i)));
+        }
+        svc.shutdown();
+        svc.shutdown(); // idempotent
+    } // destructor runs shutdown again
+    // The last-submitted future resolved one way or the other.
+    EXPECT_NO_THROW({
+        try {
+            orphan.get();
+        } catch (const ServiceStoppedError &) {
+        }
+    });
+}
+
+TEST(Service, DrainWaitsForQueuedWork)
+{
+    ServiceRig rig;
+    ExecutionService svc(rig.params, rig.rlk, rig.serviceConfig(2));
+    fv::Encryptor encryptor(rig.params, rig.pk, 41);
+    std::vector<std::future<Ciphertext>> futures;
+    for (int i = 0; i < 6; ++i) {
+        futures.push_back(svc.submit(
+            Op::kAdd, encryptor.encrypt(rig.randomPlain(70 + i)),
+            encryptor.encrypt(rig.randomPlain(80 + i))));
+    }
+    svc.drain();
+    EXPECT_EQ(svc.queueDepth(), 0u);
+    for (auto &f : futures) {
+        EXPECT_EQ(f.wait_for(std::chrono::seconds(0)),
+                  std::future_status::ready);
+    }
+}
+
+TEST(Service, MalformedOperandsRejectedSynchronously)
+{
+    ServiceRig rig;
+    ExecutionService svc(rig.params, rig.rlk, rig.serviceConfig(1));
+    fv::Encryptor encryptor(rig.params, rig.pk, 43);
+    Ciphertext good = encryptor.encrypt(rig.randomPlain(1));
+
+    Ciphertext three = good;
+    three.polys.push_back(good[0]);
+    EXPECT_THROW(svc.submit(Op::kAdd, three, good), FatalError);
+
+    // Mismatched parameter set (different q-base size).
+    fv::FvConfig other_cfg;
+    other_cfg.degree = 256;
+    other_cfg.plain_modulus = 4;
+    other_cfg.sigma = 3.2;
+    other_cfg.q_prime_count = 4;
+    auto other = fv::FvParams::create(other_cfg);
+    fv::KeyGenerator other_keygen(other, 1);
+    fv::Encryptor other_encryptor(
+        other, other_keygen.generatePublicKey(
+                   other_keygen.generateSecretKey()),
+        2);
+    Ciphertext alien = other_encryptor.encrypt(rig.randomPlain(2));
+    EXPECT_THROW(svc.submit(Op::kAdd, alien, alien), FatalError);
+}
+
+TEST(Service, RejectsMismatchedRelinKeys)
+{
+    ServiceRig rig;
+    fv::KeyGenerator keygen(rig.params, 3);
+    fv::SecretKey sk = keygen.generateSecretKey();
+    fv::RelinKeys positional =
+        keygen.generatePositionalRelinKeys(sk, 45);
+    EXPECT_THROW(ExecutionService(rig.params, positional,
+                                  rig.serviceConfig(1)),
+                 FatalError);
+}
+
+TEST(Service, BatchingAmortisesModeledDispatch)
+{
+    // Same 8-Mult workload, batch sizes 1 vs 8: the batched service's
+    // modeled makespan must be strictly smaller (back-to-back programs
+    // overlap the per-instruction Arm dispatch with compute). The
+    // services start paused so the whole workload is queued before the
+    // worker's first dequeue — batching width is then deterministic.
+    ServiceRig rig;
+    double makespan[2];
+    int idx = 0;
+    for (size_t batch : {1u, 8u}) {
+        ServiceConfig cfg = rig.serviceConfig(1, batch);
+        cfg.start_paused = true;
+        ExecutionService svc(rig.params, rig.rlk, cfg);
+        fv::Encryptor encryptor(rig.params, rig.pk, 47);
+        std::vector<std::future<Ciphertext>> futures;
+        for (int i = 0; i < 8; ++i) {
+            futures.push_back(svc.submit(
+                Op::kMult, encryptor.encrypt(rig.randomPlain(i)),
+                encryptor.encrypt(rig.randomPlain(100 + i))));
+        }
+        svc.start();
+        for (auto &f : futures)
+            f.get();
+        svc.drain();
+        makespan[idx++] = svc.stats().makespan_us;
+    }
+    EXPECT_LT(makespan[1], makespan[0]);
+}
+
+} // namespace
+} // namespace heat::service
