@@ -1,0 +1,286 @@
+#include "compiler/circuit.h"
+
+#include <utility>
+
+#include "common/panic.h"
+
+namespace heat::compiler {
+
+const char *
+nodeKindName(NodeKind kind)
+{
+    switch (kind) {
+      case NodeKind::kInput:
+        return "Input";
+      case NodeKind::kAdd:
+        return "Add";
+      case NodeKind::kSub:
+        return "Sub";
+      case NodeKind::kNegate:
+        return "Negate";
+      case NodeKind::kAddPlain:
+        return "AddPlain";
+      case NodeKind::kMultPlain:
+        return "MultPlain";
+      case NodeKind::kMult:
+        return "Mult";
+      case NodeKind::kSquare:
+        return "Square";
+      case NodeKind::kRelin:
+        return "Relin";
+    }
+    panic("unknown node kind");
+}
+
+int
+nodeArgCount(NodeKind kind)
+{
+    switch (kind) {
+      case NodeKind::kInput:
+        return 0;
+      case NodeKind::kAdd:
+      case NodeKind::kSub:
+      case NodeKind::kMult:
+        return 2;
+      default:
+        return 1;
+    }
+}
+
+namespace {
+
+bool
+isThreeElement(NodeKind kind)
+{
+    return kind == NodeKind::kMult || kind == NodeKind::kSquare;
+}
+
+} // namespace
+
+size_t
+Circuit::valueSize(ValueId v) const
+{
+    panicIf(v >= nodes.size(), "value id out of range");
+    return isThreeElement(nodes[v].kind) ? 3 : 2;
+}
+
+void
+Circuit::validate() const
+{
+    fatalIf(outputs.empty(), "circuit has no outputs");
+    fatalIf(nodes.empty(), "circuit has no nodes");
+
+    size_t seen_inputs = 0;
+    std::vector<int> relin_consumers(nodes.size(), 0);
+    std::vector<int> other_consumers(nodes.size(), 0);
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        const CircuitNode &node = nodes[i];
+        if (node.kind == NodeKind::kInput) {
+            fatalIf(seen_inputs >= inputs.size() ||
+                        inputs[seen_inputs] != static_cast<ValueId>(i),
+                    "circuit input list does not match the input nodes");
+            ++seen_inputs;
+        }
+        for (int a = 0; a < nodeArgCount(node.kind); ++a) {
+            const ValueId arg = node.args[a];
+            fatalIf(arg >= i, "node ", i, " (", nodeKindName(node.kind),
+                    ") uses value ", arg,
+                    " that is not defined before it");
+            if (node.kind == NodeKind::kRelin)
+                ++relin_consumers[arg];
+            else
+                ++other_consumers[arg];
+            const bool needs3 = node.kind == NodeKind::kRelin;
+            fatalIf((valueSize(arg) == 3) != needs3, "node ", i, " (",
+                    nodeKindName(node.kind), ") cannot consume the ",
+                    valueSize(arg), "-element value ", arg,
+                    needs3 ? " (relinearize expects a 3-element value)"
+                           : " (relinearize it first)");
+        }
+        if (node.kind == NodeKind::kAddPlain ||
+            node.kind == NodeKind::kMultPlain) {
+            fatalIf(node.plain < 0 ||
+                        static_cast<size_t>(node.plain) >= plains.size(),
+                    "node ", i, " references plaintext ", node.plain,
+                    " outside the constant pool");
+        }
+    }
+    fatalIf(seen_inputs != inputs.size(),
+            "circuit input list does not match the input nodes");
+
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        if (!isThreeElement(nodes[i].kind))
+            continue;
+        fatalIf(relin_consumers[i] > 1, "3-element value ", i,
+                " feeds more than one relinearization");
+        fatalIf(other_consumers[i] > 0, "3-element value ", i,
+                " must be relinearized before other use");
+    }
+
+    for (ValueId out : outputs)
+        fatalIf(out >= nodes.size(), "output value ", out,
+                " is not defined");
+}
+
+ValueId
+CircuitBuilder::addNode(NodeKind kind, ValueId a, ValueId b, int32_t plain)
+{
+    CircuitNode node;
+    node.kind = kind;
+    node.args = {a, b};
+    node.plain = plain;
+    for (int i = 0; i < nodeArgCount(kind); ++i)
+        fatalIf(node.args[i] >= circuit_.nodes.size(),
+                nodeKindName(kind), " uses an undefined value");
+    circuit_.nodes.push_back(node);
+    return static_cast<ValueId>(circuit_.nodes.size() - 1);
+}
+
+ValueId
+CircuitBuilder::input()
+{
+    const ValueId v = addNode(NodeKind::kInput, kNoValue, kNoValue, -1);
+    circuit_.inputs.push_back(v);
+    return v;
+}
+
+ValueId
+CircuitBuilder::add(ValueId a, ValueId b)
+{
+    return addNode(NodeKind::kAdd, a, b, -1);
+}
+
+ValueId
+CircuitBuilder::sub(ValueId a, ValueId b)
+{
+    return addNode(NodeKind::kSub, a, b, -1);
+}
+
+ValueId
+CircuitBuilder::negate(ValueId a)
+{
+    return addNode(NodeKind::kNegate, a, kNoValue, -1);
+}
+
+ValueId
+CircuitBuilder::addPlain(ValueId a, fv::Plaintext plain)
+{
+    circuit_.plains.push_back(std::move(plain));
+    return addNode(NodeKind::kAddPlain, a, kNoValue,
+                   static_cast<int32_t>(circuit_.plains.size() - 1));
+}
+
+ValueId
+CircuitBuilder::multPlain(ValueId a, fv::Plaintext plain)
+{
+    circuit_.plains.push_back(std::move(plain));
+    return addNode(NodeKind::kMultPlain, a, kNoValue,
+                   static_cast<int32_t>(circuit_.plains.size() - 1));
+}
+
+ValueId
+CircuitBuilder::multNoRelin(ValueId a, ValueId b)
+{
+    // A value tensored with itself is a square; routing it here keeps
+    // the hardware schedule (2 lifts, not 4) and the reference
+    // semantics (multiply(x, x) == square(x)) aligned.
+    if (a == b)
+        return squareNoRelin(a);
+    return addNode(NodeKind::kMult, a, b, -1);
+}
+
+ValueId
+CircuitBuilder::squareNoRelin(ValueId a)
+{
+    return addNode(NodeKind::kSquare, a, kNoValue, -1);
+}
+
+ValueId
+CircuitBuilder::relinearize(ValueId a)
+{
+    return addNode(NodeKind::kRelin, a, kNoValue, -1);
+}
+
+void
+CircuitBuilder::output(ValueId v)
+{
+    fatalIf(v >= circuit_.nodes.size(), "output of an undefined value");
+    for (ValueId existing : circuit_.outputs) {
+        if (existing == v)
+            return;
+    }
+    circuit_.outputs.push_back(v);
+}
+
+Circuit
+CircuitBuilder::build()
+{
+    Circuit circuit = std::move(circuit_);
+    circuit_ = Circuit{};
+    circuit.validate();
+    return circuit;
+}
+
+std::vector<fv::Ciphertext>
+evaluateCircuit(const fv::Evaluator &evaluator, const fv::RelinKeys *rlk,
+                const Circuit &circuit,
+                std::span<const fv::Ciphertext> inputs)
+{
+    circuit.validate();
+    fatalIf(inputs.size() != circuit.inputs.size(),
+            "circuit expects ", circuit.inputs.size(), " inputs, got ",
+            inputs.size());
+
+    std::vector<fv::Ciphertext> values(circuit.nodes.size());
+    size_t next_input = 0;
+    for (size_t i = 0; i < circuit.nodes.size(); ++i) {
+        const CircuitNode &node = circuit.nodes[i];
+        const ValueId a = node.args[0];
+        const ValueId b = node.args[1];
+        switch (node.kind) {
+          case NodeKind::kInput:
+            values[i] = inputs[next_input++];
+            break;
+          case NodeKind::kAdd:
+            values[i] = evaluator.add(values[a], values[b]);
+            break;
+          case NodeKind::kSub:
+            values[i] = evaluator.sub(values[a], values[b]);
+            break;
+          case NodeKind::kNegate:
+            values[i] = values[a];
+            evaluator.negateInPlace(values[i]);
+            break;
+          case NodeKind::kAddPlain:
+            values[i] = values[a];
+            evaluator.addPlainInPlace(values[i],
+                                      circuit.plains[node.plain]);
+            break;
+          case NodeKind::kMultPlain:
+            values[i] = evaluator.multiplyPlain(
+                values[a], circuit.plains[node.plain]);
+            break;
+          case NodeKind::kMult:
+            values[i] =
+                evaluator.multiplyNoRelin(values[a], values[b]);
+            break;
+          case NodeKind::kSquare:
+            values[i] = evaluator.multiplyNoRelin(values[a], values[a]);
+            break;
+          case NodeKind::kRelin:
+            fatalIf(rlk == nullptr,
+                    "circuit relinearizes but no keys were given");
+            values[i] = values[a];
+            evaluator.relinearizeInPlace(values[i], *rlk);
+            break;
+        }
+    }
+
+    std::vector<fv::Ciphertext> outputs;
+    outputs.reserve(circuit.outputs.size());
+    for (ValueId out : circuit.outputs)
+        outputs.push_back(values[out]);
+    return outputs;
+}
+
+} // namespace heat::compiler

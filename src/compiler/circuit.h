@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Ciphertext-level expression DAGs.
+ *
+ * A Circuit is a straight-line SSA program over encrypted values: node
+ * i defines value i, inputs are explicit nodes, and plaintext operands
+ * live in a constant pool. CircuitBuilder is the user-facing way to
+ * grow one; fv::Evaluator provides the scalar reference semantics of
+ * every node kind, and evaluateCircuit() runs a circuit op-by-op
+ * through it — the golden model the hardware compiler (compiler.h) is
+ * differentially tested against.
+ *
+ * Multiplication is split FV-style: kMult/kSquare produce a 3-element
+ * ciphertext (the scaled tensor), kRelin reduces it back to 2 elements.
+ * The builder's mult()/square() conveniences chain both. A 3-element
+ * value may feed exactly one kRelin node and/or be a circuit output;
+ * every other use is rejected by validate() — which is what lets the
+ * hardware compiler always fuse the relinearization tail into its
+ * producer's schedule (the digit broadcast during Scale writeback is
+ * free, materializing WordDecomp digits for a *detached* consumer is
+ * not an ISA operation).
+ */
+
+#ifndef HEAT_COMPILER_CIRCUIT_H
+#define HEAT_COMPILER_CIRCUIT_H
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fv/evaluator.h"
+#include "fv/keys.h"
+
+namespace heat::compiler {
+
+/** Identifier of a circuit value (the index of its defining node). */
+using ValueId = uint32_t;
+
+/** Sentinel for "no value". */
+constexpr ValueId kNoValue = ~ValueId(0);
+
+/** Circuit node kinds (each mirrors one fv::Evaluator operation). */
+enum class NodeKind : uint8_t
+{
+    kInput,     ///< external ciphertext (size 2)
+    kAdd,       ///< FV.Add
+    kSub,       ///< FV.Sub
+    kNegate,    ///< negation
+    kAddPlain,  ///< ct + Delta * plain
+    kMultPlain, ///< ct * plain (NTT pointwise, no relinearization)
+    kMult,      ///< tensor + scale: 3-element result (no relin)
+    kSquare,    ///< tensor of a value with itself: 3-element result
+    kRelin      ///< relinearize a 3-element value back to 2 elements
+};
+
+/** @return a printable name. */
+const char *nodeKindName(NodeKind kind);
+
+/** @return ciphertext operand count of a node kind (0, 1 or 2). */
+int nodeArgCount(NodeKind kind);
+
+/** One node: the operation defining one value. */
+struct CircuitNode
+{
+    NodeKind kind = NodeKind::kInput;
+    /** Operand values (unused entries are kNoValue). */
+    std::array<ValueId, 2> args{kNoValue, kNoValue};
+    /** Index into Circuit::plains (kAddPlain/kMultPlain only). */
+    int32_t plain = -1;
+
+    bool operator==(const CircuitNode &o) const = default;
+};
+
+/** A whole expression DAG in topological (definition) order. */
+struct Circuit
+{
+    /** Node i defines value i; arguments always precede their uses. */
+    std::vector<CircuitNode> nodes;
+    /** Plaintext constant pool. */
+    std::vector<fv::Plaintext> plains;
+    /** Input values in submission order. */
+    std::vector<ValueId> inputs;
+    /** Values the caller wants back (download set). */
+    std::vector<ValueId> outputs;
+
+    /** @return ciphertext element count of @p v (3 for kMult/kSquare). */
+    size_t valueSize(ValueId v) const;
+
+    /** @return number of non-input nodes. */
+    size_t opCount() const { return nodes.size() - inputs.size(); }
+
+    /**
+     * Check structural well-formedness: topological argument order,
+     * operand sizes (element-wise ops take 2-element values, kRelin a
+     * 3-element one), at most one kRelin consumer per 3-element value
+     * and no other consumers besides the output set, valid plain
+     * indices, at least one output. Throws FatalError on violation.
+     */
+    void validate() const;
+};
+
+/** Incrementally grows a Circuit. */
+class CircuitBuilder
+{
+  public:
+    /** Declare the next external ciphertext input. */
+    ValueId input();
+
+    ValueId add(ValueId a, ValueId b);
+    ValueId sub(ValueId a, ValueId b);
+    ValueId negate(ValueId a);
+    ValueId addPlain(ValueId a, fv::Plaintext plain);
+    ValueId multPlain(ValueId a, fv::Plaintext plain);
+
+    /** Tensor + scale without relinearization: a 3-element value. */
+    ValueId multNoRelin(ValueId a, ValueId b);
+
+    /** Square without relinearization: a 3-element value. */
+    ValueId squareNoRelin(ValueId a);
+
+    /** Relinearize a 3-element value back to 2 elements. */
+    ValueId relinearize(ValueId a);
+
+    /** multNoRelin + relinearize. */
+    ValueId
+    mult(ValueId a, ValueId b)
+    {
+        return relinearize(multNoRelin(a, b));
+    }
+
+    /** squareNoRelin + relinearize. */
+    ValueId
+    square(ValueId a)
+    {
+        return relinearize(squareNoRelin(a));
+    }
+
+    /** Mark @p v as a circuit output (download set; idempotent). */
+    void output(ValueId v);
+
+    /** Validate and return the finished circuit (builder is reset). */
+    Circuit build();
+
+    /** @return nodes added so far. */
+    size_t size() const { return circuit_.nodes.size(); }
+
+  private:
+    ValueId addNode(NodeKind kind, ValueId a, ValueId b, int32_t plain);
+
+    Circuit circuit_;
+};
+
+/**
+ * Scalar reference semantics: run @p circuit op-by-op through
+ * @p evaluator, returning the output ciphertexts in output order.
+ * @p rlk may be null only if the circuit contains no kRelin node.
+ */
+std::vector<fv::Ciphertext> evaluateCircuit(
+    const fv::Evaluator &evaluator, const fv::RelinKeys *rlk,
+    const Circuit &circuit, std::span<const fv::Ciphertext> inputs);
+
+} // namespace heat::compiler
+
+#endif // HEAT_COMPILER_CIRCUIT_H

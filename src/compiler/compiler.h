@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Circuit compiler: lowers a whole ciphertext expression DAG into one
+ * fused coprocessor program with coprocessor-resident intermediates.
+ *
+ * The single-op serving path round-trips every ciphertext through the
+ * host: upload operands, dispatch each instruction from the Arm, and
+ * download the result — per operation. compileCircuit() instead
+ * schedules the circuit's nodes topologically into segments of one
+ * straight-line hw::Program each, allocating memory-file slots by
+ * liveness (a value's slots are reclaimed at its last use, so deep
+ * circuits reuse the slots of dead intermediates) against a
+ * CountingAllocator — pure accounting, so compilation never touches a
+ * real coprocessor and the result can run on any worker that replays
+ * the recorded slot actions.
+ *
+ * When the live set exceeds the memory file (n_rpaus * slots_per_rpau
+ * slots), the compiler spills: the live value with the farthest next
+ * use is DMA'd back to the host (a download appended to the current
+ * segment) and its slots are reused; the reload later opens a new
+ * segment, because uploads must precede a segment's instruction
+ * stream. A circuit that fits on chip therefore compiles to exactly
+ * one segment — inputs uploaded once, one Arm dispatch for the whole
+ * instruction stream (DispatchMode::kFusedProgram), and only live
+ * outputs downloaded; each spill adds one host round trip.
+ */
+
+#ifndef HEAT_COMPILER_COMPILER_H
+#define HEAT_COMPILER_COMPILER_H
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "compiler/circuit.h"
+#include "fv/params.h"
+#include "hw/coprocessor.h"
+#include "hw/isa.h"
+#include "hw/memory_file.h"
+
+namespace heat::compiler {
+
+/** Compilation tunables. */
+struct CompilerOptions
+{
+    /** Target hardware configuration (slot capacity, clocks). */
+    hw::HwConfig hw = hw::HwConfig::paper();
+};
+
+/** One host<->coprocessor polynomial transfer. */
+struct Transfer
+{
+    enum class Source : uint8_t
+    {
+        kValue,   ///< a circuit value's polynomial
+        kConstant ///< an encoded plaintext from the constant pool
+    };
+
+    Source source = Source::kValue;
+    /** ValueId, or index into CompiledCircuit::constants. */
+    uint32_t index = 0;
+    /** Polynomial within the value (always 0 for constants). */
+    uint32_t poly = 0;
+    /** Memory-file slot. */
+    hw::PolyId slot = hw::kNoPoly;
+
+    bool operator==(const Transfer &o) const = default;
+};
+
+/**
+ * One dispatch unit: uploads staged before the program runs, a fused
+ * straight-line instruction stream, downloads (spill stores and final
+ * outputs) after it completes.
+ */
+struct Segment
+{
+    std::vector<Transfer> uploads;
+    hw::Program program;
+    std::vector<Transfer> downloads;
+};
+
+/**
+ * A lowered circuit: segments plus the slot-action log that replays
+ * the compiler's deterministic memory-file allocation on any freshly
+ * reset coprocessor. A plain value — share it across workers.
+ */
+struct CompiledCircuit
+{
+    std::shared_ptr<const fv::FvParams> params;
+    hw::HwConfig hw;
+
+    std::vector<Segment> segments;
+    /** Allocation log; replaySlotActions() materializes the slots. */
+    std::vector<hw::SlotAction> slot_actions;
+    /** Host-encoded plaintext operands (uploaded like inputs). */
+    std::vector<ntt::RnsPoly> constants;
+
+    /** Input values in submission order. */
+    std::vector<ValueId> inputs;
+    /** Output values in download order. */
+    std::vector<ValueId> outputs;
+    /** Ciphertext element count per value id. */
+    std::vector<uint32_t> value_sizes;
+
+    // --- compile-time accounting ---------------------------------------
+    /** Memory-file high-water mark (slots). */
+    size_t peak_slots = 0;
+    /** Polynomials DMA'd back to the host under slot pressure. */
+    size_t spilled_polys = 0;
+    /** Polynomials re-uploaded after a spill. */
+    size_t reloaded_polys = 0;
+
+    /** @return total instruction count across segments. */
+    size_t instructionCount() const;
+};
+
+/**
+ * Lower @p circuit for the hardware configuration in @p options.
+ * Throws FatalError when the circuit is malformed or a single node
+ * cannot fit the memory file even after spilling everything else
+ * (the message reports the slot pressure and the requesting op).
+ */
+CompiledCircuit compileCircuit(std::shared_ptr<const fv::FvParams> params,
+                               const Circuit &circuit,
+                               const CompilerOptions &options = {});
+
+/** Modeled cost of one circuit execution. */
+struct CircuitRunStats
+{
+    hw::Cycle fpga_cycles = 0;
+    double dma_us = 0.0;
+    double host_us = 0.0;
+    uint64_t instructions = 0;
+    /** Arm dispatches charged (fused: one per segment's program). */
+    uint64_t dispatches = 0;
+    size_t segments = 0;
+    size_t uploaded_polys = 0;
+    size_t downloaded_polys = 0;
+
+    /** Modeled end-to-end time (us). */
+    double
+    modeledUs(const hw::HwConfig &config) const
+    {
+        return config.cyclesToUs(fpga_cycles) + dma_us + host_us;
+    }
+};
+
+/**
+ * Execute a compiled circuit on @p cp (which must hold the matching
+ * relinearization keys when the circuit relinearizes). Resets the
+ * coprocessor, replays the slot actions, then runs every segment:
+ * upload, one fused dispatch, download. Returns the output
+ * ciphertexts in output order; bit-exact with evaluateCircuit() over
+ * the HPS evaluator.
+ */
+std::vector<fv::Ciphertext> runCompiledCircuit(
+    hw::Coprocessor &cp, const CompiledCircuit &compiled,
+    std::span<const fv::Ciphertext> inputs,
+    CircuitRunStats *stats = nullptr);
+
+/**
+ * Reference execution model of the *unfused* serving path: every node
+ * becomes its own host round trip (operands uploaded, the node's
+ * program dispatched per instruction, results downloaded), with a
+ * kRelin folded into its producer like the single-op Mult plan.
+ * Functionally identical to runCompiledCircuit(); the modeled time is
+ * what circuit fusion is benchmarked against.
+ */
+std::vector<fv::Ciphertext> runCircuitOpByOp(
+    hw::Coprocessor &cp, std::shared_ptr<const fv::FvParams> params,
+    const Circuit &circuit, std::span<const fv::Ciphertext> inputs,
+    CircuitRunStats *stats = nullptr);
+
+} // namespace heat::compiler
+
+#endif // HEAT_COMPILER_COMPILER_H

@@ -43,19 +43,16 @@ Evaluator::negateInPlace(Ciphertext &a) const
         poly.negateInPlace();
 }
 
-namespace {
-
-/** Delta * plain embedded in R_q (coefficient form). */
 ntt::RnsPoly
-scalePlain(const FvParams &params, const Plaintext &plain)
+Evaluator::scaledPlain(const Plaintext &plain) const
 {
-    fatalIf(plain.coeffs.size() > params.degree(), "plaintext too long");
-    const auto &base = params.qBase();
-    ntt::RnsPoly poly(base, params.degree(), ntt::PolyForm::kCoeff);
-    const uint64_t t = params.plainModulus();
+    fatalIf(plain.coeffs.size() > params_->degree(), "plaintext too long");
+    const auto &base = params_->qBase();
+    ntt::RnsPoly poly(base, params_->degree(), ntt::PolyForm::kCoeff);
+    const uint64_t t = params_->plainModulus();
     for (size_t i = 0; i < base->size(); ++i) {
         const rns::Modulus &q_i = base->modulus(i);
-        const uint64_t d = params.deltaResidues()[i];
+        const uint64_t d = params_->deltaResidues()[i];
         auto r = poly.residue(i);
         for (size_t j = 0; j < plain.coeffs.size(); ++j)
             r[j] = q_i.mul(d, plain.coeffs[j] % t);
@@ -63,35 +60,40 @@ scalePlain(const FvParams &params, const Plaintext &plain)
     return poly;
 }
 
-} // namespace
+ntt::RnsPoly
+Evaluator::embeddedPlain(const Plaintext &plain) const
+{
+    fatalIf(plain.coeffs.size() > params_->degree(), "plaintext too long");
+    const auto &base = params_->qBase();
+    ntt::RnsPoly poly(base, params_->degree(), ntt::PolyForm::kCoeff);
+    const uint64_t t = params_->plainModulus();
+    for (size_t i = 0; i < base->size(); ++i) {
+        auto r = poly.residue(i);
+        const rns::Modulus &q_i = base->modulus(i);
+        for (size_t j = 0; j < plain.coeffs.size(); ++j)
+            r[j] = q_i.reduce(plain.coeffs[j] % t);
+    }
+    return poly;
+}
 
 void
 Evaluator::addPlainInPlace(Ciphertext &ct, const Plaintext &plain) const
 {
-    ct[0].addInPlace(scalePlain(*params_, plain));
+    ct[0].addInPlace(scaledPlain(plain));
 }
 
 void
 Evaluator::subPlainInPlace(Ciphertext &ct, const Plaintext &plain) const
 {
-    ct[0].subInPlace(scalePlain(*params_, plain));
+    ct[0].subInPlace(scaledPlain(plain));
 }
 
 Ciphertext
 Evaluator::multiplyPlain(const Ciphertext &ct, const Plaintext &plain) const
 {
-    fatalIf(plain.coeffs.size() > params_->degree(), "plaintext too long");
     // Embed the plaintext unscaled in R_q and multiply both ciphertext
     // polynomials by it in the NTT domain.
-    const auto &base = params_->qBase();
-    ntt::RnsPoly p(base, params_->degree(), ntt::PolyForm::kCoeff);
-    const uint64_t t = params_->plainModulus();
-    for (size_t i = 0; i < base->size(); ++i) {
-        auto r = p.residue(i);
-        const rns::Modulus &q_i = base->modulus(i);
-        for (size_t j = 0; j < plain.coeffs.size(); ++j)
-            r[j] = q_i.reduce(plain.coeffs[j] % t);
-    }
+    ntt::RnsPoly p = embeddedPlain(plain);
     p.toNtt(params_->qContext());
 
     Ciphertext out = ct;

@@ -117,6 +117,19 @@ class Evaluator
     Ciphertext sumAllSlots(const Ciphertext &ct,
                            const GaloisKeys &gkeys) const;
 
+    // --- plaintext encodings (public: the circuit compiler mirrors
+    //     these when it lowers plain-operand nodes to the hardware) ----
+
+    /** Delta * plain embedded in R_q, coefficient form — the polynomial
+     *  added to c0 by addPlainInPlace (and by the hardware AddPlain
+     *  schedule, which uploads it as a constant operand). */
+    ntt::RnsPoly scaledPlain(const Plaintext &plain) const;
+
+    /** plain embedded unscaled in R_q, coefficient form — the NTT-domain
+     *  multiplicand of multiplyPlain (and the hardware MultPlain
+     *  schedule's constant operand). */
+    ntt::RnsPoly embeddedPlain(const Plaintext &plain) const;
+
     // --- FV.Mult building blocks (public: golden models for the HW) -----
 
     /** Lift q->Q: extend a coefficient-form q polynomial to the full

@@ -21,28 +21,38 @@ ArmHostModel::ciphertextBytes() const
 }
 
 double
-ArmHostModel::sendCiphertextsUs(size_t count) const
+ArmHostModel::sendPolysUs(size_t count) const
 {
     // Coefficients live in contiguous memory (Sec. V-D), so each
     // polynomial moves as one single-descriptor burst; the host adds a
     // fixed staging cost per polynomial.
     const double per_poly =
         dma_.transferUs(polyBytes()) + config_.host_transfer_setup_us;
-    return static_cast<double>(2 * count) * per_poly;
+    return static_cast<double>(count) * per_poly;
+}
+
+double
+ArmHostModel::receivePolysUs(size_t count) const
+{
+    return sendPolysUs(count); // symmetric single-burst transfers
+}
+
+double
+ArmHostModel::sendCiphertextsUs(size_t count) const
+{
+    return sendPolysUs(2 * count);
 }
 
 double
 ArmHostModel::receiveCiphertextUs() const
 {
-    const double per_poly =
-        dma_.transferUs(polyBytes()) + config_.host_transfer_setup_us;
-    return 2.0 * per_poly;
+    return receivePolysUs(2);
 }
 
 double
 ArmHostModel::receiveCiphertextsUs(size_t count) const
 {
-    return static_cast<double>(count) * receiveCiphertextUs();
+    return receivePolysUs(2 * count);
 }
 
 double

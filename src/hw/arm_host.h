@@ -36,6 +36,13 @@ class ArmHostModel
     /** Bytes of one q polynomial. */
     size_t polyBytes() const;
 
+    /** Time to send @p count q polynomials to the coprocessor (us) —
+     *  one single-descriptor DMA burst plus staging each. */
+    double sendPolysUs(size_t count) const;
+
+    /** Time to receive @p count q polynomials back (us). */
+    double receivePolysUs(size_t count) const;
+
     /** Time to send @p count ciphertexts to the coprocessor (us). */
     double sendCiphertextsUs(size_t count) const;
 

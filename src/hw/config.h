@@ -84,6 +84,8 @@ struct HwConfig
     /** Host staging overhead per polynomial transfer (us). */
     double host_transfer_setup_us = 14.0;
 
+    bool operator==(const HwConfig &o) const = default;
+
     // --- factories ---------------------------------------------------------
 
     /** The faster coprocessor of the paper (HPS, 200 MHz). */

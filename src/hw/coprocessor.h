@@ -71,11 +71,21 @@ class Coprocessor
     /** Download a result polynomial. */
     ntt::RnsPoly downloadPoly(PolyId id) const;
 
-    /** Execute a program; returns its statistics. */
-    ExecStats execute(const Program &program);
+    /**
+     * Execute a program; returns its statistics. In kPerInstruction
+     * mode every instruction carries the Arm dispatch overhead (the
+     * paper's measured Table II costs); in kFusedProgram mode the whole
+     * instruction stream is queued with a single dispatch — the circuit
+     * compiler's fused execution model.
+     */
+    ExecStats execute(const Program &program,
+                      DispatchMode mode = DispatchMode::kPerInstruction);
 
     /** Cycle cost of one instruction (dispatch overhead included). */
     Cycle instructionCycles(const Instruction &instr) const;
+
+    /** Pure block-model cycle cost (no dispatch overhead). */
+    Cycle instructionComputeCycles(const Instruction &instr) const;
 
     /** DMA microseconds charged by an instruction (kKeyLoad only). */
     double instructionDmaUs(const Instruction &instr) const;

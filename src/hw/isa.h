@@ -68,6 +68,23 @@ struct Instruction
     bool operator==(const Instruction &o) const = default;
 };
 
+/**
+ * How the Arm dispatches a program to the coprocessor.
+ *
+ * The paper's measured per-instruction times (Table II) include the
+ * Arm-side dispatch + completion overhead on every instruction — the
+ * kPerInstruction mode, and the cost model of the single-op serving
+ * path. A fused program compiled from a whole circuit is queued once:
+ * the coprocessor streams the instruction sequence back-to-back and the
+ * dispatch overhead is charged once per program (kFusedProgram), which
+ * is where instruction-level fusion gets its throughput win.
+ */
+enum class DispatchMode : uint8_t
+{
+    kPerInstruction, ///< one Arm dispatch per instruction (Table II)
+    kFusedProgram,   ///< one Arm dispatch for the whole program
+};
+
 /** A straight-line instruction sequence plus its external interface. */
 struct Program
 {
@@ -98,6 +115,11 @@ struct ExecStats
     std::map<Opcode, OpStats> per_op;
     Cycle fpga_cycles = 0;
     double dma_us = 0.0;
+    /** Instructions executed. */
+    uint64_t instructions = 0;
+    /** Arm dispatch overhead included in fpga_cycles (one per
+     *  instruction, or one per program when fused). */
+    Cycle dispatch_cycles = 0;
 
     /** Total time in microseconds at the given configuration. */
     double

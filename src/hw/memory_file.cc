@@ -1,8 +1,29 @@
 #include "hw/memory_file.h"
 
+#include <sstream>
+
 #include "common/panic.h"
 
 namespace heat::hw {
+
+namespace {
+
+std::string
+pressureMessage(const char *structure, size_t need, size_t in_use,
+                size_t capacity, size_t peak, size_t live_records,
+                const char *what)
+{
+    std::ostringstream oss;
+    oss << structure << " exhausted";
+    if (what != nullptr)
+        oss << " allocating " << what;
+    oss << ": need " << need << " slots, " << capacity - in_use
+        << " free of " << capacity << " (live " << in_use << " slots in "
+        << live_records << " records, peak " << peak << ")";
+    return oss.str();
+}
+
+} // namespace
 
 MemoryFile::MemoryFile(std::shared_ptr<const fv::FvParams> params,
                        const HwConfig &config)
@@ -27,12 +48,18 @@ MemoryFile::reset()
 }
 
 PolyId
-MemoryFile::allocate(BaseTag tag, Layout layout)
+MemoryFile::allocate(BaseTag tag, Layout layout, const char *what)
 {
     const size_t need = slotsFor(tag);
-    fatalIf(in_use_ + need > capacity_,
-            "memory file exhausted: need ", need, " slots, ",
-            capacity_ - in_use_, " free (capacity ", capacity_, ")");
+    if (in_use_ + need > capacity_) {
+        size_t live = 0;
+        for (const PolyRecord &rec : records_) {
+            if (rec.valid && !rec.released)
+                ++live;
+        }
+        fatal(pressureMessage("memory file", need, in_use_, capacity_,
+                              peak_, live, what));
+    }
     in_use_ += need;
     peak_ = std::max(peak_, in_use_);
 
@@ -65,14 +92,22 @@ MemoryFile::release(PolyId id)
 }
 
 void
-MemoryFile::extendToFull(PolyId id)
+MemoryFile::extendToFull(PolyId id, const char *what)
 {
     PolyRecord &rec = record(id);
     panicIf(rec.base != BaseTag::kQ, "polynomial already extended");
     const size_t extra = residueCount(BaseTag::kFull) -
                          residueCount(BaseTag::kQ);
-    fatalIf(in_use_ + extra > capacity_,
-            "memory file exhausted during lift");
+    if (in_use_ + extra > capacity_) {
+        size_t live = 0;
+        for (const PolyRecord &r : records_) {
+            if (r.valid && !r.released)
+                ++live;
+        }
+        fatal(pressureMessage("memory file", extra, in_use_, capacity_,
+                              peak_, live,
+                              what != nullptr ? what : "lift extension"));
+    }
     in_use_ += extra;
     peak_ = std::max(peak_, in_use_);
     rec.base = BaseTag::kFull;
@@ -118,6 +153,117 @@ MemoryFile::exportPoly(PolyId id) const
     ntt::RnsPoly poly(base, params_->degree(), ntt::PolyForm::kCoeff);
     poly.data() = rec.data;
     return poly;
+}
+
+ntt::RnsPoly
+MemoryFile::exportQBase(PolyId id) const
+{
+    const PolyRecord &rec = record(id);
+    const size_t words = residueCount(BaseTag::kQ) * params_->degree();
+    panicIf(rec.data.size() < words, "record smaller than the q base");
+    ntt::RnsPoly poly(params_->qBase(), params_->degree(),
+                      ntt::PolyForm::kCoeff);
+    std::copy(rec.data.begin(),
+              rec.data.begin() + static_cast<ptrdiff_t>(words),
+              poly.data().begin());
+    return poly;
+}
+
+CountingAllocator::CountingAllocator(const fv::FvParams &params,
+                                     const HwConfig &config,
+                                     bool throw_on_pressure)
+    : q_residues_(params.qBase()->size()),
+      full_residues_(params.fullBase()->size()),
+      capacity_(config.n_rpaus * config.slots_per_rpau),
+      throw_on_pressure_(throw_on_pressure)
+{
+}
+
+size_t
+CountingAllocator::residueCount(BaseTag tag) const
+{
+    return tag == BaseTag::kQ ? q_residues_ : full_residues_;
+}
+
+void
+CountingAllocator::overflow(size_t need, const char *what) const
+{
+    size_t live = 0;
+    for (const Rec &rec : records_) {
+        if (!rec.released)
+            ++live;
+    }
+    const std::string msg = pressureMessage(
+        "slot budget", need, in_use_, capacity_, peak_, live, what);
+    if (throw_on_pressure_)
+        throw SlotPressureError(msg);
+    fatal(msg);
+}
+
+PolyId
+CountingAllocator::allocate(BaseTag tag, Layout layout, const char *what)
+{
+    const size_t need = residueCount(tag);
+    if (in_use_ + need > capacity_)
+        overflow(need, what);
+    in_use_ += need;
+    peak_ = std::max(peak_, in_use_);
+    records_.push_back(Rec{tag, false});
+    const PolyId id = static_cast<PolyId>(records_.size() - 1);
+    actions_.push_back(
+        SlotAction{SlotAction::Kind::kAllocate, id, tag, layout});
+    return id;
+}
+
+void
+CountingAllocator::release(PolyId id)
+{
+    panicIf(id >= records_.size(), "invalid polynomial id ", id);
+    Rec &rec = records_[id];
+    panicIf(rec.released, "double release of polynomial ", id);
+    in_use_ -= residueCount(rec.base);
+    rec.released = true;
+    actions_.push_back(SlotAction{SlotAction::Kind::kRelease, id,
+                                  rec.base, Layout::kNatural});
+}
+
+void
+CountingAllocator::extendToFull(PolyId id, const char *what)
+{
+    panicIf(id >= records_.size(), "invalid polynomial id ", id);
+    Rec &rec = records_[id];
+    panicIf(rec.base != BaseTag::kQ, "polynomial already extended");
+    const size_t extra = full_residues_ - q_residues_;
+    if (in_use_ + extra > capacity_)
+        overflow(extra, what != nullptr ? what : "lift extension");
+    in_use_ += extra;
+    peak_ = std::max(peak_, in_use_);
+    rec.base = BaseTag::kFull;
+    actions_.push_back(SlotAction{SlotAction::Kind::kExtend, id,
+                                  BaseTag::kFull, Layout::kNatural});
+}
+
+void
+replaySlotActions(MemoryFile &memory, std::span<const SlotAction> actions)
+{
+    for (const SlotAction &action : actions) {
+        switch (action.kind) {
+          case SlotAction::Kind::kAllocate: {
+            const PolyId id = memory.allocate(action.base, action.layout);
+            panicIf(id != action.id,
+                    "slot replay diverged: allocated id ", id,
+                    " where the compiled program expects ", action.id,
+                    " (memory file was not freshly reset)");
+            break;
+          }
+          case SlotAction::Kind::kRelease:
+            memory.release(action.id);
+            break;
+          case SlotAction::Kind::kExtend:
+            memory.extendToFull(action.id);
+            break;
+        }
+    }
 }
 
 } // namespace heat::hw

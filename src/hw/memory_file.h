@@ -11,7 +11,14 @@
  * The pool holds 84 slots (Table IV's BRAM budget: 84*4 = 336 BRAM36K
  * for data + 49 for twiddle ROMs + interface = 388). Slot exhaustion is
  * a hard error: FV.Mult must be schedulable inside this budget, and the
- * ProgramBuilder's allocation discipline is part of the reproduction.
+ * program emitters' allocation discipline is part of the reproduction.
+ *
+ * Slot allocation is performed through the SlotAllocator interface so a
+ * program can be scheduled twice from the same emitters: once against a
+ * CountingAllocator (pure accounting — the circuit compiler's build
+ * step, which records the action log) and once against a real
+ * MemoryFile (replaySlotActions(), which materializes the identical id
+ * assignment on a worker's coprocessor).
  *
  * Each residue carries a layout tag mirroring the physical data order:
  * kNatural (coefficient order, what Lift/Scale stream), kPaired (the
@@ -24,6 +31,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "fv/params.h"
@@ -53,6 +63,96 @@ enum class BaseTag : uint8_t
     kFull ///< extended base Q = q * p
 };
 
+/**
+ * Thrown by allocators operating in throw-on-pressure mode when an
+ * allocation exceeds the slot capacity. The circuit compiler catches
+ * this to trigger a spill instead of failing the build.
+ */
+class SlotPressureError : public std::runtime_error
+{
+  public:
+    explicit SlotPressureError(const std::string &msg)
+        : std::runtime_error(msg)
+    {
+    }
+};
+
+/**
+ * One slot-allocation action. A CountingAllocator records the sequence
+ * of actions a program build performed; replaySlotActions() re-executes
+ * it against a real MemoryFile, panicking if the id assignment ever
+ * diverges (deterministic allocation is what lets one compiled program
+ * run on any worker's coprocessor).
+ */
+struct SlotAction
+{
+    enum class Kind : uint8_t
+    {
+        kAllocate,
+        kRelease,
+        kExtend
+    };
+
+    Kind kind = Kind::kAllocate;
+    /** Allocated / released / extended polynomial id. */
+    PolyId id = kNoPoly;
+    /** Base of the allocation (kAllocate only). */
+    BaseTag base = BaseTag::kQ;
+    /** Initial layout (kAllocate only). */
+    Layout layout = Layout::kNatural;
+
+    bool operator==(const SlotAction &o) const = default;
+};
+
+/**
+ * Slot-accounting interface shared by the real memory file and the
+ * compiler's build-time allocator. Allocation is deterministic:
+ * sequential ids, capacity counted in residue slots.
+ */
+class SlotAllocator
+{
+  public:
+    virtual ~SlotAllocator() = default;
+
+    /**
+     * Allocate a polynomial over base @p tag. @p what names the
+     * requesting operation for slot-pressure diagnostics (may be null).
+     */
+    virtual PolyId allocate(BaseTag tag, Layout layout,
+                            const char *what) = 0;
+
+    /** Convenience overload without a requester label. */
+    PolyId
+    allocate(BaseTag tag, Layout layout = Layout::kNatural)
+    {
+        return allocate(tag, layout, nullptr);
+    }
+
+    /** Return a polynomial's slots to the allocator. */
+    virtual void release(PolyId id) = 0;
+
+    /** Extend a q-base polynomial to the full base (Lift allocation). */
+    virtual void extendToFull(PolyId id, const char *what) = 0;
+
+    /** Convenience overload without a requester label. */
+    void extendToFull(PolyId id) { extendToFull(id, nullptr); }
+
+    /** @return total slot capacity (n_rpaus * slots_per_rpau). */
+    virtual size_t capacity() const = 0;
+
+    /** @return slots currently allocated. */
+    virtual size_t slotsInUse() const = 0;
+
+    /** @return maximum slots ever allocated (memory high-water mark). */
+    virtual size_t peakSlots() const = 0;
+
+    /** @return residue count of base @p tag. */
+    virtual size_t residueCount(BaseTag tag) const = 0;
+
+    /** @return slots still free. */
+    size_t freeSlots() const { return capacity() - slotsInUse(); }
+};
+
 /** A polynomial resident in the memory file. */
 struct PolyRecord
 {
@@ -67,23 +167,26 @@ struct PolyRecord
 };
 
 /** Slot-accounted storage for resident polynomials. */
-class MemoryFile
+class MemoryFile : public SlotAllocator
 {
   public:
     MemoryFile(std::shared_ptr<const fv::FvParams> params,
                const HwConfig &config);
 
+    using SlotAllocator::allocate;
+    using SlotAllocator::extendToFull;
+
     /** @return residue count of base @p tag. */
-    size_t residueCount(BaseTag tag) const;
+    size_t residueCount(BaseTag tag) const override;
 
     /** @return total slot capacity (n_rpaus * slots_per_rpau). */
-    size_t capacity() const { return capacity_; }
+    size_t capacity() const override { return capacity_; }
 
     /** @return slots currently allocated. */
-    size_t slotsInUse() const { return in_use_; }
+    size_t slotsInUse() const override { return in_use_; }
 
     /** @return maximum slots ever allocated (memory high-water mark). */
-    size_t peakSlots() const { return peak_; }
+    size_t peakSlots() const override { return peak_; }
 
     /**
      * Drop every record and return all slots: the reprogramming step
@@ -93,8 +196,10 @@ class MemoryFile
      */
     void reset();
 
-    /** Allocate a zeroed polynomial over base @p tag. */
-    PolyId allocate(BaseTag tag, Layout layout = Layout::kNatural);
+    /** Allocate a zeroed polynomial over base @p tag. Exhaustion is a
+     *  hard error reporting the live/capacity slot pressure and the
+     *  requesting operation. */
+    PolyId allocate(BaseTag tag, Layout layout, const char *what) override;
 
     /** Release a polynomial's slots and invalidate the record. */
     void free(PolyId id);
@@ -107,10 +212,10 @@ class MemoryFile
      * physical slots even though the simulator keeps the old data for
      * inspection.
      */
-    void release(PolyId id);
+    void release(PolyId id) override;
 
     /** Extend a q-base polynomial to the full base (Lift allocation). */
-    void extendToFull(PolyId id);
+    void extendToFull(PolyId id, const char *what) override;
 
     /** @return mutable record (must be valid). */
     PolyRecord &record(PolyId id);
@@ -123,6 +228,15 @@ class MemoryFile
 
     /** Read a record back out as an RnsPoly (coefficient form). */
     ntt::RnsPoly exportPoly(PolyId id) const;
+
+    /**
+     * Read the q-base view of a record: its first kq residues. For a
+     * q-base record this equals exportPoly(); for a record a later
+     * instruction of a fused program lifts in place (the compiler
+     * extends slots up front), the q residues are the same physical
+     * slots, which is what a mid-program DMA download streams.
+     */
+    ntt::RnsPoly exportQBase(PolyId id) const;
 
     /** Degree n. */
     size_t degree() const { return params_->degree(); }
@@ -139,6 +253,71 @@ class MemoryFile
     size_t peak_ = 0;
     std::vector<PolyRecord> records_;
 };
+
+/**
+ * Pure slot accounting with MemoryFile's exact allocation discipline
+ * (sequential ids, identical capacity math) but no polynomial data.
+ * Records every action so the identical allocation can later be
+ * replayed on a real memory file. Copyable — the circuit compiler
+ * snapshots it to roll back a partially-emitted node before spilling.
+ */
+class CountingAllocator : public SlotAllocator
+{
+  public:
+    /**
+     * @param params parameter set (residue counts).
+     * @param config hardware configuration (slot capacity).
+     * @param throw_on_pressure throw SlotPressureError instead of
+     *        fatal() when an allocation exceeds the capacity.
+     */
+    CountingAllocator(const fv::FvParams &params, const HwConfig &config,
+                      bool throw_on_pressure = false);
+
+    using SlotAllocator::allocate;
+    using SlotAllocator::extendToFull;
+
+    PolyId allocate(BaseTag tag, Layout layout, const char *what) override;
+    void release(PolyId id) override;
+    void extendToFull(PolyId id, const char *what) override;
+
+    size_t capacity() const override { return capacity_; }
+    size_t slotsInUse() const override { return in_use_; }
+    size_t peakSlots() const override { return peak_; }
+    size_t residueCount(BaseTag tag) const override;
+
+    /** @return the recorded action log. */
+    const std::vector<SlotAction> &actions() const { return actions_; }
+
+    /** @return number of ids handed out so far. */
+    size_t recordCount() const { return records_.size(); }
+
+  private:
+    struct Rec
+    {
+        BaseTag base = BaseTag::kQ;
+        bool released = false;
+    };
+
+    [[noreturn]] void overflow(size_t need, const char *what) const;
+
+    size_t q_residues_;
+    size_t full_residues_;
+    size_t capacity_;
+    bool throw_on_pressure_;
+    size_t in_use_ = 0;
+    size_t peak_ = 0;
+    std::vector<Rec> records_;
+    std::vector<SlotAction> actions_;
+};
+
+/**
+ * Re-execute a recorded allocation sequence against @p memory,
+ * materializing the same polynomial ids (panics on divergence — the
+ * memory file was not in the expected state, usually because it was
+ * not freshly reset).
+ */
+void replaySlotActions(MemoryFile &memory,
+                       std::span<const SlotAction> actions);
 
 } // namespace heat::hw
 

@@ -19,10 +19,6 @@ make(Opcode op, PolyId dst, PolyId src0 = kNoPoly, PolyId src1 = kNoPoly,
     return i;
 }
 
-} // namespace
-
-namespace {
-
 OpPlan
 makePlan(Coprocessor &cp, OpPlan::Kind kind)
 {
@@ -75,146 +71,347 @@ uploadPlanInputs(Coprocessor &cp, const OpPlan &plan,
     }
 }
 
-Program
-ProgramBuilder::buildAdd(std::array<PolyId, 2> a, std::array<PolyId, 2> b)
+OpEmitter::OpEmitter(const fv::FvParams &params, SlotAllocator &alloc,
+                     Program &program)
+    : params_(params), alloc_(alloc), p_(program)
 {
-    MemoryFile &mem = cp_.memory();
-    Program p;
+}
+
+PolyId
+OpEmitter::zeroSlot()
+{
+    if (zero_ == kNoPoly)
+        zero_ = alloc_.allocate(BaseTag::kQ, Layout::kNatural,
+                                "zero constant");
+    return zero_;
+}
+
+PolyId
+OpEmitter::copyPoly(PolyId src)
+{
+    const PolyId z = zeroSlot();
+    const PolyId c =
+        alloc_.allocate(BaseTag::kQ, Layout::kNatural, "operand copy");
+    p_.instrs.push_back(make(Opcode::kCoeffAdd, c, src, z, 0));
+    return c;
+}
+
+void
+OpEmitter::emitForward(PolyId id, bool full)
+{
+    const int batches = full ? 2 : 1;
+    for (int b = 0; b < batches; ++b) {
+        p_.instrs.push_back(make(Opcode::kRearrange, id, kNoPoly, kNoPoly,
+                                 static_cast<uint8_t>(b)));
+        p_.instrs.push_back(make(Opcode::kNtt, id, kNoPoly, kNoPoly,
+                                 static_cast<uint8_t>(b)));
+    }
+}
+
+void
+OpEmitter::emitInverse(PolyId id, bool full)
+{
+    const int batches = full ? 2 : 1;
+    for (int b = 0; b < batches; ++b) {
+        p_.instrs.push_back(make(Opcode::kIntt, id, kNoPoly, kNoPoly,
+                                 static_cast<uint8_t>(b)));
+        p_.instrs.push_back(make(Opcode::kRearrange, id, kNoPoly, kNoPoly,
+                                 static_cast<uint8_t>(b)));
+    }
+}
+
+std::array<PolyId, 2>
+OpEmitter::emitAdd(std::array<PolyId, 2> a, std::array<PolyId, 2> b,
+                   bool consume_a)
+{
+    std::array<PolyId, 2> out = a;
     for (int i = 0; i < 2; ++i) {
-        PolyId c = mem.allocate(BaseTag::kQ, Layout::kNatural);
-        p.instrs.push_back(make(Opcode::kCoeffAdd, c, a[i], b[i], 0));
-        p.outputs.push_back(c);
+        if (!consume_a)
+            out[i] = alloc_.allocate(BaseTag::kQ, Layout::kNatural,
+                                     "FV.Add result");
+        p_.instrs.push_back(
+            make(Opcode::kCoeffAdd, out[i], a[i], b[i], 0));
     }
-    return p;
+    return out;
 }
 
-void
-ProgramBuilder::emitForward(Program &p, PolyId id, bool full)
+std::array<PolyId, 2>
+OpEmitter::emitSub(std::array<PolyId, 2> a, std::array<PolyId, 2> b,
+                   bool consume_a)
 {
-    const int batches = full ? 2 : 1;
-    for (int b = 0; b < batches; ++b) {
-        p.instrs.push_back(make(Opcode::kRearrange, id, kNoPoly, kNoPoly,
-                                static_cast<uint8_t>(b)));
-        p.instrs.push_back(make(Opcode::kNtt, id, kNoPoly, kNoPoly,
-                                static_cast<uint8_t>(b)));
+    std::array<PolyId, 2> out = a;
+    for (int i = 0; i < 2; ++i) {
+        if (!consume_a)
+            out[i] = alloc_.allocate(BaseTag::kQ, Layout::kNatural,
+                                     "FV.Sub result");
+        p_.instrs.push_back(
+            make(Opcode::kCoeffSub, out[i], a[i], b[i], 0));
     }
+    return out;
 }
 
-void
-ProgramBuilder::emitInverse(Program &p, PolyId id, bool full)
+std::array<PolyId, 2>
+OpEmitter::emitNegate(std::array<PolyId, 2> a, bool consume)
 {
-    const int batches = full ? 2 : 1;
-    for (int b = 0; b < batches; ++b) {
-        p.instrs.push_back(make(Opcode::kIntt, id, kNoPoly, kNoPoly,
-                                static_cast<uint8_t>(b)));
-        p.instrs.push_back(make(Opcode::kRearrange, id, kNoPoly, kNoPoly,
-                                static_cast<uint8_t>(b)));
+    // The coefficient unit has no dedicated negation: subtract from the
+    // zero register instead (bit-exact with fv::Evaluator's negate,
+    // since (0 - x) mod q and -x mod q share the representative).
+    const PolyId z = zeroSlot();
+    std::array<PolyId, 2> out = a;
+    for (int i = 0; i < 2; ++i) {
+        if (!consume)
+            out[i] = alloc_.allocate(BaseTag::kQ, Layout::kNatural,
+                                     "Negate result");
+        p_.instrs.push_back(make(Opcode::kCoeffSub, out[i], z, a[i], 0));
     }
+    return out;
 }
 
-Program
-ProgramBuilder::buildMult(std::array<PolyId, 2> a, std::array<PolyId, 2> b)
+std::array<PolyId, 2>
+OpEmitter::emitAddPlain(std::array<PolyId, 2> a, PolyId plain,
+                        bool consume)
 {
-    MemoryFile &mem = cp_.memory();
-    const size_t digits = cp_.params().rnsDigitCount();
-    Program p;
+    // Only c0 changes: ct + Delta*m touches the first polynomial.
+    if (consume) {
+        p_.instrs.push_back(make(Opcode::kCoeffAdd, a[0], a[0], plain, 0));
+        return a;
+    }
+    const PolyId c0 = alloc_.allocate(BaseTag::kQ, Layout::kNatural,
+                                      "AddPlain result");
+    p_.instrs.push_back(make(Opcode::kCoeffAdd, c0, a[0], plain, 0));
+    const PolyId c1 = copyPoly(a[1]);
+    return {c0, c1};
+}
+
+std::array<PolyId, 2>
+OpEmitter::emitMultPlain(std::array<PolyId, 2> a, PolyId plain,
+                         bool consume)
+{
+    // NTT-domain pointwise products over the q base, mirroring
+    // fv::Evaluator::multiplyPlain. The plain slot is transformed in
+    // place; the ciphertext polynomials round-trip through the NTT.
+    emitForward(plain, /*full=*/false);
+    std::array<PolyId, 2> out = a;
+    for (int i = 0; i < 2; ++i) {
+        if (!consume)
+            out[i] = copyPoly(a[i]);
+        emitForward(out[i], /*full=*/false);
+        p_.instrs.push_back(
+            make(Opcode::kCoeffMul, out[i], out[i], plain, 0));
+        emitInverse(out[i], /*full=*/false);
+    }
+    return out;
+}
+
+OpEmitter::MultResult
+OpEmitter::emitMult(std::array<PolyId, 2> a, std::array<PolyId, 2> b,
+                    bool consume_a, bool consume_b, bool want_digits,
+                    bool want_c2)
+{
+    panicIf(!want_digits && !want_c2,
+            "emitMult must produce the digits, c2, or both");
+    if (!consume_a)
+        a = {copyPoly(a[0]), copyPoly(a[1])};
+    if (!consume_b)
+        b = {copyPoly(b[0]), copyPoly(b[1])};
 
     const PolyId a0 = a[0], a1 = a[1], b0 = b[0], b1 = b[1];
 
     // --- Step 1: Lift q->Q of the four input polynomials --------------
     for (PolyId x : {a0, a1, b0, b1}) {
-        p.instrs.push_back(make(Opcode::kLift, x));
-        mem.extendToFull(x); // build-time slot accounting
+        p_.instrs.push_back(make(Opcode::kLift, x));
+        alloc_.extendToFull(x, "Mult lift"); // build-time slot accounting
     }
 
     // --- Step 2: forward transforms ------------------------------------
     for (PolyId x : {a0, a1, b0, b1})
-        emitForward(p, x, true);
+        emitForward(x, true);
 
     // --- Step 3: tensor products in the NTT domain ----------------------
-    PolyId t1 = mem.allocate(BaseTag::kFull, Layout::kNttDomain);
+    PolyId t1 = alloc_.allocate(BaseTag::kFull, Layout::kNttDomain,
+                                "Mult tensor temporary");
     for (uint8_t batch = 0; batch < 2; ++batch)
-        p.instrs.push_back(make(Opcode::kCoeffMul, t1, a0, b1, batch));
+        p_.instrs.push_back(make(Opcode::kCoeffMul, t1, a0, b1, batch));
     for (uint8_t batch = 0; batch < 2; ++batch)
-        p.instrs.push_back(make(Opcode::kCoeffMul, a0, a0, b0, batch));
+        p_.instrs.push_back(make(Opcode::kCoeffMul, a0, a0, b0, batch));
     for (uint8_t batch = 0; batch < 2; ++batch)
-        p.instrs.push_back(make(Opcode::kCoeffMul, b0, a1, b0, batch));
+        p_.instrs.push_back(make(Opcode::kCoeffMul, b0, a1, b0, batch));
     for (uint8_t batch = 0; batch < 2; ++batch)
-        p.instrs.push_back(make(Opcode::kCoeffAdd, b0, b0, t1, batch));
+        p_.instrs.push_back(make(Opcode::kCoeffAdd, b0, b0, t1, batch));
     for (uint8_t batch = 0; batch < 2; ++batch)
-        p.instrs.push_back(make(Opcode::kCoeffMul, a1, a1, b1, batch));
-    mem.release(t1);
-    mem.release(b1);
+        p_.instrs.push_back(make(Opcode::kCoeffMul, a1, a1, b1, batch));
+    alloc_.release(t1);
+    alloc_.release(b1);
 
     // --- Step 4: inverse transforms -------------------------------------
     for (PolyId x : {a0, b0, a1})
-        emitInverse(p, x, true);
+        emitInverse(x, true);
 
     // --- Step 5: Scale Q->q ----------------------------------------------
-    PolyId c0 = mem.allocate(BaseTag::kQ, Layout::kNatural);
-    p.instrs.push_back(make(Opcode::kScale, c0, a0));
-    mem.release(a0);
-    PolyId c1 = mem.allocate(BaseTag::kQ, Layout::kNatural);
-    p.instrs.push_back(make(Opcode::kScale, c1, b0));
-    mem.release(b0);
+    return finishTensor(a0, b0, a1, want_digits, want_c2);
+}
+
+OpEmitter::MultResult
+OpEmitter::emitSquare(std::array<PolyId, 2> a, bool consume,
+                      bool want_digits, bool want_c2)
+{
+    panicIf(!want_digits && !want_c2,
+            "emitSquare must produce the digits, c2, or both");
+    if (!consume)
+        a = {copyPoly(a[0]), copyPoly(a[1])};
+    const PolyId a0 = a[0], a1 = a[1];
+
+    // --- Step 1: Lift q->Q of the two input polynomials ----------------
+    for (PolyId x : {a0, a1}) {
+        p_.instrs.push_back(make(Opcode::kLift, x));
+        alloc_.extendToFull(x, "Square lift");
+    }
+
+    // --- Step 2: forward transforms ------------------------------------
+    for (PolyId x : {a0, a1})
+        emitForward(x, true);
+
+    // --- Step 3: tensor: (a0 + a1 y)^2 ----------------------------------
+    // The cross term a0*a1 + a1*a0 is the same product twice, so one
+    // multiplication plus a doubling addition reproduces the general
+    // tensor bit-for-bit (modular products are commutative).
+    PolyId t1 = alloc_.allocate(BaseTag::kFull, Layout::kNttDomain,
+                                "Square tensor temporary");
+    for (uint8_t batch = 0; batch < 2; ++batch)
+        p_.instrs.push_back(make(Opcode::kCoeffMul, t1, a0, a1, batch));
+    for (uint8_t batch = 0; batch < 2; ++batch)
+        p_.instrs.push_back(make(Opcode::kCoeffAdd, t1, t1, t1, batch));
+    for (uint8_t batch = 0; batch < 2; ++batch)
+        p_.instrs.push_back(make(Opcode::kCoeffMul, a0, a0, a0, batch));
+    for (uint8_t batch = 0; batch < 2; ++batch)
+        p_.instrs.push_back(make(Opcode::kCoeffMul, a1, a1, a1, batch));
+
+    // --- Step 4: inverse transforms -------------------------------------
+    for (PolyId x : {a0, t1, a1})
+        emitInverse(x, true);
+
+    // --- Step 5: Scale Q->q ----------------------------------------------
+    return finishTensor(a0, t1, a1, want_digits, want_c2);
+}
+
+OpEmitter::MultResult
+OpEmitter::finishTensor(PolyId s0, PolyId s1, PolyId s2, bool want_digits,
+                        bool want_c2)
+{
+    const size_t digits = params_.rnsDigitCount();
+    MultResult result;
+
+    PolyId c0 =
+        alloc_.allocate(BaseTag::kQ, Layout::kNatural, "Mult c0");
+    p_.instrs.push_back(make(Opcode::kScale, c0, s0));
+    alloc_.release(s0);
+    PolyId c1 =
+        alloc_.allocate(BaseTag::kQ, Layout::kNatural, "Mult c1");
+    p_.instrs.push_back(make(Opcode::kScale, c1, s1));
+    alloc_.release(s1);
 
     // Scale of c~2 broadcasts the WordDecomp digits during writeback.
-    PolyId c2 = mem.allocate(BaseTag::kQ, Layout::kNatural);
-    std::vector<PolyId> digit_ids;
-    for (size_t i = 0; i < digits; ++i)
-        digit_ids.push_back(mem.allocate(BaseTag::kQ, Layout::kNatural));
-    {
-        Instruction scale = make(Opcode::kScale, c2, a1);
-        scale.extra = digit_ids;
-        p.instrs.push_back(scale);
+    PolyId c2 =
+        alloc_.allocate(BaseTag::kQ, Layout::kNatural, "Mult c2");
+    if (want_digits) {
+        for (size_t i = 0; i < digits; ++i)
+            result.digits.push_back(alloc_.allocate(
+                BaseTag::kQ, Layout::kNatural, "WordDecomp digit"));
     }
-    mem.release(a1);
-    mem.release(c2); // only the digits are consumed downstream
+    {
+        Instruction scale = make(Opcode::kScale, c2, s2);
+        scale.extra = result.digits;
+        p_.instrs.push_back(scale);
+    }
+    alloc_.release(s2);
+    if (!want_c2) {
+        alloc_.release(c2); // only the digits are consumed downstream
+        c2 = kNoPoly;
+    }
 
-    // --- Step 6: relinearization ------------------------------------------
-    PolyId acc0 = mem.allocate(BaseTag::kQ, Layout::kNttDomain);
-    PolyId acc1 = mem.allocate(BaseTag::kQ, Layout::kNttDomain);
-    PolyId key0 = mem.allocate(BaseTag::kQ, Layout::kNttDomain);
-    PolyId key1 = mem.allocate(BaseTag::kQ, Layout::kNttDomain);
-    PolyId tmp = mem.allocate(BaseTag::kQ, Layout::kNttDomain);
-    for (size_t i = 0; i < digits; ++i) {
+    result.ct = {c0, c1, c2};
+    return result;
+}
+
+std::array<PolyId, 2>
+OpEmitter::emitRelin(PolyId c0, PolyId c1,
+                     const std::vector<PolyId> &digits, bool consume_c01)
+{
+    if (!consume_c01) {
+        c0 = copyPoly(c0);
+        c1 = copyPoly(c1);
+    }
+    PolyId acc0 = alloc_.allocate(BaseTag::kQ, Layout::kNttDomain,
+                                  "Relin accumulator");
+    PolyId acc1 = alloc_.allocate(BaseTag::kQ, Layout::kNttDomain,
+                                  "Relin accumulator");
+    PolyId key0 = alloc_.allocate(BaseTag::kQ, Layout::kNttDomain,
+                                  "Relin key buffer");
+    PolyId key1 = alloc_.allocate(BaseTag::kQ, Layout::kNttDomain,
+                                  "Relin key buffer");
+    PolyId tmp = alloc_.allocate(BaseTag::kQ, Layout::kNttDomain,
+                                 "Relin temporary");
+    for (size_t i = 0; i < digits.size(); ++i) {
         Instruction load = make(Opcode::kKeyLoad, kNoPoly);
         load.aux = static_cast<uint32_t>(i);
         load.extra = {key0, key1};
-        p.instrs.push_back(load);
+        p_.instrs.push_back(load);
 
-        emitForward(p, digit_ids[i], false);
+        emitForward(digits[i], false);
         if (i == 0) {
             // The first digit's products initialize the accumulators
             // (also resetting them when the program is re-executed).
-            p.instrs.push_back(
-                make(Opcode::kCoeffMul, acc0, digit_ids[i], key0, 0));
-            p.instrs.push_back(
-                make(Opcode::kCoeffMul, acc1, digit_ids[i], key1, 0));
+            p_.instrs.push_back(
+                make(Opcode::kCoeffMul, acc0, digits[i], key0, 0));
+            p_.instrs.push_back(
+                make(Opcode::kCoeffMul, acc1, digits[i], key1, 0));
         } else {
-            p.instrs.push_back(
-                make(Opcode::kCoeffMul, tmp, digit_ids[i], key0, 0));
-            p.instrs.push_back(
+            p_.instrs.push_back(
+                make(Opcode::kCoeffMul, tmp, digits[i], key0, 0));
+            p_.instrs.push_back(
                 make(Opcode::kCoeffAdd, acc0, acc0, tmp, 0));
-            p.instrs.push_back(
-                make(Opcode::kCoeffMul, tmp, digit_ids[i], key1, 0));
-            p.instrs.push_back(
+            p_.instrs.push_back(
+                make(Opcode::kCoeffMul, tmp, digits[i], key1, 0));
+            p_.instrs.push_back(
                 make(Opcode::kCoeffAdd, acc1, acc1, tmp, 0));
         }
-        mem.release(digit_ids[i]);
+        alloc_.release(digits[i]);
     }
-    mem.release(key0);
-    mem.release(key1);
-    mem.release(tmp);
+    alloc_.release(key0);
+    alloc_.release(key1);
+    alloc_.release(tmp);
 
-    emitInverse(p, acc0, false);
-    emitInverse(p, acc1, false);
-    p.instrs.push_back(make(Opcode::kCoeffAdd, c0, c0, acc0, 0));
-    p.instrs.push_back(make(Opcode::kCoeffAdd, c1, c1, acc1, 0));
-    mem.release(acc0);
-    mem.release(acc1);
+    emitInverse(acc0, false);
+    emitInverse(acc1, false);
+    p_.instrs.push_back(make(Opcode::kCoeffAdd, c0, c0, acc0, 0));
+    p_.instrs.push_back(make(Opcode::kCoeffAdd, c1, c1, acc1, 0));
+    alloc_.release(acc0);
+    alloc_.release(acc1);
+    return {c0, c1};
+}
 
-    p.outputs = {c0, c1};
+Program
+ProgramBuilder::buildAdd(std::array<PolyId, 2> a, std::array<PolyId, 2> b)
+{
+    Program p;
+    OpEmitter emitter(cp_.params(), cp_.memory(), p);
+    const std::array<PolyId, 2> out =
+        emitter.emitAdd(a, b, /*consume_a=*/false);
+    p.outputs = {out[0], out[1]};
+    return p;
+}
+
+Program
+ProgramBuilder::buildMult(std::array<PolyId, 2> a, std::array<PolyId, 2> b)
+{
+    Program p;
+    OpEmitter emitter(cp_.params(), cp_.memory(), p);
+    OpEmitter::MultResult tensor =
+        emitter.emitMult(a, b, /*consume_a=*/true, /*consume_b=*/true,
+                         /*want_digits=*/true, /*want_c2=*/false);
+    const std::array<PolyId, 2> out = emitter.emitRelin(
+        tensor.ct[0], tensor.ct[1], tensor.digits, /*consume_c01=*/true);
+    p.outputs = {out[0], out[1]};
     return p;
 }
 

@@ -1,8 +1,16 @@
 /**
  * @file
  * Builds the instruction sequences for the high-level homomorphic
- * operations (FV.Add and FV.Mult, Fig. 2) against a coprocessor's
- * memory file.
+ * operations (Fig. 2) against a coprocessor's memory file.
+ *
+ * The core is a set of composable per-op emitters (OpEmitter): each
+ * appends one FV operation's instruction sequence to a program,
+ * allocating operand/temporary/result slots through the SlotAllocator
+ * interface — a real MemoryFile when a plan executes in place, or a
+ * CountingAllocator when the circuit compiler schedules a whole fused
+ * program at build time. The legacy ProgramBuilder facade and the
+ * OpPlan helpers for the single-op serving path are thin wrappers over
+ * the emitters.
  *
  * The Mult schedule reproduces the paper's instruction mix (Table II):
  * 4 Lift, 14 NTT, 8 Inverse-NTT, 20 coefficient-wise multiplications,
@@ -17,6 +25,7 @@
 #define HEAT_HW_PROGRAM_BUILDER_H
 
 #include <array>
+#include <vector>
 
 #include "hw/coprocessor.h"
 #include "hw/isa.h"
@@ -71,7 +80,130 @@ void uploadPlanInputs(Coprocessor &cp, const OpPlan &plan,
                       const std::array<const ntt::RnsPoly *, 2> &a,
                       const std::array<const ntt::RnsPoly *, 2> &b);
 
-/** Emits coprocessor programs for the high-level FV operations. */
+/**
+ * Composable per-op program emitters.
+ *
+ * Every emitter appends one high-level FV operation to @p program and
+ * returns the result slots. Operand liveness belongs to the caller:
+ * with consume=false an operation leaves its operand slots untouched
+ * (copying them into scratch when the schedule would destroy them);
+ * with consume=true the operation may overwrite operand slots, alias
+ * them into its result, or release them mid-schedule (Mult/Square
+ * release all consumed operand slots; the element-wise ops alias them).
+ *
+ * Data conventions match the serving path: ciphertext polynomials
+ * enter and leave every operation over the q base in natural
+ * (coefficient) layout, so any emitter output can feed any emitter
+ * input — the property the circuit compiler's fusion relies on.
+ */
+class OpEmitter
+{
+  public:
+    OpEmitter(const fv::FvParams &params, SlotAllocator &alloc,
+              Program &program);
+
+    /** FV.Add: c_i = a_i + b_i. consume_a reuses a's slots in place. */
+    std::array<PolyId, 2> emitAdd(std::array<PolyId, 2> a,
+                                  std::array<PolyId, 2> b,
+                                  bool consume_a = false);
+
+    /** FV.Sub: c_i = a_i - b_i. */
+    std::array<PolyId, 2> emitSub(std::array<PolyId, 2> a,
+                                  std::array<PolyId, 2> b,
+                                  bool consume_a = false);
+
+    /** Negation: c_i = -a_i (subtraction from the zero register). */
+    std::array<PolyId, 2> emitNegate(std::array<PolyId, 2> a,
+                                     bool consume = false);
+
+    /**
+     * Plaintext addition: c_0 = a_0 + plain, c_1 = a_1, where @p plain
+     * holds the host-encoded Delta*m polynomial
+     * (fv::Evaluator::scaledPlain). The plain slot is left resident.
+     */
+    std::array<PolyId, 2> emitAddPlain(std::array<PolyId, 2> a,
+                                       PolyId plain, bool consume = false);
+
+    /**
+     * Plaintext multiplication: both ciphertext polynomials are
+     * NTT-multiplied by @p plain, the host-encoded unscaled embedding
+     * (fv::Evaluator::embeddedPlain), uploaded in natural layout. The
+     * plain slot is transformed in place (single-use) and left
+     * resident; the caller releases it.
+     */
+    std::array<PolyId, 2> emitMultPlain(std::array<PolyId, 2> a,
+                                        PolyId plain,
+                                        bool consume = false);
+
+    /** Result of a tensor-and-scale (Mult/Square without relin). */
+    struct MultResult
+    {
+        /** c0, c1 always; c2 only when want_c2 (else kNoPoly). */
+        std::array<PolyId, 3> ct{kNoPoly, kNoPoly, kNoPoly};
+        /** WordDecomp digit slots (want_digits; broadcast for free
+         *  during the c~2 Scale writeback). */
+        std::vector<PolyId> digits;
+    };
+
+    /**
+     * FV.Mult tensor + Scale (Fig. 2 without the relinearization tail).
+     *
+     * @param want_digits materialize the WordDecomp digit polynomials
+     *        of c~2 (feeds emitRelin).
+     * @param want_c2 keep the scaled c~2 polynomial resident (a
+     *        3-element ciphertext result); otherwise its slots are
+     *        released after the digit broadcast.
+     */
+    MultResult emitMult(std::array<PolyId, 2> a, std::array<PolyId, 2> b,
+                        bool consume_a, bool consume_b, bool want_digits,
+                        bool want_c2);
+
+    /** FV.Square: one ciphertext tensored with itself (2 Lifts). */
+    MultResult emitSquare(std::array<PolyId, 2> a, bool consume,
+                          bool want_digits, bool want_c2);
+
+    /**
+     * Relinearization tail: accumulate digit x key products and fold
+     * them into c0/c1. Consumes (releases) the digit slots. With
+     * consume_c01 the accumulation happens in place; otherwise c0/c1
+     * are copied first and left untouched.
+     */
+    std::array<PolyId, 2> emitRelin(PolyId c0, PolyId c1,
+                                    const std::vector<PolyId> &digits,
+                                    bool consume_c01 = true);
+
+    /** Fresh natural-layout q copy of @p src (CoeffAdd with zero). */
+    PolyId copyPoly(PolyId src);
+
+    /**
+     * The shared all-zero q polynomial (allocated on first use; freshly
+     * allocated records are zeroed, and the slot is only ever read).
+     */
+    PolyId zeroSlot();
+
+    /** @return the cached zero slot id, or kNoPoly if none was made. */
+    PolyId zeroSlotId() const { return zero_; }
+
+    /** Pre-seed the zero slot cache (compiler snapshot/rollback). */
+    void setZeroSlotId(PolyId id) { zero_ = id; }
+
+  private:
+    /** Emit REARRANGE+NTT (or INTT+REARRANGE) for both batches. */
+    void emitForward(PolyId id, bool full);
+    void emitInverse(PolyId id, bool full);
+
+    /** Scale the three tensor polynomials Q->q (Fig. 2 step 5). */
+    MultResult finishTensor(PolyId s0, PolyId s1, PolyId s2,
+                            bool want_digits, bool want_c2);
+
+    const fv::FvParams &params_;
+    SlotAllocator &alloc_;
+    Program &p_;
+    PolyId zero_ = kNoPoly;
+};
+
+/** Emits coprocessor programs for the high-level FV operations
+ *  directly against a coprocessor (the single-op plan path). */
 class ProgramBuilder
 {
   public:
@@ -94,10 +226,6 @@ class ProgramBuilder
     Program buildMult(std::array<PolyId, 2> a, std::array<PolyId, 2> b);
 
   private:
-    /** Emit REARRANGE+NTT (or INTT+REARRANGE) for both batches. */
-    void emitForward(Program &p, PolyId id, bool full);
-    void emitInverse(Program &p, PolyId id, bool full);
-
     Coprocessor &cp_;
 };
 

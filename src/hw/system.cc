@@ -10,20 +10,25 @@ namespace heat::hw {
 
 MultJobProfile
 profileMultJob(const std::shared_ptr<const fv::FvParams> &params,
-               const HwConfig &config)
+               const HwConfig &config, DispatchMode dispatch)
 {
+    const bool fused = dispatch == DispatchMode::kFusedProgram;
     MultJobProfile profile;
     Coprocessor scratch(params, config);
     OpPlan plan = makeMultPlan(scratch);
 
     Cycle compute_cycles = 0;
     for (const Instruction &instr : plan.program.instrs) {
-        compute_cycles += scratch.instructionCycles(instr);
+        compute_cycles += fused
+                              ? scratch.instructionComputeCycles(instr)
+                              : scratch.instructionCycles(instr);
         if (instr.op == Opcode::kKeyLoad) {
             ++profile.key_segments;
             profile.key_dma_us = scratch.instructionDmaUs(instr);
         }
     }
+    if (fused && !plan.program.instrs.empty())
+        compute_cycles += static_cast<Cycle>(config.dispatch_overhead);
     profile.compute_us = config.cyclesToUs(compute_cycles);
 
     ArmHostModel host(params, config);

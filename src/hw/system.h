@@ -22,6 +22,7 @@
 #include "fv/params.h"
 #include "hw/arm_host.h"
 #include "hw/config.h"
+#include "hw/isa.h"
 
 namespace heat::hw {
 
@@ -53,10 +54,16 @@ struct MultJobProfile
  * costs plus the host-side transfer times. Pure function of its inputs;
  * callers that construct many systems or service workers can compute
  * the profile once and share it.
+ *
+ * @param dispatch kPerInstruction reproduces the paper's measured cost
+ *        (every instruction pays the Arm dispatch overhead);
+ *        kFusedProgram prices the Mult as a pre-queued fused program
+ *        with a single dispatch (the circuit-compiler execution model).
  */
 MultJobProfile profileMultJob(
     const std::shared_ptr<const fv::FvParams> &params,
-    const HwConfig &config);
+    const HwConfig &config,
+    DispatchMode dispatch = DispatchMode::kPerInstruction);
 
 /** The Arm + two-coprocessor system. */
 class HeatSystem

@@ -80,6 +80,63 @@ ExecutionService::submit(Op op, fv::Ciphertext a, fv::Ciphertext b)
     return future;
 }
 
+std::future<std::vector<fv::Ciphertext>>
+ExecutionService::submitCircuit(const compiler::Circuit &circuit,
+                                std::vector<fv::Ciphertext> inputs)
+{
+    // Compile on the submitting thread: structural errors surface
+    // synchronously, and workers only replay the deterministic slot
+    // schedule (the compiled program is dispatchable to any of them).
+    compiler::CompilerOptions options;
+    options.hw = config_.hw;
+    auto compiled = std::make_shared<const compiler::CompiledCircuit>(
+        compiler::compileCircuit(params_, circuit, options));
+    return submitCompiled(std::move(compiled), std::move(inputs));
+}
+
+std::future<std::vector<fv::Ciphertext>>
+ExecutionService::submitCompiled(
+    std::shared_ptr<const compiler::CompiledCircuit> compiled,
+    std::vector<fv::Ciphertext> inputs)
+{
+    fatalIf(compiled == nullptr, "submitCompiled needs a circuit");
+    const fv::FvConfig &theirs = compiled->params->config();
+    const fv::FvConfig &ours = params_->config();
+    fatalIf(theirs.degree != ours.degree ||
+                theirs.plain_modulus != ours.plain_modulus ||
+                theirs.q_prime_count != ours.q_prime_count ||
+                theirs.prime_bits != ours.prime_bits,
+            "compiled circuit targets a different parameter set");
+    fatalIf(!(compiled->hw == config_.hw),
+            "compiled circuit targets a different hardware "
+            "configuration than this service's workers");
+    fatalIf(inputs.size() != compiled->inputs.size(),
+            "circuit expects ", compiled->inputs.size(), " inputs, got ",
+            inputs.size());
+    for (const fv::Ciphertext &ct : inputs)
+        validateOperand(ct);
+
+    Job job;
+    job.circuit = std::move(compiled);
+    job.circuit_inputs = std::move(inputs);
+    return enqueueCircuit(std::move(job));
+}
+
+std::future<std::vector<fv::Ciphertext>>
+ExecutionService::enqueueCircuit(Job job)
+{
+    std::future<std::vector<fv::Ciphertext>> future =
+        job.circuit_promise.get_future();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopping_)
+            throw ServiceStoppedError("submit after shutdown");
+        queue_.push_back(std::move(job));
+    }
+    work_cv_.notify_one();
+    return future;
+}
+
 void
 ExecutionService::start()
 {
@@ -121,7 +178,7 @@ ExecutionService::shutdown()
         auto stopped = std::make_exception_ptr(
             ServiceStoppedError("service shut down before execution"));
         for (Job &job : orphans)
-            job.promise.set_exception(stopped);
+            job.fail(stopped);
         std::lock_guard<std::mutex> lock(mu_);
         stats_.ops_rejected += orphans.size();
     }
@@ -170,8 +227,9 @@ ExecutionService::workerLoop(size_t worker_index)
     auto install = [&](const hw::OpPlan &plan) {
         if (installed == plan.kind)
             return;
-        if (installed)
-            cp->reset();
+        // Reprogram unconditionally: a circuit job (or a fresh build)
+        // leaves the memory file in an unknown layout.
+        cp->reset();
         hw::preparePlanSlots(*cp, plan);
         installed = plan.kind;
     };
@@ -195,19 +253,53 @@ ExecutionService::workerLoop(size_t worker_index)
             }
             in_flight_ += batch.size();
         }
-        // Group by op kind: the ops are independent, and grouping
-        // bounds memory-file reprogramming to one install per kind.
+        // Group by op kind (circuits last): the jobs are independent,
+        // and grouping bounds memory-file reprogramming to one install
+        // per kind.
         std::stable_sort(batch.begin(), batch.end(),
                          [](const Job &x, const Job &y) {
-                             return x.op < y.op;
+                             return x.sortKey() < y.sortKey();
                          });
 
         size_t batch_completed = 0;
+        size_t batch_failed = 0;
+        size_t op_jobs = 0;
+        uint64_t batch_circuits = 0;
+        uint64_t batch_circuit_nodes = 0;
         hw::Cycle batch_cycles = 0;
         hw::Cycle amortized_cycles = 0;
         double batch_dma_us = 0.0;
+        double batch_host_us = 0.0;
         bool first_in_batch = true;
         for (Job &job : batch) {
+            if (job.isCircuit()) {
+                try {
+                    compiler::CircuitRunStats cstats;
+                    std::vector<fv::Ciphertext> outs =
+                        compiler::runCompiledCircuit(
+                            *cp, *job.circuit, job.circuit_inputs,
+                            &cstats);
+                    job.circuit_promise.set_value(std::move(outs));
+                    batch_cycles += cstats.fpga_cycles;
+                    batch_dma_us += cstats.dma_us;
+                    batch_host_us += cstats.host_us;
+                    ++batch_circuits;
+                    batch_circuit_nodes +=
+                        job.circuit->value_sizes.size() -
+                        job.circuit->inputs.size();
+                } catch (...) {
+                    job.fail(std::current_exception());
+                    ++batch_failed;
+                    rebuild();
+                }
+                // The circuit reprogrammed the memory file; the next
+                // single-op job reinstalls its plan and restarts the
+                // back-to-back dispatch stream.
+                installed.reset();
+                first_in_batch = true;
+                continue;
+            }
+            ++op_jobs;
             const hw::OpPlan &plan =
                 job.op == Op::kAdd ? add_plan_ : mult_plan_;
             try {
@@ -235,6 +327,7 @@ ExecutionService::workerLoop(size_t worker_index)
                 ++batch_completed;
             } catch (...) {
                 job.promise.set_exception(std::current_exception());
+                ++batch_failed;
                 // The failed program may have left memory-file layouts
                 // inconsistent; rebuild this worker's coprocessor so
                 // later jobs start from a clean instance.
@@ -243,9 +336,8 @@ ExecutionService::workerLoop(size_t worker_index)
             }
         }
 
-        const double batch_host_us =
-            host.sendCiphertextsUs(2 * batch.size()) +
-            host.receiveCiphertextsUs(batch.size());
+        batch_host_us += host.sendCiphertextsUs(2 * op_jobs) +
+                         host.receiveCiphertextsUs(op_jobs);
         const double batch_accel_us =
             config_.hw.cyclesToUs(batch_cycles -
                                   std::min(batch_cycles,
@@ -254,8 +346,10 @@ ExecutionService::workerLoop(size_t worker_index)
         {
             std::lock_guard<std::mutex> lock(mu_);
             stats_.ops_completed += batch_completed;
-            stats_.ops_failed += batch.size() - batch_completed;
+            stats_.ops_failed += batch_failed;
             stats_.batches += 1;
+            stats_.circuits_completed += batch_circuits;
+            stats_.circuit_nodes_completed += batch_circuit_nodes;
             stats_.fpga_cycles += batch_cycles;
             stats_.dma_us += batch_dma_us;
             stats_.host_us += batch_host_us;

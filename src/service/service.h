@@ -5,6 +5,11 @@
  * accelerator (Sec. V): a request queue, a pool of worker threads each
  * owning one simulated coprocessor, and a futures-based submit API.
  *
+ * Two submission granularities coexist: single operations
+ * (submit(Op, a, b) — one host round trip each) and whole circuits
+ * (submitCircuit — compiled once into fused programs whose
+ * intermediates stay coprocessor-resident; see compiler/compiler.h).
+ *
  * Workers drain the queue in batches (up to ServiceConfig::max_batch
  * independent operations per dequeue) and execute the batch as
  * back-to-back programs on their coprocessor. Functionally every
@@ -34,6 +39,7 @@
 #include <vector>
 
 #include "common/panic.h"
+#include "compiler/compiler.h"
 #include "fv/keys.h"
 #include "fv/params.h"
 #include "hw/config.h"
@@ -85,6 +91,10 @@ struct ServiceStats
     /** Jobs still queued when shutdown() ran; their futures fail. */
     uint64_t ops_rejected = 0;
     uint64_t batches = 0;
+    /** Fused circuit jobs completed. */
+    uint64_t circuits_completed = 0;
+    /** Circuit nodes executed inside completed circuit jobs. */
+    uint64_t circuit_nodes_completed = 0;
     /** Summed coprocessor compute cycles (dispatch included). */
     hw::Cycle fpga_cycles = 0;
     /** Summed relinearization-key DMA time. */
@@ -142,6 +152,31 @@ class ExecutionService
     std::future<fv::Ciphertext> submit(Op op, fv::Ciphertext a,
                                        fv::Ciphertext b);
 
+    /**
+     * Enqueue a whole circuit as one fused job: the circuit is
+     * compiled immediately (malformed circuits and parameter-set
+     * mismatches throw synchronously), then executes on one worker's
+     * coprocessor as fused programs — inputs uploaded once, one Arm
+     * dispatch per on-chip segment, only live outputs downloaded.
+     * Results are bit-exact with fv::Evaluator run op-by-op.
+     *
+     * @return future resolving to the output ciphertexts, in the
+     *         circuit's output order.
+     */
+    std::future<std::vector<fv::Ciphertext>> submitCircuit(
+        const compiler::Circuit &circuit,
+        std::vector<fv::Ciphertext> inputs);
+
+    /**
+     * Enqueue an already-compiled circuit (compile once with
+     * compiler::compileCircuit, submit many times). The compiled
+     * program must target this service's parameter set and hardware
+     * configuration.
+     */
+    std::future<std::vector<fv::Ciphertext>> submitCompiled(
+        std::shared_ptr<const compiler::CompiledCircuit> compiled,
+        std::vector<fv::Ciphertext> inputs);
+
     /** Release the workers of a start_paused service. Idempotent. */
     void start();
 
@@ -172,12 +207,37 @@ class ExecutionService
   private:
     struct Job
     {
-        Op op;
+        /** Single-op job (circuit == nullptr) or fused circuit job. */
+        Op op = Op::kAdd;
         fv::Ciphertext a;
         fv::Ciphertext b;
         std::promise<fv::Ciphertext> promise;
+
+        std::shared_ptr<const compiler::CompiledCircuit> circuit;
+        std::vector<fv::Ciphertext> circuit_inputs;
+        std::promise<std::vector<fv::Ciphertext>> circuit_promise;
+
+        bool isCircuit() const { return circuit != nullptr; }
+
+        /** Batch ordering key: group per-op kinds, circuits last. */
+        int
+        sortKey() const
+        {
+            return isCircuit() ? 2 : (op == Op::kAdd ? 0 : 1);
+        }
+
+        /** Fail this job's pending future with @p error. */
+        void
+        fail(const std::exception_ptr &error)
+        {
+            if (isCircuit())
+                circuit_promise.set_exception(error);
+            else
+                promise.set_exception(error);
+        }
     };
 
+    std::future<std::vector<fv::Ciphertext>> enqueueCircuit(Job job);
     void workerLoop(size_t worker_index);
     void validateOperand(const fv::Ciphertext &ct) const;
 

@@ -1,0 +1,501 @@
+/**
+ * @file
+ * Circuit-compiler suite: fused whole-circuit programs must be
+ * bit-identical to fv::Evaluator run op-by-op (and to the unfused
+ * hardware baseline), slot liveness must let deep circuits reuse dead
+ * slots, the spill path must stay correct under artificially tight
+ * memory files, modeled fused time must beat the per-op round-trip
+ * model, and results must be deterministic across service worker
+ * counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "compiler/circuit.h"
+#include "compiler/compiler.h"
+#include "fv/decryptor.h"
+#include "fv/encryptor.h"
+#include "fv/evaluator.h"
+#include "fv/keygen.h"
+#include "fv/params.h"
+#include "hw/coprocessor.h"
+#include "service/service.h"
+
+namespace heat {
+namespace {
+
+using compiler::Circuit;
+using compiler::CircuitBuilder;
+using compiler::CircuitRunStats;
+using compiler::CompiledCircuit;
+using compiler::CompilerOptions;
+using compiler::ValueId;
+using fv::Ciphertext;
+using fv::Plaintext;
+
+/** One randomized key/encryptor universe over a small ring. */
+struct Universe
+{
+    explicit Universe(uint64_t seed, uint64_t t = 257,
+                      size_t degree = 256, size_t q_primes = 3)
+    {
+        fv::FvConfig cfg;
+        cfg.degree = degree;
+        cfg.plain_modulus = t;
+        cfg.sigma = 3.2;
+        cfg.q_prime_count = q_primes;
+        params = fv::FvParams::create(cfg);
+        fv::KeyGenerator keygen(params, seed);
+        sk = keygen.generateSecretKey();
+        pk = keygen.generatePublicKey(sk);
+        rlk = keygen.generateRelinKeys(sk);
+        encryptor =
+            std::make_unique<fv::Encryptor>(params, pk, seed ^ 0xABCD);
+        decryptor = std::make_unique<fv::Decryptor>(
+            params, fv::SecretKey{sk.s_ntt});
+        evaluator = std::make_unique<fv::Evaluator>(
+            params, fv::ArithPath::kHps);
+        config = hw::HwConfig::paper();
+        config.n_rpaus = (params->fullBase()->size() + 1) / 2;
+    }
+
+    Plaintext
+    randomPlain(uint64_t seed) const
+    {
+        Xoshiro256 rng(seed);
+        Plaintext p;
+        p.coeffs.resize(params->degree());
+        for (auto &c : p.coeffs)
+            c = rng.uniformBelow(params->plainModulus());
+        return p;
+    }
+
+    Ciphertext
+    randomCipher(uint64_t seed) const
+    {
+        return encryptor->encrypt(randomPlain(seed));
+    }
+
+    std::shared_ptr<const fv::FvParams> params;
+    fv::SecretKey sk;
+    fv::PublicKey pk;
+    fv::RelinKeys rlk;
+    std::unique_ptr<fv::Encryptor> encryptor;
+    std::unique_ptr<fv::Decryptor> decryptor;
+    std::unique_ptr<fv::Evaluator> evaluator;
+    hw::HwConfig config;
+};
+
+/**
+ * The mixed depth-4 demo circuit of the acceptance criteria:
+ * Add/Sub/MultPlain/Mult/Square plus relinearizations, two inputs.
+ *
+ *   v1 = relin(x * y)          depth 1
+ *   v2 = relin(v1^2)           depth 2
+ *   v3 = v2 * plain            depth 3
+ *   v4 = v3 - x                depth 4
+ *   v5 = (v4 + y) + Delta*p2   depth 4 (+plain)
+ * outputs: v5, v1
+ */
+Circuit
+demoCircuit(const Universe &u)
+{
+    CircuitBuilder b;
+    const ValueId x = b.input();
+    const ValueId y = b.input();
+    const ValueId v1 = b.mult(x, y);
+    const ValueId v2 = b.square(v1);
+    const ValueId v3 = b.multPlain(v2, u.randomPlain(901));
+    const ValueId v4 = b.sub(v3, x);
+    const ValueId v5 =
+        b.addPlain(b.add(v4, y), u.randomPlain(902));
+    b.output(v5);
+    b.output(v1);
+    return b.build();
+}
+
+TEST(Compiler, FusedMatchesEvaluatorAndOpByOp)
+{
+    Universe u(11);
+    const Circuit circuit = demoCircuit(u);
+    std::vector<Ciphertext> inputs = {u.randomCipher(1),
+                                      u.randomCipher(2)};
+
+    const std::vector<Ciphertext> reference = compiler::evaluateCircuit(
+        *u.evaluator, &u.rlk, circuit, inputs);
+
+    CompilerOptions options;
+    options.hw = u.config;
+    const CompiledCircuit compiled =
+        compiler::compileCircuit(u.params, circuit, options);
+    EXPECT_LE(compiled.peak_slots, compiled.hw.n_rpaus *
+                                       compiled.hw.slots_per_rpau);
+
+    hw::Coprocessor cp(u.params, u.config, &u.rlk);
+    CircuitRunStats fused_stats;
+    const std::vector<Ciphertext> fused = compiler::runCompiledCircuit(
+        cp, compiled, inputs, &fused_stats);
+
+    hw::Coprocessor cp2(u.params, u.config, &u.rlk);
+    CircuitRunStats unfused_stats;
+    const std::vector<Ciphertext> unfused = compiler::runCircuitOpByOp(
+        cp2, u.params, circuit, inputs, &unfused_stats);
+
+    ASSERT_EQ(fused.size(), reference.size());
+    for (size_t i = 0; i < reference.size(); ++i) {
+        EXPECT_EQ(fused[i], reference[i]) << "output " << i;
+        EXPECT_EQ(unfused[i], reference[i]) << "output " << i;
+        EXPECT_EQ(u.decryptor->decrypt(fused[i]),
+                  u.decryptor->decrypt(reference[i]));
+    }
+
+    // No spills: the whole circuit fused into one segment, one Arm
+    // dispatch, inputs uploaded once and only live outputs downloaded.
+    EXPECT_EQ(compiled.spilled_polys, 0u);
+    EXPECT_EQ(compiled.segments.size(), 1u);
+    EXPECT_EQ(fused_stats.dispatches, 1u);
+    EXPECT_EQ(fused_stats.uploaded_polys,
+              2 * inputs.size() + compiled.constants.size() +
+                  compiled.reloaded_polys);
+    EXPECT_EQ(fused_stats.downloaded_polys, 2u + 2u);
+
+    // Same kernels, one dispatch instead of one per instruction and
+    // far fewer transfers: the fused model must be strictly faster
+    // than per-op round trips.
+    EXPECT_LT(fused_stats.modeledUs(u.config),
+              unfused_stats.modeledUs(u.config));
+}
+
+TEST(Compiler, SlotReuseAllowsDeepCircuits)
+{
+    Universe u(23);
+    // A long chain where every step allocates fresh result slots (the
+    // accumulator is used twice per round, so it cannot be consumed in
+    // place): without liveness-based reuse the allocation total far
+    // exceeds the memory file even though only a couple of values are
+    // ever live at once.
+    CircuitBuilder b;
+    const ValueId x = b.input();
+    const ValueId y = b.input();
+    ValueId acc = b.add(x, y);
+    for (int i = 0; i < 20; ++i) {
+        const ValueId t = b.add(acc, i % 2 == 0 ? x : y);
+        acc = b.sub(t, acc);
+    }
+    b.output(acc);
+    const Circuit circuit = b.build();
+
+    CompilerOptions options;
+    options.hw = u.config;
+    const CompiledCircuit compiled =
+        compiler::compileCircuit(u.params, circuit, options);
+
+    const size_t kq = u.params->qBase()->size();
+    // Total allocations across the chain dwarf the capacity…
+    size_t allocated = 0;
+    for (const hw::SlotAction &action : compiled.slot_actions) {
+        if (action.kind == hw::SlotAction::Kind::kAllocate)
+            allocated += action.base == hw::BaseTag::kQ
+                             ? kq
+                             : u.params->fullBase()->size();
+    }
+    EXPECT_GT(allocated, compiled.hw.n_rpaus *
+                             compiled.hw.slots_per_rpau);
+    // …but the live peak stays tiny and nothing spills.
+    EXPECT_EQ(compiled.spilled_polys, 0u);
+    EXPECT_EQ(compiled.segments.size(), 1u);
+    EXPECT_LE(compiled.peak_slots, 8 * kq);
+
+    std::vector<Ciphertext> inputs = {u.randomCipher(5),
+                                      u.randomCipher(6)};
+    hw::Coprocessor cp(u.params, u.config, &u.rlk);
+    const std::vector<Ciphertext> fused =
+        compiler::runCompiledCircuit(cp, compiled, inputs);
+    const std::vector<Ciphertext> reference = compiler::evaluateCircuit(
+        *u.evaluator, &u.rlk, circuit, inputs);
+    EXPECT_EQ(fused[0], reference[0]);
+}
+
+/** A circuit holding many values live at once (forces pressure when
+ *  the memory file shrinks). */
+Circuit
+wideCircuit(int width)
+{
+    CircuitBuilder b;
+    std::vector<ValueId> leaves;
+    const ValueId x = b.input();
+    const ValueId y = b.input();
+    ValueId rolling = b.add(x, y);
+    for (int i = 0; i < width; ++i) {
+        rolling = b.add(rolling, i % 2 == 0 ? x : y);
+        leaves.push_back(rolling);
+    }
+    // Consume the leaves in reverse so all of them stay live across
+    // the whole build-up phase.
+    ValueId acc = b.negate(leaves.back());
+    for (int i = width - 1; i >= 0; --i)
+        acc = b.add(acc, leaves[i]);
+    b.output(acc);
+    return b.build();
+}
+
+TEST(Compiler, SpillPathStaysBitExact)
+{
+    Universe u(31);
+    const Circuit circuit = wideCircuit(4);
+    std::vector<Ciphertext> inputs = {u.randomCipher(7),
+                                      u.randomCipher(8)};
+    const std::vector<Ciphertext> reference = compiler::evaluateCircuit(
+        *u.evaluator, &u.rlk, circuit, inputs);
+
+    // Shrink the memory file until the wide phase cannot keep every
+    // leaf resident (but keep room for a handful of values).
+    hw::HwConfig tight = u.config;
+    tight.slots_per_rpau = 6;
+    CompilerOptions options;
+    options.hw = tight;
+    const CompiledCircuit compiled =
+        compiler::compileCircuit(u.params, circuit, options);
+
+    EXPECT_GT(compiled.spilled_polys, 0u);
+    EXPECT_GT(compiled.reloaded_polys, 0u);
+    EXPECT_GT(compiled.segments.size(), 1u);
+    EXPECT_LE(compiled.peak_slots,
+              tight.n_rpaus * tight.slots_per_rpau);
+
+    hw::Coprocessor cp(u.params, tight, &u.rlk);
+    CircuitRunStats stats;
+    const std::vector<Ciphertext> fused =
+        compiler::runCompiledCircuit(cp, compiled, inputs, &stats);
+    EXPECT_EQ(fused[0], reference[0]);
+    EXPECT_EQ(stats.segments, compiled.segments.size());
+    EXPECT_GT(stats.dispatches, 1u);
+
+    // The same circuit on the full-size memory file must not spill —
+    // and must be modeled-faster than the tight fit.
+    CompilerOptions roomy;
+    roomy.hw = u.config;
+    const CompiledCircuit unpressured =
+        compiler::compileCircuit(u.params, circuit, roomy);
+    EXPECT_EQ(unpressured.spilled_polys, 0u);
+    hw::Coprocessor cp2(u.params, u.config, &u.rlk);
+    CircuitRunStats roomy_stats;
+    const std::vector<Ciphertext> fused2 = compiler::runCompiledCircuit(
+        cp2, unpressured, inputs, &roomy_stats);
+    EXPECT_EQ(fused2[0], reference[0]);
+    EXPECT_LT(roomy_stats.modeledUs(u.config),
+              stats.modeledUs(tight));
+}
+
+TEST(Compiler, AllocationFailureReportsSlotPressure)
+{
+    Universe u(37);
+    CircuitBuilder b;
+    const ValueId x = b.input();
+    const ValueId y = b.input();
+    b.output(b.mult(x, y));
+    const Circuit circuit = b.build();
+
+    // Too small for even one Mult schedule: compilation must fail with
+    // a diagnosable slot-pressure message, not a bare panic.
+    hw::HwConfig tiny = u.config;
+    tiny.slots_per_rpau = 3;
+    CompilerOptions options;
+    options.hw = tiny;
+    try {
+        compiler::compileCircuit(u.params, circuit, options);
+        FAIL() << "expected slot-pressure failure";
+    } catch (const FatalError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("slots"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("live"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("Mult"), std::string::npos) << msg;
+    }
+}
+
+TEST(Compiler, ValidationRejectsMalformedCircuits)
+{
+    Universe u(41);
+    // 3-element value used by a non-relin consumer.
+    {
+        CircuitBuilder b;
+        const ValueId x = b.input();
+        const ValueId t = b.multNoRelin(x, b.input());
+        b.output(b.add(t, x));
+        EXPECT_THROW(b.build(), FatalError);
+    }
+    // Relinearizing a 2-element value.
+    {
+        CircuitBuilder b;
+        const ValueId x = b.input();
+        b.output(b.relinearize(x));
+        EXPECT_THROW(b.build(), FatalError);
+    }
+    // No outputs.
+    {
+        CircuitBuilder b;
+        const ValueId x = b.input();
+        b.add(x, x);
+        EXPECT_THROW(b.build(), FatalError);
+    }
+    // Input count mismatch at submission.
+    {
+        CircuitBuilder b;
+        const ValueId x = b.input();
+        b.output(b.add(x, b.input()));
+        const Circuit circuit = b.build();
+        std::vector<Ciphertext> one = {u.randomCipher(1)};
+        EXPECT_THROW(compiler::evaluateCircuit(*u.evaluator, &u.rlk,
+                                               circuit, one),
+                     FatalError);
+        CompilerOptions options;
+        options.hw = u.config;
+        const CompiledCircuit compiled =
+            compiler::compileCircuit(u.params, circuit, options);
+        hw::Coprocessor cp(u.params, u.config, &u.rlk);
+        EXPECT_THROW(compiler::runCompiledCircuit(cp, compiled, one),
+                     FatalError);
+    }
+}
+
+TEST(Compiler, ThreeElementOutputsAndSharedTensor)
+{
+    Universe u(43);
+    // multNoRelin output downloaded as a 3-element ciphertext, while
+    // the same tensor also feeds a relinearization.
+    CircuitBuilder b;
+    const ValueId x = b.input();
+    const ValueId y = b.input();
+    const ValueId t = b.multNoRelin(x, y);
+    const ValueId r = b.relinearize(t);
+    b.output(t);
+    b.output(r);
+    const Circuit circuit = b.build();
+
+    std::vector<Ciphertext> inputs = {u.randomCipher(9),
+                                      u.randomCipher(10)};
+    const std::vector<Ciphertext> reference = compiler::evaluateCircuit(
+        *u.evaluator, &u.rlk, circuit, inputs);
+    ASSERT_EQ(reference[0].size(), 3u);
+    ASSERT_EQ(reference[1].size(), 2u);
+
+    CompilerOptions options;
+    options.hw = u.config;
+    const CompiledCircuit compiled =
+        compiler::compileCircuit(u.params, circuit, options);
+    hw::Coprocessor cp(u.params, u.config, &u.rlk);
+    const std::vector<Ciphertext> fused =
+        compiler::runCompiledCircuit(cp, compiled, inputs);
+    EXPECT_EQ(fused[0], reference[0]);
+    EXPECT_EQ(fused[1], reference[1]);
+    EXPECT_EQ(u.decryptor->decrypt(fused[0]),
+              u.decryptor->decrypt(reference[0]));
+}
+
+TEST(Compiler, ServiceCircuitDeterministicAcrossWorkerCounts)
+{
+    Universe u(47);
+    const Circuit circuit = demoCircuit(u);
+    std::vector<Ciphertext> inputs = {u.randomCipher(11),
+                                      u.randomCipher(12)};
+    const std::vector<Ciphertext> reference = compiler::evaluateCircuit(
+        *u.evaluator, &u.rlk, circuit, inputs);
+
+    for (size_t workers : {1u, 2u, 4u}) {
+        service::ServiceConfig cfg;
+        cfg.workers = workers;
+        cfg.max_batch = 3;
+        cfg.hw = u.config;
+        service::ExecutionService svc(u.params, u.rlk, cfg);
+
+        std::vector<std::future<std::vector<Ciphertext>>> futures;
+        for (int i = 0; i < 6; ++i)
+            futures.push_back(svc.submitCircuit(circuit, inputs));
+        for (auto &f : futures) {
+            const std::vector<Ciphertext> outs = f.get();
+            ASSERT_EQ(outs.size(), reference.size());
+            for (size_t k = 0; k < outs.size(); ++k)
+                EXPECT_EQ(outs[k], reference[k])
+                    << "workers " << workers << " output " << k;
+        }
+        svc.drain();
+        const service::ServiceStats stats = svc.stats();
+        EXPECT_EQ(stats.circuits_completed, 6u);
+        EXPECT_GT(stats.circuit_nodes_completed, 0u);
+    }
+}
+
+TEST(Compiler, ServiceMixesCircuitsWithSingleOps)
+{
+    Universe u(53, /*t=*/4);
+    const Circuit circuit = demoCircuit(u);
+    std::vector<Ciphertext> inputs = {u.randomCipher(13),
+                                      u.randomCipher(14)};
+    const std::vector<Ciphertext> circuit_ref =
+        compiler::evaluateCircuit(*u.evaluator, &u.rlk, circuit, inputs);
+
+    service::ServiceConfig cfg;
+    cfg.workers = 2;
+    cfg.max_batch = 4;
+    cfg.hw = u.config;
+    cfg.start_paused = true;
+    service::ExecutionService svc(u.params, u.rlk, cfg);
+
+    // Interleave op jobs and circuit jobs in the same queue/batches.
+    Ciphertext a = u.randomCipher(15);
+    Ciphertext bb = u.randomCipher(16);
+    auto f_add = svc.submit(service::Op::kAdd, a, bb);
+    auto f_circ1 = svc.submitCircuit(circuit, inputs);
+    auto f_mul = svc.submit(service::Op::kMult, a, bb);
+    auto f_circ2 = svc.submitCircuit(circuit, inputs);
+    svc.start();
+
+    EXPECT_EQ(f_add.get(), u.evaluator->add(a, bb));
+    EXPECT_EQ(f_mul.get(), u.evaluator->multiply(a, bb, u.rlk));
+    const std::vector<Ciphertext> c1 = f_circ1.get();
+    const std::vector<Ciphertext> c2 = f_circ2.get();
+    for (size_t k = 0; k < circuit_ref.size(); ++k) {
+        EXPECT_EQ(c1[k], circuit_ref[k]);
+        EXPECT_EQ(c2[k], circuit_ref[k]);
+    }
+}
+
+TEST(Compiler, CompileOnceSubmitMany)
+{
+    Universe u(59);
+    const Circuit circuit = demoCircuit(u);
+    CompilerOptions options;
+    options.hw = u.config;
+    auto compiled = std::make_shared<const CompiledCircuit>(
+        compiler::compileCircuit(u.params, circuit, options));
+
+    service::ServiceConfig cfg;
+    cfg.workers = 2;
+    cfg.hw = u.config;
+    service::ExecutionService svc(u.params, u.rlk, cfg);
+
+    std::vector<std::vector<Ciphertext>> input_sets;
+    std::vector<std::future<std::vector<Ciphertext>>> futures;
+    for (int i = 0; i < 4; ++i) {
+        input_sets.push_back({u.randomCipher(100 + i),
+                              u.randomCipher(200 + i)});
+        futures.push_back(svc.submitCompiled(compiled,
+                                             input_sets.back()));
+    }
+    for (int i = 0; i < 4; ++i) {
+        const std::vector<Ciphertext> reference =
+            compiler::evaluateCircuit(*u.evaluator, &u.rlk, circuit,
+                                      input_sets[i]);
+        const std::vector<Ciphertext> outs = futures[i].get();
+        for (size_t k = 0; k < reference.size(); ++k)
+            EXPECT_EQ(outs[k], reference[k]) << "set " << i;
+    }
+}
+
+} // namespace
+} // namespace heat

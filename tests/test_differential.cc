@@ -12,9 +12,12 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/random.h"
+#include "compiler/circuit.h"
+#include "compiler/compiler.h"
 #include "fv/decryptor.h"
 #include "fv/encryptor.h"
 #include "fv/evaluator.h"
@@ -83,6 +86,22 @@ struct Universe
         out.polys.push_back(cp.downloadPoly(plan.program.outputs[0]));
         out.polys.push_back(cp.downloadPoly(plan.program.outputs[1]));
         return out;
+    }
+
+    /**
+     * Run one single-node circuit through the hardware compiler path
+     * (the only hw lowering of Sub/Negate/AddPlain/MultPlain/Square).
+     */
+    std::vector<Ciphertext>
+    runHwCircuit(const compiler::Circuit &circuit,
+                 std::span<const Ciphertext> inputs) const
+    {
+        compiler::CompilerOptions options;
+        options.hw = config;
+        const compiler::CompiledCircuit compiled =
+            compiler::compileCircuit(params, circuit, options);
+        hw::Coprocessor cp(params, config, &rlk);
+        return compiler::runCompiledCircuit(cp, compiled, inputs);
     }
 
     std::shared_ptr<const fv::FvParams> params;
@@ -169,6 +188,103 @@ TEST(Differential, ExactCrtOracleDecryptsIdentically)
     Ciphertext hw = u.runHw(hw::OpPlan::Kind::kMult, x, y);
     Ciphertext oracle = exact.multiply(x, y, u.rlk);
     EXPECT_EQ(u.decryptor->decrypt(hw), u.decryptor->decrypt(oracle));
+}
+
+TEST(Differential, SubBitExactAcrossRandomKeys)
+{
+    for (uint64_t key_seed : {7u, 19u}) {
+        Universe u(key_seed, /*t=*/257);
+        compiler::CircuitBuilder b;
+        const auto x = b.input();
+        const auto y = b.input();
+        b.output(b.sub(x, y));
+        const compiler::Circuit circuit = b.build();
+        for (uint64_t i = 0; i < 3; ++i) {
+            std::vector<Ciphertext> in = {
+                u.encryptor->encrypt(u.randomPlain(700 * key_seed + i)),
+                u.encryptor->encrypt(u.randomPlain(800 * key_seed + i))};
+            Ciphertext hw = u.runHwCircuit(circuit, in)[0];
+            Ciphertext sw = u.evaluator->sub(in[0], in[1]);
+            EXPECT_EQ(hw, sw) << "key seed " << key_seed << " draw " << i;
+            EXPECT_EQ(u.decryptor->decrypt(hw), u.decryptor->decrypt(sw));
+        }
+    }
+}
+
+TEST(Differential, NegateBitExactAcrossRandomKeys)
+{
+    for (uint64_t key_seed : {13u, 27u}) {
+        Universe u(key_seed, /*t=*/257);
+        compiler::CircuitBuilder b;
+        b.output(b.negate(b.input()));
+        const compiler::Circuit circuit = b.build();
+        for (uint64_t i = 0; i < 3; ++i) {
+            std::vector<Ciphertext> in = {
+                u.encryptor->encrypt(u.randomPlain(910 * key_seed + i))};
+            Ciphertext hw = u.runHwCircuit(circuit, in)[0];
+            Ciphertext sw = in[0];
+            u.evaluator->negateInPlace(sw);
+            EXPECT_EQ(hw, sw) << "key seed " << key_seed << " draw " << i;
+            EXPECT_EQ(u.decryptor->decrypt(hw), u.decryptor->decrypt(sw));
+        }
+    }
+}
+
+TEST(Differential, AddPlainBitExactAcrossRandomKeys)
+{
+    for (uint64_t key_seed : {15u, 35u}) {
+        Universe u(key_seed, /*t=*/65537);
+        for (uint64_t i = 0; i < 3; ++i) {
+            const Plaintext plain = u.randomPlain(40 * key_seed + i);
+            compiler::CircuitBuilder b;
+            b.output(b.addPlain(b.input(), plain));
+            const compiler::Circuit circuit = b.build();
+            std::vector<Ciphertext> in = {
+                u.encryptor->encrypt(u.randomPlain(50 * key_seed + i))};
+            Ciphertext hw = u.runHwCircuit(circuit, in)[0];
+            Ciphertext sw = in[0];
+            u.evaluator->addPlainInPlace(sw, plain);
+            EXPECT_EQ(hw, sw) << "key seed " << key_seed << " draw " << i;
+            EXPECT_EQ(u.decryptor->decrypt(hw), u.decryptor->decrypt(sw));
+        }
+    }
+}
+
+TEST(Differential, MultPlainBitExactAcrossRandomKeys)
+{
+    for (uint64_t key_seed : {21u, 45u}) {
+        Universe u(key_seed, /*t=*/65537);
+        for (uint64_t i = 0; i < 2; ++i) {
+            const Plaintext plain = u.randomPlain(60 * key_seed + i);
+            compiler::CircuitBuilder b;
+            b.output(b.multPlain(b.input(), plain));
+            const compiler::Circuit circuit = b.build();
+            std::vector<Ciphertext> in = {
+                u.encryptor->encrypt(u.randomPlain(70 * key_seed + i))};
+            Ciphertext hw = u.runHwCircuit(circuit, in)[0];
+            Ciphertext sw = u.evaluator->multiplyPlain(in[0], plain);
+            EXPECT_EQ(hw, sw) << "key seed " << key_seed << " draw " << i;
+            EXPECT_EQ(u.decryptor->decrypt(hw), u.decryptor->decrypt(sw));
+        }
+    }
+}
+
+TEST(Differential, SquareBitExactAcrossRandomKeys)
+{
+    for (uint64_t key_seed : {25u, 55u}) {
+        Universe u(key_seed);
+        compiler::CircuitBuilder b;
+        b.output(b.square(b.input()));
+        const compiler::Circuit circuit = b.build();
+        for (uint64_t i = 0; i < 2; ++i) {
+            std::vector<Ciphertext> in = {
+                u.encryptor->encrypt(u.randomPlain(80 * key_seed + i))};
+            Ciphertext hw = u.runHwCircuit(circuit, in)[0];
+            Ciphertext sw = u.evaluator->square(in[0], u.rlk);
+            EXPECT_EQ(hw, sw) << "key seed " << key_seed << " draw " << i;
+            EXPECT_EQ(u.decryptor->decrypt(hw), u.decryptor->decrypt(sw));
+        }
+    }
 }
 
 TEST(Differential, ServiceMatchesEvaluatorUnderRandomLoad)
