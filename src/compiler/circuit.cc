@@ -1,8 +1,11 @@
 #include "compiler/circuit.h"
 
+#include <algorithm>
+#include <map>
 #include <utility>
 
 #include "common/panic.h"
+#include "fv/galois.h"
 
 namespace heat::compiler {
 
@@ -28,6 +31,12 @@ nodeKindName(NodeKind kind)
         return "Square";
       case NodeKind::kRelin:
         return "Relin";
+      case NodeKind::kRotate:
+        return "Rotate";
+      case NodeKind::kRotateColumns:
+        return "RotateColumns";
+      case NodeKind::kRotateSum:
+        return "RotateSum";
     }
     panic("unknown node kind");
 }
@@ -104,6 +113,9 @@ Circuit::validate() const
                     "node ", i, " references plaintext ", node.plain,
                     " outside the constant pool");
         }
+        if (node.kind == NodeKind::kRotate)
+            fatalIf(node.steps == 0,
+                    "node ", i, " rotates by zero steps");
     }
     fatalIf(seen_inputs != inputs.size(),
             "circuit input list does not match the input nodes");
@@ -179,6 +191,28 @@ CircuitBuilder::multPlain(ValueId a, fv::Plaintext plain)
 }
 
 ValueId
+CircuitBuilder::rotate(ValueId a, int32_t steps)
+{
+    fatalIf(steps == 0, "rotation by zero steps is the identity; "
+                        "use the value directly");
+    const ValueId v = addNode(NodeKind::kRotate, a, kNoValue, -1);
+    circuit_.nodes.back().steps = steps;
+    return v;
+}
+
+ValueId
+CircuitBuilder::rotateColumns(ValueId a)
+{
+    return addNode(NodeKind::kRotateColumns, a, kNoValue, -1);
+}
+
+ValueId
+CircuitBuilder::rotateSum(ValueId a)
+{
+    return addNode(NodeKind::kRotateSum, a, kNoValue, -1);
+}
+
+ValueId
 CircuitBuilder::multNoRelin(ValueId a, ValueId b)
 {
     // A value tensored with itself is a square; routing it here keeps
@@ -221,15 +255,80 @@ CircuitBuilder::build()
     return circuit;
 }
 
+bool
+isRotationNode(NodeKind kind)
+{
+    return kind == NodeKind::kRotate || kind == NodeKind::kRotateColumns;
+}
+
+uint32_t
+rotationElement(const CircuitNode &node, size_t degree)
+{
+    switch (node.kind) {
+      case NodeKind::kRotate:
+        return fv::galoisElementForStep(node.steps, degree);
+      case NodeKind::kRotateColumns:
+        return static_cast<uint32_t>(2 * degree - 1);
+      default:
+        panic("node has no Galois element");
+    }
+}
+
+std::vector<uint32_t>
+rotationHoistGroupSizes(const Circuit &circuit)
+{
+    std::map<ValueId, uint32_t> per_input;
+    for (const CircuitNode &node : circuit.nodes) {
+        if (isRotationNode(node.kind))
+            ++per_input[node.args[0]];
+    }
+    std::vector<uint32_t> sizes(circuit.nodes.size(), 0);
+    for (size_t i = 0; i < circuit.nodes.size(); ++i) {
+        if (isRotationNode(circuit.nodes[i].kind))
+            sizes[i] = per_input[circuit.nodes[i].args[0]];
+    }
+    return sizes;
+}
+
+std::vector<uint32_t>
+requiredGaloisElements(const Circuit &circuit, size_t degree)
+{
+    std::vector<uint32_t> elements;
+    for (const CircuitNode &node : circuit.nodes) {
+        if (isRotationNode(node.kind)) {
+            elements.push_back(rotationElement(node, degree));
+        } else if (node.kind == NodeKind::kRotateSum) {
+            for (size_t step = 1; step <= degree / 4; step *= 2) {
+                elements.push_back(fv::galoisElementForStep(
+                    static_cast<int>(step), degree));
+            }
+            elements.push_back(static_cast<uint32_t>(2 * degree - 1));
+        }
+    }
+    std::sort(elements.begin(), elements.end());
+    elements.erase(std::unique(elements.begin(), elements.end()),
+                   elements.end());
+    return elements;
+}
+
 std::vector<fv::Ciphertext>
 evaluateCircuit(const fv::Evaluator &evaluator, const fv::RelinKeys *rlk,
                 const Circuit &circuit,
-                std::span<const fv::Ciphertext> inputs)
+                std::span<const fv::Ciphertext> inputs,
+                const fv::GaloisKeys *gkeys)
 {
     circuit.validate();
     fatalIf(inputs.size() != circuit.inputs.size(),
             "circuit expects ", circuit.inputs.size(), " inputs, got ",
             inputs.size());
+
+    const std::vector<uint32_t> hoist_sizes =
+        rotationHoistGroupSizes(circuit);
+    const auto needGalois = [&]() -> const fv::GaloisKeys & {
+        fatalIf(gkeys == nullptr,
+                "circuit rotates but no Galois keys were given");
+        return *gkeys;
+    };
 
     std::vector<fv::Ciphertext> values(circuit.nodes.size());
     size_t next_input = 0;
@@ -272,6 +371,23 @@ evaluateCircuit(const fv::Evaluator &evaluator, const fv::RelinKeys *rlk,
                     "circuit relinearizes but no keys were given");
             values[i] = values[a];
             evaluator.relinearizeInPlace(values[i], *rlk);
+            break;
+          case NodeKind::kRotate:
+          case NodeKind::kRotateColumns: {
+            // Members of a hoist group (>= 2 rotations of one value)
+            // use the hoisted key-switch numerics on every execution
+            // path; lone rotations match plain applyGalois.
+            const uint32_t g =
+                rotationElement(node, values[a][0].degree());
+            values[i] = hoist_sizes[i] >= 2
+                            ? evaluator.applyGaloisHoisted(values[a], g,
+                                                           needGalois())
+                            : evaluator.applyGalois(values[a], g,
+                                                    needGalois());
+            break;
+          }
+          case NodeKind::kRotateSum:
+            values[i] = evaluator.sumAllSlots(values[a], needGalois());
             break;
         }
     }

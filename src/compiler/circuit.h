@@ -10,6 +10,11 @@
  * through it — the golden model the hardware compiler (compiler.h) is
  * differentially tested against.
  *
+ * Rotations (kRotate/kRotateColumns/kRotateSum) lower onto the
+ * hardware automorphism datapath; several rotations of one value form
+ * a hoist group sharing the key-switch decompose (see
+ * rotationHoistGroupSizes and compiler.h's CompilerOptions).
+ *
  * Multiplication is split FV-style: kMult/kSquare produce a 3-element
  * ciphertext (the scaled tensor), kRelin reduces it back to 2 elements.
  * The builder's mult()/square() conveniences chain both. A 3-element
@@ -51,7 +56,10 @@ enum class NodeKind : uint8_t
     kMultPlain, ///< ct * plain (NTT pointwise, no relinearization)
     kMult,      ///< tensor + scale: 3-element result (no relin)
     kSquare,    ///< tensor of a value with itself: 3-element result
-    kRelin      ///< relinearize a 3-element value back to 2 elements
+    kRelin,     ///< relinearize a 3-element value back to 2 elements
+    kRotate,    ///< rotate batched slot rows by `steps` (Galois + switch)
+    kRotateColumns, ///< swap the two slot columns (element 2n - 1)
+    kRotateSum  ///< rotate-and-add total sum across all slots
 };
 
 /** @return a printable name. */
@@ -68,6 +76,10 @@ struct CircuitNode
     std::array<ValueId, 2> args{kNoValue, kNoValue};
     /** Index into Circuit::plains (kAddPlain/kMultPlain only). */
     int32_t plain = -1;
+    /** Slot-rotation step count (kRotate only; nonzero). The Galois
+     *  element is resolved against the parameter set's degree at
+     *  compile/evaluation time — see rotationElement(). */
+    int32_t steps = 0;
 
     bool operator==(const CircuitNode &o) const = default;
 };
@@ -113,6 +125,19 @@ class CircuitBuilder
     ValueId addPlain(ValueId a, fv::Plaintext plain);
     ValueId multPlain(ValueId a, fv::Plaintext plain);
 
+    /** Rotate batched slot rows by @p steps (nonzero; negative rotates
+     *  the other way). Lowers to the hardware automorphism datapath;
+     *  multiple rotations of one value share the key-switch decompose
+     *  (hoisting). */
+    ValueId rotate(ValueId a, int32_t steps);
+
+    /** Swap the two batching slot columns (Galois element 2n - 1). */
+    ValueId rotateColumns(ValueId a);
+
+    /** Total sum across all slots: afterwards every slot holds the
+     *  sum (rotate-and-add, matching fv::Evaluator::sumAllSlots). */
+    ValueId rotateSum(ValueId a);
+
     /** Tensor + scale without relinearization: a 3-element value. */
     ValueId multNoRelin(ValueId a, ValueId b);
 
@@ -151,14 +176,44 @@ class CircuitBuilder
     Circuit circuit_;
 };
 
+/** @return true for the single-automorphism node kinds (kRotate and
+ *  kRotateColumns) that participate in hoist groups. */
+bool isRotationNode(NodeKind kind);
+
+/** @return the Galois element of a kRotate/kRotateColumns node for
+ *  ring degree @p degree. */
+uint32_t rotationElement(const CircuitNode &node, size_t degree);
+
+/**
+ * Per-node hoist-group size: for each kRotate/kRotateColumns node, how
+ * many such nodes (including itself) rotate the same input value; 0
+ * for every other node kind. Nodes in a group of >= 2 use hoisted
+ * key-switch numerics (fv::Evaluator::applyGaloisHoisted) on every
+ * execution path — compiled, op-by-op, and evaluateCircuit — so the
+ * three stay bit-identical whether or not the compiler shares the
+ * decompose.
+ */
+std::vector<uint32_t> rotationHoistGroupSizes(const Circuit &circuit);
+
+/**
+ * Every Galois element whose key-switching keys the circuit needs,
+ * sorted ascending: one per kRotate/kRotateColumns node, plus the
+ * power-of-two row elements and the column element for each
+ * kRotateSum. Generate them with fv::KeyGenerator::generateGaloisKeys.
+ */
+std::vector<uint32_t> requiredGaloisElements(const Circuit &circuit,
+                                             size_t degree);
+
 /**
  * Scalar reference semantics: run @p circuit op-by-op through
  * @p evaluator, returning the output ciphertexts in output order.
- * @p rlk may be null only if the circuit contains no kRelin node.
+ * @p rlk may be null only if the circuit contains no kRelin node;
+ * @p gkeys only if it contains no rotation node.
  */
 std::vector<fv::Ciphertext> evaluateCircuit(
     const fv::Evaluator &evaluator, const fv::RelinKeys *rlk,
-    const Circuit &circuit, std::span<const fv::Ciphertext> inputs);
+    const Circuit &circuit, std::span<const fv::Ciphertext> inputs,
+    const fv::GaloisKeys *gkeys = nullptr);
 
 } // namespace heat::compiler
 

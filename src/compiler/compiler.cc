@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <map>
 #include <utility>
 
 #include "common/panic.h"
@@ -50,7 +51,8 @@ class CircuitCompiler
                     const CompilerOptions &options)
         : params_(std::move(params)), circuit_(circuit),
           evaluator_(params_),
-          alloc_(*params_, options.hw, /*throw_on_pressure=*/true)
+          alloc_(*params_, options.hw, /*throw_on_pressure=*/true),
+          hoist_rotations_(options.hoist_rotations)
     {
         out_.params = params_;
         out_.hw = options.hw;
@@ -98,6 +100,8 @@ class CircuitCompiler
         out_.inputs = circuit_.inputs;
         out_.outputs = circuit_.outputs;
         out_.peak_slots = alloc_.peakSlots();
+        out_.galois_elements =
+            requiredGaloisElements(circuit_, params_->degree());
         return std::move(out_);
     }
 
@@ -133,6 +137,13 @@ class CircuitCompiler
 
         plain_const_add_.assign(circuit_.plains.size(), -1);
         plain_const_mul_.assign(circuit_.plains.size(), -1);
+
+        hoist_sizes_ = rotationHoistGroupSizes(circuit_);
+        for (size_t i = 0; i < n; ++i) {
+            if (isRotationNode(circuit_.nodes[i].kind) &&
+                hoist_sizes_[i] >= 2)
+                ++hoist_remaining_[circuit_.nodes[i].args[0]];
+        }
     }
 
     size_t
@@ -328,6 +339,9 @@ class CircuitCompiler
     {
         std::vector<hw::PolyId> result;       // slots of value i
         std::vector<hw::PolyId> relin_result; // slots of the fused relin
+        /** Shared key-switch digit slots a hoist group's first member
+         *  materialized (committed to hoist_digits_ on success). */
+        std::vector<hw::PolyId> hoist_digits;
     };
 
     void
@@ -352,7 +366,13 @@ class CircuitCompiler
         // additionally consume a still-live operand whose host copy is
         // current ("demotion"): the emitter releases its slots instead
         // of copying them, and a later use reloads from the host.
-        bool consume_a = deadAfter(operands[0], i);
+        // Rotation emitters never consume (their results are always
+        // fresh slots); dead rotation operands release through the
+        // generic death handling below.
+        const bool rotation_like =
+            isRotationNode(node.kind) ||
+            node.kind == NodeKind::kRotateSum;
+        bool consume_a = !rotation_like && deadAfter(operands[0], i);
         bool consume_b = operands.size() > 1 &&
                          operands[1] != operands[0] &&
                          deadAfter(operands[1], i);
@@ -410,6 +430,23 @@ class CircuitCompiler
                 fatal("circuit does not fit the memory file at node ",
                       i, " (", nodeKindName(node.kind), "): ", e.what(),
                       "; no spillable value remains");
+            }
+        }
+
+        // Hoist-group bookkeeping: commit freshly-materialized shared
+        // digits, and release them after the group's last rotation.
+        if (isRotationNode(node.kind) && hoist_sizes_[i] >= 2 &&
+            hoist_rotations_) {
+            if (!emitted.hoist_digits.empty())
+                hoist_digits_[operands[0]] = emitted.hoist_digits;
+            uint32_t &remaining = hoist_remaining_[operands[0]];
+            if (--remaining == 0) {
+                const auto it = hoist_digits_.find(operands[0]);
+                if (it != hoist_digits_.end()) {
+                    for (hw::PolyId d : it->second)
+                        alloc_.release(d);
+                    hoist_digits_.erase(it);
+                }
             }
         }
 
@@ -553,6 +590,34 @@ class CircuitCompiler
             }
             break;
           }
+          case NodeKind::kRotate:
+          case NodeKind::kRotateColumns: {
+            const uint32_t g = rotationElement(node, params_->degree());
+            const std::array<hw::PolyId, 2> a = pair(operands[0]);
+            if (hoist_sizes_[i] < 2) {
+                out.result = asVector(em.emitApplyGalois(a, g));
+            } else if (!hoist_rotations_) {
+                // Hoisted numerics without the sharing: the bit-exact
+                // baseline the hoisting benchmark compares against.
+                out.result =
+                    asVector(em.emitApplyGaloisHoistedSingle(a, g));
+            } else {
+                const auto it = hoist_digits_.find(operands[0]);
+                if (it == hoist_digits_.end()) {
+                    out.hoist_digits =
+                        em.emitDecomposeNtt(a[1]);
+                    out.result = asVector(
+                        em.emitHoistedGalois(a, out.hoist_digits, g));
+                } else {
+                    out.result = asVector(
+                        em.emitHoistedGalois(a, it->second, g));
+                }
+            }
+            break;
+          }
+          case NodeKind::kRotateSum:
+            out.result = asVector(em.emitRotateSum(pair(operands[0])));
+            break;
           case NodeKind::kInput:
           case NodeKind::kRelin:
             panic("node kind cannot be emitted directly");
@@ -576,6 +641,14 @@ class CircuitCompiler
     std::vector<int32_t> plain_const_add_;
     std::vector<int32_t> plain_const_mul_;
     hw::PolyId zero_ = hw::kNoPoly;
+
+    bool hoist_rotations_;
+    /** Per-node hoist-group size (0 for non-rotation nodes). */
+    std::vector<uint32_t> hoist_sizes_;
+    /** Rotations of each grouped input not yet emitted. */
+    std::map<ValueId, uint32_t> hoist_remaining_;
+    /** Live shared NTT-domain digit slots, keyed by rotated input. */
+    std::map<ValueId, std::vector<hw::PolyId>> hoist_digits_;
 };
 
 void
@@ -688,6 +761,8 @@ runCircuitOpByOp(hw::Coprocessor &cp,
 
     std::vector<ValueId> relin_of(circuit.nodes.size(), kNoValue);
     std::vector<bool> is_output(circuit.nodes.size(), false);
+    const std::vector<uint32_t> hoist_sizes =
+        rotationHoistGroupSizes(circuit);
     for (size_t i = 0; i < circuit.nodes.size(); ++i) {
         if (circuit.nodes[i].kind == NodeKind::kRelin)
             relin_of[circuit.nodes[i].args[0]] =
@@ -805,6 +880,28 @@ runCircuitOpByOp(hw::Coprocessor &cp,
                                  /*consume_c01=*/!want_c2);
                 results.push_back({relin_node, {r[0], r[1]}});
             }
+            break;
+          }
+          case NodeKind::kRotate:
+          case NodeKind::kRotateColumns: {
+            const auto a = uploadValue(node.args[0]);
+            round_uploads = 2;
+            const uint32_t g = rotationElement(node, params->degree());
+            // Hoist-group members keep the hoisted numerics so the
+            // op-by-op baseline stays bit-identical to the fused path
+            // — it just pays the decompose per rotation.
+            const auto r =
+                hoist_sizes[i] >= 2
+                    ? em.emitApplyGaloisHoistedSingle(a, g)
+                    : em.emitApplyGalois(a, g);
+            results.push_back({static_cast<ValueId>(i), {r[0], r[1]}});
+            break;
+          }
+          case NodeKind::kRotateSum: {
+            const auto a = uploadValue(node.args[0]);
+            round_uploads = 2;
+            const auto r = em.emitRotateSum(a);
+            results.push_back({static_cast<ValueId>(i), {r[0], r[1]}});
             break;
           }
           case NodeKind::kInput:

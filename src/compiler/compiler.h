@@ -46,6 +46,15 @@ struct CompilerOptions
 {
     /** Target hardware configuration (slot capacity, clocks). */
     hw::HwConfig hw = hw::HwConfig::paper();
+    /**
+     * Share the key-switch decompose (WordDecomp + forward NTTs of the
+     * digits) across all rotations of one ciphertext — HEAX-style
+     * hoisting. Only affects scheduling: group members use hoisted
+     * numerics either way, so results are bit-identical with the flag
+     * off (each rotation then re-decomposes privately, which is what
+     * the hoisting benchmark compares against).
+     */
+    bool hoist_rotations = true;
 };
 
 /** One host<->coprocessor polynomial transfer. */
@@ -102,6 +111,9 @@ struct CompiledCircuit
     std::vector<ValueId> outputs;
     /** Ciphertext element count per value id. */
     std::vector<uint32_t> value_sizes;
+    /** Galois elements whose keys the executing coprocessor must hold
+     *  (sorted ascending; empty for rotation-free circuits). */
+    std::vector<uint32_t> galois_elements;
 
     // --- compile-time accounting ---------------------------------------
     /** Memory-file high-water mark (slots). */

@@ -360,6 +360,55 @@ Evaluator::applyGalois(const Ciphertext &ct, uint32_t galois_element,
 }
 
 Ciphertext
+Evaluator::applyGaloisHoisted(const Ciphertext &ct,
+                              uint32_t galois_element,
+                              const GaloisKeys &gkeys) const
+{
+    panicIf(ct.size() != 2,
+            "applyGaloisHoisted expects a 2-element ciphertext");
+    fatalIf(!gkeys.has(galois_element), "missing Galois key for element ",
+            galois_element);
+    const RelinKeys &key = gkeys.keys.at(galois_element);
+    const size_t n = params_->degree();
+    const auto &base = params_->qBase();
+    const auto &ctx = params_->qContext();
+
+    // Decompose first, permute each digit afterwards: the decompose
+    // (and the digits' forward NTTs) is what multiple rotations of one
+    // ciphertext share on the hardware path.
+    std::vector<ntt::RnsPoly> digits = rnsDigits(ct[1]);
+    ntt::RnsPoly acc0(base, n, ntt::PolyForm::kNtt);
+    ntt::RnsPoly acc1(base, n, ntt::PolyForm::kNtt);
+    ntt::RnsPoly permuted(base, n, ntt::PolyForm::kCoeff);
+    for (size_t i = 0; i < digits.size(); ++i) {
+        for (size_t k = 0; k < base->size(); ++k) {
+            applyGaloisToResidue(digits[i].residue(k),
+                                 permuted.residue(k), galois_element,
+                                 base->modulus(k));
+        }
+        permuted.setForm(ntt::PolyForm::kCoeff);
+        permuted.toNtt(ctx);
+        acc0.addMulPointwise(permuted, key.keys[i][0]);
+        acc1.addMulPointwise(permuted, key.keys[i][1]);
+    }
+    acc0.toCoeff(ctx);
+    acc1.toCoeff(ctx);
+
+    // c0' = tau_g(c0) + acc0, c1' = acc1.
+    ntt::RnsPoly p0(base, n, ntt::PolyForm::kCoeff);
+    for (size_t k = 0; k < base->size(); ++k) {
+        applyGaloisToResidue(ct[0].residue(k), p0.residue(k),
+                             galois_element, base->modulus(k));
+    }
+    p0.addInPlace(acc0);
+
+    Ciphertext out;
+    out.polys.push_back(std::move(p0));
+    out.polys.push_back(std::move(acc1));
+    return out;
+}
+
+Ciphertext
 Evaluator::rotateSlots(const Ciphertext &ct, int steps,
                        const GaloisKeys &gkeys) const
 {

@@ -102,6 +102,24 @@ class Evaluator
     Ciphertext applyGalois(const Ciphertext &ct, uint32_t galois_element,
                            const GaloisKeys &gkeys) const;
 
+    /**
+     * Hoisted variant of applyGalois (Halevi-Shoup; HEAX uses the same
+     * trick): decompose c1 into WordDecomp digits *before* permuting,
+     * then apply tau_g to each digit and multiply-accumulate with the
+     * Galois keys. Valid because sum_i tau_g(D_i(c1)) f_i =
+     * tau_g(c1) — the digit reconstruction scalars f_i are fixed by
+     * tau_g — so the key-switch identity holds with the same keys.
+     * The result decrypts identically to applyGalois but is not
+     * bit-identical to it (the digit vectors differ); it IS the golden
+     * model of the hardware's hoisted rotation datapath, where the
+     * decompose + forward NTT of the digits is shared by every
+     * rotation of one ciphertext and each rotation only pays an
+     * NTT-domain permutation per digit.
+     */
+    Ciphertext applyGaloisHoisted(const Ciphertext &ct,
+                                  uint32_t galois_element,
+                                  const GaloisKeys &gkeys) const;
+
     /** Rotate batched slots by @p steps (see BatchEncoder). */
     Ciphertext rotateSlots(const Ciphertext &ct, int steps,
                            const GaloisKeys &gkeys) const;

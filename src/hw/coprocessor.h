@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "fv/galois.h"
 #include "fv/keys.h"
 #include "fv/params.h"
 #include "hw/config.h"
@@ -39,10 +40,14 @@ class Coprocessor
      * @param config hardware configuration.
      * @param rlk relinearization keys resident in DDR (may be null if
      *        the workload never issues kKeyLoad).
+     * @param gkeys Galois key-switching keys resident in DDR (may be
+     *        null if the workload never issues a Galois-selector
+     *        kKeyLoad; see keyLoadAux).
      */
     Coprocessor(std::shared_ptr<const fv::FvParams> params,
                 const HwConfig &config,
-                const fv::RelinKeys *rlk = nullptr);
+                const fv::RelinKeys *rlk = nullptr,
+                const fv::GaloisKeys *gkeys = nullptr);
 
     /** @return the parameter set. */
     const fv::FvParams &params() const { return *params_; }
@@ -99,6 +104,7 @@ class Coprocessor
     void execTransform(const Instruction &instr, bool inverse);
     void execCoeffOp(const Instruction &instr);
     void execRearrange(const Instruction &instr);
+    void execAutomorph(const Instruction &instr);
     void execKeyLoad(const Instruction &instr);
 
     std::shared_ptr<const fv::FvParams> params_;
@@ -109,6 +115,7 @@ class Coprocessor
     ScaleUnit scale_unit_;
     DmaModel dma_;
     const fv::RelinKeys *rlk_;
+    const fv::GaloisKeys *gkeys_;
 };
 
 } // namespace heat::hw

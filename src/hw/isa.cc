@@ -24,8 +24,10 @@ opcodeName(Opcode op)
         return "Lift q->Q";
       case Opcode::kScale:
         return "Scale Q->q";
+      case Opcode::kAutomorph:
+        return "Galois Automorphism";
       case Opcode::kKeyLoad:
-        return "Relin-key DMA";
+        return "Key-switch-key DMA";
     }
     return "?";
 }
@@ -52,6 +54,8 @@ mnemonic(Opcode op)
         return "lift";
       case Opcode::kScale:
         return "scale";
+      case Opcode::kAutomorph:
+        return "autmp";
       case Opcode::kKeyLoad:
         return "kload";
     }
@@ -75,7 +79,9 @@ disassemble(const Instruction &instr)
     std::ostringstream oss;
     oss << mnemonic(instr.op);
     if (instr.op == Opcode::kKeyLoad) {
-        oss << " digit=" << instr.aux;
+        oss << " digit=" << keyLoadDigit(instr.aux);
+        if (keyLoadSelector(instr.aux) != 0)
+            oss << " g=" << keyLoadSelector(instr.aux);
     } else {
         appendPoly(oss, instr.dst);
         if (instr.src0 != kNoPoly)
@@ -83,6 +89,8 @@ disassemble(const Instruction &instr)
         if (instr.src1 != kNoPoly)
             appendPoly(oss, instr.src1);
         oss << " b" << static_cast<int>(instr.batch);
+        if (instr.op == Opcode::kAutomorph)
+            oss << " g=" << instr.aux;
     }
     if (!instr.extra.empty()) {
         oss << " ->";

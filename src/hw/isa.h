@@ -14,7 +14,13 @@
  *   kLift                  Lift q->Q (extends a q poly to the full base)
  *   kScale                 Scale Q->q (optionally emitting WordDecomp
  *                          digit broadcasts during writeback)
- *   kKeyLoad               DMA one relinearization key pair from DDR
+ *   kAutomorph             Galois automorphism tau_g: an index-mapped
+ *                          permutation of one residue polynomial in the
+ *                          memory file (optionally emitting WordDecomp
+ *                          digit broadcasts during writeback, reusing
+ *                          the Scale unit's reduce lanes)
+ *   kKeyLoad               DMA one key-switching key pair from DDR
+ *                          (relinearization or Galois, selected by aux)
  */
 
 #ifndef HEAT_HW_ISA_H
@@ -41,11 +47,39 @@ enum class Opcode : uint8_t
     kRearrange,
     kLift,
     kScale,
+    kAutomorph,
     kKeyLoad,
 };
 
 /** @return a printable mnemonic. */
 const char *opcodeName(Opcode op);
+
+/**
+ * kKeyLoad aux encoding: the low byte is the digit index, the upper 24
+ * bits select the key set — 0 for the relinearization keys, otherwise
+ * the Galois element whose key-switching keys to stream. Legacy
+ * programs that store a bare digit index therefore keep their meaning
+ * (selector 0).
+ */
+constexpr uint32_t
+keyLoadAux(uint32_t selector, uint32_t digit)
+{
+    return (selector << 8) | (digit & 0xffu);
+}
+
+/** @return the digit index of a kKeyLoad aux word. */
+constexpr uint32_t
+keyLoadDigit(uint32_t aux)
+{
+    return aux & 0xffu;
+}
+
+/** @return the key-set selector (0 = relin, else Galois element). */
+constexpr uint32_t
+keyLoadSelector(uint32_t aux)
+{
+    return aux >> 8;
+}
 
 /** One coprocessor instruction. */
 struct Instruction
@@ -59,10 +93,11 @@ struct Instruction
     PolyId src1 = kNoPoly;
     /** Residue batch: 0 = q primes, 1 = extension primes. */
     uint8_t batch = 0;
-    /** Auxiliary immediate (relin digit index for kKeyLoad). */
+    /** Auxiliary immediate: key selector + digit for kKeyLoad (see
+     *  keyLoadAux), the Galois element for kAutomorph. */
     uint32_t aux = 0;
-    /** Extra destinations: WordDecomp digit broadcasts for kScale,
-     *  key-buffer targets for kKeyLoad. */
+    /** Extra destinations: WordDecomp digit broadcasts for kScale and
+     *  kAutomorph, key-buffer targets for kKeyLoad. */
     std::vector<PolyId> extra;
 
     bool operator==(const Instruction &o) const = default;

@@ -119,4 +119,17 @@ NttEngine::rearrangeCycles() const
     return static_cast<Cycle>(2 * words_);
 }
 
+Cycle
+NttEngine::automorphCycles() const
+{
+    // tau_g is an index-mapped copy between two memory-file slots: the
+    // target address walks i*g mod 2n, maintained incrementally (one
+    // adder), and the x^n = -1 sign flip rides the write lane's
+    // subtractor. Like Rearrange, the scattered writes serialize
+    // against the sequential reads: two passes over n/2 words. The
+    // optional WordDecomp digit broadcast reuses the Scale writeback's
+    // reduce lanes and is free, exactly as in the Scale instruction.
+    return static_cast<Cycle>(2 * words_);
+}
+
 } // namespace heat::hw

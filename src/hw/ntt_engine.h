@@ -83,6 +83,10 @@ class NttEngine
      *  read plus scattered write over all n/2 words). */
     Cycle rearrangeCycles() const;
 
+    /** Cycles of a Galois-automorphism instruction (index-mapped BRAM
+     *  copy: sequential read, scattered write, sign fix-up inline). */
+    Cycle automorphCycles() const;
+
   private:
     HwConfig config_;
     size_t n_;

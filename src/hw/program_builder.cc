@@ -1,6 +1,7 @@
 #include "hw/program_builder.h"
 
 #include "common/panic.h"
+#include "fv/galois.h"
 
 namespace heat::hw {
 
@@ -334,26 +335,22 @@ OpEmitter::finishTensor(PolyId s0, PolyId s1, PolyId s2, bool want_digits,
 }
 
 std::array<PolyId, 2>
-OpEmitter::emitRelin(PolyId c0, PolyId c1,
-                     const std::vector<PolyId> &digits, bool consume_c01)
+OpEmitter::accumulateKeySwitch(const std::vector<PolyId> &digits,
+                               uint32_t selector)
 {
-    if (!consume_c01) {
-        c0 = copyPoly(c0);
-        c1 = copyPoly(c1);
-    }
     PolyId acc0 = alloc_.allocate(BaseTag::kQ, Layout::kNttDomain,
-                                  "Relin accumulator");
+                                  "Key-switch accumulator");
     PolyId acc1 = alloc_.allocate(BaseTag::kQ, Layout::kNttDomain,
-                                  "Relin accumulator");
+                                  "Key-switch accumulator");
     PolyId key0 = alloc_.allocate(BaseTag::kQ, Layout::kNttDomain,
-                                  "Relin key buffer");
+                                  "Key-switch key buffer");
     PolyId key1 = alloc_.allocate(BaseTag::kQ, Layout::kNttDomain,
-                                  "Relin key buffer");
+                                  "Key-switch key buffer");
     PolyId tmp = alloc_.allocate(BaseTag::kQ, Layout::kNttDomain,
-                                 "Relin temporary");
+                                 "Key-switch temporary");
     for (size_t i = 0; i < digits.size(); ++i) {
         Instruction load = make(Opcode::kKeyLoad, kNoPoly);
-        load.aux = static_cast<uint32_t>(i);
+        load.aux = keyLoadAux(selector, static_cast<uint32_t>(i));
         load.extra = {key0, key1};
         p_.instrs.push_back(load);
 
@@ -383,11 +380,220 @@ OpEmitter::emitRelin(PolyId c0, PolyId c1,
 
     emitInverse(acc0, false);
     emitInverse(acc1, false);
+    return {acc0, acc1};
+}
+
+std::array<PolyId, 2>
+OpEmitter::emitRelin(PolyId c0, PolyId c1,
+                     const std::vector<PolyId> &digits, bool consume_c01)
+{
+    if (!consume_c01) {
+        c0 = copyPoly(c0);
+        c1 = copyPoly(c1);
+    }
+    const auto [acc0, acc1] = accumulateKeySwitch(digits, 0);
     p_.instrs.push_back(make(Opcode::kCoeffAdd, c0, c0, acc0, 0));
     p_.instrs.push_back(make(Opcode::kCoeffAdd, c1, c1, acc1, 0));
     alloc_.release(acc0);
     alloc_.release(acc1);
     return {c0, c1};
+}
+
+std::array<PolyId, 2>
+OpEmitter::emitApplyGalois(std::array<PolyId, 2> a,
+                           uint32_t galois_element)
+{
+    const size_t digit_count = params_.rnsDigitCount();
+
+    // tau_g(c1) is never materialized: each permutation pass streams
+    // straight into one lane of the WordDecomp broadcast (the Scale
+    // writeback's reduce lanes), and the digit dies after its MAC —
+    // one resident digit record instead of kq keeps the key-switch
+    // inside the memory-file budget even at the paper parameter set.
+    PolyId acc0 = alloc_.allocate(BaseTag::kQ, Layout::kNttDomain,
+                                  "Key-switch accumulator");
+    PolyId acc1 = alloc_.allocate(BaseTag::kQ, Layout::kNttDomain,
+                                  "Key-switch accumulator");
+    PolyId key0 = alloc_.allocate(BaseTag::kQ, Layout::kNttDomain,
+                                  "Key-switch key buffer");
+    PolyId key1 = alloc_.allocate(BaseTag::kQ, Layout::kNttDomain,
+                                  "Key-switch key buffer");
+    PolyId tmp = alloc_.allocate(BaseTag::kQ, Layout::kNttDomain,
+                                 "Key-switch temporary");
+    for (size_t i = 0; i < digit_count; ++i) {
+        const PolyId digit = alloc_.allocate(
+            BaseTag::kQ, Layout::kNatural, "Galois WordDecomp digit");
+        Instruction decompose =
+            make(Opcode::kAutomorph, kNoPoly, a[1]);
+        decompose.aux = galois_element;
+        decompose.extra.assign(digit_count, kNoPoly);
+        decompose.extra[i] = digit;
+        p_.instrs.push_back(decompose);
+
+        Instruction load = make(Opcode::kKeyLoad, kNoPoly);
+        load.aux =
+            keyLoadAux(galois_element, static_cast<uint32_t>(i));
+        load.extra = {key0, key1};
+        p_.instrs.push_back(load);
+
+        emitForward(digit, false);
+        if (i == 0) {
+            p_.instrs.push_back(
+                make(Opcode::kCoeffMul, acc0, digit, key0, 0));
+            p_.instrs.push_back(
+                make(Opcode::kCoeffMul, acc1, digit, key1, 0));
+        } else {
+            p_.instrs.push_back(
+                make(Opcode::kCoeffMul, tmp, digit, key0, 0));
+            p_.instrs.push_back(
+                make(Opcode::kCoeffAdd, acc0, acc0, tmp, 0));
+            p_.instrs.push_back(
+                make(Opcode::kCoeffMul, tmp, digit, key1, 0));
+            p_.instrs.push_back(
+                make(Opcode::kCoeffAdd, acc1, acc1, tmp, 0));
+        }
+        alloc_.release(digit);
+    }
+    alloc_.release(key0);
+    alloc_.release(key1);
+    alloc_.release(tmp);
+
+    emitInverse(acc0, false);
+    emitInverse(acc1, false);
+
+    // c0' = tau_g(c0) + sum_i D_i(tau_g(c1)) key0_i, c1' = the key1 sum.
+    PolyId p0 =
+        alloc_.allocate(BaseTag::kQ, Layout::kNatural, "Galois c0");
+    Instruction perm0 = make(Opcode::kAutomorph, p0, a[0]);
+    perm0.aux = galois_element;
+    p_.instrs.push_back(perm0);
+    p_.instrs.push_back(make(Opcode::kCoeffAdd, p0, p0, acc0, 0));
+    alloc_.release(acc0);
+    return {p0, acc1};
+}
+
+std::vector<PolyId>
+OpEmitter::emitDecomposeNtt(PolyId c1)
+{
+    const size_t digit_count = params_.rnsDigitCount();
+    std::vector<PolyId> digits;
+    digits.reserve(digit_count);
+    for (size_t i = 0; i < digit_count; ++i)
+        digits.push_back(alloc_.allocate(BaseTag::kQ, Layout::kNatural,
+                                         "Hoisted WordDecomp digit"));
+    // Identity automorphism: a pure decompose pass through the
+    // writeback broadcast.
+    Instruction decompose = make(Opcode::kAutomorph, kNoPoly, c1);
+    decompose.aux = 1;
+    decompose.extra = digits;
+    p_.instrs.push_back(decompose);
+    for (PolyId d : digits)
+        emitForward(d, false);
+    return digits;
+}
+
+std::array<PolyId, 2>
+OpEmitter::emitHoistedGalois(std::array<PolyId, 2> a,
+                             const std::vector<PolyId> &digits_ntt,
+                             uint32_t galois_element)
+{
+    // The kq shared digit records dominate the slot budget, so the
+    // tail runs lean: no separate MAC temporary (the permutation
+    // buffer is overwritten by the product and re-permuted for the
+    // second key half — an extra cheap automorph instead of six more
+    // resident slots), and tau_g(c0) only allocates after the key
+    // buffers die.
+    PolyId acc0 = alloc_.allocate(BaseTag::kQ, Layout::kNttDomain,
+                                  "Key-switch accumulator");
+    PolyId acc1 = alloc_.allocate(BaseTag::kQ, Layout::kNttDomain,
+                                  "Key-switch accumulator");
+    PolyId key0 = alloc_.allocate(BaseTag::kQ, Layout::kNttDomain,
+                                  "Key-switch key buffer");
+    PolyId key1 = alloc_.allocate(BaseTag::kQ, Layout::kNttDomain,
+                                  "Key-switch key buffer");
+    PolyId perm = alloc_.allocate(BaseTag::kQ, Layout::kNttDomain,
+                                  "Hoisted digit permutation");
+    const auto permute = [&](PolyId digit) {
+        // tau_g of a shared digit in the NTT domain: a data
+        // permutation of the evaluation points, no transform needed —
+        // the whole point of hoisting.
+        Instruction dperm = make(Opcode::kAutomorph, perm, digit);
+        dperm.aux = galois_element;
+        p_.instrs.push_back(dperm);
+    };
+    for (size_t i = 0; i < digits_ntt.size(); ++i) {
+        Instruction load = make(Opcode::kKeyLoad, kNoPoly);
+        load.aux =
+            keyLoadAux(galois_element, static_cast<uint32_t>(i));
+        load.extra = {key0, key1};
+        p_.instrs.push_back(load);
+
+        permute(digits_ntt[i]);
+        if (i == 0) {
+            p_.instrs.push_back(
+                make(Opcode::kCoeffMul, acc0, perm, key0, 0));
+            p_.instrs.push_back(
+                make(Opcode::kCoeffMul, acc1, perm, key1, 0));
+        } else {
+            p_.instrs.push_back(
+                make(Opcode::kCoeffMul, perm, perm, key0, 0));
+            p_.instrs.push_back(
+                make(Opcode::kCoeffAdd, acc0, acc0, perm, 0));
+            permute(digits_ntt[i]);
+            p_.instrs.push_back(
+                make(Opcode::kCoeffMul, perm, perm, key1, 0));
+            p_.instrs.push_back(
+                make(Opcode::kCoeffAdd, acc1, acc1, perm, 0));
+        }
+    }
+    alloc_.release(key0);
+    alloc_.release(key1);
+    alloc_.release(perm);
+
+    emitInverse(acc0, false);
+    emitInverse(acc1, false);
+    PolyId p0 =
+        alloc_.allocate(BaseTag::kQ, Layout::kNatural, "Galois c0");
+    Instruction perm0 = make(Opcode::kAutomorph, p0, a[0]);
+    perm0.aux = galois_element;
+    p_.instrs.push_back(perm0);
+    p_.instrs.push_back(make(Opcode::kCoeffAdd, p0, p0, acc0, 0));
+    alloc_.release(acc0);
+    return {p0, acc1};
+}
+
+std::array<PolyId, 2>
+OpEmitter::emitApplyGaloisHoistedSingle(std::array<PolyId, 2> a,
+                                        uint32_t galois_element)
+{
+    std::vector<PolyId> digits = emitDecomposeNtt(a[1]);
+    const std::array<PolyId, 2> out =
+        emitHoistedGalois(a, digits, galois_element);
+    for (PolyId d : digits)
+        alloc_.release(d);
+    return out;
+}
+
+std::array<PolyId, 2>
+OpEmitter::emitRotateSum(std::array<PolyId, 2> a)
+{
+    const size_t n = params_.degree();
+    // Mirrors fv::Evaluator::sumAllSlots: accumulate over the row
+    // orbit with power-of-two rotations, then fold in the conjugate
+    // column. Every rotation uses the unhoisted schedule — each one
+    // rotates the freshly-updated accumulator, so there is nothing to
+    // hoist.
+    std::array<PolyId, 2> acc = {copyPoly(a[0]), copyPoly(a[1])};
+    const auto fold = [&](uint32_t g) {
+        const std::array<PolyId, 2> rotated = emitApplyGalois(acc, g);
+        emitAdd(acc, rotated, /*consume_a=*/true);
+        alloc_.release(rotated[0]);
+        alloc_.release(rotated[1]);
+    };
+    for (size_t step = 1; step <= n / 4; step *= 2)
+        fold(fv::galoisElementForStep(static_cast<int>(step), n));
+    fold(static_cast<uint32_t>(2 * n - 1));
+    return acc;
 }
 
 Program

@@ -172,6 +172,62 @@ class OpEmitter
                                     const std::vector<PolyId> &digits,
                                     bool consume_c01 = true);
 
+    // --- Galois automorphisms (rotations) -------------------------------
+
+    /**
+     * Apply tau_g to a 2-element ciphertext and key-switch back to the
+     * original secret with the Galois keys for @p galois_element
+     * (which the executing coprocessor must hold). The input slots are
+     * left untouched; the result is fresh. Bit-exact with
+     * fv::Evaluator::applyGalois: kAutomorph passes over c1 broadcast
+     * the WordDecomp digits of tau_g(c1) during writeback (the Scale
+     * unit's reduce lanes, one digit lane per pass so only one digit
+     * record is ever resident), and the key-switch tail reuses the
+     * relinearization machinery with per-element key loads.
+     */
+    std::array<PolyId, 2> emitApplyGalois(std::array<PolyId, 2> a,
+                                          uint32_t galois_element);
+
+    /**
+     * Hoisting front half: WordDecomp digits of @p c1 (identity
+     * automorphism with digit broadcast), each forward-transformed to
+     * the NTT domain. The digits stay resident so any number of
+     * emitHoistedGalois calls can share them; the caller releases
+     * them after the last rotation.
+     */
+    std::vector<PolyId> emitDecomposeNtt(PolyId c1);
+
+    /**
+     * Hoisting back half: one rotation over shared NTT-domain digits —
+     * per digit an NTT-domain permutation (kAutomorph) plus the key
+     * MAC, so the decompose and the digits' forward NTTs are paid once
+     * per ciphertext instead of once per rotation (HEAX/Halevi-Shoup
+     * hoisting). Digits are left resident. Bit-exact with
+     * fv::Evaluator::applyGaloisHoisted.
+     */
+    std::array<PolyId, 2> emitHoistedGalois(
+        std::array<PolyId, 2> a, const std::vector<PolyId> &digits_ntt,
+        uint32_t galois_element);
+
+    /**
+     * Hoisted-numerics rotation without sharing: decompose, rotate
+     * once, release the digits. The unfused/per-op lowering of a
+     * rotation that belongs to a hoist group — same bits as the shared
+     * schedule, none of the savings.
+     */
+    std::array<PolyId, 2> emitApplyGaloisHoistedSingle(
+        std::array<PolyId, 2> a, uint32_t galois_element);
+
+    /**
+     * Rotate-and-add sum across all batching slots, mirroring
+     * fv::Evaluator::sumAllSlots instruction for instruction: log-many
+     * power-of-two row rotations, then the column swap. The executing
+     * coprocessor needs the Galois keys for elements 3^(2^k) and 2n-1
+     * (fv::KeyGenerator::generateRotationKeys provides them). Input
+     * slots are left untouched.
+     */
+    std::array<PolyId, 2> emitRotateSum(std::array<PolyId, 2> a);
+
     /** Fresh natural-layout q copy of @p src (CoeffAdd with zero). */
     PolyId copyPoly(PolyId src);
 
@@ -191,6 +247,15 @@ class OpEmitter
     /** Emit REARRANGE+NTT (or INTT+REARRANGE) for both batches. */
     void emitForward(PolyId id, bool full);
     void emitInverse(PolyId id, bool full);
+
+    /**
+     * Key-switch inner product: forward-transform each natural-layout
+     * digit, accumulate digit x key products for key set @p selector
+     * (0 = relin; see keyLoadAux), inverse-transform the accumulators
+     * back to natural layout. Releases the digit slots.
+     */
+    std::array<PolyId, 2> accumulateKeySwitch(
+        const std::vector<PolyId> &digits, uint32_t selector);
 
     /** Scale the three tensor polynomials Q->q (Fig. 2 step 5). */
     MultResult finishTensor(PolyId s0, PolyId s1, PolyId s2,

@@ -1,0 +1,236 @@
+#include "linalg/linalg.h"
+
+#include <utility>
+
+#include "common/panic.h"
+#include "fv/galois.h"
+#include "mp/primality.h"
+
+namespace heat::linalg {
+
+fv::Plaintext
+encodeSlots(const fv::BatchEncoder &encoder,
+            std::span<const uint64_t> values)
+{
+    fatalIf(values.size() > encoder.slotCount(), "vector of ",
+            values.size(), " entries exceeds the ",
+            encoder.slotCount(), " batching slots");
+    std::vector<uint64_t> slots(values.begin(), values.end());
+    return encoder.encode(slots);
+}
+
+RotationLayout::RotationLayout(const fv::BatchEncoder &encoder)
+{
+    const size_t n = encoder.slotCount();
+    columns_ = n / 2;
+    // Walk the rotate-by-1 slot permutation: since perm_i = perm_1^i,
+    // assigning ascending columns along each of its two cycles makes
+    // col(perm_1[s]) = col(s) + 1 by construction, and therefore
+    // col(perm_i[s]) = col(s) + i for every rotation amount.
+    const std::vector<size_t> perm = encoder.slotPermutation(
+        fv::galoisElementForStep(1, n));
+    column_.assign(n, n);
+    row0_slot_.resize(columns_);
+    size_t row = 0;
+    for (size_t start = 0; start < n; ++start) {
+        if (column_[start] != n)
+            continue;
+        panicIf(row >= 2, "rotation subgroup has more than two orbits");
+        size_t slot = start;
+        size_t col = 0;
+        do {
+            column_[slot] = col;
+            if (row == 0)
+                row0_slot_[col] = slot;
+            slot = perm[slot];
+            ++col;
+        } while (slot != start);
+        panicIf(col != columns_, "rotation orbit of length ", col,
+                " (expected ", columns_, ")");
+        ++row;
+    }
+}
+
+std::vector<uint64_t>
+RotationLayout::replicate(std::span<const uint64_t> values) const
+{
+    fatalIf(values.empty(), "cannot replicate an empty vector");
+    fatalIf(values.size() > columns_, "vector of ", values.size(),
+            " entries exceeds the ", columns_, " rotation columns");
+    std::vector<uint64_t> slots(column_.size());
+    for (size_t s = 0; s < slots.size(); ++s)
+        slots[s] = values[column_[s] % values.size()];
+    return slots;
+}
+
+compiler::Circuit
+totalSumCircuit()
+{
+    compiler::CircuitBuilder b;
+    b.output(b.rotateSum(b.input()));
+    return b.build();
+}
+
+CompiledPrimitive::CompiledPrimitive(
+    std::shared_ptr<const fv::FvParams> params)
+    : params_(params), encoder_(params)
+{
+}
+
+std::vector<uint32_t>
+CompiledPrimitive::requiredGaloisElements() const
+{
+    return compiler::requiredGaloisElements(circuit_,
+                                            params_->degree());
+}
+
+std::shared_ptr<const compiler::CompiledCircuit>
+CompiledPrimitive::compile(const compiler::CompilerOptions &options) const
+{
+    if (compiled_ == nullptr ||
+        !(compiled_options_.hw == options.hw) ||
+        compiled_options_.hoist_rotations != options.hoist_rotations) {
+        compiled_ = std::make_shared<const compiler::CompiledCircuit>(
+            compiler::compileCircuit(params_, circuit_, options));
+        compiled_options_ = options;
+    }
+    return compiled_;
+}
+
+std::future<std::vector<fv::Ciphertext>>
+CompiledPrimitive::submitInputs(service::ExecutionService &service,
+                                std::vector<fv::Ciphertext> inputs) const
+{
+    compiler::CompilerOptions options;
+    options.hw = service.config().hw;
+    return service.submitCompiled(compile(options), std::move(inputs));
+}
+
+// --- InnerProduct ----------------------------------------------------------
+
+InnerProduct::InnerProduct(std::shared_ptr<const fv::FvParams> params)
+    : CompiledPrimitive(std::move(params))
+{
+    compiler::CircuitBuilder b;
+    const compiler::ValueId a = b.input();
+    const compiler::ValueId v = b.input();
+    b.output(b.rotateSum(b.mult(a, v)));
+    circuit_ = b.build();
+}
+
+fv::Plaintext
+InnerProduct::encodeVector(std::span<const uint64_t> values) const
+{
+    return encodeSlots(encoder_, values);
+}
+
+uint64_t
+InnerProduct::decodeResult(const fv::Plaintext &plain) const
+{
+    return encoder_.decode(plain)[0];
+}
+
+uint64_t
+InnerProduct::reference(std::span<const uint64_t> a,
+                        std::span<const uint64_t> b) const
+{
+    panicIf(a.size() != b.size(), "inner-product length mismatch");
+    const uint64_t t = params_->plainModulus();
+    uint64_t sum = 0;
+    for (size_t i = 0; i < a.size(); ++i)
+        sum = (sum + mp::mulMod64(a[i] % t, b[i] % t, t)) % t;
+    return sum;
+}
+
+std::future<std::vector<fv::Ciphertext>>
+InnerProduct::submit(service::ExecutionService &service, fv::Ciphertext a,
+                     fv::Ciphertext b) const
+{
+    std::vector<fv::Ciphertext> inputs;
+    inputs.push_back(std::move(a));
+    inputs.push_back(std::move(b));
+    return submitInputs(service, std::move(inputs));
+}
+
+// --- MatVec ----------------------------------------------------------------
+
+MatVec::MatVec(std::shared_ptr<const fv::FvParams> params,
+               std::vector<std::vector<uint64_t>> matrix)
+    : CompiledPrimitive(std::move(params)), matrix_(std::move(matrix)),
+      dim_(matrix_.size()), layout_(encoder_)
+{
+    const size_t n = params_->degree();
+    fatalIf(dim_ == 0, "matrix is empty");
+    for (const auto &row : matrix_)
+        fatalIf(row.size() != dim_, "matrix must be square (", dim_,
+                " x ", dim_, ")");
+    fatalIf((n / 2) % dim_ != 0, "matrix dimension ", dim_,
+            " must divide the rotation row length ", n / 2);
+
+    // Diagonal method in the layout's column coordinates: the slot at
+    // column c of the rotation by i holds v[(c+i) mod d], so the i-th
+    // plaintext diagonal pairs matrix row (c mod d) with matrix
+    // column ((c+i) mod d) — and across i = 0..d-1 that sweeps every
+    // entry of the row exactly once (d divides the orbit length n/2).
+    const uint64_t t = params_->plainModulus();
+    compiler::CircuitBuilder b;
+    const compiler::ValueId v = b.input();
+    compiler::ValueId acc = compiler::kNoValue;
+    std::vector<uint64_t> diag(n);
+    for (size_t i = 0; i < dim_; ++i) {
+        for (size_t s = 0; s < n; ++s) {
+            const size_t c = layout_.column(s);
+            diag[s] = matrix_[c % dim_][(c + i) % dim_] % t;
+        }
+        const compiler::ValueId rotated =
+            i == 0 ? v : b.rotate(v, static_cast<int32_t>(i));
+        const compiler::ValueId term =
+            b.multPlain(rotated, encoder_.encode(diag));
+        acc = i == 0 ? term : b.add(acc, term);
+    }
+    b.output(acc);
+    circuit_ = b.build();
+}
+
+fv::Plaintext
+MatVec::encodeVector(std::span<const uint64_t> values) const
+{
+    fatalIf(values.size() != dim_, "vector length ", values.size(),
+            " does not match the matrix dimension ", dim_);
+    return encoder_.encode(layout_.replicate(values));
+}
+
+std::vector<uint64_t>
+MatVec::decodeResult(const fv::Plaintext &plain) const
+{
+    const std::vector<uint64_t> slots = encoder_.decode(plain);
+    std::vector<uint64_t> out(dim_);
+    for (size_t r = 0; r < dim_; ++r)
+        out[r] = slots[layout_.slotAt(r)];
+    return out;
+}
+
+std::vector<uint64_t>
+MatVec::reference(std::span<const uint64_t> values) const
+{
+    panicIf(values.size() != dim_, "matvec length mismatch");
+    const uint64_t t = params_->plainModulus();
+    std::vector<uint64_t> out(dim_, 0);
+    for (size_t r = 0; r < dim_; ++r) {
+        for (size_t c = 0; c < dim_; ++c)
+            out[r] = (out[r] + mp::mulMod64(matrix_[r][c] % t,
+                                            values[c] % t, t)) %
+                     t;
+    }
+    return out;
+}
+
+std::future<std::vector<fv::Ciphertext>>
+MatVec::submit(service::ExecutionService &service, fv::Ciphertext v) const
+{
+    std::vector<fv::Ciphertext> inputs;
+    inputs.push_back(std::move(v));
+    return submitInputs(service, std::move(inputs));
+}
+
+} // namespace heat::linalg

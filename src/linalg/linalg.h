@@ -1,0 +1,213 @@
+/**
+ * @file
+ * heat::linalg — batched encrypted linear algebra on the hardware
+ * automorphism datapath.
+ *
+ * The primitives here (total sum, inner product, matrix-vector via the
+ * diagonal method) are the canonical rotation-based FHE workloads:
+ * HEAX identifies key-switching/rotation as the dominant kernel of
+ * real batched workloads, and FAME demonstrates diagonal-method
+ * matrix-vector products as the standard FPGA scenario. Every
+ * primitive is expressed as a compiler::Circuit whose Rotate/RotateSum
+ * nodes lower onto the coprocessor's kAutomorph datapath, with
+ * HEAX-style hoisting sharing the key-switch decompose across all
+ * rotations of one ciphertext — compile once, submit many through
+ * service::ExecutionService.
+ *
+ * Data layout: one ciphertext carries n batching slots (BatchEncoder,
+ * physical slot order = the NTT's bit-reversed order). The rotation
+ * subgroup acts on the slots in two orbits of length n/2 (the "rows");
+ * RotationLayout assigns each slot a logical *column* coordinate along
+ * its orbit so that rotate-by-1 advances every column by exactly one.
+ * Vectors for MatVec are packed replicated in column coordinates —
+ * the slot at column c holds v[c mod d] — so the rotation by i aligns
+ * v[(c+i) mod d] with column c in every period, which is what lets a
+ * d-dimensional product use d-1 slot rotations. d must divide n/2.
+ * InnerProduct packs plainly (zero-padded) and sums across all slots.
+ */
+
+#ifndef HEAT_LINALG_LINALG_H
+#define HEAT_LINALG_LINALG_H
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "compiler/compiler.h"
+#include "fv/batch_encoder.h"
+#include "fv/params.h"
+#include "service/service.h"
+
+namespace heat::linalg {
+
+/** Slot-pack @p values (mod t), zero-padding the remaining slots. */
+fv::Plaintext encodeSlots(const fv::BatchEncoder &encoder,
+                          std::span<const uint64_t> values);
+
+/**
+ * Logical coordinates of the rotation action. The batching slots are
+ * stored in the NTT's bit-reversed order, so a rotation by one does
+ * NOT shift physical slot indices by one; it advances each slot along
+ * its orbit of the rotation subgroup. RotationLayout walks the
+ * rotate-by-1 slot permutation once and assigns every slot a (row,
+ * column) pair such that rotate(ct, i) moves the value at column
+ * c + i to column c in both rows — the coordinate system in which the
+ * diagonal method is literally diagonal.
+ */
+class RotationLayout
+{
+  public:
+    explicit RotationLayout(const fv::BatchEncoder &encoder);
+
+    /** @return columns per row (n/2). */
+    size_t columns() const { return columns_; }
+
+    /** @return the column coordinate of physical slot @p slot. */
+    size_t column(size_t slot) const { return column_[slot]; }
+
+    /** @return the row-0 physical slot at column @p column. */
+    size_t slotAt(size_t column) const { return row0_slot_[column]; }
+
+    /** Pack @p values replicated across both rows with period
+     *  values.size(): the slot at column c holds values[c mod dim]. */
+    std::vector<uint64_t> replicate(
+        std::span<const uint64_t> values) const;
+
+  private:
+    size_t columns_;
+    /** Column coordinate per physical slot. */
+    std::vector<size_t> column_;
+    /** Row-0 physical slot per column. */
+    std::vector<size_t> row0_slot_;
+};
+
+/** @return the rotate-and-add total-sum circuit: one input, one
+ *  output whose every slot holds the sum of all input slots. */
+compiler::Circuit totalSumCircuit();
+
+/**
+ * Common machinery of the compiled linalg primitives: a fixed circuit,
+ * its Galois-element requirements, and a compile-once cache keyed by
+ * the target hardware configuration. Not thread-safe during
+ * compilation — compile() before sharing across threads.
+ */
+class CompiledPrimitive
+{
+  public:
+    virtual ~CompiledPrimitive() = default;
+
+    /** @return the circuit this primitive lowers. */
+    const compiler::Circuit &circuit() const { return circuit_; }
+
+    /** @return the Galois elements whose key-switching keys the
+     *  executing coprocessor (or service) must hold — pass them to
+     *  fv::KeyGenerator::generateGaloisKeys. */
+    std::vector<uint32_t> requiredGaloisElements() const;
+
+    /**
+     * Lower the circuit for @p options (cached: recompiles only when
+     * the hardware configuration changes). The returned value is
+     * shareable across any number of submissions and workers.
+     */
+    std::shared_ptr<const compiler::CompiledCircuit> compile(
+        const compiler::CompilerOptions &options = {}) const;
+
+  protected:
+    explicit CompiledPrimitive(
+        std::shared_ptr<const fv::FvParams> params);
+
+    /** Submit @p inputs through the service's fused circuit path,
+     *  compiling for the service's hardware configuration. */
+    std::future<std::vector<fv::Ciphertext>> submitInputs(
+        service::ExecutionService &service,
+        std::vector<fv::Ciphertext> inputs) const;
+
+    std::shared_ptr<const fv::FvParams> params_;
+    fv::BatchEncoder encoder_;
+    compiler::Circuit circuit_;
+
+  private:
+    mutable std::shared_ptr<const compiler::CompiledCircuit> compiled_;
+    /** Options the cache entry was compiled with. */
+    mutable compiler::CompilerOptions compiled_options_;
+};
+
+/**
+ * Batched encrypted inner product: <a, b> via slot-wise multiply plus
+ * rotate-and-add. Vectors are zero-padded to the full slot count;
+ * after evaluation every slot of the result holds the inner product
+ * modulo t.
+ */
+class InnerProduct : public CompiledPrimitive
+{
+  public:
+    explicit InnerProduct(std::shared_ptr<const fv::FvParams> params);
+
+    /** @return slots available for vector entries. */
+    size_t length() const { return encoder_.slotCount(); }
+
+    /** Pack one operand vector (zero-padded). */
+    fv::Plaintext encodeVector(std::span<const uint64_t> values) const;
+
+    /** @return the inner product from a decrypted result (slot 0). */
+    uint64_t decodeResult(const fv::Plaintext &plain) const;
+
+    /** Plaintext reference: <a, b> mod t. */
+    uint64_t reference(std::span<const uint64_t> a,
+                       std::span<const uint64_t> b) const;
+
+    /** Fused-circuit submission (compile once, submit many). */
+    std::future<std::vector<fv::Ciphertext>> submit(
+        service::ExecutionService &service, fv::Ciphertext a,
+        fv::Ciphertext b) const;
+};
+
+/**
+ * Encrypted matrix-vector product by the diagonal method
+ * (Halevi-Shoup): Mv = sum_{i=0}^{d-1} diag_i * rot_i(v), where
+ * diag_i is a plaintext generalized diagonal of M and rot_i rotates
+ * the replicated-packed encrypted vector by i slots. The d-1 rotations
+ * all act on the input ciphertext, so the compiler hoists them onto
+ * one shared key-switch decompose. The matrix is public (server-side);
+ * only the vector is encrypted.
+ */
+class MatVec : public CompiledPrimitive
+{
+  public:
+    /**
+     * @param params parameter set (plain modulus must support
+     *        batching).
+     * @param matrix square d x d matrix, d dividing n/2; entries are
+     *        reduced modulo t.
+     */
+    MatVec(std::shared_ptr<const fv::FvParams> params,
+           std::vector<std::vector<uint64_t>> matrix);
+
+    /** @return the matrix dimension d. */
+    size_t dimension() const { return dim_; }
+
+    /** Pack a d-entry vector replicated across all slots. */
+    fv::Plaintext encodeVector(std::span<const uint64_t> values) const;
+
+    /** @return the d result entries from a decrypted product. */
+    std::vector<uint64_t> decodeResult(const fv::Plaintext &plain) const;
+
+    /** Plaintext reference: M v mod t. */
+    std::vector<uint64_t> reference(
+        std::span<const uint64_t> values) const;
+
+    /** Fused-circuit submission (compile once, submit many). */
+    std::future<std::vector<fv::Ciphertext>> submit(
+        service::ExecutionService &service, fv::Ciphertext v) const;
+
+  private:
+    std::vector<std::vector<uint64_t>> matrix_;
+    size_t dim_;
+    RotationLayout layout_;
+};
+
+} // namespace heat::linalg
+
+#endif // HEAT_LINALG_LINALG_H

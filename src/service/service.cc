@@ -12,8 +12,16 @@ namespace heat::service {
 ExecutionService::ExecutionService(
     std::shared_ptr<const fv::FvParams> params, fv::RelinKeys rlk,
     ServiceConfig config)
+    : ExecutionService(std::move(params), std::move(rlk),
+                       fv::GaloisKeys{}, config)
+{
+}
+
+ExecutionService::ExecutionService(
+    std::shared_ptr<const fv::FvParams> params, fv::RelinKeys rlk,
+    fv::GaloisKeys gkeys, ServiceConfig config)
     : params_(std::move(params)), rlk_(std::move(rlk)),
-      config_(config)
+      gkeys_(std::move(gkeys)), config_(config)
 {
     fatalIf(config_.workers == 0, "service needs at least one worker");
     fatalIf(config_.max_batch == 0, "max_batch must be at least 1");
@@ -22,12 +30,18 @@ ExecutionService::ExecutionService(
             "relinearization keys");
     fatalIf(rlk_.digitCount() != params_->rnsDigitCount(),
             "relinearization keys do not match the parameter set");
+    for (const auto &[g, key] : gkeys_.keys) {
+        fatalIf(key.kind != fv::DecompKind::kRnsDigits ||
+                    key.digitCount() != params_->rnsDigitCount(),
+                "Galois key for element ", g,
+                " does not match the parameter set");
+    }
 
     // Build the prototype plans once; this also proves each program
     // fits the memory file before any worker starts. Each plan assumes
     // a freshly-reprogrammed memory file (a Mult alone peaks at 78 of
     // 84 slots, so plans are installed one at a time).
-    hw::Coprocessor prototype(params_, config_.hw, &rlk_);
+    hw::Coprocessor prototype(params_, config_.hw, &rlk_, &gkeys_);
     add_plan_ = hw::makeAddPlan(prototype);
     prototype.reset();
     mult_plan_ = hw::makeMultPlan(prototype);
@@ -113,6 +127,11 @@ ExecutionService::submitCompiled(
     fatalIf(inputs.size() != compiled->inputs.size(),
             "circuit expects ", compiled->inputs.size(), " inputs, got ",
             inputs.size());
+    for (uint32_t g : compiled->galois_elements)
+        fatalIf(!gkeys_.has(g),
+                "circuit rotates with Galois element ", g,
+                " but the service holds no key for it (construct the "
+                "service with the circuit's Galois keys)");
     for (const fv::Ciphertext &ct : inputs)
         validateOperand(ct);
 
@@ -221,7 +240,7 @@ ExecutionService::workerLoop(size_t worker_index)
     std::optional<hw::Coprocessor> cp;
     std::optional<hw::OpPlan::Kind> installed;
     auto rebuild = [&] {
-        cp.emplace(params_, config_.hw, &rlk_);
+        cp.emplace(params_, config_.hw, &rlk_, &gkeys_);
         installed.reset();
     };
     auto install = [&](const hw::OpPlan &plan) {

@@ -136,6 +136,16 @@ class ExecutionService
     ExecutionService(std::shared_ptr<const fv::FvParams> params,
                      fv::RelinKeys rlk, ServiceConfig config = {});
 
+    /**
+     * As above, plus Galois key-switching keys resident in every
+     * worker's DDR — required before any circuit with rotation nodes
+     * can be submitted (submitCompiled rejects circuits whose Galois
+     * elements the service does not hold).
+     */
+    ExecutionService(std::shared_ptr<const fv::FvParams> params,
+                     fv::RelinKeys rlk, fv::GaloisKeys gkeys,
+                     ServiceConfig config = {});
+
     /** Shuts down (failing queued jobs) and joins the workers. */
     ~ExecutionService();
 
@@ -243,6 +253,7 @@ class ExecutionService
 
     std::shared_ptr<const fv::FvParams> params_;
     fv::RelinKeys rlk_;
+    fv::GaloisKeys gkeys_;
     ServiceConfig config_;
     /** Prototype plans, built once; workers replay their allocation. */
     hw::OpPlan add_plan_;

@@ -50,6 +50,12 @@ struct Universe
         sk = keygen.generateSecretKey();
         pk = keygen.generatePublicKey(sk);
         rlk = keygen.generateRelinKeys(sk);
+        gkeys = keygen.generateGaloisKeys(
+            sk, {fv::galoisElementForStep(1, degree),
+                 fv::galoisElementForStep(-1, degree),
+                 fv::galoisElementForStep(2, degree),
+                 fv::galoisElementForStep(3, degree),
+                 static_cast<uint32_t>(2 * degree - 1)});
         encryptor =
             std::make_unique<fv::Encryptor>(params, pk, seed ^ 0xABCD);
         decryptor = std::make_unique<fv::Decryptor>(
@@ -94,13 +100,16 @@ struct Universe
      */
     std::vector<Ciphertext>
     runHwCircuit(const compiler::Circuit &circuit,
-                 std::span<const Ciphertext> inputs) const
+                 std::span<const Ciphertext> inputs,
+                 const fv::GaloisKeys *galois_override = nullptr) const
     {
         compiler::CompilerOptions options;
         options.hw = config;
         const compiler::CompiledCircuit compiled =
             compiler::compileCircuit(params, circuit, options);
-        hw::Coprocessor cp(params, config, &rlk);
+        hw::Coprocessor cp(params, config, &rlk,
+                           galois_override != nullptr ? galois_override
+                                                      : &gkeys);
         return compiler::runCompiledCircuit(cp, compiled, inputs);
     }
 
@@ -108,6 +117,7 @@ struct Universe
     fv::SecretKey sk;
     fv::PublicKey pk;
     fv::RelinKeys rlk;
+    fv::GaloisKeys gkeys;
     std::unique_ptr<fv::Encryptor> encryptor;
     std::unique_ptr<fv::Decryptor> decryptor;
     std::unique_ptr<fv::Evaluator> evaluator;
@@ -285,6 +295,134 @@ TEST(Differential, SquareBitExactAcrossRandomKeys)
             EXPECT_EQ(u.decryptor->decrypt(hw), u.decryptor->decrypt(sw));
         }
     }
+}
+
+TEST(Differential, RotateBitExactAcrossRandomKeys)
+{
+    // A lone rotation (no hoist group) lowers to the unhoisted
+    // automorphism + Galois key-switch schedule, which must reproduce
+    // fv::Evaluator::rotateSlots bit for bit on the kAutomorph
+    // datapath: permutation with WordDecomp digit broadcast, then the
+    // per-element key loads through the relin machinery.
+    for (uint64_t key_seed : {9u, 31u}) {
+        Universe u(key_seed, /*t=*/65537);
+        for (int steps : {1, -1, 3}) {
+            compiler::CircuitBuilder b;
+            b.output(b.rotate(b.input(), steps));
+            const compiler::Circuit circuit = b.build();
+            std::vector<Ciphertext> in = {u.encryptor->encrypt(
+                u.randomPlain(1000 * key_seed + steps + 10))};
+            Ciphertext hw = u.runHwCircuit(circuit, in)[0];
+            Ciphertext sw =
+                u.evaluator->rotateSlots(in[0], steps, u.gkeys);
+            EXPECT_EQ(hw, sw)
+                << "key seed " << key_seed << " steps " << steps;
+            EXPECT_EQ(u.decryptor->decrypt(hw),
+                      u.decryptor->decrypt(sw));
+        }
+    }
+}
+
+TEST(Differential, RotateColumnsBitExactAcrossRandomKeys)
+{
+    for (uint64_t key_seed : {12u, 28u}) {
+        Universe u(key_seed, /*t=*/65537);
+        compiler::CircuitBuilder b;
+        b.output(b.rotateColumns(b.input()));
+        const compiler::Circuit circuit = b.build();
+        for (uint64_t i = 0; i < 2; ++i) {
+            std::vector<Ciphertext> in = {u.encryptor->encrypt(
+                u.randomPlain(1100 * key_seed + i))};
+            Ciphertext hw = u.runHwCircuit(circuit, in)[0];
+            Ciphertext sw = u.evaluator->rotateColumns(in[0], u.gkeys);
+            EXPECT_EQ(hw, sw) << "key seed " << key_seed << " draw " << i;
+            EXPECT_EQ(u.decryptor->decrypt(hw),
+                      u.decryptor->decrypt(sw));
+        }
+    }
+}
+
+TEST(Differential, HoistedRotationsBitExactAcrossRandomKeys)
+{
+    // Two rotations of one ciphertext form a hoist group: both share
+    // one key-switch decompose on the hardware and must match the
+    // evaluator's hoisted reference bit for bit — and still decrypt to
+    // the same plaintexts as the unhoisted rotations.
+    for (uint64_t key_seed : {14u, 38u}) {
+        Universe u(key_seed, /*t=*/65537);
+        compiler::CircuitBuilder b;
+        const auto x = b.input();
+        b.output(b.rotate(x, 1));
+        b.output(b.rotate(x, 2));
+        const compiler::Circuit circuit = b.build();
+        const size_t n = u.params->degree();
+        std::vector<Ciphertext> in = {
+            u.encryptor->encrypt(u.randomPlain(1200 * key_seed))};
+        const std::vector<Ciphertext> hw =
+            u.runHwCircuit(circuit, in);
+        ASSERT_EQ(hw.size(), 2u);
+        for (int steps : {1, 2}) {
+            const Ciphertext sw = u.evaluator->applyGaloisHoisted(
+                in[0], fv::galoisElementForStep(steps, n), u.gkeys);
+            EXPECT_EQ(hw[steps - 1], sw)
+                << "key seed " << key_seed << " steps " << steps;
+            const Ciphertext unhoisted =
+                u.evaluator->rotateSlots(in[0], steps, u.gkeys);
+            EXPECT_EQ(u.decryptor->decrypt(hw[steps - 1]),
+                      u.decryptor->decrypt(unhoisted));
+        }
+    }
+}
+
+TEST(Differential, RotateSumBitExactAcrossRandomKeys)
+{
+    for (uint64_t key_seed : {16u, 44u}) {
+        Universe u(key_seed, /*t=*/65537);
+        // A fresh generator (any sampler state) producing rotation
+        // keys for the universe's secret: both paths use these keys.
+        fv::KeyGenerator keygen(u.params, key_seed * 77 + 5);
+        const fv::GaloisKeys rot_keys =
+            keygen.generateRotationKeys(u.sk);
+        compiler::CircuitBuilder b;
+        b.output(b.rotateSum(b.input()));
+        const compiler::Circuit circuit = b.build();
+        std::vector<Ciphertext> in = {
+            u.encryptor->encrypt(u.randomPlain(1300 * key_seed))};
+        Ciphertext hw = u.runHwCircuit(circuit, in, &rot_keys)[0];
+        Ciphertext sw = u.evaluator->sumAllSlots(in[0], rot_keys);
+        EXPECT_EQ(hw, sw) << "key seed " << key_seed;
+        EXPECT_EQ(u.decryptor->decrypt(hw), u.decryptor->decrypt(sw));
+    }
+}
+
+TEST(Differential, EvaluateCircuitMatchesCompiledRotationCircuit)
+{
+    // The three execution paths of a mixed rotation workload — fused
+    // compiled, per-op round trips, evaluateCircuit — agree bit for
+    // bit (the hoist-numerics rule is shared by all of them).
+    Universe u(52, /*t=*/65537);
+    compiler::CircuitBuilder b;
+    const auto x = b.input();
+    const auto y = b.input();
+    const auto r1 = b.rotate(x, 1);
+    const auto r2 = b.rotate(x, 2);
+    const auto s = b.add(b.mult(r1, y), r2);
+    b.output(b.rotateColumns(s));
+    const compiler::Circuit circuit = b.build();
+
+    std::vector<Ciphertext> in = {
+        u.encryptor->encrypt(u.randomPlain(71)),
+        u.encryptor->encrypt(u.randomPlain(72))};
+    const std::vector<Ciphertext> fused =
+        u.runHwCircuit(circuit, in);
+    const std::vector<Ciphertext> reference = compiler::evaluateCircuit(
+        *u.evaluator, &u.rlk, circuit, in, &u.gkeys);
+    hw::Coprocessor cp(u.params, u.config, &u.rlk, &u.gkeys);
+    compiler::CircuitRunStats stats;
+    const std::vector<Ciphertext> op_by_op =
+        compiler::runCircuitOpByOp(cp, u.params, circuit, in, &stats);
+    EXPECT_EQ(fused, reference);
+    EXPECT_EQ(op_by_op, reference);
 }
 
 TEST(Differential, ServiceMatchesEvaluatorUnderRandomLoad)
