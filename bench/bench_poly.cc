@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Depth-aware encrypted polynomial evaluation: a random dense
+ * degree-15 polynomial on an encrypted batched input at the paper's
+ * Table V row-1 parameter set, lowered two ways:
+ *
+ *  - Paterson-Stockmeyer (heat::poly's baby-step/giant-step plan):
+ *    7 non-scalar mults at multiplicative depth 4, compiled under
+ *    NoiseCheck::kReject — the noise pass proves the budget holds —
+ *    and run fused plus op-by-op;
+ *  - Horner: 14 non-scalar mults at depth 14, compiled with the noise
+ *    check off (the pass rejects it — that IS the feature) and run
+ *    fused anyway to price the naive plan honestly; its result
+ *    decrypts to garbage, which the measured-budget row records.
+ *
+ * Exit status is the CI gate: Paterson-Stockmeyer must beat Horner on
+ * BOTH non-scalar multiplication count and modeled fused time, and
+ * must decrypt to the exact plaintext polynomial evaluation.
+ */
+
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "compiler/compiler.h"
+#include "fv/batch_encoder.h"
+#include "fv/decryptor.h"
+#include "fv/encryptor.h"
+#include "fv/keygen.h"
+#include "fv/params.h"
+#include "hw/coprocessor.h"
+#include "poly/poly.h"
+
+using namespace heat;
+
+int
+main(int argc, char **argv)
+{
+    bench::JsonReporter reporter("bench_poly", argc, argv);
+
+    auto params = fv::FvParams::tableV(1, /*t=*/65537);
+    fv::KeyGenerator keygen(params, 52);
+    const fv::SecretKey sk = keygen.generateSecretKey();
+    const fv::PublicKey pk = keygen.generatePublicKey(sk);
+    fv::RelinKeys rlk = keygen.generateRelinKeys(sk);
+    fv::Encryptor encryptor(params, pk, 53);
+    fv::Decryptor decryptor(params, fv::SecretKey{sk.s_ntt});
+    fv::BatchEncoder encoder(params);
+
+    Xoshiro256 rng(54);
+    std::vector<uint64_t> coeffs(16);
+    for (auto &c : coeffs)
+        c = 1 + rng.uniformBelow(params->plainModulus() - 1);
+    poly::PolynomialEvaluator pe(params, coeffs);
+
+    const poly::PlanInfo ps_plan =
+        pe.plan(poly::EvalStrategy::kPatersonStockmeyer);
+    const poly::PlanInfo horner_plan =
+        pe.plan(poly::EvalStrategy::kHorner);
+
+    compiler::CompilerOptions ps_opts;
+    ps_opts.noise_check = compiler::NoiseCheck::kReject;
+    ps_opts.hw.n_rpaus = params->fullBase()->size();
+    compiler::CompilerOptions horner_opts = ps_opts;
+    horner_opts.noise_check = compiler::NoiseCheck::kOff;
+
+    const compiler::CompiledCircuit ps = compiler::compileCircuit(
+        params, pe.circuit(poly::EvalStrategy::kPatersonStockmeyer),
+        ps_opts);
+    const compiler::CompiledCircuit horner = compiler::compileCircuit(
+        params, pe.circuit(poly::EvalStrategy::kHorner), horner_opts);
+
+    std::vector<uint64_t> slots(encoder.slotCount());
+    for (auto &s : slots)
+        s = rng.uniformBelow(params->plainModulus());
+    const std::vector<fv::Ciphertext> inputs = {
+        encryptor.encrypt(encoder.encode(slots))};
+
+    hw::Coprocessor cp(params, ps_opts.hw, &rlk);
+    compiler::CircuitRunStats ps_stats;
+    const std::vector<fv::Ciphertext> ps_out =
+        compiler::runCompiledCircuit(cp, ps, inputs, &ps_stats);
+    compiler::CircuitRunStats horner_stats;
+    const std::vector<fv::Ciphertext> horner_out =
+        compiler::runCompiledCircuit(cp, horner, inputs, &horner_stats);
+    compiler::CircuitRunStats op_stats;
+    compiler::runCircuitOpByOp(
+        cp, params, pe.circuit(poly::EvalStrategy::kPatersonStockmeyer),
+        inputs, &op_stats);
+
+    const bool ps_correct =
+        encoder.decode(decryptor.decrypt(ps_out[0])) ==
+        pe.reference(slots);
+    const double ps_budget = decryptor.invariantNoiseBudget(ps_out[0]);
+    const double horner_budget =
+        decryptor.invariantNoiseBudget(horner_out[0]);
+
+    const double ps_us = ps_stats.modeledUs(ps_opts.hw);
+    const double horner_us = horner_stats.modeledUs(ps_opts.hw);
+    const double op_us = op_stats.modeledUs(ps_opts.hw);
+
+    bench::printHeader("heat::poly degree-15 evaluation "
+                       "(Table V row 1, t = 65537)");
+    bench::printInfo("PS non-scalar mults",
+                     static_cast<double>(ps_plan.non_scalar_mults), "");
+    bench::printInfo("Horner non-scalar mults",
+                     static_cast<double>(horner_plan.non_scalar_mults),
+                     "");
+    bench::printInfo("PS multiplicative depth",
+                     static_cast<double>(ps_plan.mult_depth), "");
+    bench::printInfo("Horner multiplicative depth",
+                     static_cast<double>(horner_plan.mult_depth), "");
+    bench::printInfo("PS fused modeled time", ps_us, "us");
+    bench::printInfo("Horner fused modeled time", horner_us, "us");
+    bench::printInfo("PS op-by-op modeled time", op_us, "us");
+    bench::printInfo("PS predicted budget",
+                     ps.min_output_noise_budget_bits, "bits");
+    bench::printInfo("PS measured budget", ps_budget, "bits");
+    bench::printInfo("Horner measured budget", horner_budget, "bits");
+
+    const size_t n = params->degree();
+    const size_t moduli = params->qBase()->size();
+    reporter.record("ps_nonscalar_mults",
+                    static_cast<double>(ps_plan.non_scalar_mults), "",
+                    n, moduli);
+    reporter.record("horner_nonscalar_mults",
+                    static_cast<double>(horner_plan.non_scalar_mults),
+                    "", n, moduli);
+    reporter.record("ps_mult_depth",
+                    static_cast<double>(ps_plan.mult_depth), "", n,
+                    moduli);
+    reporter.record("ps_modeled_us", ps_us, "us", n, moduli);
+    reporter.record("horner_modeled_us", horner_us, "us", n, moduli);
+    reporter.record("ps_opbyop_modeled_us", op_us, "us", n, moduli);
+    reporter.record("ps_vs_horner_speedup", horner_us / ps_us, "x", n,
+                    moduli);
+    reporter.record("ps_fusion_speedup", op_us / ps_us, "x", n, moduli);
+    reporter.record("ps_predicted_budget_bits",
+                    ps.min_output_noise_budget_bits, "bits", n, moduli);
+    reporter.record("ps_measured_budget_bits", ps_budget, "bits", n,
+                    moduli);
+
+    const bool gate =
+        ps_correct &&
+        ps_plan.non_scalar_mults < horner_plan.non_scalar_mults &&
+        ps_us < horner_us;
+    std::printf("\nPS vs Horner: %zu vs %zu non-scalar mults, "
+                "%.2fx modeled time, correctness %s (%s)\n",
+                ps_plan.non_scalar_mults, horner_plan.non_scalar_mults,
+                horner_us / ps_us, ps_correct ? "ok" : "WRONG",
+                gate ? "PS wins" : "REGRESSION");
+    return gate ? 0 : 1;
+}

@@ -135,6 +135,14 @@ Circuit::validate() const
 }
 
 ValueId
+CircuitBuilder::checkedValue(ValueId a) const
+{
+    fatalIf(a >= circuit_.nodes.size(),
+            "Rotate uses an undefined value");
+    return a;
+}
+
+ValueId
 CircuitBuilder::addNode(NodeKind kind, ValueId a, ValueId b, int32_t plain)
 {
     CircuitNode node;
@@ -193,8 +201,15 @@ CircuitBuilder::multPlain(ValueId a, fv::Plaintext plain)
 ValueId
 CircuitBuilder::rotate(ValueId a, int32_t steps)
 {
-    fatalIf(steps == 0, "rotation by zero steps is the identity; "
-                        "use the value directly");
+    // Step 0 is the identity permutation: fold it away instead of
+    // emitting a node that would lower to a pointless (or
+    // missing-key-failing) key-switch. Steps that are a nonzero
+    // multiple of the slot-row length also resolve to the identity,
+    // but only at element-resolution time (the row length depends on
+    // the ring degree, which the builder does not know) — those nodes
+    // lower to plain copies; see rotationElement().
+    if (steps == 0)
+        return checkedValue(a);
     const ValueId v = addNode(NodeKind::kRotate, a, kNoValue, -1);
     circuit_.nodes.back().steps = steps;
     return v;
@@ -290,13 +305,55 @@ rotationHoistGroupSizes(const Circuit &circuit)
     return sizes;
 }
 
+std::vector<int>
+multiplicativeDepths(const Circuit &circuit)
+{
+    std::vector<int> depth(circuit.nodes.size(), 0);
+    for (size_t i = 0; i < circuit.nodes.size(); ++i) {
+        const CircuitNode &node = circuit.nodes[i];
+        int d = 0;
+        for (int a = 0; a < nodeArgCount(node.kind); ++a)
+            d = std::max(d, depth[node.args[a]]);
+        if (node.kind == NodeKind::kMult ||
+            node.kind == NodeKind::kSquare)
+            ++d;
+        depth[i] = d;
+    }
+    return depth;
+}
+
+int
+multiplicativeDepth(const Circuit &circuit)
+{
+    const std::vector<int> depths = multiplicativeDepths(circuit);
+    return depths.empty()
+               ? 0
+               : *std::max_element(depths.begin(), depths.end());
+}
+
+size_t
+nonScalarMultCount(const Circuit &circuit)
+{
+    size_t count = 0;
+    for (const CircuitNode &node : circuit.nodes) {
+        if (node.kind == NodeKind::kMult ||
+            node.kind == NodeKind::kSquare)
+            ++count;
+    }
+    return count;
+}
+
 std::vector<uint32_t>
 requiredGaloisElements(const Circuit &circuit, size_t degree)
 {
     std::vector<uint32_t> elements;
     for (const CircuitNode &node : circuit.nodes) {
         if (isRotationNode(node.kind)) {
-            elements.push_back(rotationElement(node, degree));
+            // Element 1 rotations (steps that normalize to zero) are
+            // identity copies and need no key.
+            const uint32_t g = rotationElement(node, degree);
+            if (g != 1)
+                elements.push_back(g);
         } else if (node.kind == NodeKind::kRotateSum) {
             for (size_t step = 1; step <= degree / 4; step *= 2) {
                 elements.push_back(fv::galoisElementForStep(
@@ -376,9 +433,15 @@ evaluateCircuit(const fv::Evaluator &evaluator, const fv::RelinKeys *rlk,
           case NodeKind::kRotateColumns: {
             // Members of a hoist group (>= 2 rotations of one value)
             // use the hoisted key-switch numerics on every execution
-            // path; lone rotations match plain applyGalois.
+            // path; lone rotations match plain applyGalois. Element 1
+            // (steps congruent to zero) is an identity copy and must
+            // not demand Galois keys.
             const uint32_t g =
                 rotationElement(node, values[a][0].degree());
+            if (g == 1) {
+                values[i] = values[a];
+                break;
+            }
             values[i] = hoist_sizes[i] >= 2
                             ? evaluator.applyGaloisHoisted(values[a], g,
                                                            needGalois())

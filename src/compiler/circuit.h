@@ -125,10 +125,13 @@ class CircuitBuilder
     ValueId addPlain(ValueId a, fv::Plaintext plain);
     ValueId multPlain(ValueId a, fv::Plaintext plain);
 
-    /** Rotate batched slot rows by @p steps (nonzero; negative rotates
-     *  the other way). Lowers to the hardware automorphism datapath;
+    /** Rotate batched slot rows by @p steps (negative rotates the
+     *  other way; step 0 folds to the identity and returns @p a
+     *  itself). Lowers to the hardware automorphism datapath;
      *  multiple rotations of one value share the key-switch decompose
-     *  (hoisting). */
+     *  (hoisting). Steps congruent modulo the slot-row length resolve
+     *  to the same Galois element — and thus the same key — at
+     *  compile/evaluation time. */
     ValueId rotate(ValueId a, int32_t steps);
 
     /** Swap the two batching slot columns (Galois element 2n - 1). */
@@ -173,6 +176,10 @@ class CircuitBuilder
   private:
     ValueId addNode(NodeKind kind, ValueId a, ValueId b, int32_t plain);
 
+    /** @return @p a after bounds-checking it against the nodes so far
+     *  (used when an operation folds to the identity). */
+    ValueId checkedValue(ValueId a) const;
+
     Circuit circuit_;
 };
 
@@ -194,6 +201,28 @@ uint32_t rotationElement(const CircuitNode &node, size_t degree);
  * decompose.
  */
 std::vector<uint32_t> rotationHoistGroupSizes(const Circuit &circuit);
+
+/**
+ * Multiplicative depth of the circuit: the longest chain of
+ * ciphertext-ciphertext multiplications (kMult/kSquare) from any input
+ * to any output. Plain-operand ops, additions, relinearizations and
+ * rotations do not add depth. This is the depth the parameter set must
+ * support (fv::NoiseModel::supportedDepth).
+ */
+int multiplicativeDepth(const Circuit &circuit);
+
+/** Per-value multiplicative depth (the recurrence behind
+ *  multiplicativeDepth; the noise pass's diagnostics name the depth
+ *  of individual nodes from it). */
+std::vector<int> multiplicativeDepths(const Circuit &circuit);
+
+/**
+ * Number of non-scalar (ciphertext x ciphertext) multiplications —
+ * kMult plus kSquare nodes. The figure of merit polynomial-evaluation
+ * plans minimize (Paterson-Stockmeyer reaches ~2 sqrt(d) where Horner
+ * pays d - 1).
+ */
+size_t nonScalarMultCount(const Circuit &circuit);
 
 /**
  * Every Galois element whose key-switching keys the circuit needs,

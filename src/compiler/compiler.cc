@@ -5,7 +5,10 @@
 #include <map>
 #include <utility>
 
+#include <cstdio>
+
 #include "common/panic.h"
+#include "compiler/noise_pass.h"
 #include "hw/arm_host.h"
 #include "hw/program_builder.h"
 
@@ -52,7 +55,8 @@ class CircuitCompiler
         : params_(std::move(params)), circuit_(circuit),
           evaluator_(params_),
           alloc_(*params_, options.hw, /*throw_on_pressure=*/true),
-          hoist_rotations_(options.hoist_rotations)
+          hoist_rotations_(options.hoist_rotations),
+          noise_check_(options.noise_check)
     {
         out_.params = params_;
         out_.hw = options.hw;
@@ -62,6 +66,7 @@ class CircuitCompiler
     compile()
     {
         circuit_.validate();
+        checkNoise();
         analyze();
         segments_.emplace_back();
 
@@ -107,6 +112,26 @@ class CircuitCompiler
 
   private:
     // --- analysis --------------------------------------------------------
+
+    /** Budget-propagation pass: always annotates, and per the
+     *  noise_check option warns about or rejects circuits whose
+     *  predicted budget dies before the outputs. */
+    void
+    checkNoise()
+    {
+        const NoiseEstimate est =
+            estimateCircuitNoise(params_, circuit_);
+        out_.noise_budget_bits = est.budget_bits;
+        out_.min_output_noise_budget_bits = est.min_output_budget_bits;
+        out_.noise_exhausted_node = est.first_exhausted;
+        if (est.ok() || noise_check_ == NoiseCheck::kOff)
+            return;
+        const std::string diagnostic =
+            noiseDiagnostic(params_, circuit_, est);
+        fatalIf(noise_check_ == NoiseCheck::kReject, diagnostic);
+        std::fprintf(stderr, "compileCircuit: warning: %s\n",
+                     diagnostic.c_str());
+    }
 
     void
     analyze()
@@ -594,7 +619,11 @@ class CircuitCompiler
           case NodeKind::kRotateColumns: {
             const uint32_t g = rotationElement(node, params_->degree());
             const std::array<hw::PolyId, 2> a = pair(operands[0]);
-            if (hoist_sizes_[i] < 2) {
+            if (g == 1) {
+                // Identity rotation (steps congruent to zero): a fresh
+                // copy, no key-switch, no shared digits consumed.
+                out.result = {em.copyPoly(a[0]), em.copyPoly(a[1])};
+            } else if (hoist_sizes_[i] < 2) {
                 out.result = asVector(em.emitApplyGalois(a, g));
             } else if (!hoist_rotations_) {
                 // Hoisted numerics without the sharing: the bit-exact
@@ -643,6 +672,7 @@ class CircuitCompiler
     hw::PolyId zero_ = hw::kNoPoly;
 
     bool hoist_rotations_;
+    NoiseCheck noise_check_;
     /** Per-node hoist-group size (0 for non-rotation nodes). */
     std::vector<uint32_t> hoist_sizes_;
     /** Rotations of each grouped input not yet emitted. */

@@ -41,6 +41,14 @@
 
 namespace heat::compiler {
 
+/** What compileCircuit does with the noise pass's verdict. */
+enum class NoiseCheck : uint8_t
+{
+    kOff,   ///< annotate only, never complain
+    kWarn,  ///< annotate and print a one-line warning to stderr
+    kReject ///< throw FatalError with the node-level diagnostic
+};
+
 /** Compilation tunables. */
 struct CompilerOptions
 {
@@ -55,6 +63,15 @@ struct CompilerOptions
      * the hoisting benchmark compares against).
      */
     bool hoist_rotations = true;
+    /**
+     * Noise-budget propagation (noise_pass.h): every compilation
+     * annotates CompiledCircuit::noise_budget_bits; this knob decides
+     * whether a circuit whose predicted budget is exhausted before its
+     * outputs compiles anyway. The default warns — existing pipelines
+     * keep compiling, but a depth-over-budget program is named at
+     * compile time rather than discovered as a garbage decryption.
+     */
+    NoiseCheck noise_check = NoiseCheck::kWarn;
 };
 
 /** One host<->coprocessor polynomial transfer. */
@@ -114,6 +131,17 @@ struct CompiledCircuit
     /** Galois elements whose keys the executing coprocessor must hold
      *  (sorted ascending; empty for rotation-free circuits). */
     std::vector<uint32_t> galois_elements;
+
+    // --- noise annotation (see noise_pass.h) ---------------------------
+    /** Predicted remaining invariant-noise budget (bits) per value id,
+     *  assuming fresh-encryption inputs. */
+    std::vector<double> noise_budget_bits;
+    /** Minimum predicted budget over the output values. */
+    double min_output_noise_budget_bits = 0.0;
+    /** First value with exhausted predicted budget (kNoValue if none;
+     *  with CompilerOptions::NoiseCheck::kReject compilation throws
+     *  instead of ever producing such a circuit). */
+    ValueId noise_exhausted_node = kNoValue;
 
     // --- compile-time accounting ---------------------------------------
     /** Memory-file high-water mark (slots). */

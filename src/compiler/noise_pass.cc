@@ -1,0 +1,111 @@
+#include "compiler/noise_pass.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+namespace heat::compiler {
+
+NoiseEstimate
+estimateCircuitNoise(std::shared_ptr<const fv::FvParams> params,
+                     const Circuit &circuit)
+{
+    const size_t degree = params->degree();
+    const fv::NoiseModel model(std::move(params));
+
+    // log2 |v| per value id; the budget annotation is derived from it.
+    std::vector<double> log_v(circuit.nodes.size(), 0.0);
+    NoiseEstimate est;
+    est.budget_bits.resize(circuit.nodes.size(), 0.0);
+
+    for (size_t i = 0; i < circuit.nodes.size(); ++i) {
+        const CircuitNode &node = circuit.nodes[i];
+        const ValueId a = node.args[0];
+        const ValueId b = node.args[1];
+        double v = 0.0;
+        switch (node.kind) {
+          case NodeKind::kInput:
+            v = model.freshLogNoise();
+            break;
+          case NodeKind::kAdd:
+          case NodeKind::kSub:
+            v = model.addStep(log_v[a], log_v[b]);
+            break;
+          case NodeKind::kNegate:
+            v = log_v[a];
+            break;
+          case NodeKind::kAddPlain:
+            v = model.addPlainStep(log_v[a]);
+            break;
+          case NodeKind::kMultPlain:
+            v = model.multiplyPlainStep(log_v[a]);
+            break;
+          case NodeKind::kMult:
+            v = model.multiplyStep(log_v[a], log_v[b]);
+            break;
+          case NodeKind::kSquare:
+            v = model.multiplyStep(log_v[a], log_v[a]);
+            break;
+          case NodeKind::kRelin:
+            v = model.keySwitchStep(log_v[a]);
+            break;
+          case NodeKind::kRotate:
+          case NodeKind::kRotateColumns:
+            // Identity rotations (element 1) are noise-free copies;
+            // everything else pays one Galois key-switch.
+            v = rotationElement(node, degree) == 1
+                    ? log_v[a]
+                    : model.keySwitchStep(log_v[a]);
+            break;
+          case NodeKind::kRotateSum: {
+            // Rotate-and-add: log-many row rotations plus the column
+            // swap, each a key-switch followed by an addition with the
+            // running accumulator (fv::Evaluator::sumAllSlots).
+            v = log_v[a];
+            for (size_t step = 1; step <= degree / 4; step *= 2)
+                v = model.addStep(v, model.keySwitchStep(v));
+            v = model.addStep(v, model.keySwitchStep(v));
+            break;
+          }
+        }
+        log_v[i] = v;
+        est.budget_bits[i] = model.budgetBits(v);
+        if (est.budget_bits[i] <= 0.0 && est.first_exhausted == kNoValue)
+            est.first_exhausted = static_cast<ValueId>(i);
+    }
+
+    est.min_output_budget_bits =
+        std::numeric_limits<double>::infinity();
+    for (ValueId out : circuit.outputs)
+        est.min_output_budget_bits =
+            std::min(est.min_output_budget_bits, est.budget_bits[out]);
+    return est;
+}
+
+std::string
+noiseDiagnostic(std::shared_ptr<const fv::FvParams> params,
+                const Circuit &circuit, const NoiseEstimate &estimate)
+{
+    if (estimate.ok())
+        return {};
+    const ValueId v = estimate.first_exhausted;
+    const CircuitNode &node = circuit.nodes[v];
+    const std::vector<int> depth = multiplicativeDepths(circuit);
+
+    const fv::NoiseModel model(params);
+    std::ostringstream os;
+    os << "predicted noise budget exhausted at node " << v << " ("
+       << nodeKindName(node.kind) << ", multiplicative depth "
+       << depth[v] << "): 0 bits remain of the " << model.freshBudgetBits()
+       << "-bit fresh budget (n=" << params->degree()
+       << ", log q=" << params->qBits() << ", t=" << params->plainModulus()
+       << "); the whole circuit has multiplicative depth "
+       << *std::max_element(depth.begin(), depth.end())
+       << " against a supported depth of " << model.supportedDepth()
+       << " — reduce the depth (e.g. a Paterson-Stockmeyer plan) or "
+          "enlarge q";
+    return os.str();
+}
+
+} // namespace heat::compiler

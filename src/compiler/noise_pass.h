@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Noise-budget propagation pass over ciphertext circuits.
+ *
+ * The paper sizes its parameter set for multiplicative depth 4
+ * (Sec. III-A); fv::NoiseModel reproduces that sizing decision as
+ * closed-form per-operation bounds. This pass walks a Circuit in
+ * definition order, propagates the predicted log-noise through every
+ * node kind (additions, plain operands, tensors, relinearizations,
+ * rotations and rotate-sums) and annotates each value with its
+ * predicted remaining invariant-noise budget in bits.
+ *
+ * compileCircuit() runs the pass on every compilation and, depending
+ * on CompilerOptions::noise_check, ignores the estimate, warns, or
+ * rejects circuits whose predicted budget goes non-positive — with a
+ * diagnostic naming the first exhausted node, so a depth-5 squaring
+ * chain on a depth-4 parameter set fails at compile time instead of
+ * decrypting to garbage after a full accelerator run.
+ *
+ * The model is a conservative design heuristic, not a proof: measured
+ * budgets (fv::Decryptor::invariantNoiseBudget) run higher; tests
+ * compare the two with slack.
+ */
+
+#ifndef HEAT_COMPILER_NOISE_PASS_H
+#define HEAT_COMPILER_NOISE_PASS_H
+
+#include <string>
+#include <vector>
+
+#include "compiler/circuit.h"
+#include "fv/noise.h"
+#include "fv/params.h"
+
+namespace heat::compiler {
+
+/** Per-node noise prediction for one circuit. */
+struct NoiseEstimate
+{
+    /** Predicted remaining budget (bits, clamped >= 0) per value id. */
+    std::vector<double> budget_bits;
+    /** First node whose predicted budget is exhausted (definition
+     *  order), or kNoValue if every node keeps a positive budget. */
+    ValueId first_exhausted = kNoValue;
+    /** Minimum predicted budget over the circuit's output values. */
+    double min_output_budget_bits = 0.0;
+
+    /** @return true when every node keeps a positive predicted budget. */
+    bool ok() const { return first_exhausted == kNoValue; }
+};
+
+/**
+ * Propagate fv::NoiseModel's per-op bounds through @p circuit
+ * (assumed valid). Inputs are modeled as fresh encryptions — the
+ * compile-once/submit-many serving path feeds freshly encrypted
+ * operands; callers submitting already-computed ciphertexts keep the
+ * slack their inputs already spent.
+ */
+NoiseEstimate estimateCircuitNoise(
+    std::shared_ptr<const fv::FvParams> params, const Circuit &circuit);
+
+/**
+ * Human-readable account of an exhausted estimate: names the first
+ * exhausted node (index, kind, multiplicative depth), the fresh
+ * budget it started from and the circuit's depth. Empty when ok().
+ */
+std::string noiseDiagnostic(std::shared_ptr<const fv::FvParams> params,
+                            const Circuit &circuit,
+                            const NoiseEstimate &estimate);
+
+} // namespace heat::compiler
+
+#endif // HEAT_COMPILER_NOISE_PASS_H

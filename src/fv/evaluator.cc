@@ -320,6 +320,10 @@ Evaluator::applyGalois(const Ciphertext &ct, uint32_t galois_element,
                        const GaloisKeys &gkeys) const
 {
     panicIf(ct.size() != 2, "applyGalois expects a 2-element ciphertext");
+    // tau_1 is the identity: no permutation moves and no key-switch is
+    // needed (or allowed to spend noise budget / require a key).
+    if (galois_element == 1)
+        return ct;
     fatalIf(!gkeys.has(galois_element), "missing Galois key for element ",
             galois_element);
     const RelinKeys &key = gkeys.keys.at(galois_element);
@@ -366,6 +370,8 @@ Evaluator::applyGaloisHoisted(const Ciphertext &ct,
 {
     panicIf(ct.size() != 2,
             "applyGaloisHoisted expects a 2-element ciphertext");
+    if (galois_element == 1)
+        return ct; // identity — see applyGalois
     fatalIf(!gkeys.has(galois_element), "missing Galois key for element ",
             galois_element);
     const RelinKeys &key = gkeys.keys.at(galois_element);

@@ -97,7 +97,9 @@ class Evaluator
 
     /**
      * Apply tau_g (m(x) -> m(x^g)) to a 2-element ciphertext and
-     * key-switch back to the original secret with @p gkeys.
+     * key-switch back to the original secret with @p gkeys. Element 1
+     * (tau_1 = identity) returns the input unchanged — no key lookup
+     * and no key-switch noise.
      */
     Ciphertext applyGalois(const Ciphertext &ct, uint32_t galois_element,
                            const GaloisKeys &gkeys) const;
@@ -120,7 +122,10 @@ class Evaluator
                                   uint32_t galois_element,
                                   const GaloisKeys &gkeys) const;
 
-    /** Rotate batched slots by @p steps (see BatchEncoder). */
+    /** Rotate batched slots by @p steps (see BatchEncoder). Steps are
+     *  normalized modulo the slot-row length (galois.h), so step 0 —
+     *  and any multiple of the row length — is an identity copy that
+     *  needs no Galois key. */
     Ciphertext rotateSlots(const Ciphertext &ct, int steps,
                            const GaloisKeys &gkeys) const;
 

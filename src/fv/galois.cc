@@ -22,28 +22,41 @@ applyGaloisToResidue(std::span<const uint64_t> in, std::span<uint64_t> out,
     }
 }
 
+size_t
+rotationStepPeriod(size_t degree)
+{
+    // ord(3) mod 2^k is 2^(k-2) for k >= 3, i.e. n/2 — verified here
+    // rather than assumed so a non-power-of-two ring cannot slip
+    // through with a silently wrong period.
+    const uint64_t two_n = 2 * degree;
+    panicIf(degree < 4, "rotation period needs degree >= 4");
+    const size_t period = degree / 2;
+    panicIf(mp::powMod64(3, period, two_n) != 1,
+            "3 does not have order n/2 modulo 2n");
+    return period;
+}
+
+int
+normalizeRotationSteps(int64_t steps, size_t degree)
+{
+    const int64_t period =
+        static_cast<int64_t>(rotationStepPeriod(degree));
+    const int64_t normalized = ((steps % period) + period) % period;
+    return static_cast<int>(normalized);
+}
+
 uint32_t
 galoisElementForStep(int steps, size_t degree)
 {
+    // Normalizing first maps negative steps onto the equivalent
+    // positive power (3^-s = 3^(period-s)) and congruent step counts
+    // onto one canonical element: 3 generates the order-n/2 subgroup
+    // permuting the slot "rows", so rotations only exist modulo the
+    // row length. Step 0 lands on element 1, the identity.
     const uint64_t two_n = 2 * degree;
-    // Positive steps use powers of 3, negative steps powers of 3^{-1};
-    // 3 generates the order-n/2 subgroup permuting the slot "rows".
-    uint64_t g;
-    if (steps >= 0) {
-        g = mp::powMod64(3, static_cast<uint64_t>(steps), two_n);
-    } else {
-        // 3^{-1} mod 2n exists since gcd(3, 2n) = 1.
-        uint64_t inv = mp::powMod64(
-            3, static_cast<uint64_t>(degree) - 1, two_n); // ord(3) | n
-        // Fall back to explicit search if the order assumption fails.
-        if (mp::mulMod64(3, inv, two_n) != 1) {
-            inv = 1;
-            while (mp::mulMod64(3, inv, two_n) != 1)
-                inv += 2;
-        }
-        g = mp::powMod64(inv, static_cast<uint64_t>(-steps), two_n);
-    }
-    return static_cast<uint32_t>(g);
+    const uint64_t s = static_cast<uint64_t>(
+        normalizeRotationSteps(steps, degree));
+    return static_cast<uint32_t>(mp::powMod64(3, s, two_n));
 }
 
 } // namespace heat::fv

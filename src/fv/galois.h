@@ -50,8 +50,27 @@ void applyGaloisToResidue(std::span<const uint64_t> in,
                           std::span<uint64_t> out, uint32_t g,
                           const rns::Modulus &modulus);
 
+/**
+ * @return the period of the slot-row rotation: the multiplicative
+ * order of 3 modulo 2n (= n/2 for the power-of-two rings used here).
+ * Rotating by the period is the identity permutation, so rotation
+ * steps are only meaningful modulo this value.
+ */
+size_t rotationStepPeriod(size_t degree);
+
+/**
+ * Normalize a rotation step count into the canonical range
+ * [0, rotationStepPeriod(degree)). Steps congruent modulo the row
+ * length describe the same slot permutation — and therefore the same
+ * Galois element and key — so every step-consuming API reduces
+ * through here; a result of 0 means the rotation is the identity.
+ */
+int normalizeRotationSteps(int64_t steps, size_t degree);
+
 /** @return the Galois element rotating batched slots by @p steps:
- *  3^steps mod 2n (negative steps rotate the other way). */
+ *  3^steps mod 2n (negative steps rotate the other way; steps are
+ *  normalized with normalizeRotationSteps, so congruent step counts
+ *  always yield the same element and step 0 yields element 1). */
 uint32_t galoisElementForStep(int steps, size_t degree);
 
 } // namespace heat::fv

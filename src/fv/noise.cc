@@ -5,6 +5,18 @@
 
 namespace heat::fv {
 
+namespace {
+
+/** log2(2^a + 2^b) without leaving log space for long. */
+double
+logSum2(double a, double b)
+{
+    const double m = std::max(a, b);
+    return m + std::log2(std::exp2(a - m) + std::exp2(b - m));
+}
+
+} // namespace
+
 NoiseModel::NoiseModel(std::shared_ptr<const FvParams> params)
     : params_(std::move(params))
 {
@@ -15,40 +27,85 @@ NoiseModel::NoiseModel(std::shared_ptr<const FvParams> params)
 }
 
 double
-NoiseModel::freshBudgetBits() const
+NoiseModel::freshLogNoise() const
 {
     // Fresh invariant noise: |v| <= t * B * (2n + 1) / q
     // (public-key encryption with ternary u: e1 + u*e0-ish terms).
-    const double log_v = log_t_ + std::log2(b_err_) + log_n_ + 1.0 - log_q_;
+    return log_t_ + std::log2(b_err_) + log_n_ + 1.0 - log_q_;
+}
+
+double
+NoiseModel::budgetBits(double log_v) const
+{
+    // Budget B corresponds to log |v| = -(B + 1).
     return std::max(0.0, -log_v - 1.0);
+}
+
+double
+NoiseModel::freshBudgetBits() const
+{
+    return budgetBits(freshLogNoise());
+}
+
+double
+NoiseModel::addStep(double log_a, double log_b) const
+{
+    return logSum2(log_a, log_b);
+}
+
+double
+NoiseModel::addPlainStep(double log_v) const
+{
+    // ct + Delta*m adds only the Delta-rounding term:
+    // |v'| <= |v| + r_t(q) * |m| / q <= |v| + t * n / q.
+    return logSum2(log_v, log_t_ + log_n_ - log_q_);
+}
+
+double
+NoiseModel::multiplyPlainStep(double log_v) const
+{
+    // NTT pointwise product by an embedded plaintext: |v'| <= n t |v|.
+    return log_v + log_n_ + log_t_;
+}
+
+double
+NoiseModel::multiplyStep(double log_a, double log_b) const
+{
+    // FV multiplication tensor + scale: v_mult ~ 2 n t (v1 + v2) plus
+    // the rounding term t * n / q. The key-switch term of the
+    // relinearization is accounted separately (keySwitchStep), so a
+    // 3-element tensor value carries exactly this much noise.
+    const double log_mult =
+        1.0 + log_n_ + log_t_ + logSum2(log_a, log_b);
+    const double log_round = log_t_ + log_n_ - log_q_ + 1.0;
+    return logSum2(log_mult, log_round);
+}
+
+double
+NoiseModel::keySwitchStep(double log_v) const
+{
+    // For RNS digits the key-switch noise is t * n * k * 2^30 * B / q —
+    // the same bound for relinearization keys and Galois keys (they
+    // embed different secrets but share digit structure).
+    const double k = static_cast<double>(params_->rnsDigitCount());
+    const double log_relin = log_t_ + log_n_ + std::log2(k) + 30.0 +
+                             std::log2(b_err_) - log_q_;
+    return logSum2(log_v, log_relin);
 }
 
 double
 NoiseModel::multStep(double log_v) const
 {
-    // FV multiplication: v_mult ~ 2 n t (v1 + v2) plus the rounding term
-    // t * n / q and the relinearization term. For RNS digits the relin
-    // noise is t * n * k * 2^30 * B / q.
-    const double k = static_cast<double>(params_->rnsDigitCount());
-    const double log_mult = 1.0 + log_n_ + log_t_ + log_v + 1.0;
-    const double log_round = log_t_ + log_n_ - log_q_ + 1.0;
-    const double log_relin = log_t_ + log_n_ + std::log2(k) + 30.0 +
-                             std::log2(b_err_) - log_q_;
-    // Sum the three contributions in linear space (softmax-style).
-    const double m = std::max({log_mult, log_round, log_relin});
-    return m + std::log2(std::exp2(log_mult - m) +
-                         std::exp2(log_round - m) +
-                         std::exp2(log_relin - m));
+    return keySwitchStep(multiplyStep(log_v, log_v));
 }
 
 double
 NoiseModel::budgetAfterDepth(int depth) const
 {
-    // Budget B corresponds to log |v| = -(B + 1).
     double log_v = -(freshBudgetBits() + 1.0);
     for (int i = 0; i < depth; ++i)
         log_v = multStep(log_v);
-    return std::max(0.0, -log_v - 1.0);
+    return budgetBits(log_v);
 }
 
 int

@@ -8,6 +8,15 @@
  * relinearized multiplications using the standard FV bounds, and reports
  * the supported depth for a parameter set. It is a design heuristic, not
  * a proof; tests compare it against measured budgets with slack.
+ *
+ * Beyond the original depth-only chain, the model exposes per-operation
+ * noise steps (add, plaintext add/multiply, tensor multiplication, the
+ * relinearization/rotation key-switch) so the circuit compiler can
+ * propagate a predicted budget through an arbitrary DAG and reject —
+ * or warn about — programs whose budget is exhausted before their
+ * outputs (compiler/noise_pass.h). All steps work on log2 of the
+ * invariant noise |v|; budgetBits() converts back to the SEAL-style
+ * budget convention (budget = -log2(2 |v|), clamped at zero).
  */
 
 #ifndef HEAT_FV_NOISE_H
@@ -33,6 +42,38 @@ class NoiseModel
 
     /** Largest depth with positive predicted budget. */
     int supportedDepth() const;
+
+    // --- per-operation steps (log2 |v| in, log2 |v| out) ----------------
+
+    /** log2 of the invariant noise of a fresh encryption. */
+    double freshLogNoise() const;
+
+    /** Budget (bits, clamped >= 0) for a given log2 invariant noise. */
+    double budgetBits(double log_v) const;
+
+    /** Ciphertext addition/subtraction: |v| <= |v1| + |v2|. */
+    double addStep(double log_a, double log_b) const;
+
+    /** Plaintext addition: adds the Delta-rounding term t n / q. */
+    double addPlainStep(double log_v) const;
+
+    /** Plaintext multiplication: |v| grows by a factor of n t. */
+    double multiplyPlainStep(double log_v) const;
+
+    /**
+     * Tensor + scale (multiplication WITHOUT relinearization):
+     * |v| ~ 2 n t (|v1| + |v2|) plus the t n / q rounding term. Apply
+     * keySwitchStep afterwards for the relinearized product.
+     */
+    double multiplyStep(double log_a, double log_b) const;
+
+    /**
+     * Key-switch additive term: relinearization of a 3-element value,
+     * or the switch-back of a Galois rotation (the keys are
+     * structurally identical, so the bound is shared):
+     * adds t n k 2^30 B / q over the k RNS digits.
+     */
+    double keySwitchStep(double log_v) const;
 
   private:
     /** log2 of the invariant noise after one mult given input log2. */

@@ -403,6 +403,11 @@ std::array<PolyId, 2>
 OpEmitter::emitApplyGalois(std::array<PolyId, 2> a,
                            uint32_t galois_element)
 {
+    // tau_1 is the identity: no key-switch, no key required — just a
+    // fresh copy, matching fv::Evaluator::applyGalois bit for bit.
+    if (galois_element == 1)
+        return {copyPoly(a[0]), copyPoly(a[1])};
+
     const size_t digit_count = params_.rnsDigitCount();
 
     // tau_g(c1) is never materialized: each permutation pass streams
@@ -497,6 +502,12 @@ OpEmitter::emitHoistedGalois(std::array<PolyId, 2> a,
                              const std::vector<PolyId> &digits_ntt,
                              uint32_t galois_element)
 {
+    // Identity rotations never join the key-switch (fv::Evaluator's
+    // hoisted path returns its input unchanged for element 1, so the
+    // bit-exact lowering is a plain copy that ignores the digits).
+    if (galois_element == 1)
+        return {copyPoly(a[0]), copyPoly(a[1])};
+
     // The kq shared digit records dominate the slot budget, so the
     // tail runs lean: no separate MAC temporary (the permutation
     // buffer is overwritten by the product and re-permuted for the
@@ -566,6 +577,8 @@ std::array<PolyId, 2>
 OpEmitter::emitApplyGaloisHoistedSingle(std::array<PolyId, 2> a,
                                         uint32_t galois_element)
 {
+    if (galois_element == 1)
+        return {copyPoly(a[0]), copyPoly(a[1])}; // identity, no digits
     std::vector<PolyId> digits = emitDecomposeNtt(a[1]);
     const std::array<PolyId, 2> out =
         emitHoistedGalois(a, digits, galois_element);

@@ -183,7 +183,10 @@ class OpEmitter
      * the WordDecomp digits of tau_g(c1) during writeback (the Scale
      * unit's reduce lanes, one digit lane per pass so only one digit
      * record is ever resident), and the key-switch tail reuses the
-     * relinearization machinery with per-element key loads.
+     * relinearization machinery with per-element key loads. Element 1
+     * (the identity automorphism) lowers to a fresh copy — no
+     * key-switch instructions and no key requirement; the hoisted
+     * variants below behave the same way.
      */
     std::array<PolyId, 2> emitApplyGalois(std::array<PolyId, 2> a,
                                           uint32_t galois_element);

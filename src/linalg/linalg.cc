@@ -57,6 +57,13 @@ RotationLayout::replicate(std::span<const uint64_t> values) const
     fatalIf(values.empty(), "cannot replicate an empty vector");
     fatalIf(values.size() > columns_, "vector of ", values.size(),
             " entries exceeds the ", columns_, " rotation columns");
+    // Replication is only well defined when the period divides the row
+    // length: otherwise the wrap-around seam breaks the "rotate by i
+    // aligns v[(c+i) mod d] with column c" property every consumer
+    // relies on, silently masking a caller size mismatch.
+    fatalIf(columns_ % values.size() != 0, "vector of ", values.size(),
+            " entries does not divide the ", columns_,
+            " rotation columns; pad it to a divisor of the row length");
     std::vector<uint64_t> slots(column_.size());
     for (size_t s = 0; s < slots.size(); ++s)
         slots[s] = values[column_[s] % values.size()];
@@ -89,7 +96,8 @@ CompiledPrimitive::compile(const compiler::CompilerOptions &options) const
 {
     if (compiled_ == nullptr ||
         !(compiled_options_.hw == options.hw) ||
-        compiled_options_.hoist_rotations != options.hoist_rotations) {
+        compiled_options_.hoist_rotations != options.hoist_rotations ||
+        compiled_options_.noise_check != options.noise_check) {
         compiled_ = std::make_shared<const compiler::CompiledCircuit>(
             compiler::compileCircuit(params_, circuit_, options));
         compiled_options_ = options;

@@ -71,7 +71,10 @@ class RotationLayout
     size_t slotAt(size_t column) const { return row0_slot_[column]; }
 
     /** Pack @p values replicated across both rows with period
-     *  values.size(): the slot at column c holds values[c mod dim]. */
+     *  values.size(): the slot at column c holds values[c mod dim].
+     *  The period must divide the row length (columns()) — anything
+     *  else would wrap unevenly at the row seam and break the
+     *  rotation-alignment property, so it throws FatalError. */
     std::vector<uint64_t> replicate(
         std::span<const uint64_t> values) const;
 

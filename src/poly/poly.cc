@@ -1,0 +1,346 @@
+#include "poly/poly.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "common/panic.h"
+#include "mp/primality.h"
+
+namespace heat::poly {
+
+using compiler::CircuitBuilder;
+using compiler::kNoValue;
+using compiler::ValueId;
+
+const char *
+evalStrategyName(EvalStrategy strategy)
+{
+    switch (strategy) {
+      case EvalStrategy::kHorner:
+        return "Horner";
+      case EvalStrategy::kPatersonStockmeyer:
+        return "Paterson-Stockmeyer";
+    }
+    panic("unknown evaluation strategy");
+}
+
+namespace {
+
+/**
+ * Memoized powers of the encrypted input: every x^e is built exactly
+ * once (the DAG's common-subexpression reuse for baby and giant steps
+ * alike) via minimal-depth binary powering, so depth(x^e) =
+ * ceil(log2 e) and power-of-two exponents are pure squaring chains.
+ */
+class PowerCache
+{
+  public:
+    PowerCache(CircuitBuilder &b, ValueId x) : b_(b) { pow_[1] = x; }
+
+    ValueId
+    get(size_t e)
+    {
+        panicIf(e == 0, "x^0 is a constant, not a power");
+        const auto it = pow_.find(e);
+        if (it != pow_.end())
+            return it->second;
+        const size_t lo = e / 2;
+        const size_t hi = e - lo;
+        const ValueId v = lo == hi ? b_.square(get(lo))
+                                   : b_.mult(get(lo), get(hi));
+        pow_[e] = v;
+        return v;
+    }
+
+  private:
+    CircuitBuilder &b_;
+    std::map<size_t, ValueId> pow_;
+};
+
+/** A partial sum: an optional ciphertext value plus a pending scalar
+ *  constant, kept separate so constants ride up the combine tree for
+ *  free and fold into a single AddPlain at the last moment. */
+struct Part
+{
+    ValueId value = kNoValue;
+    uint64_t constant = 0;
+
+    bool empty() const { return value == kNoValue && constant == 0; }
+};
+
+} // namespace
+
+PolynomialEvaluator::PolynomialEvaluator(
+    std::shared_ptr<const fv::FvParams> params,
+    std::span<const uint64_t> coefficients)
+    : params_(std::move(params)), encoder_(params_)
+{
+    const uint64_t t = params_->plainModulus();
+    coeffs_.assign(coefficients.begin(), coefficients.end());
+    for (uint64_t &c : coeffs_)
+        c %= t;
+    while (!coeffs_.empty() && coeffs_.back() == 0)
+        coeffs_.pop_back();
+    fatalIf(coeffs_.size() < 2,
+            "polynomial must have degree >= 1 after reduction mod t "
+            "(an encrypted evaluation of a constant is meaningless)");
+    fatalIf(degree() > kMaxDegree, "polynomial degree ", degree(),
+            " exceeds the supported maximum of ", kMaxDegree);
+}
+
+namespace {
+
+/** Builder state shared by the two lowering strategies. */
+class CircuitLowering
+{
+  public:
+    CircuitLowering(const fv::BatchEncoder &encoder,
+                    std::span<const uint64_t> coeffs)
+        : encoder_(encoder), coeffs_(coeffs), x_(b_.input()), pc_(b_, x_)
+    {
+    }
+
+    compiler::Circuit
+    horner(PlanInfo *info)
+    {
+        const int d = static_cast<int>(coeffs_.size()) - 1;
+        // acc starts as c_d; the first Horner step acc*x is therefore
+        // a plaintext multiplication, every later one a ct-ct mult.
+        ValueId acc = coeffs_[d] == 1
+                          ? x_
+                          : b_.multPlain(x_, constant(coeffs_[d]));
+        if (coeffs_[d - 1] != 0)
+            acc = b_.addPlain(acc, constant(coeffs_[d - 1]));
+        for (int i = d - 2; i >= 0; --i) {
+            acc = b_.mult(acc, x_);
+            if (coeffs_[i] != 0)
+                acc = b_.addPlain(acc, constant(coeffs_[i]));
+        }
+        b_.output(acc);
+        return finish(EvalStrategy::kHorner, 0, info);
+    }
+
+    compiler::Circuit
+    patersonStockmeyer(PlanInfo *info)
+    {
+        const size_t d = coeffs_.size() - 1;
+        // Baby-step block size: the smallest power of two >=
+        // sqrt(d + 1). Power-of-two blocks make every giant power a
+        // squaring chain and the combine tree perfectly balanced,
+        // which is what pins the depth at ceil(log2 d).
+        k_ = 1;
+        while (k_ * k_ < d + 1)
+            k_ *= 2;
+        const size_t blocks = (d + k_) / k_; // ceil((d+1)/k)
+        size_t leaves = 1;
+        while (leaves < blocks)
+            leaves *= 2;
+
+        Part result = combine(0, leaves);
+        panicIf(result.value == kNoValue,
+                "a degree >= 1 polynomial always has a ciphertext term");
+        if (result.constant != 0)
+            result.value =
+                b_.addPlain(result.value, constant(result.constant));
+        b_.output(result.value);
+        return finish(EvalStrategy::kPatersonStockmeyer, k_, info);
+    }
+
+  private:
+    fv::Plaintext
+    constant(uint64_t c)
+    {
+        return encoder_.encode(
+            std::vector<uint64_t>(encoder_.slotCount(), c));
+    }
+
+    /** Scalar-only evaluation of coefficient block @p j over the baby
+     *  powers: sum_{i>=1} c_{jk+i} x^i as a value, c_{jk} as the
+     *  pending constant. */
+    Part
+    block(size_t j)
+    {
+        const size_t base = j * k_;
+        Part part;
+        if (base >= coeffs_.size())
+            return part;
+        part.constant = coeffs_[base];
+        for (size_t i = 1; i < k_ && base + i < coeffs_.size(); ++i) {
+            const uint64_t c = coeffs_[base + i];
+            if (c == 0)
+                continue;
+            const ValueId term =
+                c == 1 ? pc_.get(i)
+                       : b_.multPlain(pc_.get(i), constant(c));
+            part.value = part.value == kNoValue
+                             ? term
+                             : b_.add(part.value, term);
+        }
+        return part;
+    }
+
+    /**
+     * Balanced giant-step combine over @p len (a power of two)
+     * consecutive blocks starting at @p j:
+     *   f(j, len) = f(j, len/2) + x^(k len/2) * f(j + len/2, len/2).
+     * The multiplier folds a pure-constant high half into a plaintext
+     * multiplication — no ciphertext mult is ever spent on it.
+     */
+    Part
+    combine(size_t j, size_t len)
+    {
+        if (len == 1)
+            return block(j);
+        const size_t half = len / 2;
+        Part lo = combine(j, half);
+        const Part hi = combine(j + half, half);
+        if (hi.empty())
+            return lo;
+
+        giants_.insert(k_ * half);
+        const ValueId y = pc_.get(k_ * half);
+        ValueId hi_times;
+        if (hi.value != kNoValue) {
+            const ValueId folded =
+                hi.constant != 0
+                    ? b_.addPlain(hi.value, constant(hi.constant))
+                    : hi.value;
+            hi_times = b_.mult(folded, y);
+        } else {
+            hi_times = hi.constant == 1
+                           ? y
+                           : b_.multPlain(y, constant(hi.constant));
+        }
+        lo.value = lo.value == kNoValue ? hi_times
+                                        : b_.add(lo.value, hi_times);
+        return lo;
+    }
+
+    compiler::Circuit
+    finish(EvalStrategy strategy, size_t baby_step, PlanInfo *info)
+    {
+        compiler::Circuit circuit = b_.build();
+        if (info != nullptr) {
+            info->strategy = strategy;
+            info->degree = static_cast<int>(coeffs_.size()) - 1;
+            info->baby_step = baby_step;
+            info->giant_count = giants_.size();
+            info->non_scalar_mults =
+                compiler::nonScalarMultCount(circuit);
+            info->mult_depth = compiler::multiplicativeDepth(circuit);
+            info->op_count = circuit.opCount();
+        }
+        return circuit;
+    }
+
+    const fv::BatchEncoder &encoder_;
+    std::span<const uint64_t> coeffs_;
+    CircuitBuilder b_;
+    ValueId x_;
+    PowerCache pc_;
+    size_t k_ = 0;
+    std::set<size_t> giants_;
+};
+
+} // namespace
+
+compiler::Circuit
+PolynomialEvaluator::circuit(EvalStrategy strategy) const
+{
+    CircuitLowering lowering(encoder_, coeffs_);
+    return strategy == EvalStrategy::kHorner
+               ? lowering.horner(nullptr)
+               : lowering.patersonStockmeyer(nullptr);
+}
+
+PlanInfo
+PolynomialEvaluator::plan(EvalStrategy strategy) const
+{
+    PlanInfo info;
+    CircuitLowering lowering(encoder_, coeffs_);
+    if (strategy == EvalStrategy::kHorner)
+        lowering.horner(&info);
+    else
+        lowering.patersonStockmeyer(&info);
+    return info;
+}
+
+uint64_t
+PolynomialEvaluator::reference(uint64_t x) const
+{
+    const uint64_t t = params_->plainModulus();
+    x %= t;
+    uint64_t acc = 0;
+    for (size_t i = coeffs_.size(); i-- > 0;)
+        acc = (mp::mulMod64(acc, x, t) + coeffs_[i]) % t;
+    return acc;
+}
+
+std::vector<uint64_t>
+PolynomialEvaluator::reference(std::span<const uint64_t> xs) const
+{
+    std::vector<uint64_t> out;
+    out.reserve(xs.size());
+    for (uint64_t x : xs)
+        out.push_back(reference(x));
+    return out;
+}
+
+std::vector<uint64_t>
+interpolateOnRange(std::span<const uint64_t> points, uint64_t t)
+{
+    const size_t m = points.size();
+    fatalIf(m == 0, "cannot interpolate zero points");
+    fatalIf(t <= m, "plain modulus ", t, " too small for ", m,
+            " interpolation nodes");
+    // Fermat inversion below requires a prime field.
+    fatalIf(!mp::isPrime(t), "interpolation needs a prime plain "
+                             "modulus, got ", t);
+    const auto sub = [t](uint64_t a, uint64_t b) {
+        return (a + t - b % t) % t;
+    };
+
+    // N(x) = prod_j (x - j), degree m — built once; each Lagrange
+    // basis is N / (x - i) by synthetic division, scaled by
+    // 1 / prod_{j != i} (i - j).
+    std::vector<uint64_t> n_coeffs(m + 1, 0);
+    n_coeffs[0] = 1;
+    for (size_t j = 0; j < m; ++j) {
+        // multiply by (x - j): shift up, subtract j * previous.
+        for (size_t c = j + 1; c-- > 0;) {
+            n_coeffs[c + 1] = n_coeffs[c];
+        }
+        n_coeffs[0] = 0;
+        for (size_t c = 0; c <= j; ++c) {
+            n_coeffs[c] = sub(
+                n_coeffs[c], mp::mulMod64(j % t, n_coeffs[c + 1], t));
+        }
+    }
+
+    std::vector<uint64_t> result(m, 0);
+    std::vector<uint64_t> q(m, 0);
+    for (size_t i = 0; i < m; ++i) {
+        // Synthetic division N / (x - i): exact since N(i) = 0.
+        uint64_t carry = 0;
+        for (size_t c = m + 1; c-- > 1;) {
+            carry = (n_coeffs[c] + mp::mulMod64(carry, i % t, t)) % t;
+            q[c - 1] = carry;
+        }
+        uint64_t denom = 1;
+        for (size_t j = 0; j < m; ++j) {
+            if (j != i)
+                denom = mp::mulMod64(denom, sub(i % t, j % t), t);
+        }
+        const uint64_t scale = mp::mulMod64(
+            points[i] % t, mp::powMod64(denom, t - 2, t), t);
+        for (size_t c = 0; c < m; ++c)
+            result[c] =
+                (result[c] + mp::mulMod64(q[c], scale, t)) % t;
+    }
+    return result;
+}
+
+} // namespace heat::poly

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * heat::poly — depth-aware encrypted polynomial evaluation.
+ *
+ * Evaluating a plaintext-coefficient polynomial p(x) on an encrypted x
+ * is the canonical deep-circuit FHE workload (KU Leuven's polyfunction
+ * evaluation over HElib; Medha validates its microcoded accelerator on
+ * the same multiply-heavy shape). PolynomialEvaluator lowers p into a
+ * compiler::Circuit two ways:
+ *
+ *  - Horner (the naive baseline): d - 1 non-scalar multiplications at
+ *    multiplicative depth d - 1 — at degree 15 that is depth 14, far
+ *    beyond the depth-4 budget the paper's parameter set is sized for
+ *    (Sec. III-A), so the compiler's noise pass rejects it;
+ *  - Paterson-Stockmeyer baby-step/giant-step: baby powers x^1..x^k
+ *    and giant powers x^k, x^2k, x^4k.. are precomputed once and
+ *    shared across all coefficient blocks through the DAG (the power
+ *    cache is the common-subexpression reuse), the blocks are scalar
+ *    work only (MultPlain/AddPlain/Add), and a balanced combine tree
+ *    keeps the multiplicative depth at ceil(log2 d) — 4 for degree 15
+ *    — with ~2 sqrt(d) non-scalar multiplications (7 at degree 15
+ *    versus Horner's 14).
+ *
+ * Coefficients are per-slot scalars: one ciphertext carries n batched
+ * values (BatchEncoder) and the circuit evaluates p slot-wise, so a
+ * single submission through service::ExecutionService computes p on n
+ * inputs. Circuits are plain compiler::Circuits — compile once with
+ * compiler::compileCircuit (the noise pass annotates every node with
+ * its predicted remaining budget) and submit many times.
+ */
+
+#ifndef HEAT_POLY_POLY_H
+#define HEAT_POLY_POLY_H
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "compiler/circuit.h"
+#include "fv/batch_encoder.h"
+#include "fv/params.h"
+
+namespace heat::poly {
+
+/** How a polynomial is lowered to a circuit. */
+enum class EvalStrategy : uint8_t
+{
+    kHorner,            ///< naive chain: depth d-1, d-1 ct-ct mults
+    kPatersonStockmeyer ///< baby/giant steps: depth ceil(log2 d)
+};
+
+/** @return a printable name. */
+const char *evalStrategyName(EvalStrategy strategy);
+
+/** Shape summary of one lowered evaluation plan. */
+struct PlanInfo
+{
+    EvalStrategy strategy = EvalStrategy::kHorner;
+    /** Trimmed polynomial degree d. */
+    int degree = 0;
+    /** Baby-step block size k (0 for Horner). */
+    size_t baby_step = 0;
+    /** Giant powers materialized: x^k, x^2k, ... (0 for Horner). */
+    size_t giant_count = 0;
+    /** Non-scalar (ciphertext x ciphertext) multiplications. */
+    size_t non_scalar_mults = 0;
+    /** Multiplicative depth of the circuit. */
+    int mult_depth = 0;
+    /** Total circuit operations (compiler::Circuit::opCount). */
+    size_t op_count = 0;
+};
+
+/**
+ * Lowers one plaintext-coefficient polynomial (degree 1..15) over an
+ * encrypted batched input into compiler::Circuits.
+ *
+ * The degree cap matches the depth the paper's parameter sizing story
+ * revolves around: degree 15 is the largest degree whose
+ * Paterson-Stockmeyer plan fits multiplicative depth 4. Coefficients
+ * are reduced modulo the plain modulus t (which must support batching)
+ * and trailing zero coefficients are trimmed; the trimmed degree must
+ * be at least 1.
+ */
+class PolynomialEvaluator
+{
+  public:
+    /** Largest supported polynomial degree. */
+    static constexpr int kMaxDegree = 15;
+
+    /**
+     * @param params parameter set (plain modulus must support
+     *        batching — the coefficients are broadcast across slots).
+     * @param coefficients c0..cd, constant term first, reduced mod t.
+     */
+    PolynomialEvaluator(std::shared_ptr<const fv::FvParams> params,
+                        std::span<const uint64_t> coefficients);
+
+    /** @return the trimmed degree d >= 1. */
+    int degree() const { return static_cast<int>(coeffs_.size()) - 1; }
+
+    /** @return the coefficients (trimmed, reduced mod t). */
+    const std::vector<uint64_t> &coefficients() const { return coeffs_; }
+
+    /**
+     * Lower the polynomial with @p strategy: one input (the encrypted
+     * x), one output (p(x), slot-wise). Rebuilt on every call — the
+     * circuit is a plain value; cache the compiled form instead.
+     */
+    compiler::Circuit circuit(EvalStrategy strategy) const;
+
+    /** @return the shape summary of circuit(strategy). */
+    PlanInfo plan(EvalStrategy strategy) const;
+
+    /** Plaintext reference: p(x) mod t via Horner. */
+    uint64_t reference(uint64_t x) const;
+
+    /** Slot-wise plaintext reference over a whole input vector. */
+    std::vector<uint64_t> reference(
+        std::span<const uint64_t> xs) const;
+
+  private:
+    std::shared_ptr<const fv::FvParams> params_;
+    fv::BatchEncoder encoder_;
+    std::vector<uint64_t> coeffs_; // c0..cd, cd != 0
+};
+
+/**
+ * Interpolate the unique polynomial of degree < points.size() through
+ * (i, points[i]) for i = 0.. over the prime field Z_t (Lagrange).
+ * With 16 points this yields a degree-<=15 polynomial computing ANY
+ * function of a 4-bit encrypted value — thresholds, S-boxes, sign —
+ * which is what the encrypted_polyfunc example feeds the evaluator.
+ *
+ * @param t prime plaintext modulus, t > points.size().
+ * @return coefficients c0..c_{points.size()-1} (untrimmed).
+ */
+std::vector<uint64_t> interpolateOnRange(std::span<const uint64_t> points,
+                                         uint64_t t);
+
+} // namespace heat::poly
+
+#endif // HEAT_POLY_POLY_H

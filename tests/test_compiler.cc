@@ -497,5 +497,94 @@ TEST(Compiler, CompileOnceSubmitMany)
     }
 }
 
+TEST(Compiler, RotationStepsNormalizeAndIdentityFolds)
+{
+    Universe u(71);
+    const size_t n = u.params->degree();
+    const int period =
+        static_cast<int>(fv::rotationStepPeriod(n));
+
+    // rotate-by-0 folds away at build time: no node is added.
+    {
+        CircuitBuilder b;
+        const ValueId x = b.input();
+        EXPECT_EQ(b.rotate(x, 0), x);
+        EXPECT_EQ(b.size(), 1u);
+    }
+
+    // Congruent steps resolve to one Galois element — a single key
+    // covers both — and produce bit-identical values on every path.
+    CircuitBuilder b;
+    const ValueId x = b.input();
+    const ValueId direct = b.rotate(x, 1);
+    const ValueId wrapped = b.rotate(x, 1 + period);
+    b.output(direct);
+    b.output(wrapped);
+    const Circuit circuit = b.build();
+
+    const std::vector<uint32_t> elements =
+        compiler::requiredGaloisElements(circuit, n);
+    ASSERT_EQ(elements.size(), 1u);
+    EXPECT_EQ(elements[0], fv::galoisElementForStep(1, n));
+
+    fv::KeyGenerator keygen(u.params, 72);
+    const fv::GaloisKeys gkeys =
+        keygen.generateGaloisKeys(u.sk, elements);
+    const std::vector<Ciphertext> inputs = {u.randomCipher(73)};
+
+    const std::vector<Ciphertext> reference = compiler::evaluateCircuit(
+        *u.evaluator, &u.rlk, circuit, inputs, &gkeys);
+    ASSERT_EQ(reference.size(), 2u);
+    EXPECT_EQ(reference[0], reference[1]);
+
+    CompilerOptions options;
+    options.hw = u.config;
+    const CompiledCircuit compiled =
+        compiler::compileCircuit(u.params, circuit, options);
+    EXPECT_EQ(compiled.galois_elements, elements);
+    hw::Coprocessor cp(u.params, u.config, &u.rlk, &gkeys);
+    const std::vector<Ciphertext> fused =
+        compiler::runCompiledCircuit(cp, compiled, inputs);
+    EXPECT_EQ(fused, reference);
+}
+
+TEST(Compiler, FullRowRotationLowersToACopyWithoutKeys)
+{
+    Universe u(81);
+    const size_t n = u.params->degree();
+    const int period =
+        static_cast<int>(fv::rotationStepPeriod(n));
+
+    // A nonzero step that normalizes to zero is only discoverable at
+    // element-resolution time; it must lower to a key-free copy on
+    // the evaluator, fused and op-by-op paths alike.
+    CircuitBuilder b;
+    const ValueId x = b.input();
+    b.output(b.rotate(x, period));
+    const Circuit circuit = b.build();
+
+    EXPECT_TRUE(
+        compiler::requiredGaloisElements(circuit, n).empty());
+
+    const std::vector<Ciphertext> inputs = {u.randomCipher(82)};
+    const std::vector<Ciphertext> reference = compiler::evaluateCircuit(
+        *u.evaluator, &u.rlk, circuit, inputs, /*gkeys=*/nullptr);
+    EXPECT_EQ(reference[0], inputs[0]);
+
+    CompilerOptions options;
+    options.hw = u.config;
+    const CompiledCircuit compiled =
+        compiler::compileCircuit(u.params, circuit, options);
+    EXPECT_TRUE(compiled.galois_elements.empty());
+
+    // No Galois keys attached anywhere: a key-switch would throw.
+    hw::Coprocessor cp(u.params, u.config, &u.rlk);
+    EXPECT_EQ(compiler::runCompiledCircuit(cp, compiled, inputs),
+              reference);
+    EXPECT_EQ(
+        compiler::runCircuitOpByOp(cp, u.params, circuit, inputs),
+        reference);
+}
+
 } // namespace
 } // namespace heat

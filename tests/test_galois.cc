@@ -97,6 +97,28 @@ TEST(GaloisElement, StepElements)
     EXPECT_EQ(fwd * back % two_n, 1u);
 }
 
+TEST(GaloisElement, StepsNormalizeModuloTheRowLength)
+{
+    // The rotation subgroup has order n/2: steps congruent modulo the
+    // slot-row length are the same permutation and must resolve to the
+    // same Galois element (one key, not several).
+    const size_t period = rotationStepPeriod(256);
+    EXPECT_EQ(period, 128u);
+    EXPECT_EQ(normalizeRotationSteps(0, 256), 0);
+    EXPECT_EQ(normalizeRotationSteps(128, 256), 0);
+    EXPECT_EQ(normalizeRotationSteps(129, 256), 1);
+    EXPECT_EQ(normalizeRotationSteps(-1, 256), 127);
+    EXPECT_EQ(normalizeRotationSteps(-128, 256), 0);
+
+    EXPECT_EQ(galoisElementForStep(1, 256),
+              galoisElementForStep(1 + 128, 256));
+    EXPECT_EQ(galoisElementForStep(-1, 256),
+              galoisElementForStep(127, 256));
+    // A full-row rotation is the identity element.
+    EXPECT_EQ(galoisElementForStep(128, 256), 1u);
+    EXPECT_EQ(galoisElementForStep(-256, 256), 1u);
+}
+
 TEST(BatchEncoderPerm, PermutationIsBijective)
 {
     auto params = batchParams();
@@ -232,6 +254,42 @@ TEST(GaloisCiphertext, SumAllSlots)
     for (size_t j = 0; j < decoded.size(); ++j)
         ASSERT_EQ(decoded[j], expect) << "slot " << j;
     EXPECT_GT(rig.decryptor.invariantNoiseBudget(total), 0.0);
+}
+
+TEST(GaloisCiphertext, RotateByZeroIsAnIdentityCopy)
+{
+    // Regression: rotateSlots(ct, 0) used to resolve to Galois
+    // element 1 and attempt a full key-switch (failing on the missing
+    // key and burning budget with one present). It must be a plain
+    // copy that needs no key at all.
+    RotRig rig;
+    std::vector<uint64_t> slots(rig.encoder.slotCount());
+    std::iota(slots.begin(), slots.end(), 3);
+    Ciphertext ct = rig.encryptor.encrypt(rig.encoder.encode(slots));
+
+    GaloisKeys empty;
+    const Ciphertext same = rig.evaluator.rotateSlots(ct, 0, empty);
+    EXPECT_EQ(same, ct); // bit-exact, not merely same decryption
+}
+
+TEST(GaloisCiphertext, FullRowRotationIsAnIdentityCopy)
+{
+    RotRig rig;
+    const int period = static_cast<int>(
+        rotationStepPeriod(rig.params->degree()));
+    std::vector<uint64_t> slots(rig.encoder.slotCount());
+    std::iota(slots.begin(), slots.end(), 9);
+    Ciphertext ct = rig.encryptor.encrypt(rig.encoder.encode(slots));
+
+    GaloisKeys empty;
+    EXPECT_EQ(rig.evaluator.rotateSlots(ct, period, empty), ct);
+    EXPECT_EQ(rig.evaluator.rotateSlots(ct, -period, empty), ct);
+
+    // Congruent steps land on the same permutation with the same key.
+    const Ciphertext direct = rig.evaluator.rotateSlots(ct, 1, rig.gkeys);
+    const Ciphertext wrapped =
+        rig.evaluator.rotateSlots(ct, 1 + period, rig.gkeys);
+    EXPECT_EQ(direct, wrapped);
 }
 
 TEST(GaloisCiphertext, MissingKeyIsFatal)

@@ -123,6 +123,23 @@ TEST(LinalgEncoding, ReplicatedPackingRoundTrips)
             << "slot " << s;
 }
 
+TEST(LinalgEncoding, ReplicateRejectsNonDivisorLengths)
+{
+    // Regression: replicate() used to wrap any short vector with
+    // values[col % size], silently producing an uneven seam for
+    // lengths that do not divide the row — exactly the caller size
+    // mismatch the diagonal method's alignment property cannot absorb.
+    Universe u(6);
+    const linalg::RotationLayout layout(*u.encoder);
+    ASSERT_NE(layout.columns() % 3, 0u);
+    ASSERT_NE(layout.columns() % 24, 0u);
+    EXPECT_THROW(layout.replicate(u.randomSlots(9, 3)), FatalError);
+    EXPECT_THROW(layout.replicate(u.randomSlots(9, 24)), FatalError);
+    EXPECT_THROW(layout.replicate(std::vector<uint64_t>{}), FatalError);
+    EXPECT_NO_THROW(layout.replicate(u.randomSlots(9, 4)));
+    EXPECT_NO_THROW(layout.replicate(u.randomSlots(9, 128)));
+}
+
 TEST(LinalgRotate, RotateThenInverseIsIdentityOnHardware)
 {
     Universe u(11);

@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Measured-vs-modeled noise: the extended fv::NoiseModel per-op steps
+ * (add, addPlain, multiplyPlain, mult+relin) tracked alongside real
+ * homomorphic evaluations and compared against
+ * fv::Decryptor::invariantNoiseBudget with slack, plus the compiler's
+ * budget-propagation pass: annotations on every node, warn-but-compile
+ * semantics, and the paper-set rejection of a depth-5 squaring chain
+ * (the parameter set is sized for depth 4, Sec. III-A).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/panic.h"
+#include "common/random.h"
+#include "compiler/circuit.h"
+#include "compiler/compiler.h"
+#include "compiler/noise_pass.h"
+#include "fv/batch_encoder.h"
+#include "fv/decryptor.h"
+#include "fv/encryptor.h"
+#include "fv/evaluator.h"
+#include "fv/keygen.h"
+#include "fv/noise.h"
+#include "fv/params.h"
+
+namespace heat {
+namespace {
+
+using compiler::Circuit;
+using compiler::CircuitBuilder;
+using compiler::CompilerOptions;
+using compiler::NoiseCheck;
+using compiler::NoiseEstimate;
+using compiler::ValueId;
+using fv::Ciphertext;
+using fv::NoiseModel;
+using fv::Plaintext;
+
+/** Scheme fixture over a mid-size ring with depth-3 headroom. */
+struct Rig
+{
+    explicit Rig(uint64_t seed, uint64_t t = 257, size_t q_primes = 4)
+    {
+        fv::FvConfig cfg;
+        cfg.degree = 256;
+        cfg.plain_modulus = t;
+        cfg.sigma = 3.2;
+        cfg.q_prime_count = q_primes;
+        params = fv::FvParams::create(cfg);
+        fv::KeyGenerator keygen(params, seed);
+        sk = keygen.generateSecretKey();
+        pk = keygen.generatePublicKey(sk);
+        rlk = keygen.generateRelinKeys(sk);
+        encryptor =
+            std::make_unique<fv::Encryptor>(params, pk, seed ^ 0xACE);
+        decryptor = std::make_unique<fv::Decryptor>(
+            params, fv::SecretKey{sk.s_ntt});
+        evaluator = std::make_unique<fv::Evaluator>(params);
+        model = std::make_unique<NoiseModel>(params);
+    }
+
+    Plaintext
+    randomPlain(uint64_t seed) const
+    {
+        Xoshiro256 rng(seed);
+        Plaintext p;
+        p.coeffs.resize(params->degree());
+        for (auto &c : p.coeffs)
+            c = rng.uniformBelow(params->plainModulus());
+        return p;
+    }
+
+    std::shared_ptr<const fv::FvParams> params;
+    fv::SecretKey sk;
+    fv::PublicKey pk;
+    fv::RelinKeys rlk;
+    std::unique_ptr<fv::Encryptor> encryptor;
+    std::unique_ptr<fv::Decryptor> decryptor;
+    std::unique_ptr<fv::Evaluator> evaluator;
+    std::unique_ptr<NoiseModel> model;
+};
+
+/** A ciphertext paired with the model's predicted log2 noise. */
+struct Tracked
+{
+    Ciphertext ct;
+    double log_v = 0.0;
+};
+
+/** Predicted budget must never promise more than ~measured (the model
+ *  is a conservative bound; the fresh-encryption estimate itself is
+ *  only accurate to a few bits, hence the tolerance), and must stay
+ *  within shouting distance so it remains useful for sizing. */
+void
+expectConservative(const Rig &rig, const Tracked &value,
+                   const char *what)
+{
+    const double measured =
+        rig.decryptor->invariantNoiseBudget(value.ct);
+    const double predicted = rig.model->budgetBits(value.log_v);
+    EXPECT_LE(predicted, measured + 15.0) << what;
+    EXPECT_GE(predicted, measured - 60.0) << what;
+}
+
+TEST(NoiseSteps, RandomizedMixedCircuitsStayConservative)
+{
+    for (uint64_t seed : {11u, 12u, 13u}) {
+        Rig rig(seed);
+        Xoshiro256 rng(seed * 977);
+
+        std::vector<Tracked> pool;
+        for (int i = 0; i < 3; ++i) {
+            pool.push_back(
+                {rig.encryptor->encrypt(rig.randomPlain(seed + i)),
+                 rig.model->freshLogNoise()});
+            expectConservative(rig, pool.back(), "fresh");
+        }
+
+        // Random walk over the per-op steps, depth capped at 3 by
+        // construction (each product feeds later ops, so track the
+        // deepest value and stop multiplying it once the model's
+        // prediction would clamp to zero).
+        for (int op = 0; op < 10; ++op) {
+            const size_t a = rng.uniformBelow(pool.size());
+            const size_t b = rng.uniformBelow(pool.size());
+            Tracked next;
+            switch (rng.uniformBelow(4)) {
+              case 0:
+                next.ct = rig.evaluator->add(pool[a].ct, pool[b].ct);
+                next.log_v = rig.model->addStep(pool[a].log_v,
+                                                pool[b].log_v);
+                break;
+              case 1: {
+                const Plaintext plain = rig.randomPlain(seed + 40 + op);
+                next.ct = pool[a].ct;
+                rig.evaluator->addPlainInPlace(next.ct, plain);
+                next.log_v = rig.model->addPlainStep(pool[a].log_v);
+                break;
+              }
+              case 2: {
+                const Plaintext plain = rig.randomPlain(seed + 80 + op);
+                next.ct = rig.evaluator->multiplyPlain(pool[a].ct, plain);
+                next.log_v =
+                    rig.model->multiplyPlainStep(pool[a].log_v);
+                break;
+              }
+              default: {
+                const double predicted = rig.model->keySwitchStep(
+                    rig.model->multiplyStep(pool[a].log_v,
+                                            pool[b].log_v));
+                if (rig.model->budgetBits(predicted) <= 0.0)
+                    continue; // would clamp; nothing to compare
+                next.ct = rig.evaluator->multiply(pool[a].ct,
+                                                  pool[b].ct, rig.rlk);
+                next.log_v = predicted;
+                break;
+              }
+            }
+            expectConservative(rig, next, "mixed op");
+            pool.push_back(std::move(next));
+        }
+    }
+}
+
+TEST(NoiseSteps, TensorThenRelinDecomposesTheDepthChain)
+{
+    // budgetAfterDepth must equal iterating the exposed per-op steps —
+    // the decomposition the compiler's pass relies on.
+    Rig rig(21);
+    const NoiseModel &m = *rig.model;
+    double log_v = -(m.freshBudgetBits() + 1.0);
+    for (int depth = 1; depth <= 4; ++depth) {
+        log_v = m.keySwitchStep(m.multiplyStep(log_v, log_v));
+        EXPECT_NEAR(m.budgetAfterDepth(depth), m.budgetBits(log_v),
+                    1e-9)
+            << "depth " << depth;
+    }
+}
+
+TEST(NoisePass, AnnotatesEveryNode)
+{
+    Rig rig(31);
+    CircuitBuilder b;
+    const ValueId x = b.input();
+    const ValueId y = b.input();
+    const ValueId sum = b.add(x, y);
+    const ValueId prod = b.mult(sum, x);
+    b.output(prod);
+    const Circuit circuit = b.build();
+
+    const NoiseEstimate est =
+        compiler::estimateCircuitNoise(rig.params, circuit);
+    ASSERT_EQ(est.budget_bits.size(), circuit.nodes.size());
+    EXPECT_NEAR(est.budget_bits[x], rig.model->freshBudgetBits(), 1e-9);
+    // Budgets only shrink along the chain.
+    EXPECT_LE(est.budget_bits[sum], est.budget_bits[x]);
+    EXPECT_LT(est.budget_bits[prod], est.budget_bits[sum]);
+    EXPECT_TRUE(est.ok());
+    EXPECT_EQ(est.min_output_budget_bits, est.budget_bits[prod]);
+}
+
+/** @return a chain of @p depth relinearized squarings of one input. */
+Circuit
+squaringChain(int depth)
+{
+    CircuitBuilder b;
+    ValueId v = b.input();
+    for (int i = 0; i < depth; ++i)
+        v = b.square(v);
+    b.output(v);
+    return b.build();
+}
+
+TEST(NoisePass, PaperSetRejectsDepthFiveChain)
+{
+    // The paper sizes (n, log q) = (4096, 180) for multiplicative
+    // depth 4 at the batching modulus: depth 4 compiles under
+    // kReject, a fifth squaring does not.
+    auto params = fv::FvParams::paper(65537);
+    EXPECT_EQ(NoiseModel(params).supportedDepth(), 4);
+
+    CompilerOptions reject;
+    reject.noise_check = NoiseCheck::kReject;
+    const compiler::CompiledCircuit ok =
+        compiler::compileCircuit(params, squaringChain(4), reject);
+    EXPECT_GT(ok.min_output_noise_budget_bits, 0.0);
+    // Budgets decrease monotonically along the squaring chain (the
+    // relinearization term can be negligible next to a deep tensor's
+    // noise, so adjacent nodes may tie — but never grow).
+    for (size_t i = 2; i < ok.noise_budget_bits.size(); ++i)
+        EXPECT_LE(ok.noise_budget_bits[i], ok.noise_budget_bits[i - 1])
+            << "node " << i;
+    EXPECT_LT(ok.noise_budget_bits.back(), ok.noise_budget_bits[0]);
+
+    try {
+        compiler::compileCircuit(params, squaringChain(5), reject);
+        FAIL() << "depth 5 must exhaust the paper set's budget";
+    } catch (const FatalError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("predicted noise budget exhausted at node"),
+                  std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("multiplicative depth 5"), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("supported depth of 4"), std::string::npos)
+            << msg;
+    }
+}
+
+TEST(NoisePass, WarnAndOffStillCompileExhaustedCircuits)
+{
+    auto params = fv::FvParams::paper(65537);
+    CompilerOptions off;
+    off.noise_check = NoiseCheck::kOff;
+    const compiler::CompiledCircuit compiled =
+        compiler::compileCircuit(params, squaringChain(5), off);
+    EXPECT_NE(compiled.noise_exhausted_node, compiler::kNoValue);
+    EXPECT_EQ(compiled.min_output_noise_budget_bits, 0.0);
+
+    CompilerOptions warn; // default
+    EXPECT_EQ(warn.noise_check, NoiseCheck::kWarn);
+    EXPECT_NO_THROW(
+        compiler::compileCircuit(params, squaringChain(5), warn));
+}
+
+TEST(NoisePass, MeasuredBudgetConfirmsTheDepthFourSizing)
+{
+    // End to end on a small ring: the pass's per-node prediction for a
+    // real mixed circuit stays below the measured budget of the value
+    // the circuit computes.
+    Rig rig(41);
+    CircuitBuilder b;
+    const ValueId x = b.input();
+    const ValueId y = b.input();
+    const ValueId prod = b.mult(x, y);
+    const ValueId biased =
+        b.addPlain(b.multPlain(prod, rig.randomPlain(1001)),
+                   rig.randomPlain(1002));
+    b.output(biased);
+    const Circuit circuit = b.build();
+
+    const NoiseEstimate est =
+        compiler::estimateCircuitNoise(rig.params, circuit);
+
+    const Ciphertext cx = rig.encryptor->encrypt(rig.randomPlain(51));
+    const Ciphertext cy = rig.encryptor->encrypt(rig.randomPlain(52));
+    const std::vector<Ciphertext> out = compiler::evaluateCircuit(
+        *rig.evaluator, &rig.rlk, circuit,
+        std::vector<Ciphertext>{cx, cy});
+    const double measured =
+        rig.decryptor->invariantNoiseBudget(out[0]);
+    EXPECT_LE(est.min_output_budget_bits, measured + 15.0);
+    EXPECT_GE(est.min_output_budget_bits, measured - 60.0);
+}
+
+} // namespace
+} // namespace heat
