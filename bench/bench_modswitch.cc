@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Leveled vs flat execution of the paper-set depth-8 squaring chain
+ * (t = 17): the noise pass's level assignment inserts mod-switches
+ * after relinearizations, so every instruction past a drop runs on a
+ * shrunken RNS basis — fewer relin digits, shorter Lift/Scale input
+ * chains, less DMA. The chain is compiled two ways:
+ *
+ *  - leveled: CompilerOptions::auto_mod_switch under
+ *    NoiseCheck::kReject — the level assignment must PROVE the budget
+ *    survives all eight squarings (the flat circuit is rejected at
+ *    this depth, which is the point of the pass);
+ *  - flat: every ciphertext pinned at level 0, noise check off (the
+ *    pass would reject it), run fused anyway to price the naive
+ *    lowering honestly.
+ *
+ * Exit status is the CI gate: the leveled program must decrypt the
+ * chain exactly (a constant plaintext {3} squares to 3^256 mod 17),
+ * stay bit-identical across the fused and op-by-op paths, and beat
+ * the flat program on modeled fused time.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "bench_util.h"
+#include "compiler/compiler.h"
+#include "fv/decryptor.h"
+#include "fv/encryptor.h"
+#include "fv/evaluator.h"
+#include "fv/keygen.h"
+#include "fv/params.h"
+#include "hw/coprocessor.h"
+
+using namespace heat;
+
+int
+main(int argc, char **argv)
+{
+    bench::JsonReporter reporter("bench_modswitch", argc, argv);
+
+    auto params = fv::FvParams::paper(17);
+    fv::KeyGenerator keygen(params, 42);
+    const fv::SecretKey sk = keygen.generateSecretKey();
+    const fv::PublicKey pk = keygen.generatePublicKey(sk);
+    const fv::RelinKeys rlk = keygen.generateRelinKeys(sk);
+    fv::Encryptor encryptor(params, pk, 7);
+    fv::Decryptor decryptor(params, fv::SecretKey{sk.s_ntt});
+    fv::Evaluator evaluator(params, fv::ArithPath::kHps);
+
+    compiler::CircuitBuilder b;
+    compiler::ValueId v = b.input();
+    for (int i = 0; i < 8; ++i)
+        v = b.square(v);
+    b.output(v);
+    const compiler::Circuit chain = b.build();
+
+    compiler::CompilerOptions leveled_opts;
+    leveled_opts.noise_check = compiler::NoiseCheck::kReject;
+    leveled_opts.auto_mod_switch = true;
+    compiler::CompilerOptions flat_opts = leveled_opts;
+    flat_opts.auto_mod_switch = false;
+    flat_opts.noise_check = compiler::NoiseCheck::kOff;
+
+    const compiler::CompiledCircuit leveled =
+        compiler::compileCircuit(params, chain, leveled_opts);
+    const compiler::CompiledCircuit flat =
+        compiler::compileCircuit(params, chain, flat_opts);
+
+    size_t drops = 0;
+    for (const compiler::CircuitNode &node : leveled.circuit.nodes)
+        drops += node.kind == compiler::NodeKind::kModSwitch;
+    const size_t out_level =
+        leveled.value_levels[leveled.circuit.outputs[0]];
+
+    // t = 17 does not batch at n = 4096, so exactness rides on a
+    // constant polynomial: the chain computes 3^(2^8) mod 17.
+    fv::Plaintext plain;
+    plain.coeffs.assign(params->degree(), 0);
+    plain.coeffs[0] = 3;
+    const std::vector<fv::Ciphertext> inputs = {encryptor.encrypt(plain)};
+
+    hw::Coprocessor cp(params, leveled_opts.hw, &rlk);
+    compiler::CircuitRunStats leveled_stats;
+    const std::vector<fv::Ciphertext> fused =
+        compiler::runCompiledCircuit(cp, leveled, inputs, &leveled_stats);
+    hw::Coprocessor cp_op(params, leveled_opts.hw, &rlk);
+    compiler::CircuitRunStats op_stats;
+    const std::vector<fv::Ciphertext> opbyop = compiler::runCircuitOpByOp(
+        cp_op, params, leveled.circuit, inputs, &op_stats);
+    const std::vector<fv::Ciphertext> sw =
+        compiler::evaluateCircuit(evaluator, &rlk, leveled.circuit, inputs);
+
+    hw::Coprocessor cp_flat(params, flat_opts.hw, &rlk);
+    compiler::CircuitRunStats flat_stats;
+    compiler::runCompiledCircuit(cp_flat, flat, inputs, &flat_stats);
+
+    const bool bit_identical = fused[0] == sw[0] && opbyop[0] == sw[0];
+    const fv::Plaintext got = decryptor.decrypt(fused[0]);
+    uint64_t want = 3;
+    for (int i = 0; i < 8; ++i)
+        want = want * want % 17;
+    bool exact = got.coeffs[0] == want;
+    for (size_t i = 1; i < got.coeffs.size(); ++i)
+        exact = exact && got.coeffs[i] == 0;
+    const double measured = decryptor.invariantNoiseBudget(fused[0]);
+
+    const double leveled_us = leveled_stats.modeledUs(leveled_opts.hw);
+    const double op_us = op_stats.modeledUs(leveled_opts.hw);
+    const double flat_us = flat_stats.modeledUs(flat_opts.hw);
+
+    bench::printHeader("Depth-8 squaring chain, leveled vs flat "
+                       "(paper set, t = 17)");
+    bench::printInfo("mod-switches inserted",
+                     static_cast<double>(drops), "");
+    bench::printInfo("output level", static_cast<double>(out_level), "");
+    bench::printInfo("leveled instructions",
+                     static_cast<double>(leveled.instructionCount()), "");
+    bench::printInfo("flat instructions",
+                     static_cast<double>(flat.instructionCount()), "");
+    bench::printInfo("leveled fused modeled time", leveled_us, "us");
+    bench::printInfo("leveled op-by-op modeled time", op_us, "us");
+    bench::printInfo("flat fused modeled time", flat_us, "us");
+    bench::printInfo("predicted budget",
+                     leveled.min_output_noise_budget_bits, "bits");
+    bench::printInfo("measured budget", measured, "bits");
+
+    const size_t n = params->degree();
+    const size_t moduli = params->qBase()->size();
+    reporter.record("modswitch_drops", static_cast<double>(drops), "", n,
+                    moduli);
+    reporter.record("output_level", static_cast<double>(out_level), "",
+                    n, moduli);
+    reporter.record("leveled_instructions",
+                    static_cast<double>(leveled.instructionCount()), "",
+                    n, moduli);
+    reporter.record("flat_instructions",
+                    static_cast<double>(flat.instructionCount()), "", n,
+                    moduli);
+    reporter.record("leveled_modeled_us", leveled_us, "us", n, moduli);
+    reporter.record("leveled_opbyop_modeled_us", op_us, "us", n, moduli);
+    reporter.record("flat_modeled_us", flat_us, "us", n, moduli);
+    reporter.record("leveled_vs_flat_speedup", flat_us / leveled_us, "x",
+                    n, moduli);
+    reporter.record("predicted_budget_bits",
+                    leveled.min_output_noise_budget_bits, "bits", n,
+                    moduli);
+    reporter.record("measured_budget_bits", measured, "bits", n, moduli);
+
+    const bool gate = exact && bit_identical && measured > 0.0 &&
+                      leveled_us < flat_us;
+    std::printf("\nleveled vs flat: %.2fx modeled time, %zu drops, "
+                "output level %zu, decrypt %s, paths %s (%s)\n",
+                flat_us / leveled_us, drops, out_level,
+                exact ? "exact" : "WRONG",
+                bit_identical ? "bit-identical" : "DIVERGED",
+                gate ? "leveled wins" : "REGRESSION");
+    return gate ? 0 : 1;
+}

@@ -37,6 +37,8 @@ nodeKindName(NodeKind kind)
         return "RotateColumns";
       case NodeKind::kRotateSum:
         return "RotateSum";
+      case NodeKind::kModSwitch:
+        return "ModSwitch";
     }
     panic("unknown node kind");
 }
@@ -228,6 +230,12 @@ CircuitBuilder::rotateSum(ValueId a)
 }
 
 ValueId
+CircuitBuilder::modSwitch(ValueId a)
+{
+    return addNode(NodeKind::kModSwitch, a, kNoValue, -1);
+}
+
+ValueId
 CircuitBuilder::multNoRelin(ValueId a, ValueId b)
 {
     // A value tensored with itself is a square; routing it here keeps
@@ -320,6 +328,30 @@ multiplicativeDepths(const Circuit &circuit)
         depth[i] = d;
     }
     return depth;
+}
+
+std::vector<size_t>
+valueLevels(const Circuit &circuit)
+{
+    std::vector<size_t> levels(circuit.nodes.size(), 0);
+    for (size_t i = 0; i < circuit.nodes.size(); ++i) {
+        const CircuitNode &node = circuit.nodes[i];
+        const int argc = nodeArgCount(node.kind);
+        size_t level = 0;
+        if (argc >= 1)
+            level = levels[node.args[0]];
+        if (argc == 2) {
+            fatalIf(levels[node.args[1]] != level, "node ", i, " (",
+                    nodeKindName(node.kind), ") joins value ",
+                    node.args[0], " at level ", level, " with value ",
+                    node.args[1], " at level ", levels[node.args[1]],
+                    "; mod-switch the shallower operand first");
+        }
+        if (node.kind == NodeKind::kModSwitch)
+            ++level;
+        levels[i] = level;
+    }
+    return levels;
 }
 
 int
@@ -451,6 +483,9 @@ evaluateCircuit(const fv::Evaluator &evaluator, const fv::RelinKeys *rlk,
           }
           case NodeKind::kRotateSum:
             values[i] = evaluator.sumAllSlots(values[a], needGalois());
+            break;
+          case NodeKind::kModSwitch:
+            values[i] = evaluator.modSwitch(values[a]);
             break;
         }
     }

@@ -59,7 +59,8 @@ enum class NodeKind : uint8_t
     kRelin,     ///< relinearize a 3-element value back to 2 elements
     kRotate,    ///< rotate batched slot rows by `steps` (Galois + switch)
     kRotateColumns, ///< swap the two slot columns (element 2n - 1)
-    kRotateSum  ///< rotate-and-add total sum across all slots
+    kRotateSum, ///< rotate-and-add total sum across all slots
+    kModSwitch  ///< drop the last live q prime (level + 1)
 };
 
 /** @return a printable name. */
@@ -141,6 +142,11 @@ class CircuitBuilder
      *  sum (rotate-and-add, matching fv::Evaluator::sumAllSlots). */
     ValueId rotateSum(ValueId a);
 
+    /** Modulus switch @p a one level deeper (drop the last live q
+     *  prime). Usually inserted by the compiler's level-assignment
+     *  pass (insertModSwitches) rather than written by hand. */
+    ValueId modSwitch(ValueId a);
+
     /** Tensor + scale without relinearization: a 3-element value. */
     ValueId multNoRelin(ValueId a, ValueId b);
 
@@ -215,6 +221,15 @@ int multiplicativeDepth(const Circuit &circuit);
  *  multiplicativeDepth; the noise pass's diagnostics name the depth
  *  of individual nodes from it). */
 std::vector<int> multiplicativeDepths(const Circuit &circuit);
+
+/**
+ * Per-value ciphertext level, propagated structurally: inputs enter at
+ * level 0, kModSwitch adds one, every other node preserves its
+ * operands' level. Throws FatalError if a two-operand node joins
+ * values at different levels (insertModSwitches aligns operands by
+ * switching the shallower one down before the join).
+ */
+std::vector<size_t> valueLevels(const Circuit &circuit);
 
 /**
  * Number of non-scalar (ciphertext x ciphertext) multiplications —

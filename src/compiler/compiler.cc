@@ -52,11 +52,15 @@ class CircuitCompiler
     CircuitCompiler(std::shared_ptr<const fv::FvParams> params,
                     const Circuit &circuit,
                     const CompilerOptions &options)
-        : params_(std::move(params)), circuit_(circuit),
+        : params_(std::move(params)),
+          circuit_(options.auto_mod_switch
+                       ? insertModSwitches(circuit, params_)
+                       : circuit),
           evaluator_(params_),
           alloc_(*params_, options.hw, /*throw_on_pressure=*/true),
           hoist_rotations_(options.hoist_rotations),
-          noise_check_(options.noise_check)
+          noise_check_(options.noise_check),
+          auto_mod_switch_(options.auto_mod_switch)
     {
         out_.params = params_;
         out_.hw = options.hw;
@@ -107,6 +111,7 @@ class CircuitCompiler
         out_.peak_slots = alloc_.peakSlots();
         out_.galois_elements =
             requiredGaloisElements(circuit_, params_->degree());
+        out_.circuit = std::move(circuit_);
         return std::move(out_);
     }
 
@@ -115,12 +120,21 @@ class CircuitCompiler
 
     /** Budget-propagation pass: always annotates, and per the
      *  noise_check option warns about or rejects circuits whose
-     *  predicted budget dies before the outputs. */
+     *  predicted budget dies before the outputs. Under auto_mod_switch
+     *  the estimate runs on the transformed circuit with the
+     *  average-case bound — the one the level assignment plans with
+     *  (the worst-case bound can never profit from dropping levels, so
+     *  judging the assignment by it would reject every gain). Also
+     *  fixes each value's ciphertext level for the lowering below. */
     void
     checkNoise()
     {
-        const NoiseEstimate est =
-            estimateCircuitNoise(params_, circuit_);
+        const NoiseEstimate est = estimateCircuitNoise(
+            params_, circuit_,
+            auto_mod_switch_ ? fv::NoiseBound::kAverageCase
+                             : fv::NoiseBound::kWorstCase);
+        levels_ = est.levels;
+        out_.value_levels.assign(levels_.begin(), levels_.end());
         out_.noise_budget_bits = est.budget_bits;
         out_.min_output_noise_budget_bits = est.min_output_budget_bits;
         out_.noise_exhausted_node = est.first_exhausted;
@@ -159,9 +173,6 @@ class CircuitCompiler
         }
         for (ValueId in : circuit_.inputs)
             values_[in].host = true;
-
-        plain_const_add_.assign(circuit_.plains.size(), -1);
-        plain_const_mul_.assign(circuit_.plains.size(), -1);
 
         hoist_sizes_ = rotationHoistGroupSizes(circuit_);
         for (size_t i = 0; i < n; ++i) {
@@ -209,8 +220,11 @@ class CircuitCompiler
                 " is neither resident nor host-backed");
 
         const size_t size = out_.value_sizes[v];
-        const size_t kq = alloc_.residueCount(hw::BaseTag::kQ);
-        makeRoom(size * kq, pinned, node);
+        // A level-l value spans fewer residue slots — allocate at the
+        // value's own level so reloads match the spilled polynomials.
+        const size_t live =
+            alloc_.liveResidues(hw::BaseTag::kQ, levels_[v]);
+        makeRoom(size * live, pinned, node);
 
         if (currentSegmentIndex() < vs.host_ready_segment)
             segments_.emplace_back();
@@ -218,6 +232,7 @@ class CircuitCompiler
         const char *label =
             vs.ever_resident ? "spill reload" : "circuit input";
         vs.slots.clear();
+        alloc_.setLevel(levels_[v]);
         for (uint32_t p = 0; p < size; ++p) {
             const hw::PolyId slot = alloc_.allocate(
                 hw::BaseTag::kQ, hw::Layout::kNatural, label);
@@ -322,31 +337,37 @@ class CircuitCompiler
 
     // --- constants --------------------------------------------------------
 
-    /** Encode (once) and stage (per use) a plaintext constant. */
+    /** Encode (once per level) and stage (per use) a plaintext
+     *  constant. Constants are level-specific: a level-l consumer needs
+     *  the plaintext embedded in R_{q_l} (and scaled by Delta_l for
+     *  AddPlain), so the pool is keyed by (plain index, level). */
     hw::PolyId
     stageConstant(const CircuitNode &node, size_t node_index,
                   std::span<const ValueId> pinned)
     {
-        std::vector<int32_t> &cache =
-            node.kind == NodeKind::kAddPlain ? plain_const_add_
-                                             : plain_const_mul_;
-        int32_t &entry = cache[node.plain];
-        if (entry < 0) {
+        const size_t level = levels_[node_index];
+        auto &cache = node.kind == NodeKind::kAddPlain
+                          ? plain_const_add_
+                          : plain_const_mul_;
+        auto [it, fresh] =
+            cache.try_emplace({node.plain, level}, -1);
+        if (fresh) {
             const fv::Plaintext &plain = circuit_.plains[node.plain];
-            out_.constants.push_back(node.kind == NodeKind::kAddPlain
-                                         ? evaluator_.scaledPlain(plain)
-                                         : evaluator_.embeddedPlain(
-                                               plain));
-            entry = static_cast<int32_t>(out_.constants.size() - 1);
+            out_.constants.push_back(
+                node.kind == NodeKind::kAddPlain
+                    ? evaluator_.scaledPlain(plain, level)
+                    : evaluator_.embeddedPlain(plain, level));
+            it->second = static_cast<int32_t>(out_.constants.size() - 1);
         }
 
-        const size_t kq = alloc_.residueCount(hw::BaseTag::kQ);
-        makeRoom(kq, pinned, node_index);
+        const size_t live = alloc_.liveResidues(hw::BaseTag::kQ, level);
+        makeRoom(live, pinned, node_index);
+        alloc_.setLevel(level);
         const hw::PolyId slot = alloc_.allocate(
             hw::BaseTag::kQ, hw::Layout::kNatural, "plaintext constant");
         currentSegment().uploads.push_back(
             Transfer{Transfer::Source::kConstant,
-                     static_cast<uint32_t>(entry), 0, slot});
+                     static_cast<uint32_t>(it->second), 0, slot});
         return slot;
     }
 
@@ -405,6 +426,12 @@ class CircuitCompiler
         bool demoted_b = false;
         const bool can_demote = node.kind == NodeKind::kMult ||
                                 node.kind == NodeKind::kSquare;
+
+        // Emit at the operand's level: every emitter allocates its
+        // temporaries and results against the allocator level, and a
+        // kModSwitch emitter moves it one deeper itself. (The snapshot
+        // below captures the level, so rollbacks keep it.)
+        alloc_.setLevel(levels_[operands[0]]);
 
         // Retry loop: a failed allocation rolls the partial emission
         // back, frees slots one step at a time and tries again.
@@ -647,6 +674,10 @@ class CircuitCompiler
           case NodeKind::kRotateSum:
             out.result = asVector(em.emitRotateSum(pair(operands[0])));
             break;
+          case NodeKind::kModSwitch:
+            out.result = asVector(
+                em.emitModSwitch(pair(operands[0]), consume_a));
+            break;
           case NodeKind::kInput:
           case NodeKind::kRelin:
             panic("node kind cannot be emitted directly");
@@ -657,7 +688,8 @@ class CircuitCompiler
     }
 
     std::shared_ptr<const fv::FvParams> params_;
-    const Circuit &circuit_;
+    /** Owned: the caller's circuit, or its insertModSwitches transform. */
+    Circuit circuit_;
     fv::Evaluator evaluator_;
     hw::CountingAllocator alloc_;
 
@@ -667,12 +699,16 @@ class CircuitCompiler
     std::vector<ValueId> relin_of_;
     std::vector<bool> relin_emitted_;
     std::vector<bool> is_output_;
-    std::vector<int32_t> plain_const_add_;
-    std::vector<int32_t> plain_const_mul_;
+    /** Constant-pool index per (plain index, ciphertext level). */
+    std::map<std::pair<int32_t, size_t>, int32_t> plain_const_add_;
+    std::map<std::pair<int32_t, size_t>, int32_t> plain_const_mul_;
     hw::PolyId zero_ = hw::kNoPoly;
 
     bool hoist_rotations_;
     NoiseCheck noise_check_;
+    bool auto_mod_switch_;
+    /** Ciphertext level per value id (valueLevels of circuit_). */
+    std::vector<size_t> levels_;
     /** Per-node hoist-group size (0 for non-rotation nodes). */
     std::vector<uint32_t> hoist_sizes_;
     /** Rotations of each grouped input not yet emitted. */
@@ -690,6 +726,9 @@ validateInputs(const fv::FvParams &params,
     for (const fv::Ciphertext &ct : inputs) {
         fatalIf(ct.size() != 2, "circuit inputs must be size-2 "
                                 "ciphertexts (relinearize first)");
+        fatalIf(ct.level != 0,
+                "circuit inputs enter at level 0 (the compiler inserts "
+                "any mod-switches itself); got level ", ct.level);
         for (size_t i = 0; i < ct.size(); ++i) {
             fatalIf(ct[i].degree() != params.degree() ||
                         ct[i].residueCount() != params.qBase()->size(),
@@ -766,6 +805,9 @@ runCompiledCircuit(hw::Coprocessor &cp, const CompiledCircuit &compiled,
         panicIf(store.size() != compiled.value_sizes[out],
                 "output value ", out, " was never materialized");
         fv::Ciphertext ct;
+        ct.level = out < compiled.value_levels.size()
+                       ? compiled.value_levels[out]
+                       : 0;
         for (const ntt::RnsPoly &poly : store) {
             panicIf(poly.degree() == 0, "output polynomial missing");
             ct.polys.push_back(poly);
@@ -793,6 +835,7 @@ runCircuitOpByOp(hw::Coprocessor &cp,
     std::vector<bool> is_output(circuit.nodes.size(), false);
     const std::vector<uint32_t> hoist_sizes =
         rotationHoistGroupSizes(circuit);
+    const std::vector<size_t> levels = valueLevels(circuit);
     for (size_t i = 0; i < circuit.nodes.size(); ++i) {
         if (circuit.nodes[i].kind == NodeKind::kRelin)
             relin_of[circuit.nodes[i].args[0]] =
@@ -816,7 +859,11 @@ runCircuitOpByOp(hw::Coprocessor &cp,
 
         // One full round trip per operation: reprogram, upload the
         // operands, dispatch per instruction, download the results.
+        // Temporaries allocate at the operand's level (uploads size
+        // their records from the polynomial itself; a kModSwitch
+        // emitter moves the allocator one level deeper on its own).
         cp.reset();
+        cp.memory().setLevel(levels[node.args[0]]);
         hw::Program program;
         hw::OpEmitter em(*params, cp.memory(), program);
 
@@ -861,8 +908,8 @@ runCircuitOpByOp(hw::Coprocessor &cp,
           }
           case NodeKind::kAddPlain: {
             const auto a = uploadValue(node.args[0]);
-            const hw::PolyId plain = uploadPlain(
-                evaluator.scaledPlain(circuit.plains[node.plain]));
+            const hw::PolyId plain = uploadPlain(evaluator.scaledPlain(
+                circuit.plains[node.plain], levels[i]));
             round_uploads = 3;
             const auto r = em.emitAddPlain(a, plain, /*consume=*/true);
             results.push_back({static_cast<ValueId>(i), {r[0], r[1]}});
@@ -870,8 +917,8 @@ runCircuitOpByOp(hw::Coprocessor &cp,
           }
           case NodeKind::kMultPlain: {
             const auto a = uploadValue(node.args[0]);
-            const hw::PolyId plain = uploadPlain(
-                evaluator.embeddedPlain(circuit.plains[node.plain]));
+            const hw::PolyId plain = uploadPlain(evaluator.embeddedPlain(
+                circuit.plains[node.plain], levels[i]));
             round_uploads = 3;
             const auto r = em.emitMultPlain(a, plain, /*consume=*/true);
             results.push_back({static_cast<ValueId>(i), {r[0], r[1]}});
@@ -934,6 +981,13 @@ runCircuitOpByOp(hw::Coprocessor &cp,
             results.push_back({static_cast<ValueId>(i), {r[0], r[1]}});
             break;
           }
+          case NodeKind::kModSwitch: {
+            const auto a = uploadValue(node.args[0]);
+            round_uploads = 2;
+            const auto r = em.emitModSwitch(a, /*consume=*/true);
+            results.push_back({static_cast<ValueId>(i), {r[0], r[1]}});
+            break;
+          }
           case NodeKind::kInput:
           case NodeKind::kRelin:
             panic("unreachable");
@@ -950,6 +1004,7 @@ runCircuitOpByOp(hw::Coprocessor &cp,
         size_t round_downloads = 0;
         for (const auto &[value, slots] : results) {
             fv::Ciphertext ct;
+            ct.level = levels[value];
             for (hw::PolyId slot : slots)
                 ct.polys.push_back(cp.downloadPoly(slot));
             round_downloads += slots.size();

@@ -72,6 +72,19 @@ struct CompilerOptions
      * compile time rather than discovered as a garbage decryption.
      */
     NoiseCheck noise_check = NoiseCheck::kWarn;
+    /**
+     * Automatic level assignment (noise_pass.h, insertModSwitches):
+     * before lowering, walk the DAG and insert kModSwitch drops at the
+     * noise-cheapest points, then compile the transformed circuit —
+     * deeper values run over fewer live RNS primes, shrinking the
+     * Lift/Scale chains, relin digit loads and DMA bursts. The noise
+     * annotation switches to the average-case bound (the one the
+     * assignment plans with); rejection under NoiseCheck::kReject then
+     * means no level assignment can save the circuit. Off by default:
+     * the depth-4 level-0 story of the paper is unchanged unless asked
+     * for.
+     */
+    bool auto_mod_switch = false;
 };
 
 /** One host<->coprocessor polynomial transfer. */
@@ -122,12 +135,23 @@ struct CompiledCircuit
     /** Host-encoded plaintext operands (uploaded like inputs). */
     std::vector<ntt::RnsPoly> constants;
 
+    /**
+     * The circuit that was actually lowered: the caller's circuit, or
+     * its insertModSwitches transform under auto_mod_switch. All value
+     * ids below index into THIS circuit — run evaluateCircuit or
+     * runCircuitOpByOp on it to reproduce the compiled program's
+     * results bit for bit.
+     */
+    Circuit circuit;
+
     /** Input values in submission order. */
     std::vector<ValueId> inputs;
     /** Output values in download order. */
     std::vector<ValueId> outputs;
     /** Ciphertext element count per value id. */
     std::vector<uint32_t> value_sizes;
+    /** Ciphertext level per value id (all zero without mod-switches). */
+    std::vector<uint32_t> value_levels;
     /** Galois elements whose keys the executing coprocessor must hold
      *  (sorted ascending; empty for rotation-free circuits). */
     std::vector<uint32_t> galois_elements;

@@ -5,24 +5,43 @@
 #include <sstream>
 #include <utility>
 
+#include "common/panic.h"
+
 namespace heat::compiler {
+
+namespace {
+
+/** Rotate-and-add noise recurrence (fv::Evaluator::sumAllSlots). */
+double
+rotateSumLogNoise(const fv::NoiseModel &model, double v, size_t degree,
+                  size_t level)
+{
+    for (size_t step = 1; step <= degree / 4; step *= 2)
+        v = model.addStep(v, model.keySwitchStep(v, level));
+    return model.addStep(v, model.keySwitchStep(v, level));
+}
+
+} // namespace
 
 NoiseEstimate
 estimateCircuitNoise(std::shared_ptr<const fv::FvParams> params,
-                     const Circuit &circuit)
+                     const Circuit &circuit, fv::NoiseBound bound)
 {
     const size_t degree = params->degree();
-    const fv::NoiseModel model(std::move(params));
+    const fv::NoiseModel model(std::move(params), bound);
 
     // log2 |v| per value id; the budget annotation is derived from it.
     std::vector<double> log_v(circuit.nodes.size(), 0.0);
     NoiseEstimate est;
+    est.bound = bound;
+    est.levels = valueLevels(circuit);
     est.budget_bits.resize(circuit.nodes.size(), 0.0);
 
     for (size_t i = 0; i < circuit.nodes.size(); ++i) {
         const CircuitNode &node = circuit.nodes[i];
         const ValueId a = node.args[0];
         const ValueId b = node.args[1];
+        const size_t level = est.levels[i];
         double v = 0.0;
         switch (node.kind) {
           case NodeKind::kInput:
@@ -36,19 +55,19 @@ estimateCircuitNoise(std::shared_ptr<const fv::FvParams> params,
             v = log_v[a];
             break;
           case NodeKind::kAddPlain:
-            v = model.addPlainStep(log_v[a]);
+            v = model.addPlainStep(log_v[a], level);
             break;
           case NodeKind::kMultPlain:
             v = model.multiplyPlainStep(log_v[a]);
             break;
           case NodeKind::kMult:
-            v = model.multiplyStep(log_v[a], log_v[b]);
+            v = model.multiplyStep(log_v[a], log_v[b], level);
             break;
           case NodeKind::kSquare:
-            v = model.multiplyStep(log_v[a], log_v[a]);
+            v = model.multiplyStep(log_v[a], log_v[a], level);
             break;
           case NodeKind::kRelin:
-            v = model.keySwitchStep(log_v[a]);
+            v = model.keySwitchStep(log_v[a], level);
             break;
           case NodeKind::kRotate:
           case NodeKind::kRotateColumns:
@@ -56,18 +75,16 @@ estimateCircuitNoise(std::shared_ptr<const fv::FvParams> params,
             // everything else pays one Galois key-switch.
             v = rotationElement(node, degree) == 1
                     ? log_v[a]
-                    : model.keySwitchStep(log_v[a]);
+                    : model.keySwitchStep(log_v[a], level);
             break;
-          case NodeKind::kRotateSum: {
-            // Rotate-and-add: log-many row rotations plus the column
-            // swap, each a key-switch followed by an addition with the
-            // running accumulator (fv::Evaluator::sumAllSlots).
-            v = log_v[a];
-            for (size_t step = 1; step <= degree / 4; step *= 2)
-                v = model.addStep(v, model.keySwitchStep(v));
-            v = model.addStep(v, model.keySwitchStep(v));
+          case NodeKind::kRotateSum:
+            v = rotateSumLogNoise(model, log_v[a], degree, level);
             break;
-          }
+          case NodeKind::kModSwitch:
+            // The invariant noise carries over to the shrunken modulus
+            // up to the divide-and-round term.
+            v = model.modSwitchStep(log_v[a], est.levels[a]);
+            break;
         }
         log_v[i] = v;
         est.budget_bits[i] = model.budgetBits(v);
@@ -92,20 +109,198 @@ noiseDiagnostic(std::shared_ptr<const fv::FvParams> params,
     const ValueId v = estimate.first_exhausted;
     const CircuitNode &node = circuit.nodes[v];
     const std::vector<int> depth = multiplicativeDepths(circuit);
+    const size_t level =
+        v < estimate.levels.size() ? estimate.levels[v] : 0;
 
-    const fv::NoiseModel model(params);
+    bool has_mod_switch = false;
+    for (const CircuitNode &n : circuit.nodes)
+        has_mod_switch |= n.kind == NodeKind::kModSwitch;
+
+    const fv::NoiseModel model(params, estimate.bound);
     std::ostringstream os;
     os << "predicted noise budget exhausted at node " << v << " ("
        << nodeKindName(node.kind) << ", multiplicative depth "
-       << depth[v] << "): 0 bits remain of the " << model.freshBudgetBits()
+       << depth[v] << ", ciphertext level " << level << " with log q_"
+       << level << "=" << params->qBits(level)
+       << "): 0 bits remain of the " << model.freshBudgetBits()
        << "-bit fresh budget (n=" << params->degree()
        << ", log q=" << params->qBits() << ", t=" << params->plainModulus()
        << "); the whole circuit has multiplicative depth "
        << *std::max_element(depth.begin(), depth.end())
-       << " against a supported depth of " << model.supportedDepth()
-       << " — reduce the depth (e.g. a Paterson-Stockmeyer plan) or "
-          "enlarge q";
+       << " against a supported depth of " << model.supportedDepth();
+    if (!has_mod_switch)
+        os << " — reduce the depth (e.g. a Paterson-Stockmeyer plan), "
+              "enlarge q, or let the compiler assign levels "
+              "(CompilerOptions::auto_mod_switch)";
+    else
+        os << " — the level assignment could not save this circuit; "
+              "reduce the depth or enlarge q";
     return os.str();
+}
+
+Circuit
+insertModSwitches(const Circuit &circuit,
+                  std::shared_ptr<const fv::FvParams> params,
+                  fv::NoiseBound bound)
+{
+    circuit.validate();
+    const size_t degree = params->degree();
+    const size_t max_level = params->maxLevel();
+    const fv::NoiseModel model(params, bound);
+
+    // A drop must leave the rest of the value's multiply chain at
+    // least this much predicted budget: headroom for the plain-operand
+    // and rotation steps the chain simulation below ignores.
+    constexpr double kMarginBits = 10.0;
+
+    // Heaviest future multiply load per value: how many tensors
+    // (kMult/kSquare) the worst consumer path still performs. Reverse
+    // walk over the definition order.
+    std::vector<int> future(circuit.nodes.size(), 0);
+    for (size_t i = circuit.nodes.size(); i-- > 0;) {
+        const CircuitNode &node = circuit.nodes[i];
+        const bool tensor = node.kind == NodeKind::kMult ||
+                            node.kind == NodeKind::kSquare;
+        const int through = future[i] + (tensor ? 1 : 0);
+        for (int a = 0; a < nodeArgCount(node.kind); ++a)
+            future[node.args[a]] =
+                std::max(future[node.args[a]], through);
+    }
+
+    // Predicted budget after running @p m relinearized squarings (the
+    // worst-case remaining chain) entirely at @p level. Each greedy
+    // drop re-validates this invariant one level deeper, so every
+    // accepted drop is individually safe even though later drops make
+    // the actual trajectory differ.
+    const auto chainBudget = [&](double log_v, size_t level, int m) {
+        for (int k = 0; k < m; ++k) {
+            log_v = model.keySwitchStep(
+                model.multiplyStep(log_v, log_v, level), level);
+        }
+        return model.budgetBits(log_v);
+    };
+
+    CircuitBuilder b;
+    std::vector<ValueId> map(circuit.nodes.size(), kNoValue);
+    std::vector<size_t> level(circuit.nodes.size(), 0);
+    std::vector<double> log_v(circuit.nodes.size(), 0.0);
+
+    // Align a mapped value up to @p target by inserting drops. Only
+    // ever called on 2-element values (binary-join operands), so the
+    // inserted kModSwitch nodes never touch an unrelinearized tensor.
+    const auto raise = [&](ValueId x, size_t target) {
+        while (level[x] < target) {
+            log_v[x] = model.modSwitchStep(log_v[x], level[x]);
+            map[x] = b.modSwitch(map[x]);
+            ++level[x];
+        }
+    };
+
+    for (size_t i = 0; i < circuit.nodes.size(); ++i) {
+        const CircuitNode &node = circuit.nodes[i];
+        const ValueId a = node.args[0];
+        const ValueId b2 = node.args[1];
+        switch (node.kind) {
+          case NodeKind::kInput:
+            map[i] = b.input();
+            level[i] = 0;
+            log_v[i] = model.freshLogNoise();
+            break;
+          case NodeKind::kAdd:
+          case NodeKind::kSub: {
+            const size_t join = std::max(level[a], level[b2]);
+            raise(a, join);
+            raise(b2, join);
+            map[i] = node.kind == NodeKind::kAdd
+                         ? b.add(map[a], map[b2])
+                         : b.sub(map[a], map[b2]);
+            level[i] = join;
+            log_v[i] = model.addStep(log_v[a], log_v[b2]);
+            break;
+          }
+          case NodeKind::kNegate:
+            map[i] = b.negate(map[a]);
+            level[i] = level[a];
+            log_v[i] = log_v[a];
+            break;
+          case NodeKind::kAddPlain:
+            map[i] = b.addPlain(map[a], circuit.plains[node.plain]);
+            level[i] = level[a];
+            log_v[i] = model.addPlainStep(log_v[a], level[a]);
+            break;
+          case NodeKind::kMultPlain:
+            map[i] = b.multPlain(map[a], circuit.plains[node.plain]);
+            level[i] = level[a];
+            log_v[i] = model.multiplyPlainStep(log_v[a]);
+            break;
+          case NodeKind::kMult: {
+            const size_t join = std::max(level[a], level[b2]);
+            raise(a, join);
+            raise(b2, join);
+            map[i] = b.multNoRelin(map[a], map[b2]);
+            level[i] = join;
+            log_v[i] = model.multiplyStep(log_v[a], log_v[b2], join);
+            break;
+          }
+          case NodeKind::kSquare:
+            map[i] = b.squareNoRelin(map[a]);
+            level[i] = level[a];
+            log_v[i] =
+                model.multiplyStep(log_v[a], log_v[a], level[a]);
+            break;
+          case NodeKind::kRelin: {
+            map[i] = b.relinearize(map[a]);
+            level[i] = level[a];
+            log_v[i] = model.keySwitchStep(log_v[a], level[a]);
+            // The canonical drop point: the 3-element value is gone
+            // and the key switch was paid at the wider modulus. Drop
+            // as deep as the rest of this value's multiply chain
+            // allows with margin.
+            while (level[i] < max_level) {
+                const double dropped =
+                    model.modSwitchStep(log_v[i], level[i]);
+                if (chainBudget(dropped, level[i] + 1, future[i]) <
+                    kMarginBits)
+                    break;
+                map[i] = b.modSwitch(map[i]);
+                log_v[i] = dropped;
+                ++level[i];
+            }
+            break;
+          }
+          case NodeKind::kRotate:
+          case NodeKind::kRotateColumns: {
+            map[i] = node.kind == NodeKind::kRotate
+                         ? b.rotate(map[a], node.steps)
+                         : b.rotateColumns(map[a]);
+            level[i] = level[a];
+            log_v[i] =
+                rotationElement(node, degree) == 1
+                    ? log_v[a]
+                    : model.keySwitchStep(log_v[a], level[a]);
+            break;
+          }
+          case NodeKind::kRotateSum:
+            map[i] = b.rotateSum(map[a]);
+            level[i] = level[a];
+            log_v[i] =
+                rotateSumLogNoise(model, log_v[a], degree, level[a]);
+            break;
+          case NodeKind::kModSwitch:
+            // Hand-written drops are kept verbatim.
+            fatalIf(level[a] >= max_level,
+                    "node ", i, " mod-switches past the last level (",
+                    max_level, ")");
+            map[i] = b.modSwitch(map[a]);
+            level[i] = level[a] + 1;
+            log_v[i] = model.modSwitchStep(log_v[a], level[a]);
+            break;
+        }
+    }
+
+    for (ValueId out : circuit.outputs)
+        b.output(map[out]);
+    return b.build();
 }
 
 } // namespace heat::compiler

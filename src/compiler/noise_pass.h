@@ -39,11 +39,15 @@ struct NoiseEstimate
 {
     /** Predicted remaining budget (bits, clamped >= 0) per value id. */
     std::vector<double> budget_bits;
+    /** Ciphertext level per value id (valueLevels of the circuit). */
+    std::vector<size_t> levels;
     /** First node whose predicted budget is exhausted (definition
      *  order), or kNoValue if every node keeps a positive budget. */
     ValueId first_exhausted = kNoValue;
     /** Minimum predicted budget over the circuit's output values. */
     double min_output_budget_bits = 0.0;
+    /** Which inequality family produced the estimate. */
+    fv::NoiseBound bound = fv::NoiseBound::kWorstCase;
 
     /** @return true when every node keeps a positive predicted budget. */
     bool ok() const { return first_exhausted == kNoValue; }
@@ -54,19 +58,47 @@ struct NoiseEstimate
  * (assumed valid). Inputs are modeled as fresh encryptions — the
  * compile-once/submit-many serving path feeds freshly encrypted
  * operands; callers submitting already-computed ciphertexts keep the
- * slack their inputs already spent.
+ * slack their inputs already spent. Every step is evaluated at the
+ * node's structurally-propagated level (valueLevels), so mod-switched
+ * circuits are annotated with their per-level budgets.
  */
 NoiseEstimate estimateCircuitNoise(
-    std::shared_ptr<const fv::FvParams> params, const Circuit &circuit);
+    std::shared_ptr<const fv::FvParams> params, const Circuit &circuit,
+    fv::NoiseBound bound = fv::NoiseBound::kWorstCase);
 
 /**
  * Human-readable account of an exhausted estimate: names the first
- * exhausted node (index, kind, multiplicative depth), the fresh
- * budget it started from and the circuit's depth. Empty when ok().
+ * exhausted node (index, kind, multiplicative depth and ciphertext
+ * level — i.e. where in the modulus chain the budget died), the fresh
+ * budget it started from and the circuit's depth. Suggests
+ * CompilerOptions::auto_mod_switch when the circuit has no mod-switch
+ * nodes yet. Empty when ok().
  */
 std::string noiseDiagnostic(std::shared_ptr<const fv::FvParams> params,
                             const Circuit &circuit,
                             const NoiseEstimate &estimate);
+
+/**
+ * The automatic level-assignment pass (CompilerOptions::auto_mod_switch).
+ *
+ * Walks the DAG in definition order and returns a transformed circuit
+ * with kModSwitch nodes inserted at the noise-cheapest points: after
+ * each relinearization (the canonical drop point — the 3-element value
+ * is gone and the key-switch noise has already been paid at the wider
+ * modulus) the value greedily drops to the deepest level whose
+ * predicted budget still covers the rest of its multiply chain with
+ * ~10 bits of margin, and two-operand joins align their operands by
+ * switching the shallower one down. Planning uses @p bound
+ * (average-case by default — the worst-case l_1 bounds are so
+ * pessimistic that no assignment can ever gain depth under them).
+ *
+ * The pass only inserts drops it predicts to be safe; it never
+ * rejects. Run estimateCircuitNoise on the result to decide
+ * acceptance — compileCircuit does exactly that.
+ */
+Circuit insertModSwitches(
+    const Circuit &circuit, std::shared_ptr<const fv::FvParams> params,
+    fv::NoiseBound bound = fv::NoiseBound::kAverageCase);
 
 } // namespace heat::compiler
 

@@ -17,19 +17,37 @@ Decryptor::dotProductWithSecret(const Ciphertext &ct) const
 {
     fatalIf(ct.size() < 2 || ct.size() > 3,
             "decryptor supports 2- and 3-element ciphertexts");
+    fatalIf(ct.level > params_->maxLevel(), "ciphertext level out of range");
+    fatalIf(ct[0].residueCount() != params_->qPrimeCount(ct.level),
+            "ciphertext residue count does not match its level");
+    const auto &ctx = params_->qContext(ct.level);
+
+    // The secret key is stored NTT-form over the level-0 base; its
+    // level-l view is the residue prefix (the NTT acts residue-wise).
+    ntt::RnsPoly s_ntt = sk_.s_ntt;
+    if (ct.level > 0) {
+        const auto &base = params_->qBase(ct.level);
+        ntt::RnsPoly trunc(base, params_->degree(), ntt::PolyForm::kNtt);
+        for (size_t i = 0; i < base->size(); ++i) {
+            auto src = sk_.s_ntt.residue(i);
+            auto dst = trunc.residue(i);
+            std::copy(src.begin(), src.end(), dst.begin());
+        }
+        s_ntt = std::move(trunc);
+    }
 
     // acc = c1 * s (+ c2 * s^2), evaluated in the NTT domain.
     ntt::RnsPoly c1 = ct[1];
-    c1.toNtt(params_->qContext());
-    c1.mulPointwiseInPlace(sk_.s_ntt);
+    c1.toNtt(ctx);
+    c1.mulPointwiseInPlace(s_ntt);
     if (ct.size() == 3) {
         ntt::RnsPoly c2 = ct[2];
-        c2.toNtt(params_->qContext());
-        c2.mulPointwiseInPlace(sk_.s_ntt);
-        c2.mulPointwiseInPlace(sk_.s_ntt);
+        c2.toNtt(ctx);
+        c2.mulPointwiseInPlace(s_ntt);
+        c2.mulPointwiseInPlace(s_ntt);
         c1.addInPlace(c2);
     }
-    c1.toCoeff(params_->qContext());
+    c1.toCoeff(ctx);
     c1.addInPlace(ct[0]);
     return c1;
 }
@@ -38,7 +56,7 @@ Plaintext
 Decryptor::decrypt(const Ciphertext &ct) const
 {
     const ntt::RnsPoly x = dotProductWithSecret(ct);
-    const mp::BigInt &q = params_->qBase()->product();
+    const mp::BigInt &q = params_->qBase(ct.level)->product();
     const mp::BigInt t(static_cast<int64_t>(params_->plainModulus()));
     const mp::BigInt t_q = t * q;
 
@@ -65,7 +83,7 @@ double
 Decryptor::invariantNoiseBudget(const Ciphertext &ct) const
 {
     const ntt::RnsPoly x = dotProductWithSecret(ct);
-    const mp::BigInt &q = params_->qBase()->product();
+    const mp::BigInt &q = params_->qBase(ct.level)->product();
     const mp::BigInt t(static_cast<int64_t>(params_->plainModulus()));
 
     // Invariant noise: v_j = (t x_j - q round(t x_j / q)) / q in

@@ -1,5 +1,7 @@
 #include "fv/evaluator.h"
 
+#include <algorithm>
+
 #include "common/panic.h"
 #include "common/parallel.h"
 
@@ -22,6 +24,7 @@ void
 Evaluator::addInPlace(Ciphertext &a, const Ciphertext &b) const
 {
     panicIf(a.size() != b.size(), "ciphertext size mismatch in add");
+    panicIf(a.level != b.level, "ciphertext level mismatch in add");
     for (size_t i = 0; i < a.size(); ++i)
         a[i].addInPlace(b[i]);
 }
@@ -30,6 +33,7 @@ Ciphertext
 Evaluator::sub(const Ciphertext &a, const Ciphertext &b) const
 {
     panicIf(a.size() != b.size(), "ciphertext size mismatch in sub");
+    panicIf(a.level != b.level, "ciphertext level mismatch in sub");
     Ciphertext c = a;
     for (size_t i = 0; i < c.size(); ++i)
         c[i].subInPlace(b[i]);
@@ -44,15 +48,15 @@ Evaluator::negateInPlace(Ciphertext &a) const
 }
 
 ntt::RnsPoly
-Evaluator::scaledPlain(const Plaintext &plain) const
+Evaluator::scaledPlain(const Plaintext &plain, size_t level) const
 {
     fatalIf(plain.coeffs.size() > params_->degree(), "plaintext too long");
-    const auto &base = params_->qBase();
+    const auto &base = params_->qBase(level);
     ntt::RnsPoly poly(base, params_->degree(), ntt::PolyForm::kCoeff);
     const uint64_t t = params_->plainModulus();
     for (size_t i = 0; i < base->size(); ++i) {
         const rns::Modulus &q_i = base->modulus(i);
-        const uint64_t d = params_->deltaResidues()[i];
+        const uint64_t d = params_->deltaResidues(level)[i];
         auto r = poly.residue(i);
         for (size_t j = 0; j < plain.coeffs.size(); ++j)
             r[j] = q_i.mul(d, plain.coeffs[j] % t);
@@ -61,10 +65,10 @@ Evaluator::scaledPlain(const Plaintext &plain) const
 }
 
 ntt::RnsPoly
-Evaluator::embeddedPlain(const Plaintext &plain) const
+Evaluator::embeddedPlain(const Plaintext &plain, size_t level) const
 {
     fatalIf(plain.coeffs.size() > params_->degree(), "plaintext too long");
-    const auto &base = params_->qBase();
+    const auto &base = params_->qBase(level);
     ntt::RnsPoly poly(base, params_->degree(), ntt::PolyForm::kCoeff);
     const uint64_t t = params_->plainModulus();
     for (size_t i = 0; i < base->size(); ++i) {
@@ -79,28 +83,29 @@ Evaluator::embeddedPlain(const Plaintext &plain) const
 void
 Evaluator::addPlainInPlace(Ciphertext &ct, const Plaintext &plain) const
 {
-    ct[0].addInPlace(scaledPlain(plain));
+    ct[0].addInPlace(scaledPlain(plain, ct.level));
 }
 
 void
 Evaluator::subPlainInPlace(Ciphertext &ct, const Plaintext &plain) const
 {
-    ct[0].subInPlace(scaledPlain(plain));
+    ct[0].subInPlace(scaledPlain(plain, ct.level));
 }
 
 Ciphertext
 Evaluator::multiplyPlain(const Ciphertext &ct, const Plaintext &plain) const
 {
-    // Embed the plaintext unscaled in R_q and multiply both ciphertext
-    // polynomials by it in the NTT domain.
-    ntt::RnsPoly p = embeddedPlain(plain);
-    p.toNtt(params_->qContext());
+    // Embed the plaintext unscaled in R_{q_l} and multiply both
+    // ciphertext polynomials by it in the NTT domain.
+    const auto &ctx = params_->qContext(ct.level);
+    ntt::RnsPoly p = embeddedPlain(plain, ct.level);
+    p.toNtt(ctx);
 
     Ciphertext out = ct;
     for (auto &poly : out.polys) {
-        poly.toNtt(params_->qContext());
+        poly.toNtt(ctx);
         poly.mulPointwiseInPlace(p);
-        poly.toCoeff(params_->qContext());
+        poly.toCoeff(ctx);
     }
     return out;
 }
@@ -111,11 +116,12 @@ Evaluator::liftToFull(const ntt::RnsPoly &q_poly) const
     panicIf(q_poly.form() != ntt::PolyForm::kCoeff,
             "lift requires coefficient form");
     const size_t n = params_->degree();
-    const auto &conv = params_->liftConverter();
-    const size_t kq = params_->qBase()->size();
+    const size_t level = levelOf(q_poly);
+    const auto &conv = params_->liftConverter(level);
+    const size_t kq = q_poly.residueCount();
     const size_t kp = params_->pBase()->size();
 
-    ntt::RnsPoly out(params_->fullBase(), n, ntt::PolyForm::kCoeff);
+    ntt::RnsPoly out(params_->fullBase(level), n, ntt::PolyForm::kCoeff);
     const size_t chunks = std::max<size_t>(1, threadCount() * 4);
     const size_t chunk = (n + chunks - 1) / chunks;
     parallelFor(chunks, [&](size_t c) {
@@ -144,12 +150,14 @@ Evaluator::scaleToQ(const ntt::RnsPoly &full_poly) const
     panicIf(full_poly.form() != ntt::PolyForm::kCoeff,
             "scale requires coefficient form");
     const size_t n = params_->degree();
-    const auto &scaler = params_->scaler();
-    const auto &back = params_->scaleBackConverter();
-    const size_t kq = params_->qBase()->size();
     const size_t kp = params_->pBase()->size();
+    const size_t level =
+        params_->levelForResidueCount(full_poly.residueCount());
+    const auto &scaler = params_->scaler(level);
+    const auto &back = params_->scaleBackConverter(level);
+    const size_t kq = full_poly.residueCount() - kp;
 
-    ntt::RnsPoly out(params_->qBase(), n, ntt::PolyForm::kCoeff);
+    ntt::RnsPoly out(params_->qBase(level), n, ntt::PolyForm::kCoeff);
     const size_t chunks = std::max<size_t>(1, threadCount() * 4);
     const size_t chunk = (n + chunks - 1) / chunks;
     parallelFor(chunks, [&](size_t c) {
@@ -175,6 +183,7 @@ Evaluator::multiplyNoRelin(const Ciphertext &a, const Ciphertext &b) const
 {
     panicIf(a.size() != 2 || b.size() != 2,
             "multiply expects 2-element ciphertexts");
+    panicIf(a.level != b.level, "ciphertext level mismatch in multiply");
 
     // Step 1: Lift q->Q (Fig. 2 left column).
     ntt::RnsPoly a0 = liftToFull(a[0]);
@@ -183,7 +192,7 @@ Evaluator::multiplyNoRelin(const Ciphertext &a, const Ciphertext &b) const
     ntt::RnsPoly b1 = liftToFull(b[1]);
 
     // Step 2: tensor product via NTT over R_Q.
-    const auto &ctx = params_->fullContext();
+    const auto &ctx = params_->fullContext(a.level);
     a0.toNtt(ctx);
     a1.toNtt(ctx);
     b0.toNtt(ctx);
@@ -203,6 +212,7 @@ Evaluator::multiplyNoRelin(const Ciphertext &a, const Ciphertext &b) const
 
     // Step 3: Scale Q->q (round(t x / q)).
     Ciphertext out;
+    out.level = a.level;
     out.polys.push_back(scaleToQ(t0));
     out.polys.push_back(scaleToQ(t1));
     out.polys.push_back(scaleToQ(t2));
@@ -214,7 +224,7 @@ Evaluator::rnsDigits(const ntt::RnsPoly &poly) const
 {
     panicIf(poly.form() != ntt::PolyForm::kCoeff,
             "digit decomposition requires coefficient form");
-    const auto &base = params_->qBase();
+    const auto &base = params_->qBase(levelOf(poly));
     const size_t k = base->size();
     const size_t n = params_->degree();
 
@@ -242,10 +252,11 @@ Evaluator::positionalDigits(const ntt::RnsPoly &poly, int digit_bits) const
 {
     panicIf(poly.form() != ntt::PolyForm::kCoeff,
             "digit decomposition requires coefficient form");
-    const auto &base = params_->qBase();
+    const size_t level = levelOf(poly);
+    const auto &base = params_->qBase(level);
     const size_t k = base->size();
     const size_t n = params_->degree();
-    const int q_bits = params_->qBits();
+    const int q_bits = params_->qBits(level);
     const size_t count =
         (static_cast<size_t>(q_bits) + digit_bits - 1) / digit_bits;
 
@@ -270,6 +281,53 @@ Evaluator::positionalDigits(const ntt::RnsPoly &poly, int digit_bits) const
     return digits;
 }
 
+size_t
+Evaluator::levelOf(const ntt::RnsPoly &q_poly) const
+{
+    const size_t kq = params_->qBase()->size();
+    const size_t count = q_poly.residueCount();
+    panicIf(count == 0 || count > kq,
+            "polynomial residue count matches no level's q base");
+    return kq - count;
+}
+
+ntt::RnsPoly
+Evaluator::keyPolyAtLevel(const ntt::RnsPoly &key_poly, size_t level) const
+{
+    const auto &base = params_->qBase(level);
+    ntt::RnsPoly out(base, params_->degree(), key_poly.form());
+    for (size_t i = 0; i < base->size(); ++i) {
+        auto src = key_poly.residue(i);
+        auto dst = out.residue(i);
+        std::copy(src.begin(), src.end(), dst.begin());
+    }
+    return out;
+}
+
+void
+Evaluator::keySwitchAccumulate(std::vector<ntt::RnsPoly> &digits,
+                               const RelinKeys &key, size_t level,
+                               ntt::RnsPoly &acc0, ntt::RnsPoly &acc1) const
+{
+    panicIf(digits.size() > key.digitCount(),
+            "digit count exceeds key count");
+    const auto &ctx = params_->qContext(level);
+    for (size_t i = 0; i < digits.size(); ++i) {
+        digits[i].toNtt(ctx);
+        if (level == 0) {
+            acc0.addMulPointwise(digits[i], key.keys[i][0]);
+            acc1.addMulPointwise(digits[i], key.keys[i][1]);
+        } else {
+            acc0.addMulPointwise(digits[i],
+                                 keyPolyAtLevel(key.keys[i][0], level));
+            acc1.addMulPointwise(digits[i],
+                                 keyPolyAtLevel(key.keys[i][1], level));
+        }
+    }
+    acc0.toCoeff(ctx);
+    acc1.toCoeff(ctx);
+}
+
 void
 Evaluator::relinearizeInPlace(Ciphertext &ct, const RelinKeys &rlk) const
 {
@@ -279,21 +337,14 @@ Evaluator::relinearizeInPlace(Ciphertext &ct, const RelinKeys &rlk) const
         rlk.kind == DecompKind::kRnsDigits
             ? rnsDigits(ct[2])
             : positionalDigits(ct[2], rlk.digit_bits);
-    panicIf(digits.size() != rlk.digitCount(),
+    panicIf(ct.level == 0 && digits.size() != rlk.digitCount(),
             "digit count does not match key count");
 
-    const auto &ctx = params_->qContext();
-    ntt::RnsPoly acc0(params_->qBase(), params_->degree(),
+    ntt::RnsPoly acc0(params_->qBase(ct.level), params_->degree(),
                       ntt::PolyForm::kNtt);
-    ntt::RnsPoly acc1(params_->qBase(), params_->degree(),
+    ntt::RnsPoly acc1(params_->qBase(ct.level), params_->degree(),
                       ntt::PolyForm::kNtt);
-    for (size_t i = 0; i < digits.size(); ++i) {
-        digits[i].toNtt(ctx);
-        acc0.addMulPointwise(digits[i], rlk.keys[i][0]);
-        acc1.addMulPointwise(digits[i], rlk.keys[i][1]);
-    }
-    acc0.toCoeff(ctx);
-    acc1.toCoeff(ctx);
+    keySwitchAccumulate(digits, rlk, ct.level, acc0, acc1);
 
     ct[0].addInPlace(acc0);
     ct[1].addInPlace(acc1);
@@ -315,6 +366,70 @@ Evaluator::square(const Ciphertext &ct, const RelinKeys &rlk) const
     return multiply(ct, ct, rlk);
 }
 
+ntt::RnsPoly
+Evaluator::modSwitchPoly(const ntt::RnsPoly &poly, size_t from_level) const
+{
+    panicIf(poly.form() != ntt::PolyForm::kCoeff,
+            "mod-switch requires coefficient form");
+    panicIf(from_level >= params_->maxLevel(),
+            "cannot mod-switch past the last level");
+    panicIf(levelOf(poly) != from_level,
+            "polynomial residue count does not match from_level");
+    const size_t n = params_->degree();
+    const size_t live = params_->qPrimeCount(from_level);
+    const auto &rounder = params_->modSwitchRounder(from_level);
+
+    ntt::RnsPoly out(params_->qBase(from_level + 1), n,
+                     ntt::PolyForm::kCoeff);
+    const size_t chunks = std::max<size_t>(1, threadCount() * 4);
+    const size_t chunk = (n + chunks - 1) / chunks;
+    parallelFor(chunks, [&](size_t c) {
+        std::vector<uint64_t> res(live), in(live), next(live - 1);
+        const size_t end = std::min(n, (c + 1) * chunk);
+        for (size_t j = c * chunk; j < end; ++j) {
+            poly.gatherCoefficient(j, res);
+            // ScaleRounder input order: dropped-prime residue first
+            // (its "q" base), then the surviving residues (its "p").
+            in[0] = res[live - 1];
+            for (size_t i = 0; i + 1 < live; ++i)
+                in[i + 1] = res[i];
+            if (path_ == ArithPath::kHps)
+                rounder.scale(in, next);
+            else
+                rounder.scaleExact(in, next);
+            out.scatterCoefficient(j, next);
+        }
+    });
+    return out;
+}
+
+Ciphertext
+Evaluator::modSwitch(const Ciphertext &ct) const
+{
+    Ciphertext out;
+    out.level = ct.level + 1;
+    out.polys.reserve(ct.size());
+    for (const auto &poly : ct.polys)
+        out.polys.push_back(modSwitchPoly(poly, ct.level));
+    return out;
+}
+
+void
+Evaluator::modSwitchInPlace(Ciphertext &ct) const
+{
+    ct = modSwitch(ct);
+}
+
+Ciphertext
+Evaluator::modSwitchTo(const Ciphertext &ct, size_t level) const
+{
+    panicIf(level < ct.level, "modSwitchTo cannot raise the level");
+    Ciphertext out = ct;
+    while (out.level < level)
+        out = modSwitch(out);
+    return out;
+}
+
 Ciphertext
 Evaluator::applyGalois(const Ciphertext &ct, uint32_t galois_element,
                        const GaloisKeys &gkeys) const
@@ -328,10 +443,11 @@ Evaluator::applyGalois(const Ciphertext &ct, uint32_t galois_element,
             galois_element);
     const RelinKeys &key = gkeys.keys.at(galois_element);
     const size_t n = params_->degree();
-    const auto &base = params_->qBase();
+    const auto &base = params_->qBase(ct.level);
 
     // Permute both polynomials in coefficient representation.
     Ciphertext permuted;
+    permuted.level = ct.level;
     for (int half = 0; half < 2; ++half) {
         ntt::RnsPoly out(base, n, ntt::PolyForm::kCoeff);
         for (size_t k = 0; k < base->size(); ++k) {
@@ -345,18 +461,12 @@ Evaluator::applyGalois(const Ciphertext &ct, uint32_t galois_element,
     //   c0' = tau_g(c0) + sum_i D_i(tau_g(c1)) * key0_i
     //   c1' =            sum_i D_i(tau_g(c1)) * key1_i
     std::vector<ntt::RnsPoly> digits = rnsDigits(permuted[1]);
-    const auto &ctx = params_->qContext();
     ntt::RnsPoly acc0(base, n, ntt::PolyForm::kNtt);
     ntt::RnsPoly acc1(base, n, ntt::PolyForm::kNtt);
-    for (size_t i = 0; i < digits.size(); ++i) {
-        digits[i].toNtt(ctx);
-        acc0.addMulPointwise(digits[i], key.keys[i][0]);
-        acc1.addMulPointwise(digits[i], key.keys[i][1]);
-    }
-    acc0.toCoeff(ctx);
-    acc1.toCoeff(ctx);
+    keySwitchAccumulate(digits, key, ct.level, acc0, acc1);
 
     Ciphertext out;
+    out.level = ct.level;
     acc0.addInPlace(permuted[0]);
     out.polys.push_back(std::move(acc0));
     out.polys.push_back(std::move(acc1));
@@ -376,8 +486,8 @@ Evaluator::applyGaloisHoisted(const Ciphertext &ct,
             galois_element);
     const RelinKeys &key = gkeys.keys.at(galois_element);
     const size_t n = params_->degree();
-    const auto &base = params_->qBase();
-    const auto &ctx = params_->qContext();
+    const auto &base = params_->qBase(ct.level);
+    const auto &ctx = params_->qContext(ct.level);
 
     // Decompose first, permute each digit afterwards: the decompose
     // (and the digits' forward NTTs) is what multiple rotations of one
@@ -394,8 +504,15 @@ Evaluator::applyGaloisHoisted(const Ciphertext &ct,
         }
         permuted.setForm(ntt::PolyForm::kCoeff);
         permuted.toNtt(ctx);
-        acc0.addMulPointwise(permuted, key.keys[i][0]);
-        acc1.addMulPointwise(permuted, key.keys[i][1]);
+        if (ct.level == 0) {
+            acc0.addMulPointwise(permuted, key.keys[i][0]);
+            acc1.addMulPointwise(permuted, key.keys[i][1]);
+        } else {
+            acc0.addMulPointwise(
+                permuted, keyPolyAtLevel(key.keys[i][0], ct.level));
+            acc1.addMulPointwise(
+                permuted, keyPolyAtLevel(key.keys[i][1], ct.level));
+        }
     }
     acc0.toCoeff(ctx);
     acc1.toCoeff(ctx);
@@ -409,6 +526,7 @@ Evaluator::applyGaloisHoisted(const Ciphertext &ct,
     p0.addInPlace(acc0);
 
     Ciphertext out;
+    out.level = ct.level;
     out.polys.push_back(std::move(p0));
     out.polys.push_back(std::move(acc1));
     return out;

@@ -93,6 +93,33 @@ class Evaluator
     /** ct^2 with relinearization. */
     Ciphertext square(const Ciphertext &ct, const RelinKeys &rlk) const;
 
+    // --- modulus switching ----------------------------------------------
+
+    /**
+     * Switch @p ct one level down the modulus chain: every polynomial
+     * becomes round(c / q_last) over the basis with the last live prime
+     * dropped (exact divide-and-round via rns::ScaleRounder with t = 1).
+     * The plaintext is preserved; the invariant noise picks up only the
+     * small rounding term t*n/(2 q') — see NoiseModel::modSwitchStep.
+     * Works on 2- and 3-element ciphertexts. Requires
+     * ct.level < params->maxLevel().
+     */
+    Ciphertext modSwitch(const Ciphertext &ct) const;
+
+    /** In-place variant of modSwitch (one level down). */
+    void modSwitchInPlace(Ciphertext &ct) const;
+
+    /** Repeated modSwitch until @p level (>= ct.level) is reached. */
+    Ciphertext modSwitchTo(const Ciphertext &ct, size_t level) const;
+
+    /**
+     * Divide-and-round one coefficient-form polynomial from the
+     * @p from_level basis to the next level's (golden model of the
+     * hardware kModSwitch instruction).
+     */
+    ntt::RnsPoly modSwitchPoly(const ntt::RnsPoly &poly,
+                               size_t from_level) const;
+
     // --- Galois automorphisms and rotations -----------------------------
 
     /**
@@ -143,15 +170,17 @@ class Evaluator
     // --- plaintext encodings (public: the circuit compiler mirrors
     //     these when it lowers plain-operand nodes to the hardware) ----
 
-    /** Delta * plain embedded in R_q, coefficient form — the polynomial
-     *  added to c0 by addPlainInPlace (and by the hardware AddPlain
-     *  schedule, which uploads it as a constant operand). */
-    ntt::RnsPoly scaledPlain(const Plaintext &plain) const;
+    /** Delta_l * plain embedded in R_{q_l}, coefficient form — the
+     *  polynomial added to c0 by addPlainInPlace (and by the hardware
+     *  AddPlain schedule, which uploads it as a constant operand). */
+    ntt::RnsPoly scaledPlain(const Plaintext &plain,
+                             size_t level = 0) const;
 
-    /** plain embedded unscaled in R_q, coefficient form — the NTT-domain
-     *  multiplicand of multiplyPlain (and the hardware MultPlain
-     *  schedule's constant operand). */
-    ntt::RnsPoly embeddedPlain(const Plaintext &plain) const;
+    /** plain embedded unscaled in R_{q_l}, coefficient form — the
+     *  NTT-domain multiplicand of multiplyPlain (and the hardware
+     *  MultPlain schedule's constant operand). */
+    ntt::RnsPoly embeddedPlain(const Plaintext &plain,
+                               size_t level = 0) const;
 
     // --- FV.Mult building blocks (public: golden models for the HW) -----
 
@@ -171,6 +200,28 @@ class Evaluator
                                                int digit_bits) const;
 
   private:
+    /** @return the level a q-base polynomial's residue count implies. */
+    size_t levelOf(const ntt::RnsPoly &q_poly) const;
+
+    /**
+     * Level-l view of a level-0 key-switch key polynomial: the first
+     * live residues, as a poly over the level's q base. Valid because
+     * makeKeySwitchKeys builds the digit-reconstruction scalars f_i
+     * residue-wise (CRT unit vectors / positional powers), so the
+     * prefix of a level-0 key IS the level-l key — no per-level keygen.
+     */
+    ntt::RnsPoly keyPolyAtLevel(const ntt::RnsPoly &key_poly,
+                                size_t level) const;
+
+    /**
+     * Key-switch MAC shared by relinearization and Galois switching:
+     * acc(0|1) += sum_i NTT(digits[i]) * key_i, with the keys truncated
+     * to @p level. Digits enter in coefficient form and are consumed.
+     */
+    void keySwitchAccumulate(std::vector<ntt::RnsPoly> &digits,
+                             const RelinKeys &key, size_t level,
+                             ntt::RnsPoly &acc0, ntt::RnsPoly &acc1) const;
+
     std::shared_ptr<const FvParams> params_;
     ArithPath path_;
 };

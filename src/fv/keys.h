@@ -41,6 +41,13 @@ struct Plaintext
 struct Ciphertext
 {
     std::vector<ntt::RnsPoly> polys;
+    /**
+     * Modulus-switching level: the polys live over the first
+     * qPrimeCount(level) primes of the parameter set's q base. Fresh
+     * encryptions are level 0; every fv::Evaluator::modSwitch moves one
+     * level down. Operands of binary evaluator ops must agree.
+     */
+    size_t level = 0;
 
     size_t size() const { return polys.size(); }
     ntt::RnsPoly &operator[](size_t i) { return polys[i]; }

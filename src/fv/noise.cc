@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/panic.h"
+
 namespace heat::fv {
 
 namespace {
@@ -17,13 +19,38 @@ logSum2(double a, double b)
 
 } // namespace
 
-NoiseModel::NoiseModel(std::shared_ptr<const FvParams> params)
-    : params_(std::move(params))
+NoiseModel::NoiseModel(std::shared_ptr<const FvParams> params,
+                       NoiseBound bound)
+    : params_(std::move(params)), bound_(bound)
 {
-    log_q_ = static_cast<double>(params_->qBits());
+    // Per-level log2(q_l) straight from the prime values (does not
+    // force the lazy per-level FvParams data into existence).
+    const auto &q = *params_->qBase();
+    log_q_per_level_.resize(q.size());
+    double acc = 0.0;
+    for (size_t i = 0; i < q.size(); ++i) {
+        acc += std::log2(static_cast<double>(q.modulus(i).value()));
+        log_q_per_level_[q.size() - 1 - i] = acc;
+    }
+    log_q_ = log_q_per_level_[0];
     log_t_ = std::log2(static_cast<double>(params_->plainModulus()));
     log_n_ = std::log2(static_cast<double>(params_->degree()));
     b_err_ = 6.0 * params_->sigma();
+}
+
+double
+NoiseModel::logQ(size_t level) const
+{
+    panicIf(level >= log_q_per_level_.size(), "noise model level range");
+    return log_q_per_level_[level];
+}
+
+double
+NoiseModel::expansionLogN() const
+{
+    // Ring-expansion factor: n in the worst case, ~sqrt(n) for
+    // independent centered coefficients (CLT).
+    return bound_ == NoiseBound::kAverageCase ? 0.5 * log_n_ : log_n_;
 }
 
 double
@@ -31,6 +58,10 @@ NoiseModel::freshLogNoise() const
 {
     // Fresh invariant noise: |v| <= t * B * (2n + 1) / q
     // (public-key encryption with ternary u: e1 + u*e0-ish terms).
+    // Average case: the n-fold coefficient sums concentrate at sqrt(n).
+    if (bound_ == NoiseBound::kAverageCase)
+        return log_t_ + std::log2(b_err_) + 0.5 * (log_n_ + 1.0) + 1.0 -
+               log_q_;
     return log_t_ + std::log2(b_err_) + log_n_ + 1.0 - log_q_;
 }
 
@@ -54,43 +85,76 @@ NoiseModel::addStep(double log_a, double log_b) const
 }
 
 double
-NoiseModel::addPlainStep(double log_v) const
+NoiseModel::addPlainStep(double log_v, size_t level) const
 {
     // ct + Delta*m adds only the Delta-rounding term:
-    // |v'| <= |v| + r_t(q) * |m| / q <= |v| + t * n / q.
-    return logSum2(log_v, log_t_ + log_n_ - log_q_);
+    // |v'| <= |v| + r_t(q) * |m| / q <= |v| + t * n / q_l.
+    return logSum2(log_v, log_t_ + expansionLogN() - logQ(level));
 }
 
 double
 NoiseModel::multiplyPlainStep(double log_v) const
 {
     // NTT pointwise product by an embedded plaintext: |v'| <= n t |v|.
-    return log_v + log_n_ + log_t_;
+    return log_v + expansionLogN() + log_t_;
 }
 
 double
-NoiseModel::multiplyStep(double log_a, double log_b) const
+NoiseModel::multiplyStep(double log_a, double log_b, size_t level) const
 {
     // FV multiplication tensor + scale: v_mult ~ 2 n t (v1 + v2) plus
-    // the rounding term t * n / q. The key-switch term of the
+    // the rounding term t * n / q_l. The key-switch term of the
     // relinearization is accounted separately (keySwitchStep), so a
-    // 3-element tensor value carries exactly this much noise.
-    const double log_mult =
-        1.0 + log_n_ + log_t_ + logSum2(log_a, log_b);
-    const double log_round = log_t_ + log_n_ - log_q_ + 1.0;
+    // 3-element tensor value carries exactly this much noise. The
+    // average-case expansion is sqrt(n) (CLT) plus an empirical
+    // headroom: measured squaring chains on the paper ring lose
+    // ~log2(t) + 12.2 bits per level where the bare CLT term predicts
+    // ~log2(t) + 9, so the model charges 3.8 extra bits per multiply —
+    // tests pin the result conservative (model <= measured) at every
+    // depth and level.
+    constexpr double kAvgMultHeadroom = 3.8;
+    const double expansion =
+        bound_ == NoiseBound::kAverageCase
+            ? 1.0 + 0.5 * log_n_ + kAvgMultHeadroom + log_t_
+            : 1.0 + log_n_ + log_t_;
+    const double log_mult = expansion + logSum2(log_a, log_b);
+    const double log_round =
+        log_t_ + expansionLogN() - logQ(level) + 1.0;
     return logSum2(log_mult, log_round);
 }
 
 double
-NoiseModel::keySwitchStep(double log_v) const
+NoiseModel::keySwitchStep(double log_v, size_t level) const
 {
-    // For RNS digits the key-switch noise is t * n * k * 2^30 * B / q —
-    // the same bound for relinearization keys and Galois keys (they
-    // embed different secrets but share digit structure).
-    const double k = static_cast<double>(params_->rnsDigitCount());
-    const double log_relin = log_t_ + log_n_ + std::log2(k) + 30.0 +
-                             std::log2(b_err_) - log_q_;
+    // For RNS digits the key-switch noise is t * n * k * 2^30 * B / q_l
+    // over the level's k_l live digits — the same bound for
+    // relinearization keys and Galois keys (they embed different
+    // secrets but share digit structure). Average case: both the ring
+    // expansion and the k-digit sum concentrate at their square roots.
+    const double k = static_cast<double>(params_->rnsDigitCount(level));
+    const double log_k = bound_ == NoiseBound::kAverageCase
+                             ? 0.5 * std::log2(k)
+                             : std::log2(k);
+    const double log_relin = log_t_ + expansionLogN() + log_k + 30.0 +
+                             std::log2(b_err_) - logQ(level);
     return logSum2(log_v, log_relin);
+}
+
+double
+NoiseModel::modSwitchStep(double log_v, size_t from_level) const
+{
+    // c' = round(c / q_drop): the invariant noise v = (t/q_l) * (c(s)
+    // mod q_l) is unchanged by the exact division, and the rounding of
+    // each polynomial adds |eps(s)| * t / q_{l+1} with |eps| <= 1/2
+    // per coefficient — the t n / (2 q') term below. This is why
+    // FV mod-switching is (almost) free noise-wise: the budget LOST is
+    // the log2(q_drop) ceiling reduction, already reflected in
+    // budget-vs-ceiling comparisons at the new level.
+    const double log_round = bound_ == NoiseBound::kAverageCase
+                                 ? log_t_ + 0.5 * log_n_ + 1.0 -
+                                       logQ(from_level + 1)
+                                 : log_t_ + log_n_ - logQ(from_level + 1);
+    return logSum2(log_v, log_round);
 }
 
 double

@@ -11,28 +11,59 @@
  *
  * Beyond the original depth-only chain, the model exposes per-operation
  * noise steps (add, plaintext add/multiply, tensor multiplication, the
- * relinearization/rotation key-switch) so the circuit compiler can
- * propagate a predicted budget through an arbitrary DAG and reject —
- * or warn about — programs whose budget is exhausted before their
- * outputs (compiler/noise_pass.h). All steps work on log2 of the
+ * relinearization/rotation key-switch, modulus switching) so the circuit
+ * compiler can propagate a predicted budget through an arbitrary DAG and
+ * reject — or warn about — programs whose budget is exhausted before
+ * their outputs (compiler/noise_pass.h). All steps work on log2 of the
  * invariant noise |v|; budgetBits() converts back to the SEAL-style
  * budget convention (budget = -log2(2 |v|), clamped at zero).
+ *
+ * Every step takes the ciphertext LEVEL it executes at (see
+ * FvParams::qBase(level)): the invariant noise is relative to the live
+ * modulus q_l, so the same operation costs different budget at
+ * different levels, which is exactly what the compiler's automatic
+ * level-assignment pass optimizes over.
+ *
+ * Two bound flavours coexist:
+ *  - NoiseBound::kWorstCase (default): the classical l_1-norm bounds
+ *    (every |v| <= ... inequality tight simultaneously). Sound but so
+ *    pessimistic that modulus switching can never *gain* depth under
+ *    it — the per-multiplication cost ~ log2(2 n t) is
+ *    level-independent while the ceiling shrinks with q_l.
+ *  - NoiseBound::kAverageCase: canonical-embedding-style CLT
+ *    heuristics (HElib's estimator tradition): independent coefficient
+ *    sums grow like sqrt(n) rather than n. This is the bound the
+ *    level-assignment pass plans with; tests pin it conservative
+ *    (predicted budget <= measured budget) across the level sweep.
  */
 
 #ifndef HEAT_FV_NOISE_H
 #define HEAT_FV_NOISE_H
 
+#include <cstddef>
 #include <memory>
+#include <vector>
 
 #include "fv/params.h"
 
 namespace heat::fv {
 
+/** Which inequality family the model evaluates. */
+enum class NoiseBound
+{
+    kWorstCase,   ///< l_1-norm worst case (classical FV bounds)
+    kAverageCase, ///< CLT / canonical-embedding heuristic (sqrt(n))
+};
+
 /** Closed-form noise-budget estimates. */
 class NoiseModel
 {
   public:
-    explicit NoiseModel(std::shared_ptr<const FvParams> params);
+    explicit NoiseModel(std::shared_ptr<const FvParams> params,
+                        NoiseBound bound = NoiseBound::kWorstCase);
+
+    /** @return the bound flavour this model evaluates. */
+    NoiseBound bound() const { return bound_; }
 
     /** Expected invariant-noise budget of a fresh encryption, in bits. */
     double freshBudgetBits() const;
@@ -45,7 +76,7 @@ class NoiseModel
 
     // --- per-operation steps (log2 |v| in, log2 |v| out) ----------------
 
-    /** log2 of the invariant noise of a fresh encryption. */
+    /** log2 of the invariant noise of a fresh encryption (level 0). */
     double freshLogNoise() const;
 
     /** Budget (bits, clamped >= 0) for a given log2 invariant noise. */
@@ -54,32 +85,50 @@ class NoiseModel
     /** Ciphertext addition/subtraction: |v| <= |v1| + |v2|. */
     double addStep(double log_a, double log_b) const;
 
-    /** Plaintext addition: adds the Delta-rounding term t n / q. */
-    double addPlainStep(double log_v) const;
+    /** Plaintext addition: adds the Delta-rounding term t n / q_l. */
+    double addPlainStep(double log_v, size_t level = 0) const;
 
     /** Plaintext multiplication: |v| grows by a factor of n t. */
     double multiplyPlainStep(double log_v) const;
 
     /**
      * Tensor + scale (multiplication WITHOUT relinearization):
-     * |v| ~ 2 n t (|v1| + |v2|) plus the t n / q rounding term. Apply
+     * |v| ~ 2 n t (|v1| + |v2|) plus the t n / q_l rounding term. Apply
      * keySwitchStep afterwards for the relinearized product.
      */
-    double multiplyStep(double log_a, double log_b) const;
+    double multiplyStep(double log_a, double log_b,
+                        size_t level = 0) const;
 
     /**
      * Key-switch additive term: relinearization of a 3-element value,
      * or the switch-back of a Galois rotation (the keys are
-     * structurally identical, so the bound is shared):
-     * adds t n k 2^30 B / q over the k RNS digits.
+     * structurally identical, so the bound is shared): adds
+     * t n k_l 2^30 B / q_l over the level's k_l live RNS digits.
      */
-    double keySwitchStep(double log_v) const;
+    double keySwitchStep(double log_v, size_t level = 0) const;
+
+    /**
+     * Modulus switch from @p from_level to from_level + 1: the
+     * invariant noise is preserved up to the divide-and-round term
+     * ~ t n / (2 q_{l+1}). Returns log2 |v| relative to the NEW level's
+     * modulus.
+     */
+    double modSwitchStep(double log_v, size_t from_level) const;
+
+    /** log2 of the live modulus q_l. */
+    double logQ(size_t level = 0) const;
 
   private:
     /** log2 of the invariant noise after one mult given input log2. */
     double multStep(double log_v) const;
 
+    /** 0.5 log2(n) for the average-case bound, log2(n) otherwise. */
+    double expansionLogN() const;
+
     std::shared_ptr<const FvParams> params_;
+    NoiseBound bound_;
+    /** log_q_per_level_[l] = log2(q_l), precomputed for every level. */
+    std::vector<double> log_q_per_level_;
     double log_q_;
     double log_t_;
     double log_n_;

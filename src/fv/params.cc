@@ -61,6 +61,135 @@ FvParams::FvParams(const FvConfig &config) : config_(config)
     delta_residues_.resize(q_->size());
     for (size_t i = 0; i < q_->size(); ++i)
         delta_residues_[i] = delta_.modUint64(q_->modulus(i).value());
+
+    levels_.resize(config_.q_prime_count);
+}
+
+const FvParams::LevelData &
+FvParams::levelData(size_t level) const
+{
+    fatalIf(level == 0 || level > maxLevel(),
+            "FV level out of range for this parameter set");
+    std::lock_guard<std::mutex> lock(level_mu_);
+    if (!levels_[level]) {
+        const size_t live = config_.q_prime_count - level;
+        auto data = std::make_unique<LevelData>();
+
+        std::vector<uint64_t> live_primes(live);
+        for (size_t i = 0; i < live; ++i)
+            live_primes[i] = q_->modulus(i).value();
+        data->q = std::make_shared<const rns::RnsBase>(live_primes);
+        data->full = std::make_shared<const rns::RnsBase>(
+            rns::RnsBase::concat(*data->q, *p_));
+
+        // Reuse level 0's twiddle ROMs: the live q primes are a prefix
+        // of the level-0 q base and the p primes sit after ALL level-0
+        // q primes in the full context.
+        std::vector<size_t> q_indices(live);
+        for (size_t i = 0; i < live; ++i)
+            q_indices[i] = i;
+        data->q_context = ntt::NttContext::select(q_context_, q_indices);
+        std::vector<size_t> full_indices(q_indices);
+        for (size_t i = 0; i < p_->size(); ++i)
+            full_indices.push_back(config_.q_prime_count + i);
+        data->full_context =
+            ntt::NttContext::select(full_context_, full_indices);
+
+        data->lift = rns::FastBaseConverter(*data->q, *p_);
+        data->scale_back = rns::FastBaseConverter(*p_, *data->q);
+        data->scaler =
+            rns::ScaleRounder(*data->q, *p_, config_.plain_modulus);
+
+        // The switch INTO this level divides by the prime the source
+        // level drops (the last prime live one level up): t = 1 turns
+        // ScaleRounder into plain divide-and-round by that prime.
+        const rns::RnsBase dropped({q_->modulus(live).value()});
+        data->mod_switch_in = rns::ScaleRounder(dropped, *data->q, 1);
+
+        data->delta = data->q->product() /
+                      mp::BigInt::fromUint64(config_.plain_modulus);
+        data->delta_residues.resize(live);
+        for (size_t i = 0; i < live; ++i)
+            data->delta_residues[i] =
+                data->delta.modUint64(data->q->modulus(i).value());
+
+        levels_[level] = std::move(data);
+    }
+    return *levels_[level];
+}
+
+const std::shared_ptr<const rns::RnsBase> &
+FvParams::qBase(size_t level) const
+{
+    return level == 0 ? q_ : levelData(level).q;
+}
+
+const std::shared_ptr<const rns::RnsBase> &
+FvParams::fullBase(size_t level) const
+{
+    return level == 0 ? full_ : levelData(level).full;
+}
+
+const ntt::NttContext &
+FvParams::qContext(size_t level) const
+{
+    return level == 0 ? q_context_ : levelData(level).q_context;
+}
+
+const ntt::NttContext &
+FvParams::fullContext(size_t level) const
+{
+    return level == 0 ? full_context_ : levelData(level).full_context;
+}
+
+const rns::FastBaseConverter &
+FvParams::liftConverter(size_t level) const
+{
+    return level == 0 ? lift_ : levelData(level).lift;
+}
+
+const rns::FastBaseConverter &
+FvParams::scaleBackConverter(size_t level) const
+{
+    return level == 0 ? scale_back_ : levelData(level).scale_back;
+}
+
+const rns::ScaleRounder &
+FvParams::scaler(size_t level) const
+{
+    return level == 0 ? scaler_ : levelData(level).scaler;
+}
+
+const rns::ScaleRounder &
+FvParams::modSwitchRounder(size_t from_level) const
+{
+    fatalIf(from_level >= maxLevel(),
+            "cannot mod-switch past the last level");
+    return levelData(from_level + 1).mod_switch_in;
+}
+
+const mp::BigInt &
+FvParams::delta(size_t level) const
+{
+    return level == 0 ? delta_ : levelData(level).delta;
+}
+
+const std::vector<uint64_t> &
+FvParams::deltaResidues(size_t level) const
+{
+    return level == 0 ? delta_residues_ : levelData(level).delta_residues;
+}
+
+size_t
+FvParams::levelForResidueCount(size_t residues) const
+{
+    const size_t kq = config_.q_prime_count;
+    const size_t kp = config_.p_prime_count;
+    if (residues >= 1 && residues <= kq)
+        return kq - residues;
+    fatalIf(residues <= kp || residues > kq + kp,
+            "residue count matches no level's q or full base");
+    return kq + kp - residues;
 }
 
 std::shared_ptr<const FvParams>

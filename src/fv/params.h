@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "mp/bigint.h"
@@ -75,50 +76,85 @@ class FvParams
     double sigma() const { return config_.sigma; }
     const FvConfig &config() const { return config_; }
 
-    /** @return ciphertext base q (the first q_prime_count primes). */
-    const std::shared_ptr<const rns::RnsBase> &qBase() const { return q_; }
+    // --- modulus-switching levels ----------------------------------------
+    //
+    // Level l of the chain keeps the FIRST q_prime_count - l primes of
+    // the level-0 ciphertext base (a prefix, so residue index i always
+    // refers to the same prime at every level). Level 0 is the full base
+    // the parameter set was built with; each mod-switch drops the last
+    // live prime. All level accessors take a defaulted level argument so
+    // level-unaware call sites keep compiling unchanged. Per-level data
+    // is built lazily (thread-safe) and NTT twiddle tables are shared
+    // with level 0, so deep chains cost no extra ROM.
 
-    /** @return auxiliary base p. */
+    /** @return the deepest usable level (one q prime left). */
+    size_t maxLevel() const { return config_.q_prime_count - 1; }
+
+    /** @return number of live q primes at @p level. */
+    size_t qPrimeCount(size_t level = 0) const
+    {
+        return config_.q_prime_count - level;
+    }
+
+    /** @return ciphertext base q at @p level (prefix of level 0's). */
+    const std::shared_ptr<const rns::RnsBase> &qBase(size_t level = 0) const;
+
+    /** @return auxiliary base p (level-independent). */
     const std::shared_ptr<const rns::RnsBase> &pBase() const { return p_; }
 
-    /** @return full base Q = q * p (q primes first). */
-    const std::shared_ptr<const rns::RnsBase> &fullBase() const
+    /** @return full base Q_l = q_l * p (live q primes first). */
+    const std::shared_ptr<const rns::RnsBase> &fullBase(
+        size_t level = 0) const;
+
+    /** @return NTT context over the level's q base. */
+    const ntt::NttContext &qContext(size_t level = 0) const;
+
+    /** @return NTT context over the level's full base. */
+    const ntt::NttContext &fullContext(size_t level = 0) const;
+
+    /** @return the q_l -> p base converter (Lift q->Q, HPS). */
+    const rns::FastBaseConverter &liftConverter(size_t level = 0) const;
+
+    /** @return the p -> q_l base converter (Scale's final base switch). */
+    const rns::FastBaseConverter &scaleBackConverter(size_t level = 0) const;
+
+    /** @return the HPS scale-and-round engine for the level. */
+    const rns::ScaleRounder &scaler(size_t level = 0) const;
+
+    /**
+     * @return the divide-and-round engine for mod-switching OUT of
+     * @p from_level: round(x / q_last) from the level's basis into the
+     * level+1 basis (a ScaleRounder with q = {dropped prime},
+     * p = remaining primes, t = 1). Requires from_level < maxLevel().
+     */
+    const rns::ScaleRounder &modSwitchRounder(size_t from_level) const;
+
+    /** @return Delta_l = floor(q_l / t). */
+    const mp::BigInt &delta(size_t level = 0) const;
+
+    /** @return Delta_l mod q_i for each live q prime. */
+    const std::vector<uint64_t> &deltaResidues(size_t level = 0) const;
+
+    /** @return number of RNS relinearization digits (= live q primes). */
+    size_t rnsDigitCount(size_t level = 0) const
     {
-        return full_;
+        return q_->size() - level;
     }
 
-    /** @return NTT context over the q base. */
-    const ntt::NttContext &qContext() const { return q_context_; }
-
-    /** @return NTT context over the full base. */
-    const ntt::NttContext &fullContext() const { return full_context_; }
-
-    /** @return the q -> p base converter (Lift q->Q, HPS). */
-    const rns::FastBaseConverter &liftConverter() const { return lift_; }
-
-    /** @return the p -> q base converter (Scale's final base switch). */
-    const rns::FastBaseConverter &scaleBackConverter() const
+    /** @return log2 of q_l, rounded up to whole bits. */
+    int qBits(size_t level = 0) const
     {
-        return scale_back_;
+        return qBase(level)->product().bitLength();
     }
 
-    /** @return the HPS scale-and-round engine. */
-    const rns::ScaleRounder &scaler() const { return scaler_; }
-
-    /** @return Delta = floor(q / t). */
-    const mp::BigInt &delta() const { return delta_; }
-
-    /** @return Delta mod q_i for each q-base prime. */
-    const std::vector<uint64_t> &deltaResidues() const
-    {
-        return delta_residues_;
-    }
-
-    /** @return number of RNS relinearization digits (= q primes). */
-    size_t rnsDigitCount() const { return q_->size(); }
-
-    /** @return log2 of q, rounded up to whole bits. */
-    int qBits() const { return q_->product().bitLength(); }
+    /**
+     * Map a residue count to the ciphertext level it implies, for
+     * records whose base is either q_l (count = live q primes) or the
+     * full base Q_l (count = live q primes + p primes). Counts are
+     * unambiguous: q counts are 1..q_prime_count, full counts start at
+     * q_prime_count + 1 because p has more primes than q drops.
+     */
+    size_t levelForResidueCount(size_t residues) const;
 
     /**
      * Rough security estimate in bits for (n, log q) using the
@@ -131,6 +167,25 @@ class FvParams
   private:
     explicit FvParams(const FvConfig &config);
 
+    /** Everything level-dependent, built lazily per level >= 1. */
+    struct LevelData
+    {
+        std::shared_ptr<const rns::RnsBase> q;
+        std::shared_ptr<const rns::RnsBase> full;
+        ntt::NttContext q_context;
+        ntt::NttContext full_context;
+        rns::FastBaseConverter lift;
+        rns::FastBaseConverter scale_back;
+        rns::ScaleRounder scaler;
+        /** round(x / dropped prime) engine for the switch INTO here. */
+        rns::ScaleRounder mod_switch_in;
+        mp::BigInt delta;
+        std::vector<uint64_t> delta_residues;
+    };
+
+    /** @return level data for @p level >= 1, building it if needed. */
+    const LevelData &levelData(size_t level) const;
+
     FvConfig config_;
     std::shared_ptr<const rns::RnsBase> q_;
     std::shared_ptr<const rns::RnsBase> p_;
@@ -142,6 +197,9 @@ class FvParams
     rns::ScaleRounder scaler_;
     mp::BigInt delta_;
     std::vector<uint64_t> delta_residues_;
+    mutable std::mutex level_mu_;
+    /** levels_[l] for l >= 1; index 0 unused (level 0 is the above). */
+    mutable std::vector<std::unique_ptr<const LevelData>> levels_;
 };
 
 } // namespace heat::fv

@@ -10,7 +10,10 @@ namespace heat::fv {
 namespace {
 
 constexpr uint32_t kMagic = 0x54414548; // "HEAT" little-endian
-constexpr uint32_t kVersion = 1;
+// Version 2 adds the ciphertext level field (one u32 before the part
+// count). Version-1 streams are still accepted and load at level 0.
+constexpr uint32_t kVersion = 2;
+constexpr uint32_t kMinVersion = 1;
 
 enum class PayloadKind : uint32_t
 {
@@ -67,12 +70,13 @@ writeHeader(std::ostream &out, PayloadKind kind, uint64_t fingerprint)
     writeU64(out, fingerprint);
 }
 
-void
+uint32_t
 readHeader(std::istream &in, PayloadKind kind, uint64_t fingerprint)
 {
     fatalIf(readU32(in) != kMagic, "bad magic: not a HEAT stream");
     const uint32_t version = readU32(in);
-    fatalIf(version != kVersion, "unsupported stream version ", version);
+    fatalIf(version < kMinVersion || version > kVersion,
+            "unsupported stream version ", version);
     const uint32_t got_kind = readU32(in);
     fatalIf(got_kind != static_cast<uint32_t>(kind),
             "unexpected payload kind ", got_kind);
@@ -80,6 +84,7 @@ readHeader(std::istream &in, PayloadKind kind, uint64_t fingerprint)
     fatalIf(got_fp != fingerprint,
             "parameter fingerprint mismatch: stream was produced with a "
             "different parameter set");
+    return version;
 }
 
 void
@@ -95,7 +100,8 @@ writePoly(std::ostream &out, const ntt::RnsPoly &poly)
 }
 
 ntt::RnsPoly
-readPoly(const std::shared_ptr<const FvParams> &params, std::istream &in)
+readPoly(const std::shared_ptr<const FvParams> &params, std::istream &in,
+         size_t level = 0)
 {
     const uint32_t residues = readU32(in);
     const uint32_t degree = readU32(in);
@@ -103,12 +109,13 @@ readPoly(const std::shared_ptr<const FvParams> &params, std::istream &in)
     fatalIf(degree != params->degree(), "degree mismatch in stream");
 
     std::shared_ptr<const rns::RnsBase> base;
-    if (residues == params->qBase()->size())
-        base = params->qBase();
-    else if (residues == params->fullBase()->size())
-        base = params->fullBase();
+    if (residues == params->qBase(level)->size())
+        base = params->qBase(level);
+    else if (residues == params->fullBase(level)->size())
+        base = params->fullBase(level);
     else
-        fatal("stream polynomial has unexpected residue count ", residues);
+        fatal("stream polynomial has unexpected residue count ", residues,
+              " for level ", level);
 
     ntt::RnsPoly poly(base, degree,
                       ntt_form ? ntt::PolyForm::kNtt
@@ -194,6 +201,9 @@ saveCiphertext(const FvParams &params, const Ciphertext &ct,
                std::ostream &out)
 {
     writeHeader(out, PayloadKind::kCiphertext, paramsFingerprint(params));
+    fatalIf(ct.level > params.maxLevel(),
+            "ciphertext level out of range for this parameter set");
+    writeU32(out, static_cast<uint32_t>(ct.level));
     writeU32(out, static_cast<uint32_t>(ct.size()));
     for (const auto &poly : ct.polys)
         writePoly(out, poly);
@@ -203,19 +213,24 @@ Ciphertext
 loadCiphertext(const std::shared_ptr<const FvParams> &params,
                std::istream &in)
 {
-    readHeader(in, PayloadKind::kCiphertext, paramsFingerprint(*params));
+    const uint32_t version =
+        readHeader(in, PayloadKind::kCiphertext, paramsFingerprint(*params));
     Ciphertext ct;
+    // Version-1 streams predate levels: everything was level 0.
+    ct.level = version >= 2 ? readU32(in) : 0;
+    fatalIf(ct.level > params->maxLevel(),
+            "stream ciphertext level out of range");
     const uint32_t count = readU32(in);
     fatalIf(count < 2 || count > 3, "ciphertext with ", count, " parts");
     for (uint32_t i = 0; i < count; ++i)
-        ct.polys.push_back(readPoly(params, in));
+        ct.polys.push_back(readPoly(params, in, ct.level));
     return ct;
 }
 
 size_t
 ciphertextByteSize(const FvParams & /*params*/, const Ciphertext &ct)
 {
-    size_t size = 4 + 4 + 4 + 8 + 4; // header + count
+    size_t size = 4 + 4 + 4 + 8 + 4 + 4; // header + level + count
     for (const auto &poly : ct.polys)
         size += 12 + poly.data().size() * 4;
     return size;

@@ -28,6 +28,8 @@ opcodeName(Opcode op)
         return "Galois Automorphism";
       case Opcode::kKeyLoad:
         return "Key-switch-key DMA";
+      case Opcode::kModSwitch:
+        return "Modulus Switch";
     }
     return "?";
 }
@@ -58,6 +60,8 @@ mnemonic(Opcode op)
         return "autmp";
       case Opcode::kKeyLoad:
         return "kload";
+      case Opcode::kModSwitch:
+        return "mswitch";
     }
     return "?";
 }

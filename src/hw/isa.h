@@ -21,6 +21,11 @@
  *                          the Scale unit's reduce lanes)
  *   kKeyLoad               DMA one key-switching key pair from DDR
  *                          (relinearization or Galois, selected by aux)
+ *   kModSwitch             modulus switch: dst = round(src0 / q_last)
+ *                          over the basis with the last live prime
+ *                          dropped (dst is allocated one level deeper;
+ *                          runs on the Scale unit's divide-and-round
+ *                          datapath with t = 1)
  */
 
 #ifndef HEAT_HW_ISA_H
@@ -49,6 +54,7 @@ enum class Opcode : uint8_t
     kScale,
     kAutomorph,
     kKeyLoad,
+    kModSwitch,
 };
 
 /** @return a printable mnemonic. */

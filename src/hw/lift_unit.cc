@@ -14,9 +14,10 @@ void
 LiftUnit::run(MemoryFile &memory, PolyId id) const
 {
     const size_t n = memory.degree();
-    const size_t kq = params_->qBase()->size();
+    const size_t level = memory.record(id).level;
+    const size_t kq = params_->qPrimeCount(level);
     const size_t kp = params_->pBase()->size();
-    const auto &conv = params_->liftConverter();
+    const auto &conv = params_->liftConverter(level);
 
     // The ProgramBuilder pre-extends the record at build time (static
     // slot accounting); a standalone caller may pass a plain q record.
@@ -44,15 +45,22 @@ LiftUnit::run(MemoryFile &memory, PolyId id) const
 }
 
 Cycle
-LiftUnit::cycles() const
+LiftUnit::cycles(size_t level) const
 {
     const size_t n = params_->degree();
     const size_t cores = config_.lift_scale_cores;
     const int beat = config_.lift_scale_arch == LiftScaleArch::kHps
                          ? config_.lift_beat
                          : config_.trad_lift_beat;
+    // The Block-1/Block-5 sequential chains iterate over the live input
+    // residues, so the per-coefficient beat shrinks proportionally when
+    // dropped levels leave fewer q lanes to stream.
+    const size_t kq = params_->qBase()->size();
+    const size_t live = params_->qPrimeCount(level);
+    const int level_beat = static_cast<int>(
+        (static_cast<size_t>(beat) * live + kq - 1) / kq);
     return static_cast<Cycle>(config_.lift_fill +
-                              (n + cores - 1) / cores * beat);
+                              (n + cores - 1) / cores * level_beat);
 }
 
 } // namespace heat::hw

@@ -36,12 +36,15 @@ class LiftUnit
 
     /**
      * Execute the lift on record @p id in @p memory (must be a q-base
-     * polynomial in natural layout); extends it to the full base.
+     * polynomial in natural layout); extends it to the full base. The
+     * record's modulus-switching level selects the live input lanes.
      */
     void run(MemoryFile &memory, PolyId id) const;
 
-    /** Cycle cost of one lift instruction (all cores, whole poly). */
-    Cycle cycles() const;
+    /** Cycle cost of one lift instruction (all cores, whole poly) at
+     *  modulus-switching level @p level: the sequential input chain
+     *  shortens with the live residues. */
+    Cycle cycles(size_t level = 0) const;
 
   private:
     std::shared_ptr<const fv::FvParams> params_;

@@ -45,28 +45,38 @@ MemoryFile::reset()
     records_.clear();
     in_use_ = 0;
     peak_ = 0;
+    level_ = 0;
 }
 
 PolyId
 MemoryFile::allocate(BaseTag tag, Layout layout, const char *what)
 {
-    const size_t need = slotsFor(tag);
-    if (in_use_ + need > capacity_) {
-        size_t live = 0;
+    return allocateAt(tag, layout, level_, what);
+}
+
+PolyId
+MemoryFile::allocateAt(BaseTag tag, Layout layout, size_t level,
+                       const char *what)
+{
+    panicIf(level > params_->maxLevel(), "allocation level out of range");
+    const size_t live = liveResidues(tag, level);
+    if (in_use_ + live > capacity_) {
+        size_t live_records = 0;
         for (const PolyRecord &rec : records_) {
             if (rec.valid && !rec.released)
-                ++live;
+                ++live_records;
         }
-        fatal(pressureMessage("memory file", need, in_use_, capacity_,
-                              peak_, live, what));
+        fatal(pressureMessage("memory file", live, in_use_, capacity_,
+                              peak_, live_records, what));
     }
-    in_use_ += need;
+    in_use_ += live;
     peak_ = std::max(peak_, in_use_);
 
     PolyRecord rec;
     rec.base = tag;
-    rec.layout.assign(residueCount(tag), layout);
-    rec.data.assign(residueCount(tag) * params_->degree(), 0);
+    rec.level = level;
+    rec.layout.assign(live, layout);
+    rec.data.assign(live * params_->degree(), 0);
     rec.valid = true;
     records_.push_back(std::move(rec));
     return static_cast<PolyId>(records_.size() - 1);
@@ -87,7 +97,7 @@ MemoryFile::release(PolyId id)
 {
     PolyRecord &rec = record(id);
     panicIf(rec.released, "double release of polynomial ", id);
-    in_use_ -= slotsFor(rec.base);
+    in_use_ -= liveResidues(rec.base, rec.level);
     rec.released = true;
 }
 
@@ -111,8 +121,9 @@ MemoryFile::extendToFull(PolyId id, const char *what)
     in_use_ += extra;
     peak_ = std::max(peak_, in_use_);
     rec.base = BaseTag::kFull;
-    rec.layout.resize(residueCount(BaseTag::kFull), Layout::kNatural);
-    rec.data.resize(residueCount(BaseTag::kFull) * params_->degree(), 0);
+    const size_t live = liveResidues(BaseTag::kFull, rec.level);
+    rec.layout.resize(live, Layout::kNatural);
+    rec.data.resize(live * params_->degree(), 0);
 }
 
 PolyRecord &
@@ -134,12 +145,15 @@ MemoryFile::record(PolyId id) const
 PolyId
 MemoryFile::import(const ntt::RnsPoly &poly, Layout layout)
 {
-    const BaseTag tag = poly.residueCount() == residueCount(BaseTag::kQ)
-                            ? BaseTag::kQ
-                            : BaseTag::kFull;
-    panicIf(poly.residueCount() != residueCount(tag),
-            "imported polynomial has unexpected residue count");
-    PolyId id = allocate(tag, layout);
+    // Infer base tag AND level from the residue count (q counts and
+    // full counts never collide for the supported parameter sets).
+    const size_t level =
+        params_->levelForResidueCount(poly.residueCount());
+    const BaseTag tag =
+        poly.residueCount() == params_->qBase(level)->size()
+            ? BaseTag::kQ
+            : BaseTag::kFull;
+    PolyId id = allocateAt(tag, layout, level, "operand import");
     record(id).data = poly.data();
     return id;
 }
@@ -148,8 +162,9 @@ ntt::RnsPoly
 MemoryFile::exportPoly(PolyId id) const
 {
     const PolyRecord &rec = record(id);
-    const auto base = rec.base == BaseTag::kQ ? params_->qBase()
-                                              : params_->fullBase();
+    const auto base = rec.base == BaseTag::kQ
+                          ? params_->qBase(rec.level)
+                          : params_->fullBase(rec.level);
     ntt::RnsPoly poly(base, params_->degree(), ntt::PolyForm::kCoeff);
     poly.data() = rec.data;
     return poly;
@@ -159,9 +174,10 @@ ntt::RnsPoly
 MemoryFile::exportQBase(PolyId id) const
 {
     const PolyRecord &rec = record(id);
-    const size_t words = residueCount(BaseTag::kQ) * params_->degree();
+    const size_t words =
+        liveResidues(BaseTag::kQ, rec.level) * params_->degree();
     panicIf(rec.data.size() < words, "record smaller than the q base");
-    ntt::RnsPoly poly(params_->qBase(), params_->degree(),
+    ntt::RnsPoly poly(params_->qBase(rec.level), params_->degree(),
                       ntt::PolyForm::kCoeff);
     std::copy(rec.data.begin(),
               rec.data.begin() + static_cast<ptrdiff_t>(words),
@@ -203,15 +219,15 @@ CountingAllocator::overflow(size_t need, const char *what) const
 PolyId
 CountingAllocator::allocate(BaseTag tag, Layout layout, const char *what)
 {
-    const size_t need = residueCount(tag);
+    const size_t need = liveResidues(tag, level_);
     if (in_use_ + need > capacity_)
         overflow(need, what);
     in_use_ += need;
     peak_ = std::max(peak_, in_use_);
-    records_.push_back(Rec{tag, false});
+    records_.push_back(Rec{tag, level_, false});
     const PolyId id = static_cast<PolyId>(records_.size() - 1);
     actions_.push_back(
-        SlotAction{SlotAction::Kind::kAllocate, id, tag, layout});
+        SlotAction{SlotAction::Kind::kAllocate, id, tag, layout, level_});
     return id;
 }
 
@@ -221,10 +237,10 @@ CountingAllocator::release(PolyId id)
     panicIf(id >= records_.size(), "invalid polynomial id ", id);
     Rec &rec = records_[id];
     panicIf(rec.released, "double release of polynomial ", id);
-    in_use_ -= residueCount(rec.base);
+    in_use_ -= liveResidues(rec.base, rec.level);
     rec.released = true;
     actions_.push_back(SlotAction{SlotAction::Kind::kRelease, id,
-                                  rec.base, Layout::kNatural});
+                                  rec.base, Layout::kNatural, rec.level});
 }
 
 void
@@ -240,7 +256,8 @@ CountingAllocator::extendToFull(PolyId id, const char *what)
     peak_ = std::max(peak_, in_use_);
     rec.base = BaseTag::kFull;
     actions_.push_back(SlotAction{SlotAction::Kind::kExtend, id,
-                                  BaseTag::kFull, Layout::kNatural});
+                                  BaseTag::kFull, Layout::kNatural,
+                                  rec.level});
 }
 
 void
@@ -249,6 +266,7 @@ replaySlotActions(MemoryFile &memory, std::span<const SlotAction> actions)
     for (const SlotAction &action : actions) {
         switch (action.kind) {
           case SlotAction::Kind::kAllocate: {
+            memory.setLevel(action.level);
             const PolyId id = memory.allocate(action.base, action.layout);
             panicIf(id != action.id,
                     "slot replay diverged: allocated id ", id,

@@ -100,6 +100,8 @@ struct SlotAction
     BaseTag base = BaseTag::kQ;
     /** Initial layout (kAllocate only). */
     Layout layout = Layout::kNatural;
+    /** Modulus-switching level of the allocation (kAllocate only). */
+    size_t level = 0;
 
     bool operator==(const SlotAction &o) const = default;
 };
@@ -146,18 +148,42 @@ class SlotAllocator
     /** @return maximum slots ever allocated (memory high-water mark). */
     virtual size_t peakSlots() const = 0;
 
-    /** @return residue count of base @p tag. */
+    /** @return residue count of base @p tag at level 0. */
     virtual size_t residueCount(BaseTag tag) const = 0;
+
+    /**
+     * Set the modulus-switching level of subsequent allocations. A
+     * level-l polynomial spans residueCount(tag) - l residue slots (the
+     * dropped q primes free their RPAU slots — the capacity win
+     * level-aware datapaths are built around). Emitters set this before
+     * allocating the outputs of a mod-switched region.
+     */
+    void setLevel(size_t level) { level_ = level; }
+
+    /** @return the level applied to new allocations. */
+    size_t level() const { return level_; }
+
+    /** @return live residues of a level-l polynomial over @p tag. */
+    size_t liveResidues(BaseTag tag, size_t level) const
+    {
+        return residueCount(tag) - level;
+    }
 
     /** @return slots still free. */
     size_t freeSlots() const { return capacity() - slotsInUse(); }
+
+  protected:
+    size_t level_ = 0;
 };
 
 /** A polynomial resident in the memory file. */
 struct PolyRecord
 {
     BaseTag base = BaseTag::kQ;
-    /** Layout per residue (size = residue count). */
+    /** Modulus-switching level: the record spans the live residues of
+     *  its level's basis (layout.size() = live count). */
+    size_t level = 0;
+    /** Layout per residue (size = live residue count). */
     std::vector<Layout> layout;
     /** Residue-major coefficient data. */
     std::vector<uint64_t> data;
@@ -223,6 +249,15 @@ class MemoryFile : public SlotAllocator
     /** @return const record (must be valid). */
     const PolyRecord &record(PolyId id) const;
 
+    /** @return the level of @p id's record, or 0 when @p id does not
+     *  name a valid record (level-0 costs for bare cost queries). */
+    size_t recordLevel(PolyId id) const
+    {
+        return id < records_.size() && records_[id].valid
+                   ? records_[id].level
+                   : 0;
+    }
+
     /** Copy an RnsPoly into a fresh record (operand upload). */
     PolyId import(const ntt::RnsPoly &poly, Layout layout);
 
@@ -245,7 +280,8 @@ class MemoryFile : public SlotAllocator
     const fv::FvParams &params() const { return *params_; }
 
   private:
-    size_t slotsFor(BaseTag tag) const { return residueCount(tag); }
+    PolyId allocateAt(BaseTag tag, Layout layout, size_t level,
+                      const char *what);
 
     std::shared_ptr<const fv::FvParams> params_;
     size_t capacity_;
@@ -295,6 +331,7 @@ class CountingAllocator : public SlotAllocator
     struct Rec
     {
         BaseTag base = BaseTag::kQ;
+        size_t level = 0;
         bool released = false;
     };
 

@@ -81,9 +81,17 @@ OpEmitter::OpEmitter(const fv::FvParams &params, SlotAllocator &alloc,
 PolyId
 OpEmitter::zeroSlot()
 {
-    if (zero_ == kNoPoly)
+    if (zero_ == kNoPoly) {
+        // Always allocated at level 0: a full-size zero record is a
+        // valid zero at every level (coeff ops read the live prefix),
+        // so one shared constant serves the whole program regardless of
+        // how deep the mod-switched regions go.
+        const size_t level = alloc_.level();
+        alloc_.setLevel(0);
         zero_ = alloc_.allocate(BaseTag::kQ, Layout::kNatural,
                                 "zero constant");
+        alloc_.setLevel(level);
+    }
     return zero_;
 }
 
@@ -299,7 +307,7 @@ OpEmitter::MultResult
 OpEmitter::finishTensor(PolyId s0, PolyId s1, PolyId s2, bool want_digits,
                         bool want_c2)
 {
-    const size_t digits = params_.rnsDigitCount();
+    const size_t digits = params_.rnsDigitCount(alloc_.level());
     MultResult result;
 
     PolyId c0 =
@@ -400,6 +408,28 @@ OpEmitter::emitRelin(PolyId c0, PolyId c1,
 }
 
 std::array<PolyId, 2>
+OpEmitter::emitModSwitch(std::array<PolyId, 2> a, bool consume)
+{
+    const size_t from = alloc_.level();
+    panicIf(from >= params_.maxLevel(),
+            "cannot mod-switch past the last level");
+    // Results live one level deeper; the allocator stays there so the
+    // rest of the region emits against the shrunken basis.
+    alloc_.setLevel(from + 1);
+    std::array<PolyId, 2> out;
+    for (int i = 0; i < 2; ++i) {
+        out[i] = alloc_.allocate(BaseTag::kQ, Layout::kNatural,
+                                 "ModSwitch result");
+        p_.instrs.push_back(make(Opcode::kModSwitch, out[i], a[i]));
+    }
+    if (consume) {
+        alloc_.release(a[0]);
+        alloc_.release(a[1]);
+    }
+    return out;
+}
+
+std::array<PolyId, 2>
 OpEmitter::emitApplyGalois(std::array<PolyId, 2> a,
                            uint32_t galois_element)
 {
@@ -408,7 +438,7 @@ OpEmitter::emitApplyGalois(std::array<PolyId, 2> a,
     if (galois_element == 1)
         return {copyPoly(a[0]), copyPoly(a[1])};
 
-    const size_t digit_count = params_.rnsDigitCount();
+    const size_t digit_count = params_.rnsDigitCount(alloc_.level());
 
     // tau_g(c1) is never materialized: each permutation pass streams
     // straight into one lane of the WordDecomp broadcast (the Scale
@@ -480,7 +510,7 @@ OpEmitter::emitApplyGalois(std::array<PolyId, 2> a,
 std::vector<PolyId>
 OpEmitter::emitDecomposeNtt(PolyId c1)
 {
-    const size_t digit_count = params_.rnsDigitCount();
+    const size_t digit_count = params_.rnsDigitCount(alloc_.level());
     std::vector<PolyId> digits;
     digits.reserve(digit_count);
     for (size_t i = 0; i < digit_count; ++i)

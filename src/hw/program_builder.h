@@ -172,6 +172,17 @@ class OpEmitter
                                     const std::vector<PolyId> &digits,
                                     bool consume_c01 = true);
 
+    /**
+     * Modulus switch: both ciphertext polynomials divide-and-round
+     * from the allocator's current level to the next one on the Scale
+     * unit's datapath. Results (and the allocator, which stays at the
+     * deeper level for the rest of the region) sit at level + 1; with
+     * consume the input slots are released. Bit-exact with
+     * fv::Evaluator::modSwitch.
+     */
+    std::array<PolyId, 2> emitModSwitch(std::array<PolyId, 2> a,
+                                        bool consume = true);
+
     // --- Galois automorphisms (rotations) -------------------------------
 
     /**

@@ -27,10 +27,11 @@ ScaleUnit::run(MemoryFile &memory, PolyId src, PolyId dst,
     PolyRecord &out = memory.record(dst);
 
     const size_t n = memory.degree();
-    const size_t kq = params_->qBase()->size();
+    const size_t level = in.level;
+    const size_t kq = params_->qPrimeCount(level);
     const size_t kp = params_->pBase()->size();
-    const auto &scaler = params_->scaler();
-    const auto &back = params_->scaleBackConverter();
+    const auto &scaler = params_->scaler(level);
+    const auto &back = params_->scaleBackConverter(level);
     const bool hps = config_.lift_scale_arch == LiftScaleArch::kHps;
 
     panicIf(!digits.empty() && digits.size() != kq,
@@ -56,7 +57,7 @@ ScaleUnit::run(MemoryFile &memory, PolyId src, PolyId dst,
             PolyRecord &dig = memory.record(digits[d]);
             for (size_t c = 0; c < kq; ++c) {
                 dig.data[c * n + j] =
-                    params_->qBase()->modulus(c).reduce(res[d]);
+                    params_->qBase(level)->modulus(c).reduce(res[d]);
             }
         }
     }
@@ -68,16 +69,88 @@ ScaleUnit::run(MemoryFile &memory, PolyId src, PolyId dst,
     }
 }
 
+void
+ScaleUnit::runModSwitch(MemoryFile &memory, PolyId src, PolyId dst) const
+{
+    const PolyRecord &in = memory.record(src);
+    PolyRecord &out = memory.record(dst);
+    const size_t from_level = in.level;
+    panicIf(from_level >= params_->maxLevel(),
+            "mod-switch from the last level");
+    panicIf(out.level != from_level + 1,
+            "mod-switch destination must sit one level deeper");
+
+    const size_t n = memory.degree();
+    const size_t live = params_->qPrimeCount(from_level);
+    // The record may be slot-extended to the full base ahead of time (a
+    // fused program replays its static slot shapes, including a later
+    // in-place lift of this operand, before any instruction runs); the
+    // mod-switch itself only consumes the live q residues.
+    for (size_t i = 0; i < live; ++i)
+        panicIf(in.layout[i] != Layout::kNatural,
+                "mod-switch input must be natural order");
+    const auto &rounder = params_->modSwitchRounder(from_level);
+    const bool hps = config_.lift_scale_arch == LiftScaleArch::kHps;
+
+    // Same residue ordering as Evaluator::modSwitchPoly: the dropped
+    // prime's residue feeds the rounder's divisor lane first, followed
+    // by the surviving residues in basis order — keeping the hardware
+    // model and the software evaluator bit-exact.
+    std::vector<uint64_t> full(live), next(live - 1);
+    for (size_t j = 0; j < n; ++j) {
+        full[0] = in.data[(live - 1) * n + j];
+        for (size_t i = 0; i + 1 < live; ++i)
+            full[i + 1] = in.data[i * n + j];
+        if (hps)
+            rounder.scale(full, next);
+        else
+            rounder.scaleExact(full, next);
+        for (size_t i = 0; i + 1 < live; ++i)
+            out.data[i * n + j] = next[i];
+    }
+    for (size_t i = 0; i + 1 < live; ++i)
+        out.layout[i] = Layout::kNatural;
+}
+
 Cycle
-ScaleUnit::cycles() const
+ScaleUnit::cycles(size_t level) const
 {
     const size_t n = params_->degree();
     const size_t cores = config_.lift_scale_cores;
     const int beat = config_.lift_scale_arch == LiftScaleArch::kHps
                          ? config_.lift_beat
                          : config_.trad_scale_beat;
+    // The fractional MAC chain of Block 1 streams one input residue per
+    // cycle, so the beat shrinks with the live input lanes (m + kp of
+    // the full kq + kp at level 0).
+    const size_t kq = params_->qBase()->size();
+    const size_t kp = params_->pBase()->size();
+    const size_t lanes = params_->qPrimeCount(level) + kp;
+    const int level_beat = static_cast<int>(
+        (static_cast<size_t>(beat) * lanes + kq + kp - 1) / (kq + kp));
     return static_cast<Cycle>(config_.scale_fill +
-                              (n + cores - 1) / cores * beat);
+                              (n + cores - 1) / cores * level_beat);
+}
+
+Cycle
+ScaleUnit::modSwitchCycles(size_t level) const
+{
+    const size_t n = params_->degree();
+    const size_t cores = config_.lift_scale_cores;
+    const int beat = config_.lift_scale_arch == LiftScaleArch::kHps
+                         ? config_.lift_beat
+                         : config_.trad_scale_beat;
+    // A mod-switch streams only the live q residues (no p extension):
+    // the same divide-and-round datapath with far fewer input lanes.
+    const size_t kq = params_->qBase()->size();
+    const size_t kp = params_->pBase()->size();
+    const size_t lanes = params_->qPrimeCount(level);
+    int level_beat = static_cast<int>(
+        (static_cast<size_t>(beat) * lanes + kq + kp - 1) / (kq + kp));
+    if (level_beat < 1)
+        level_beat = 1;
+    return static_cast<Cycle>(config_.scale_fill +
+                              (n + cores - 1) / cores * level_beat);
 }
 
 } // namespace heat::hw

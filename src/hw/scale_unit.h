@@ -34,15 +34,31 @@ class ScaleUnit
 
     /**
      * Scale the full-base record @p src into the q-base record @p dst.
+     * The source record's modulus-switching level selects the live
+     * basis (dst must carry the same level).
      *
-     * @param digits optional pre-allocated q-base records (one per q
-     *        prime) receiving the WordDecomp digit broadcasts.
+     * @param digits optional pre-allocated q-base records (one per live
+     *        q prime) receiving the WordDecomp digit broadcasts.
      */
     void run(MemoryFile &memory, PolyId src, PolyId dst,
              const std::vector<PolyId> &digits) const;
 
-    /** Cycle cost of one scale instruction. */
-    Cycle cycles() const;
+    /**
+     * Modulus switch: dst = round(src / q_last) where q_last is the
+     * last live prime of the source level. @p src is a q-base record at
+     * level l in natural order; @p dst must be a q-base record at level
+     * l + 1. Reuses the divide-and-round datapath with t = 1 — the
+     * hardware twin of fv::Evaluator::modSwitchPoly (bit-exact).
+     */
+    void runModSwitch(MemoryFile &memory, PolyId src, PolyId dst) const;
+
+    /** Cycle cost of one scale instruction at level @p level (Block 1's
+     *  serial input chain shortens with the live residues). */
+    Cycle cycles(size_t level = 0) const;
+
+    /** Cycle cost of one mod-switch instruction at source level
+     *  @p level — scale-like, but streaming only the live q lanes. */
+    Cycle modSwitchCycles(size_t level) const;
 
   private:
     std::shared_ptr<const fv::FvParams> params_;

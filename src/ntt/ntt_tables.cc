@@ -41,4 +41,19 @@ NttContext::NttContext(const rns::RnsBase &base, size_t n) : n_(n)
         tables_.push_back(std::make_shared<NttTables>(base.modulus(i), n));
 }
 
+NttContext
+NttContext::select(const NttContext &parent,
+                   const std::vector<size_t> &indices)
+{
+    NttContext context;
+    context.n_ = parent.n_;
+    context.tables_.reserve(indices.size());
+    for (size_t index : indices) {
+        fatalIf(index >= parent.size(),
+                "NttContext::select index out of range");
+        context.tables_.push_back(parent.tables_[index]);
+    }
+    return context;
+}
+
 } // namespace heat::ntt

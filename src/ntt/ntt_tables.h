@@ -86,6 +86,16 @@ class NttContext
     /** Build tables for all moduli of @p base at degree @p n. */
     NttContext(const rns::RnsBase &base, size_t n);
 
+    /**
+     * Build a context that reuses (shares) a subset of @p parent's
+     * tables — table i of the result is parent table indices[i]. No
+     * twiddle ROM is duplicated; this is how the per-level contexts of
+     * a modulus-switching chain stay cheap (the level-l basis is a
+     * prefix of the level-0 basis).
+     */
+    static NttContext select(const NttContext &parent,
+                             const std::vector<size_t> &indices);
+
     /** @return tables for base modulus @p i. */
     const NttTables &tables(size_t i) const { return *tables_[i]; }
 

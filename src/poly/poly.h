@@ -72,12 +72,14 @@ struct PlanInfo
 };
 
 /**
- * Lowers one plaintext-coefficient polynomial (degree 1..15) over an
+ * Lowers one plaintext-coefficient polynomial (degree 1..31) over an
  * encrypted batched input into compiler::Circuits.
  *
- * The degree cap matches the depth the paper's parameter sizing story
- * revolves around: degree 15 is the largest degree whose
- * Paterson-Stockmeyer plan fits multiplicative depth 4. Coefficients
+ * Degree 15 is the largest degree whose Paterson-Stockmeyer plan fits
+ * the multiplicative depth 4 the paper's parameter sizing story
+ * revolves around; a degree 16..31 plan is depth 5 and needs the
+ * compiler's level assignment (CompilerOptions::auto_mod_switch) to
+ * compile under NoiseCheck::kReject on the depth-4 sets. Coefficients
  * are reduced modulo the plain modulus t (which must support batching)
  * and trailing zero coefficients are trimmed; the trimmed degree must
  * be at least 1.
@@ -86,7 +88,7 @@ class PolynomialEvaluator
 {
   public:
     /** Largest supported polynomial degree. */
-    static constexpr int kMaxDegree = 15;
+    static constexpr int kMaxDegree = 31;
 
     /**
      * @param params parameter set (plain modulus must support

@@ -63,6 +63,9 @@ ExecutionService::validateOperand(const fv::Ciphertext &ct) const
 {
     fatalIf(ct.size() != 2, "service operands must be size-2 "
                             "ciphertexts (relinearize first)");
+    fatalIf(ct.level != 0,
+            "service operands enter at level 0 — compiled circuits "
+            "carry their own mod-switches; got level ", ct.level);
     for (size_t i = 0; i < ct.size(); ++i) {
         fatalIf(ct[i].degree() != params_->degree() ||
                     ct[i].residueCount() != params_->qBase()->size(),

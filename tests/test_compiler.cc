@@ -586,5 +586,104 @@ TEST(Compiler, FullRowRotationLowersToACopyWithoutKeys)
         reference);
 }
 
+TEST(Compiler, AutoModSwitchSmallRingThreePaths)
+{
+    // CompilerOptions::auto_mod_switch rewrites the circuit with level
+    // drops before lowering; the compiled form, the op-by-op round
+    // trips, and the software evaluator all run the SAME lowered
+    // circuit (CompiledCircuit::circuit) and must agree bit for bit.
+    Universe u(77);
+    CircuitBuilder b;
+    ValueId v = b.input();
+    for (int i = 0; i < 4; ++i)
+        v = b.square(v);
+    b.output(v);
+    const Circuit circuit = b.build();
+
+    // t = 257 does not batch at n = 256; a constant plaintext keeps
+    // every coefficient exact through the squaring chain.
+    Plaintext m;
+    m.coeffs = {2};
+    std::vector<Ciphertext> inputs = {u.encryptor->encrypt(m)};
+
+    CompilerOptions options;
+    options.hw = u.config;
+    options.auto_mod_switch = true;
+    const CompiledCircuit compiled =
+        compiler::compileCircuit(u.params, circuit, options);
+
+    const std::vector<Ciphertext> reference = compiler::evaluateCircuit(
+        *u.evaluator, &u.rlk, compiled.circuit, inputs);
+    hw::Coprocessor cp(u.params, u.config, &u.rlk);
+    const std::vector<Ciphertext> fused =
+        compiler::runCompiledCircuit(cp, compiled, inputs);
+    hw::Coprocessor cp2(u.params, u.config, &u.rlk);
+    const std::vector<Ciphertext> op_by_op = compiler::runCircuitOpByOp(
+        cp2, u.params, compiled.circuit, inputs);
+
+    EXPECT_EQ(fused, reference);
+    EXPECT_EQ(op_by_op, reference);
+    ASSERT_EQ(fused.size(), 1u);
+    EXPECT_EQ(fused[0].level,
+              compiled.value_levels[compiled.circuit.outputs[0]]);
+    // 2^(2^4) = 65536 = 1 (mod 257).
+    EXPECT_EQ(u.decryptor->decrypt(fused[0]).coeffs[0], 1u);
+}
+
+TEST(Compiler, AutoModSwitchPaperDepthEightThreePaths)
+{
+    // The acceptance story of the level assignment: a depth-8 squaring
+    // chain on the paper set at t = 17 — double the depth-4 sizing,
+    // rejected outright without level drops — compiles under kReject
+    // with auto_mod_switch, runs bit-identically on all three
+    // execution paths, lands deep in the modulus chain, and decrypts
+    // exactly.
+    auto params = fv::FvParams::paper(17);
+    fv::KeyGenerator keygen(params, 201);
+    const fv::SecretKey sk = keygen.generateSecretKey();
+    const fv::PublicKey pk = keygen.generatePublicKey(sk);
+    const fv::RelinKeys rlk = keygen.generateRelinKeys(sk);
+    fv::Encryptor encryptor(params, pk, 202);
+    fv::Decryptor decryptor(params, fv::SecretKey{sk.s_ntt});
+    fv::Evaluator evaluator(params);
+
+    CircuitBuilder b;
+    ValueId v = b.input();
+    for (int i = 0; i < 8; ++i)
+        v = b.square(v);
+    b.output(v);
+
+    CompilerOptions options;
+    options.noise_check = compiler::NoiseCheck::kReject;
+    options.auto_mod_switch = true;
+    const CompiledCircuit compiled =
+        compiler::compileCircuit(params, b.build(), options);
+    EXPECT_GT(compiled.min_output_noise_budget_bits, 0.0);
+
+    Plaintext m;
+    m.coeffs = {2};
+    std::vector<Ciphertext> inputs = {encryptor.encrypt(m)};
+
+    const std::vector<Ciphertext> reference = compiler::evaluateCircuit(
+        evaluator, &rlk, compiled.circuit, inputs);
+    hw::Coprocessor cp(params, compiled.hw, &rlk);
+    const std::vector<Ciphertext> fused =
+        compiler::runCompiledCircuit(cp, compiled, inputs);
+    hw::Coprocessor cp2(params, compiled.hw, &rlk);
+    const std::vector<Ciphertext> op_by_op = compiler::runCircuitOpByOp(
+        cp2, params, compiled.circuit, inputs);
+
+    EXPECT_EQ(fused, reference);
+    EXPECT_EQ(op_by_op, reference);
+    ASSERT_EQ(fused.size(), 1u);
+    EXPECT_GT(fused[0].level, 0u);
+    EXPECT_GT(decryptor.invariantNoiseBudget(fused[0]), 0.0);
+    // 2^(2^8) mod 17: ord(2) = 8 divides 256, so the chain lands on 1.
+    const Plaintext out = decryptor.decrypt(fused[0]);
+    EXPECT_EQ(out.coeffs[0], 1u);
+    for (size_t i = 1; i < out.coeffs.size(); ++i)
+        ASSERT_EQ(out.coeffs[i], 0u) << "coeff " << i;
+}
+
 } // namespace
 } // namespace heat

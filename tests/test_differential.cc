@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <future>
 #include <memory>
 #include <span>
 #include <vector>
@@ -423,6 +424,108 @@ TEST(Differential, EvaluateCircuitMatchesCompiledRotationCircuit)
         compiler::runCircuitOpByOp(cp, u.params, circuit, in, &stats);
     EXPECT_EQ(fused, reference);
     EXPECT_EQ(op_by_op, reference);
+}
+
+TEST(Differential, ModSwitchBitExactAcrossRandomKeys)
+{
+    // A lone modulus switch: the ScaleUnit's divide-and-round over the
+    // dropped prime must reproduce fv::Evaluator::modSwitch bit for
+    // bit, and the downloaded ciphertext must carry the new level.
+    for (uint64_t key_seed : {18u, 36u}) {
+        Universe u(key_seed, /*t=*/257);
+        compiler::CircuitBuilder b;
+        b.output(b.modSwitch(b.input()));
+        const compiler::Circuit circuit = b.build();
+        for (uint64_t i = 0; i < 3; ++i) {
+            std::vector<Ciphertext> in = {
+                u.encryptor->encrypt(u.randomPlain(1500 * key_seed + i))};
+            Ciphertext hw = u.runHwCircuit(circuit, in)[0];
+            Ciphertext sw = u.evaluator->modSwitch(in[0]);
+            EXPECT_EQ(hw, sw) << "key seed " << key_seed << " draw " << i;
+            EXPECT_EQ(hw.level, 1u);
+            EXPECT_EQ(u.decryptor->decrypt(hw), u.decryptor->decrypt(sw));
+        }
+    }
+}
+
+TEST(Differential, MultModSwitchMultChainBitExact)
+{
+    // The level-transition composition the compiler's assignment pass
+    // emits: multiply at level 0, drop, multiply again at level 1 —
+    // fused, op-by-op, and the software evaluator must agree bit for
+    // bit, including the output level.
+    for (uint64_t key_seed : {23u, 47u}) {
+        Universe u(key_seed);
+        compiler::CircuitBuilder b;
+        const auto x = b.input();
+        const auto y = b.input();
+        const auto z = b.input();
+        const auto deep = b.modSwitch(b.mult(x, y));
+        b.output(b.mult(deep, b.modSwitch(z)));
+        const compiler::Circuit circuit = b.build();
+
+        std::vector<Ciphertext> in = {
+            u.encryptor->encrypt(u.randomPlain(1600 * key_seed)),
+            u.encryptor->encrypt(u.randomPlain(1700 * key_seed)),
+            u.encryptor->encrypt(u.randomPlain(1800 * key_seed))};
+        const std::vector<Ciphertext> fused = u.runHwCircuit(circuit, in);
+        const std::vector<Ciphertext> reference =
+            compiler::evaluateCircuit(*u.evaluator, &u.rlk, circuit, in);
+        hw::Coprocessor cp(u.params, u.config, &u.rlk, &u.gkeys);
+        const std::vector<Ciphertext> op_by_op =
+            compiler::runCircuitOpByOp(cp, u.params, circuit, in);
+        EXPECT_EQ(fused, reference) << "key seed " << key_seed;
+        EXPECT_EQ(op_by_op, reference) << "key seed " << key_seed;
+        ASSERT_EQ(fused.size(), 1u);
+        EXPECT_EQ(fused[0].level, 1u);
+    }
+}
+
+TEST(Differential, ServiceModSwitchChainsAcrossWorkerCounts)
+{
+    // Compiled circuits carrying their own level drops, dispatched
+    // through the serving layer at several worker counts: every result
+    // must be bit-identical to the software evaluator on the same
+    // circuit.
+    Universe u(71);
+    compiler::CircuitBuilder b;
+    const auto x = b.input();
+    const auto y = b.input();
+    b.output(b.mult(b.modSwitch(b.mult(x, y)), b.modSwitch(y)));
+    const compiler::Circuit circuit = b.build();
+
+    compiler::CompilerOptions options;
+    options.hw = u.config;
+    const auto compiled =
+        std::make_shared<const compiler::CompiledCircuit>(
+            compiler::compileCircuit(u.params, circuit, options));
+
+    for (size_t workers : {1u, 2u, 3u}) {
+        service::ServiceConfig cfg;
+        cfg.workers = workers;
+        cfg.hw = u.config;
+        service::ExecutionService svc(u.params, u.rlk, cfg);
+
+        std::vector<std::future<std::vector<Ciphertext>>> futures;
+        std::vector<std::vector<Ciphertext>> expected;
+        for (uint64_t i = 0; i < 4; ++i) {
+            std::vector<Ciphertext> in = {
+                u.encryptor->encrypt(
+                    u.randomPlain(2000 + 100 * workers + i)),
+                u.encryptor->encrypt(
+                    u.randomPlain(3000 + 100 * workers + i))};
+            expected.push_back(compiler::evaluateCircuit(
+                *u.evaluator, &u.rlk, circuit, in));
+            futures.push_back(svc.submitCompiled(compiled, std::move(in)));
+        }
+        for (size_t i = 0; i < futures.size(); ++i) {
+            const std::vector<Ciphertext> got = futures[i].get();
+            EXPECT_EQ(got, expected[i])
+                << "workers " << workers << " submission " << i;
+            EXPECT_EQ(got[0].level, 1u);
+        }
+        svc.drain();
+    }
 }
 
 TEST(Differential, ServiceMatchesEvaluatorUnderRandomLoad)

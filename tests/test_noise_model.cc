@@ -26,6 +26,7 @@
 #include "fv/keygen.h"
 #include "fv/noise.h"
 #include "fv/params.h"
+#include "mp/primality.h"
 
 namespace heat {
 namespace {
@@ -265,6 +266,196 @@ TEST(NoisePass, WarnAndOffStillCompileExhaustedCircuits)
     EXPECT_EQ(warn.noise_check, NoiseCheck::kWarn);
     EXPECT_NO_THROW(
         compiler::compileCircuit(params, squaringChain(5), warn));
+}
+
+TEST(NoiseSteps, ModSwitchStepConservativeAtEveryLevel)
+{
+    // Walk the whole modulus chain of the small ring: after every drop
+    // the model's modSwitchStep must stay conservative against the
+    // measured budget. (The budget can fall sharply on the last drops
+    // — the t*n/q' rounding floor dominates once q' is a single prime
+    // — and the model must track exactly that.)
+    for (uint64_t seed : {61u, 62u}) {
+        Rig rig(seed);
+        Tracked v{rig.encryptor->encrypt(rig.randomPlain(seed)),
+                  rig.model->freshLogNoise()};
+        expectConservative(rig, v, "fresh");
+        for (size_t level = 0; level < rig.params->maxLevel(); ++level) {
+            rig.evaluator->modSwitchInPlace(v.ct);
+            v.log_v = rig.model->modSwitchStep(v.log_v, level);
+            EXPECT_EQ(v.ct.level, level + 1);
+            expectConservative(rig, v, "after drop");
+        }
+    }
+}
+
+TEST(NoiseSteps, DeepLevelMultiplyStaysConservative)
+{
+    // multiplyStep/keySwitchStep take the level where the work runs:
+    // a square executed at level 1 must stay conservative against the
+    // truncated-basis measurement.
+    Rig rig(63);
+    Tracked v{rig.encryptor->encrypt(rig.randomPlain(63)),
+              rig.model->freshLogNoise()};
+    rig.evaluator->modSwitchInPlace(v.ct);
+    v.log_v = rig.model->modSwitchStep(v.log_v, 0);
+    const double predicted = rig.model->keySwitchStep(
+        rig.model->multiplyStep(v.log_v, v.log_v, 1), 1);
+    ASSERT_GT(rig.model->budgetBits(predicted), 0.0);
+    v.ct = rig.evaluator->square(v.ct, rig.rlk);
+    v.log_v = predicted;
+    EXPECT_EQ(v.ct.level, 1u);
+    expectConservative(rig, v, "level-1 square");
+}
+
+TEST(NoiseModelLevels, AverageCaseIsConservativePerDepthOnPaperSet)
+{
+    // The calibrated average-case model (CLT expansion plus empirical
+    // multiply headroom) is the bound the level-assignment pass plans
+    // with, so it must be conservative — predicted <= measured — at
+    // EVERY depth of a squaring chain on the paper ring, while staying
+    // within a few bits so the assignment is not hopelessly timid. The
+    // worst-case model is stricter than the average-case one
+    // throughout. t = 17 keeps per-depth losses small enough that the
+    // chain reaches depth 8 with measured budget to spare (constant
+    // plaintexts: t = 17 does not batch at n = 4096).
+    auto params = fv::FvParams::paper(17);
+    const NoiseModel avg(params, fv::NoiseBound::kAverageCase);
+    const NoiseModel worst(params);
+    fv::KeyGenerator keygen(params, 81);
+    const fv::SecretKey sk = keygen.generateSecretKey();
+    const fv::PublicKey pk = keygen.generatePublicKey(sk);
+    const fv::RelinKeys rlk = keygen.generateRelinKeys(sk);
+    fv::Encryptor encryptor(params, pk, 82);
+    fv::Decryptor decryptor(params, fv::SecretKey{sk.s_ntt});
+    fv::Evaluator evaluator(params);
+
+    Plaintext m;
+    m.coeffs = {2};
+    Ciphertext ct = encryptor.encrypt(m);
+    for (int depth = 0; depth <= 8; ++depth) {
+        if (depth > 0)
+            ct = evaluator.square(ct, rlk);
+        const double measured = decryptor.invariantNoiseBudget(ct);
+        const double predicted = avg.budgetAfterDepth(depth);
+        EXPECT_LE(predicted, measured) << "depth " << depth;
+        EXPECT_GE(predicted, measured - 8.0) << "depth " << depth;
+        EXPECT_LE(worst.budgetAfterDepth(depth), predicted)
+            << "depth " << depth;
+    }
+    // Depth 8 still decrypts exactly: 2^(2^8) mod 17.
+    EXPECT_EQ(decryptor.decrypt(ct).coeffs[0],
+              mp::powMod64(2, 256, 17));
+}
+
+TEST(NoiseModelLevels, ModSwitchTrajectoryStaysConservativePerLevel)
+{
+    // Drop a depth-2 ciphertext down the whole paper chain: the
+    // average-case trajectory (two multiply steps, then one
+    // modSwitchStep per level) stays conservative against the measured
+    // budget at every level, and the value still decrypts at the
+    // bottom.
+    auto params = fv::FvParams::paper(17);
+    const NoiseModel avg(params, fv::NoiseBound::kAverageCase);
+    fv::KeyGenerator keygen(params, 83);
+    const fv::SecretKey sk = keygen.generateSecretKey();
+    const fv::PublicKey pk = keygen.generatePublicKey(sk);
+    const fv::RelinKeys rlk = keygen.generateRelinKeys(sk);
+    fv::Encryptor encryptor(params, pk, 84);
+    fv::Decryptor decryptor(params, fv::SecretKey{sk.s_ntt});
+    fv::Evaluator evaluator(params);
+
+    Plaintext m;
+    m.coeffs = {3};
+    Ciphertext ct = encryptor.encrypt(m);
+    double log_v = avg.freshLogNoise();
+    for (int d = 0; d < 2; ++d) {
+        ct = evaluator.square(ct, rlk);
+        log_v = avg.keySwitchStep(avg.multiplyStep(log_v, log_v, 0), 0);
+    }
+    for (size_t level = 0; level < params->maxLevel(); ++level) {
+        evaluator.modSwitchInPlace(ct);
+        log_v = avg.modSwitchStep(log_v, level);
+        EXPECT_EQ(ct.level, level + 1);
+        const double measured = decryptor.invariantNoiseBudget(ct);
+        const double predicted = avg.budgetBits(log_v);
+        EXPECT_LE(predicted, measured) << "level " << level;
+        EXPECT_GE(predicted, measured - 10.0) << "level " << level;
+    }
+    EXPECT_EQ(decryptor.decrypt(ct).coeffs[0],
+              mp::powMod64(3, 4, 17));
+}
+
+TEST(NoisePass, LevelAssignmentAcceptsThePaperDepthEightChain)
+{
+    // The headline of the level-assignment pass: the depth-8 squaring
+    // chain the depth-4 sizing rejects compiles under kReject once
+    // auto_mod_switch may insert drops, and the output lands deep in
+    // the chain with budget left.
+    auto params = fv::FvParams::paper(17);
+    CompilerOptions reject;
+    reject.noise_check = NoiseCheck::kReject;
+    EXPECT_THROW(
+        compiler::compileCircuit(params, squaringChain(8), reject),
+        FatalError);
+
+    reject.auto_mod_switch = true;
+    const compiler::CompiledCircuit compiled =
+        compiler::compileCircuit(params, squaringChain(8), reject);
+    EXPECT_GT(compiled.min_output_noise_budget_bits, 0.0);
+    size_t drops = 0;
+    for (const auto &node : compiled.circuit.nodes)
+        drops += node.kind == compiler::NodeKind::kModSwitch ? 1 : 0;
+    EXPECT_GE(drops, 3u);
+    const ValueId out = compiled.circuit.outputs[0];
+    ASSERT_LT(out, compiled.value_levels.size());
+    EXPECT_GT(compiled.value_levels[out], 0u);
+}
+
+TEST(NoisePass, LevelAssignmentRejectionNamesTheLevel)
+{
+    // When even the level assignment cannot save a circuit (depth 12
+    // at t = 17 outruns the whole chain), kReject still throws — and
+    // the diagnostic names the ciphertext level where the budget died.
+    auto params = fv::FvParams::paper(17);
+    CompilerOptions reject;
+    reject.noise_check = NoiseCheck::kReject;
+    reject.auto_mod_switch = true;
+    try {
+        compiler::compileCircuit(params, squaringChain(12), reject);
+        FAIL() << "depth 12 must exhaust even the lowered chain";
+    } catch (const FatalError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("predicted noise budget exhausted at node"),
+                  std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("ciphertext level"), std::string::npos)
+            << msg;
+    }
+
+    // A circuit that already contains drops gets the honest verdict:
+    // more drops would not help. A hand-written drop after the first
+    // square shrinks the working modulus early, so the depth-5 chain
+    // dies at a nonzero level and the diagnostic says which.
+    auto batching = fv::FvParams::paper(65537);
+    CircuitBuilder b;
+    ValueId v = b.modSwitch(b.square(b.input()));
+    for (int i = 0; i < 4; ++i)
+        v = b.square(v);
+    b.output(v);
+    CompilerOptions reject_manual;
+    reject_manual.noise_check = NoiseCheck::kReject;
+    try {
+        compiler::compileCircuit(batching, b.build(), reject_manual);
+        FAIL() << "the early-dropped depth-5 chain must be rejected";
+    } catch (const FatalError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("the level assignment could not save"),
+                  std::string::npos)
+            << msg;
+        EXPECT_EQ(msg.find("ciphertext level 0 "), std::string::npos)
+            << msg;
+    }
 }
 
 TEST(NoisePass, MeasuredBudgetConfirmsTheDepthFourSizing)

@@ -161,12 +161,15 @@ TEST(PolyPlan, SparseAndDegeneratePolynomials)
                                 std::vector<uint64_t>{5, 7, 0, 0});
     EXPECT_EQ(trimmed.degree(), 1);
 
-    // Constants and over-degree polynomials are rejected.
+    // Constants and over-degree polynomials are rejected. Degree 31 is
+    // the cap now that the compiler's level assignment unlocks depth 5.
     EXPECT_THROW(PolynomialEvaluator(u.params,
                                      std::vector<uint64_t>{42}),
                  FatalError);
+    EXPECT_NO_THROW(
+        PolynomialEvaluator(u.params, std::vector<uint64_t>(32, 1)));
     EXPECT_THROW(
-        PolynomialEvaluator(u.params, std::vector<uint64_t>(18, 1)),
+        PolynomialEvaluator(u.params, std::vector<uint64_t>(34, 1)),
         FatalError);
     // Coefficients that reduce to a constant mod t are rejected too.
     EXPECT_THROW(PolynomialEvaluator(u.params,
@@ -333,6 +336,81 @@ TEST(PolyNoise, PaperSetModelIsConservativeForPSAtDegree15)
         params, pe.circuit(EvalStrategy::kPatersonStockmeyer), off);
     EXPECT_EQ(compiled.min_output_noise_budget_bits, 0.0);
     EXPECT_NE(compiled.noise_exhausted_node, compiler::kNoValue);
+}
+
+TEST(PolyNoise, Degree31PSNeedsTheCompilersLevelAssignment)
+{
+    // Degree 16..31 Paterson-Stockmeyer is multiplicative depth 5 —
+    // one past what the 7-prime chain supports without level drops, so
+    // NoiseCheck::kReject alone refuses the plan. With
+    // CompilerOptions::auto_mod_switch the level-assignment pass
+    // inserts mod-switches after the relinearizations, the compile
+    // succeeds with budget to spare, and the lowered circuit still
+    // evaluates the polynomial exactly.
+    fv::FvConfig cfg;
+    cfg.degree = 8192;
+    cfg.plain_modulus = 65537;
+    cfg.sigma = 3.2;
+    cfg.q_prime_count = 7;
+    auto params = fv::FvParams::create(cfg);
+
+    Xoshiro256 rng(91);
+    std::vector<uint64_t> coeffs(32);
+    for (auto &c : coeffs)
+        c = rng.uniformBelow(params->plainModulus());
+    if (coeffs.back() == 0)
+        coeffs.back() = 1;
+    PolynomialEvaluator pe(params, coeffs);
+    const PlanInfo plan = pe.plan(EvalStrategy::kPatersonStockmeyer);
+    EXPECT_EQ(plan.degree, 31);
+    EXPECT_EQ(plan.mult_depth, 5);
+
+    const Circuit circuit =
+        pe.circuit(EvalStrategy::kPatersonStockmeyer);
+    CompilerOptions reject;
+    reject.noise_check = NoiseCheck::kReject;
+    reject.hw.n_rpaus = params->fullBase()->size();
+    try {
+        compiler::compileCircuit(params, circuit, reject);
+        FAIL() << "depth-5 PS-31 must be rejected without level "
+                  "assignment";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("auto_mod_switch"),
+                  std::string::npos)
+            << e.what();
+    }
+
+    reject.auto_mod_switch = true;
+    const CompiledCircuit compiled =
+        compiler::compileCircuit(params, circuit, reject);
+    EXPECT_GT(compiled.min_output_noise_budget_bits, 0.0);
+    size_t drops = 0;
+    for (const auto &node : compiled.circuit.nodes)
+        drops += node.kind == compiler::NodeKind::kModSwitch ? 1 : 0;
+    EXPECT_GT(drops, 0u);
+
+    fv::KeyGenerator keygen(params, 92);
+    const fv::SecretKey sk = keygen.generateSecretKey();
+    const fv::PublicKey pk = keygen.generatePublicKey(sk);
+    const fv::RelinKeys rlk = keygen.generateRelinKeys(sk);
+    fv::Encryptor encryptor(params, pk, 93);
+    fv::Decryptor decryptor(params, fv::SecretKey{sk.s_ntt});
+    fv::Evaluator evaluator(params);
+    fv::BatchEncoder encoder(params);
+
+    std::vector<uint64_t> slots(encoder.slotCount());
+    Xoshiro256 slot_rng(94);
+    for (auto &s : slots)
+        s = slot_rng.uniformBelow(params->plainModulus());
+    const std::vector<Ciphertext> out = compiler::evaluateCircuit(
+        evaluator, &rlk, compiled.circuit,
+        std::vector<Ciphertext>{
+            encryptor.encrypt(encoder.encode(slots))});
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_GT(out[0].level, 0u);
+    EXPECT_GT(decryptor.invariantNoiseBudget(out[0]), 0.0);
+    EXPECT_EQ(encoder.decode(decryptor.decrypt(out[0])),
+              pe.reference(slots));
 }
 
 TEST(PolyInterpolate, LagrangeRoundTrip)

@@ -309,6 +309,117 @@ TEST(Serialize, TruncatedRelinKeysRejected)
     }
 }
 
+TEST(Serialize, LevelRoundTripsAtEveryLevel)
+{
+    // The v2 wire format carries the modulus-switching level; the
+    // polynomials of a deep ciphertext live over the truncated basis,
+    // so the blob also shrinks with every level.
+    auto params = smallParams();
+    KeyGenerator keygen(params, 31);
+    SecretKey sk = keygen.generateSecretKey();
+    PublicKey pk = keygen.generatePublicKey(sk);
+    Encryptor encryptor(params, pk, 32);
+    Decryptor decryptor(params, SecretKey{sk.s_ntt});
+    Evaluator evaluator(params);
+
+    Plaintext m;
+    m.coeffs = {9, 8, 7};
+    const Ciphertext fresh = encryptor.encrypt(m);
+    ASSERT_GE(params->maxLevel(), 2u);
+    size_t prev_bytes = 0;
+    for (size_t level = 0; level <= params->maxLevel(); ++level) {
+        const Ciphertext ct = evaluator.modSwitchTo(fresh, level);
+        ASSERT_EQ(ct.level, level);
+        std::stringstream ss;
+        saveCiphertext(*params, ct, ss);
+        EXPECT_EQ(static_cast<size_t>(ss.tellp()),
+                  ciphertextByteSize(*params, ct));
+        const Ciphertext back = loadCiphertext(params, ss);
+        EXPECT_EQ(back, ct) << "level " << level;
+        EXPECT_EQ(back.level, level);
+        EXPECT_EQ(decryptor.decrypt(back).coeffs[2], 7u)
+            << "level " << level;
+        if (level > 0) {
+            EXPECT_LT(ss.str().size(), prev_bytes) << "level " << level;
+        }
+        prev_bytes = ss.str().size();
+    }
+}
+
+TEST(Serialize, ThreeElementDeepCiphertextRoundTrip)
+{
+    // An unrelinearized tensor at a deep level: three polynomials over
+    // the truncated basis, level preserved bit for bit.
+    auto params = smallParams(257);
+    KeyGenerator keygen(params, 33);
+    SecretKey sk = keygen.generateSecretKey();
+    PublicKey pk = keygen.generatePublicKey(sk);
+    Encryptor encryptor(params, pk, 34);
+    Evaluator evaluator(params);
+
+    Plaintext m;
+    m.coeffs = {1, 1};
+    Ciphertext a = evaluator.modSwitch(encryptor.encrypt(m));
+    Ciphertext b = evaluator.modSwitch(encryptor.encrypt(m));
+    Ciphertext ct3 = evaluator.multiplyNoRelin(a, b);
+    ASSERT_EQ(ct3.size(), 3u);
+    ASSERT_EQ(ct3.level, 1u);
+
+    std::stringstream ss;
+    saveCiphertext(*params, ct3, ss);
+    EXPECT_EQ(loadCiphertext(params, ss), ct3);
+}
+
+TEST(Serialize, LegacyLevelFreeStreamLoadsAtLevelZero)
+{
+    // Version-1 blobs predate the level field entirely: forge one by
+    // patching the version word down to 1 and cutting the level u32
+    // (offset 20, right after the 20-byte header). It must load as a
+    // level-0 ciphertext identical to the original.
+    auto params = smallParams();
+    KeyGenerator keygen(params, 35);
+    SecretKey sk = keygen.generateSecretKey();
+    PublicKey pk = keygen.generatePublicKey(sk);
+    Encryptor encryptor(params, pk, 36);
+    Decryptor decryptor(params, SecretKey{sk.s_ntt});
+
+    Plaintext m;
+    m.coeffs = {4, 0, 2};
+    const Ciphertext ct = encryptor.encrypt(m);
+    std::stringstream ss;
+    saveCiphertext(*params, ct, ss);
+    std::string bytes = ss.str();
+    ASSERT_EQ(bytes[4], 2); // little-endian version word
+    bytes[4] = 1;
+    bytes.erase(20, 4);
+
+    std::stringstream legacy(bytes);
+    const Ciphertext back = loadCiphertext(params, legacy);
+    EXPECT_EQ(back.level, 0u);
+    EXPECT_EQ(back, ct);
+    EXPECT_EQ(decryptor.decrypt(back).coeffs[0], 4u);
+}
+
+TEST(Serialize, OutOfRangeLevelRejected)
+{
+    // A stream claiming a level past the parameter set's chain must be
+    // refused before any polynomial data is interpreted.
+    auto params = smallParams();
+    KeyGenerator keygen(params, 37);
+    SecretKey sk = keygen.generateSecretKey();
+    PublicKey pk = keygen.generatePublicKey(sk);
+    Encryptor encryptor(params, pk, 38);
+
+    Plaintext m;
+    m.coeffs = {1};
+    std::stringstream ss;
+    saveCiphertext(*params, encryptor.encrypt(m), ss);
+    std::string bytes = ss.str();
+    bytes[20] = static_cast<char>(params->maxLevel() + 1);
+    std::stringstream bad(bytes);
+    EXPECT_THROW(loadCiphertext(params, bad), FatalError);
+}
+
 TEST(Serialize, EndToEndClientServerExchange)
 {
     // Client encrypts and serializes; server deserializes, computes,
