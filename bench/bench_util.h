@@ -8,6 +8,7 @@
 #ifndef HEAT_BENCH_BENCH_UTIL_H
 #define HEAT_BENCH_BENCH_UTIL_H
 
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <string_view>
@@ -97,12 +98,21 @@ class JsonReporter
                          path_.c_str());
             return;
         }
+        // %.9g would print non-finite doubles as bare `inf`/`nan`
+        // tokens, which are not JSON — emit null so the JSON-lines
+        // consumers keep parsing (and gates on the record fail loudly
+        // on the null instead of crashing on a syntax error).
+        char value[40];
+        if (std::isfinite(r.value))
+            std::snprintf(value, sizeof value, "%.9g", r.value);
+        else
+            std::snprintf(value, sizeof value, "null");
         std::fprintf(f,
-                     "{\"suite\":\"%s\",\"kernel\":\"%s\",\"value\":%.9g,"
+                     "{\"suite\":\"%s\",\"kernel\":\"%s\",\"value\":%s,"
                      "\"unit\":\"%s\",\"n\":%zu,\"moduli\":%zu,"
                      "\"threads\":%u}\n",
                      escape(suite_).c_str(), escape(r.kernel).c_str(),
-                     r.value, escape(r.unit).c_str(), r.n, r.moduli,
+                     value, escape(r.unit).c_str(), r.n, r.moduli,
                      threadCount());
         std::fclose(f);
     }

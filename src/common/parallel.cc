@@ -1,6 +1,8 @@
 #include "common/parallel.h"
 
 #include <atomic>
+#include <exception>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -38,6 +40,15 @@ parallelFor(size_t count, const std::function<void(size_t)> &fn)
         return;
     }
 
+    // A body that throws on a worker thread would std::terminate the
+    // process; capture the first exception instead and rethrow it on
+    // the caller once every worker has joined. Later chunks bail out
+    // early — indices after a failure are allowed to go unvisited,
+    // exactly as in the sequential loop above.
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::mutex error_mu;
+
     std::vector<std::thread> workers;
     workers.reserve(threads);
     const size_t chunk = (count + threads - 1) / threads;
@@ -46,13 +57,25 @@ parallelFor(size_t count, const std::function<void(size_t)> &fn)
         const size_t end = std::min(count, begin + chunk);
         if (begin >= end)
             break;
-        workers.emplace_back([begin, end, &fn] {
-            for (size_t i = begin; i < end; ++i)
-                fn(i);
-        });
+        workers.emplace_back(
+            [begin, end, &fn, &failed, &first_error, &error_mu] {
+                try {
+                    for (size_t i = begin; i < end; ++i) {
+                        if (failed.load(std::memory_order_relaxed))
+                            return;
+                        fn(i);
+                    }
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(error_mu);
+                    if (!failed.exchange(true))
+                        first_error = std::current_exception();
+                }
+            });
     }
     for (auto &t : workers)
         t.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
 }
 
 } // namespace heat

@@ -27,7 +27,9 @@ unsigned threadCount();
  * Run fn(i) for every i in [0, count). With threadCount() == 1 this is
  * a plain loop; otherwise indices are partitioned into contiguous
  * chunks across worker threads (fn must be safe to run concurrently
- * for distinct i).
+ * for distinct i). If fn throws, the first exception is rethrown on
+ * the calling thread after all workers join; indices after the failure
+ * may go unvisited.
  */
 void parallelFor(size_t count, const std::function<void(size_t)> &fn);
 

@@ -60,8 +60,10 @@ class CircuitCompiler
           alloc_(*params_, options.hw, /*throw_on_pressure=*/true),
           hoist_rotations_(options.hoist_rotations),
           noise_check_(options.noise_check),
-          auto_mod_switch_(options.auto_mod_switch)
+          auto_mod_switch_(options.auto_mod_switch),
+          resident_positions_(options.resident_inputs)
     {
+        std::sort(resident_positions_.begin(), resident_positions_.end());
         out_.params = params_;
         out_.hw = options.hw;
     }
@@ -72,6 +74,7 @@ class CircuitCompiler
         circuit_.validate();
         checkNoise();
         analyze();
+        pinResidentInputs();
         segments_.emplace_back();
 
         for (size_t i = 0; i < circuit_.nodes.size(); ++i) {
@@ -103,6 +106,19 @@ class CircuitCompiler
                segments_.back().downloads.empty() &&
                segments_.back().program.instrs.empty())
             segments_.pop_back();
+
+        // Pinned operands must still be resident with their original
+        // slots — anything else means a guard above was bypassed and a
+        // warm rerun would read garbage.
+        for (size_t k = 0; k < out_.resident_inputs.size(); ++k) {
+            const ValueState &vs =
+                values_[circuit_.inputs[out_.resident_inputs[k]]];
+            panicIf(!vs.resident ||
+                        vs.slots != std::vector<hw::PolyId>{
+                            out_.resident_slots[k][0],
+                            out_.resident_slots[k][1]},
+                    "resident input lost its pinned slots");
+        }
 
         out_.segments = std::move(segments_);
         out_.slot_actions = alloc_.actions();
@@ -155,6 +171,7 @@ class CircuitCompiler
         relin_of_.assign(n, kNoValue);
         relin_emitted_.assign(n, false);
         is_output_.assign(n, false);
+        pinned_value_.assign(n, false);
         out_.value_sizes.resize(n);
 
         for (size_t i = 0; i < n; ++i) {
@@ -180,6 +197,48 @@ class CircuitCompiler
                 hoist_sizes_[i] >= 2)
                 ++hoist_remaining_[circuit_.nodes[i].args[0]];
         }
+    }
+
+    /**
+     * Allocate the resident inputs' slot pairs before anything else, so
+     * their record ids are the deterministic prefix 0..2R-1 of the slot
+     * action log: a warm coprocessor that kept these records through
+     * resetToPinned() replays the remaining actions and lands on
+     * exactly the same ids. No upload Transfer is emitted — the cold
+     * execution path uploads the pinned operands directly, and warm
+     * executions skip them entirely.
+     */
+    void
+    pinResidentInputs()
+    {
+        for (uint32_t pos : resident_positions_) {
+            fatalIf(pos >= circuit_.inputs.size(),
+                    "resident input position ", pos,
+                    " out of range for a circuit with ",
+                    circuit_.inputs.size(), " inputs");
+            const ValueId v = circuit_.inputs[pos];
+            fatalIf(pinned_value_[v],
+                    "duplicate resident input position ", pos);
+            ValueState &vs = values_[v];
+            alloc_.setLevel(levels_[v]);
+            std::array<hw::PolyId, 2> slots{hw::kNoPoly, hw::kNoPoly};
+            for (int p = 0; p < 2; ++p) {
+                slots[p] = alloc_.allocate(hw::BaseTag::kQ,
+                                           hw::Layout::kNatural,
+                                           "resident input");
+                panicIf(slots[p] !=
+                            2 * out_.resident_inputs.size() +
+                                static_cast<size_t>(p),
+                        "resident input slots are not the record prefix");
+            }
+            vs.slots = {slots[0], slots[1]};
+            vs.resident = true;
+            vs.ever_resident = true;
+            pinned_value_[v] = true;
+            out_.resident_inputs.push_back(pos);
+            out_.resident_slots.push_back(slots);
+        }
+        out_.resident_action_count = alloc_.actions().size();
     }
 
     size_t
@@ -280,7 +339,7 @@ class CircuitCompiler
         size_t victim_next = 0;
         for (size_t v = 0; v < values_.size(); ++v) {
             const ValueState &vs = values_[v];
-            if (!vs.resident)
+            if (!vs.resident || pinned_value_[v])
                 continue;
             if (std::find(pinned.begin(), pinned.end(),
                           static_cast<ValueId>(v)) != pinned.end())
@@ -418,9 +477,12 @@ class CircuitCompiler
         const bool rotation_like =
             isRotationNode(node.kind) ||
             node.kind == NodeKind::kRotateSum;
-        bool consume_a = !rotation_like && deadAfter(operands[0], i);
+        bool consume_a = !rotation_like &&
+                         !pinned_value_[operands[0]] &&
+                         deadAfter(operands[0], i);
         bool consume_b = operands.size() > 1 &&
                          operands[1] != operands[0] &&
+                         !pinned_value_[operands[1]] &&
                          deadAfter(operands[1], i);
         bool demoted_a = false;
         bool demoted_b = false;
@@ -450,7 +512,10 @@ class CircuitCompiler
                 zero_ = zero_snapshot;
                 if (spillOne(operands, i))
                     continue;
+                // Pinned operands can never be demoted: their slots
+                // must survive the whole program for warm reruns.
                 if (can_demote && !consume_a &&
+                    !pinned_value_[operands[0]] &&
                     values_[operands[0]].host) {
                     consume_a = true;
                     demoted_a = true;
@@ -458,6 +523,7 @@ class CircuitCompiler
                 }
                 if (can_demote && operands.size() > 1 &&
                     operands[1] != operands[0] && !consume_b &&
+                    !pinned_value_[operands[1]] &&
                     values_[operands[1]].host) {
                     consume_b = true;
                     demoted_b = true;
@@ -466,14 +532,16 @@ class CircuitCompiler
                 // Last resort: store a live operand back to the host
                 // (a segment break — its data must leave before the
                 // schedule overwrites it) and let the op consume it.
-                if (can_demote && !consume_a) {
+                if (can_demote && !consume_a &&
+                    !pinned_value_[operands[0]]) {
                     spillOperandKeepResident(operands[0]);
                     consume_a = true;
                     demoted_a = true;
                     continue;
                 }
                 if (can_demote && operands.size() > 1 &&
-                    operands[1] != operands[0] && !consume_b) {
+                    operands[1] != operands[0] && !consume_b &&
+                    !pinned_value_[operands[1]]) {
                     spillOperandKeepResident(operands[1]);
                     consume_b = true;
                     demoted_b = true;
@@ -531,6 +599,8 @@ class CircuitCompiler
             const ValueId v = operands[k];
             if (k > 0 && v == operands[0])
                 continue; // same value, handled once
+            if (pinned_value_[v])
+                continue; // stays resident for warm reruns
             if (!deadAfter(v, i))
                 continue;
             ValueState &vs = values_[v];
@@ -699,6 +769,8 @@ class CircuitCompiler
     std::vector<ValueId> relin_of_;
     std::vector<bool> relin_emitted_;
     std::vector<bool> is_output_;
+    /** Value is a pinned resident input (never spilled or released). */
+    std::vector<bool> pinned_value_;
     /** Constant-pool index per (plain index, ciphertext level). */
     std::map<std::pair<int32_t, size_t>, int32_t> plain_const_add_;
     std::map<std::pair<int32_t, size_t>, int32_t> plain_const_mul_;
@@ -707,6 +779,8 @@ class CircuitCompiler
     bool hoist_rotations_;
     NoiseCheck noise_check_;
     bool auto_mod_switch_;
+    /** Sorted copy of CompilerOptions::resident_inputs. */
+    std::vector<uint32_t> resident_positions_;
     /** Ciphertext level per value id (valueLevels of circuit_). */
     std::vector<size_t> levels_;
     /** Per-node hoist-group size (0 for non-rotation nodes). */
@@ -718,55 +792,91 @@ class CircuitCompiler
 };
 
 void
+validateInput(const fv::FvParams &params, const fv::Ciphertext &ct)
+{
+    fatalIf(ct.size() != 2, "circuit inputs must be size-2 "
+                            "ciphertexts (relinearize first)");
+    fatalIf(ct.level != 0,
+            "circuit inputs enter at level 0 (the compiler inserts "
+            "any mod-switches itself); got level ", ct.level);
+    for (size_t i = 0; i < ct.size(); ++i) {
+        fatalIf(ct[i].degree() != params.degree() ||
+                    ct[i].residueCount() != params.qBase()->size(),
+                "input polynomial does not match the parameter set");
+        fatalIf(ct[i].form() != ntt::PolyForm::kCoeff,
+                "inputs must be in coefficient form (what the DMA "
+                "streams to the accelerator)");
+    }
+}
+
+void
 validateInputs(const fv::FvParams &params,
                std::span<const fv::Ciphertext> inputs, size_t expected)
 {
     fatalIf(inputs.size() != expected, "circuit expects ", expected,
             " inputs, got ", inputs.size());
-    for (const fv::Ciphertext &ct : inputs) {
-        fatalIf(ct.size() != 2, "circuit inputs must be size-2 "
-                                "ciphertexts (relinearize first)");
-        fatalIf(ct.level != 0,
-                "circuit inputs enter at level 0 (the compiler inserts "
-                "any mod-switches itself); got level ", ct.level);
-        for (size_t i = 0; i < ct.size(); ++i) {
-            fatalIf(ct[i].degree() != params.degree() ||
-                        ct[i].residueCount() != params.qBase()->size(),
-                    "input polynomial does not match the parameter set");
-            fatalIf(ct[i].form() != ntt::PolyForm::kCoeff,
-                    "inputs must be in coefficient form (what the DMA "
-                    "streams to the accelerator)");
-        }
-    }
+    for (const fv::Ciphertext &ct : inputs)
+        validateInput(params, ct);
 }
 
-} // namespace
-
-CompiledCircuit
-compileCircuit(std::shared_ptr<const fv::FvParams> params,
-               const Circuit &circuit, const CompilerOptions &options)
-{
-    return CircuitCompiler(std::move(params), circuit, options).compile();
-}
-
+/**
+ * Shared executor behind runCompiledCircuit / runCompiledCircuitWarm.
+ * @p inputs holds one pointer per circuit input position; resident
+ * positions may be null on the warm path (their operands are already
+ * in the pinned memory-file prefix).
+ */
 std::vector<fv::Ciphertext>
-runCompiledCircuit(hw::Coprocessor &cp, const CompiledCircuit &compiled,
-                   std::span<const fv::Ciphertext> inputs,
-                   CircuitRunStats *stats)
+runCompiledImpl(hw::Coprocessor &cp, const CompiledCircuit &compiled,
+                std::span<const fv::Ciphertext *const> inputs,
+                bool warm, CircuitRunStats *stats)
 {
-    validateInputs(*compiled.params, inputs, compiled.inputs.size());
     const hw::ArmHostModel host(compiled.params, cp.config());
-
-    cp.reset();
-    hw::replaySlotActions(cp.memory(), compiled.slot_actions);
-
-    std::vector<std::vector<ntt::RnsPoly>> values(
-        compiled.value_sizes.size());
-    for (size_t k = 0; k < compiled.inputs.size(); ++k)
-        values[compiled.inputs[k]] = {inputs[k][0], inputs[k][1]};
+    const size_t resident_count = compiled.resident_inputs.size();
 
     CircuitRunStats run;
     run.segments = compiled.segments.size();
+
+    if (warm) {
+        fatalIf(resident_count == 0,
+                "warm execution needs a circuit compiled with "
+                "resident inputs");
+        fatalIf(cp.memory().pinnedRecords() != 2 * resident_count,
+                "coprocessor does not hold this circuit's pinned "
+                "prefix (", cp.memory().pinnedRecords(),
+                " pinned records, expected ", 2 * resident_count,
+                "); run a cold pass first");
+        cp.memory().resetToPinned();
+        hw::replaySlotActions(
+            cp.memory(),
+            std::span<const hw::SlotAction>(compiled.slot_actions)
+                .subspan(compiled.resident_action_count));
+    } else {
+        cp.reset();
+        hw::replaySlotActions(cp.memory(), compiled.slot_actions);
+        // Pinned operands bypass the segment upload lists: they are
+        // DMA'd straight into their prefix slots once, here, and then
+        // survive every warm rerun through resetToPinned().
+        for (size_t k = 0; k < resident_count; ++k) {
+            const fv::Ciphertext &ct =
+                *inputs[compiled.resident_inputs[k]];
+            for (int p = 0; p < 2; ++p)
+                cp.uploadInto(compiled.resident_slots[k][p], ct[p]);
+        }
+        if (resident_count > 0) {
+            run.uploaded_polys += 2 * resident_count;
+            run.host_us += host.sendPolysUs(2 * resident_count);
+            cp.memory().setPinnedRecords(2 * resident_count);
+        }
+    }
+
+    std::vector<std::vector<ntt::RnsPoly>> values(
+        compiled.value_sizes.size());
+    for (size_t k = 0; k < compiled.inputs.size(); ++k) {
+        if (inputs[k] != nullptr)
+            values[compiled.inputs[k]] = {(*inputs[k])[0],
+                                          (*inputs[k])[1]};
+    }
+
     for (const Segment &seg : compiled.segments) {
         for (const Transfer &up : seg.uploads) {
             const ntt::RnsPoly &src =
@@ -817,6 +927,54 @@ runCompiledCircuit(hw::Coprocessor &cp, const CompiledCircuit &compiled,
     if (stats != nullptr)
         *stats = run;
     return outputs;
+}
+
+} // namespace
+
+CompiledCircuit
+compileCircuit(std::shared_ptr<const fv::FvParams> params,
+               const Circuit &circuit, const CompilerOptions &options)
+{
+    return CircuitCompiler(std::move(params), circuit, options).compile();
+}
+
+std::vector<fv::Ciphertext>
+runCompiledCircuit(hw::Coprocessor &cp, const CompiledCircuit &compiled,
+                   std::span<const fv::Ciphertext> inputs,
+                   CircuitRunStats *stats)
+{
+    validateInputs(*compiled.params, inputs, compiled.inputs.size());
+    std::vector<const fv::Ciphertext *> ptrs;
+    ptrs.reserve(inputs.size());
+    for (const fv::Ciphertext &ct : inputs)
+        ptrs.push_back(&ct);
+    return runCompiledImpl(cp, compiled, ptrs, /*warm=*/false, stats);
+}
+
+std::vector<fv::Ciphertext>
+runCompiledCircuitWarm(hw::Coprocessor &cp,
+                       const CompiledCircuit &compiled,
+                       std::span<const fv::Ciphertext> request_inputs,
+                       CircuitRunStats *stats)
+{
+    fatalIf(request_inputs.size() + compiled.resident_inputs.size() !=
+                compiled.inputs.size(),
+            "circuit expects ",
+            compiled.inputs.size() - compiled.resident_inputs.size(),
+            " non-resident inputs, got ", request_inputs.size());
+    std::vector<const fv::Ciphertext *> ptrs(compiled.inputs.size(),
+                                             nullptr);
+    std::vector<bool> resident(compiled.inputs.size(), false);
+    for (uint32_t pos : compiled.resident_inputs)
+        resident[pos] = true;
+    size_t next = 0;
+    for (size_t k = 0; k < ptrs.size(); ++k) {
+        if (resident[k])
+            continue;
+        validateInput(*compiled.params, request_inputs[next]);
+        ptrs[k] = &request_inputs[next++];
+    }
+    return runCompiledImpl(cp, compiled, ptrs, /*warm=*/true, stats);
 }
 
 std::vector<fv::Ciphertext>

@@ -85,6 +85,18 @@ struct CompilerOptions
      * for.
      */
     bool auto_mod_switch = false;
+    /**
+     * Input positions (indices into the circuit's input submission
+     * order) whose ciphertexts are coprocessor-resident. The compiler
+     * allocates their slot pairs FIRST — so they form a stable
+     * record-id prefix a warm coprocessor already holds — and never
+     * spills, consumes, demotes or releases them; no upload Transfer is
+     * ever emitted for them. The serving layer pins the prefix across
+     * requests (hw::MemoryFile::setPinnedRecords) so repeat executions
+     * of the same circuit skip the operand DMA entirely — see
+     * runCompiledCircuitWarm().
+     */
+    std::vector<uint32_t> resident_inputs;
 };
 
 /** One host<->coprocessor polynomial transfer. */
@@ -156,6 +168,16 @@ struct CompiledCircuit
      *  (sorted ascending; empty for rotation-free circuits). */
     std::vector<uint32_t> galois_elements;
 
+    // --- resident operand cache (CompilerOptions::resident_inputs) -----
+    /** Input positions compiled as coprocessor-resident (ascending). */
+    std::vector<uint32_t> resident_inputs;
+    /** Pinned memory-file slot pair per resident input; these are the
+     *  first 2*resident_inputs.size() record ids. */
+    std::vector<std::array<hw::PolyId, 2>> resident_slots;
+    /** Leading slot_actions that materialize the resident prefix; a
+     *  warm replay resumes after them (resetToPinned keeps the rest). */
+    size_t resident_action_count = 0;
+
     // --- noise annotation (see noise_pass.h) ---------------------------
     /** Predicted remaining invariant-noise budget (bits) per value id,
      *  assuming fresh-encryption inputs. */
@@ -221,6 +243,25 @@ struct CircuitRunStats
 std::vector<fv::Ciphertext> runCompiledCircuit(
     hw::Coprocessor &cp, const CompiledCircuit &compiled,
     std::span<const fv::Ciphertext> inputs,
+    CircuitRunStats *stats = nullptr);
+
+/**
+ * Warm execution of a circuit compiled with
+ * CompilerOptions::resident_inputs: the coprocessor must already hold
+ * the circuit's pinned record prefix from a prior (cold)
+ * runCompiledCircuit of the SAME compiled circuit — the cold pass pins
+ * it via hw::MemoryFile::setPinnedRecords. The pinned operands are
+ * neither validated nor uploaded (that's the point: their DMA cost is
+ * paid once, on the cold pass); @p request_inputs supplies only the
+ * non-resident inputs, in position order with the resident positions
+ * skipped. Results are bit-identical to the cold pass. The caller is
+ * responsible for circuit identity — the pinned-record count is
+ * sanity-checked, but running circuit B warm over circuit A's pins with
+ * the same prefix size computes over A's operands.
+ */
+std::vector<fv::Ciphertext> runCompiledCircuitWarm(
+    hw::Coprocessor &cp, const CompiledCircuit &compiled,
+    std::span<const fv::Ciphertext> request_inputs,
     CircuitRunStats *stats = nullptr);
 
 /**

@@ -66,6 +66,21 @@ class Coprocessor
      *  schedule can allocate from a clean slate. */
     void reset() { memory_.reset(); }
 
+    /**
+     * Swap the DDR-resident key sets the kKeyLoad instruction streams
+     * from (selector 0 = relin, else the Galois element) — the
+     * multi-tenant serving layer re-points a worker's coprocessor at
+     * the submitting session's keys before running its jobs. Either
+     * pointer may be null when the upcoming programs never load from
+     * that set; both must outlive every subsequent execute().
+     */
+    void
+    attachKeys(const fv::RelinKeys *rlk, const fv::GaloisKeys *gkeys)
+    {
+        rlk_ = rlk;
+        gkeys_ = gkeys;
+    }
+
     /** Upload an operand polynomial (coefficient form, natural order).
      *  Transfer timing is the host model's responsibility. */
     PolyId uploadPoly(const ntt::RnsPoly &poly);

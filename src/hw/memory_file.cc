@@ -46,6 +46,38 @@ MemoryFile::reset()
     in_use_ = 0;
     peak_ = 0;
     level_ = 0;
+    pinned_records_ = 0;
+    pinned_slots_ = 0;
+}
+
+void
+MemoryFile::setPinnedRecords(size_t count)
+{
+    panicIf(count > records_.size(),
+            "cannot pin ", count, " records, only ", records_.size(),
+            " exist");
+    size_t slots = 0;
+    for (size_t id = 0; id < count; ++id) {
+        const PolyRecord &rec = records_[id];
+        panicIf(!rec.valid || rec.released,
+                "pinned record ", id, " is not live");
+        slots += liveResidues(rec.base, rec.level);
+    }
+    pinned_records_ = count;
+    pinned_slots_ = slots;
+}
+
+void
+MemoryFile::resetToPinned()
+{
+    if (pinned_records_ == 0) {
+        reset();
+        return;
+    }
+    records_.resize(pinned_records_);
+    in_use_ = pinned_slots_;
+    peak_ = in_use_;
+    level_ = 0;
 }
 
 PolyId
@@ -96,6 +128,8 @@ void
 MemoryFile::release(PolyId id)
 {
     PolyRecord &rec = record(id);
+    panicIf(id < pinned_records_,
+            "cannot release pinned polynomial ", id);
     panicIf(rec.released, "double release of polynomial ", id);
     in_use_ -= liveResidues(rec.base, rec.level);
     rec.released = true;

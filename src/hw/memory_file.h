@@ -218,9 +218,37 @@ class MemoryFile : public SlotAllocator
      * Drop every record and return all slots: the reprogramming step
      * between op schedules (a Mult program alone peaks at 78 of the 84
      * slots, so plans for different operations cannot stay resident
-     * simultaneously). Also clears the peak-slot watermark.
+     * simultaneously). Also clears the peak-slot watermark and any
+     * pinned prefix.
      */
     void reset();
+
+    /**
+     * Pin the first @p count records: their slots (and data) survive
+     * resetToPinned(), the reprogramming step of the serving layer's
+     * resident ciphertext cache. Pinned records must be the id prefix
+     * 0..count-1, valid and unreleased — the cache uploads its operands
+     * into a freshly reset memory file before anything else allocates,
+     * which is also what keeps compiled-circuit slot replay ids in
+     * agreement (the compiler reserves the same prefix). A count of 0
+     * unpins everything.
+     */
+    void setPinnedRecords(size_t count);
+
+    /** @return pinned-prefix record count. */
+    size_t pinnedRecords() const { return pinned_records_; }
+
+    /** @return slots held by the pinned prefix. */
+    size_t pinnedSlots() const { return pinned_slots_; }
+
+    /**
+     * Reprogram around the resident cache: drop every record except
+     * the pinned prefix, whose ids, slots and data survive. Subsequent
+     * allocation continues at id pinnedRecords() — exactly the state a
+     * resident-compiled circuit's slot replay expects. Equivalent to
+     * reset() when nothing is pinned.
+     */
+    void resetToPinned();
 
     /** Allocate a zeroed polynomial over base @p tag. Exhaustion is a
      *  hard error reporting the live/capacity slot pressure and the
@@ -287,6 +315,10 @@ class MemoryFile : public SlotAllocator
     size_t capacity_;
     size_t in_use_ = 0;
     size_t peak_ = 0;
+    /** Pinned prefix (ids 0..pinned_records_-1) surviving
+     *  resetToPinned(); see setPinnedRecords(). */
+    size_t pinned_records_ = 0;
+    size_t pinned_slots_ = 0;
     std::vector<PolyRecord> records_;
 };
 

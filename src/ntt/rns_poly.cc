@@ -127,10 +127,10 @@ RnsPoly::mulScalarInPlace(std::span<const uint64_t> scalar_residues)
             "scalar residue count mismatch");
     for (size_t i = 0; i < residueCount(); ++i) {
         const rns::Modulus &q = base_->modulus(i);
-        const uint64_t s = scalar_residues[i];
-        const uint64_t s_shoup = q.shoupPrecompute(s % q.value());
+        const uint64_t s = scalar_residues[i] % q.value();
+        const uint64_t s_shoup = q.shoupPrecompute(s);
         for (auto &x : residue(i))
-            x = q.mulShoup(x, s % q.value(), s_shoup);
+            x = q.mulShoup(x, s, s_shoup);
     }
 }
 

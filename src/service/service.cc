@@ -1,6 +1,8 @@
 #include "service/service.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <optional>
 #include <utility>
 
@@ -20,28 +22,24 @@ ExecutionService::ExecutionService(
 ExecutionService::ExecutionService(
     std::shared_ptr<const fv::FvParams> params, fv::RelinKeys rlk,
     fv::GaloisKeys gkeys, ServiceConfig config)
-    : params_(std::move(params)), rlk_(std::move(rlk)),
-      gkeys_(std::move(gkeys)), config_(config)
+    : params_(std::move(params)), config_(config)
 {
     fatalIf(config_.workers == 0, "service needs at least one worker");
     fatalIf(config_.max_batch == 0, "max_batch must be at least 1");
-    fatalIf(rlk_.kind != fv::DecompKind::kRnsDigits,
-            "the coprocessor key-load schedule needs kRnsDigits "
-            "relinearization keys");
-    fatalIf(rlk_.digitCount() != params_->rnsDigitCount(),
-            "relinearization keys do not match the parameter set");
-    for (const auto &[g, key] : gkeys_.keys) {
-        fatalIf(key.kind != fv::DecompKind::kRnsDigits ||
-                    key.digitCount() != params_->rnsDigitCount(),
-                "Galois key for element ", g,
-                " does not match the parameter set");
-    }
+    // Compiled programs must fit the workers' memory files whatever
+    // the caller left in the compiler options.
+    config_.compiler.hw = config_.hw;
+
+    registerSession("default", std::move(rlk), std::move(gkeys),
+                    /*weight=*/1);
 
     // Build the prototype plans once; this also proves each program
     // fits the memory file before any worker starts. Each plan assumes
     // a freshly-reprogrammed memory file (a Mult alone peaks at 78 of
-    // 84 slots, so plans are installed one at a time).
-    hw::Coprocessor prototype(params_, config_.hw, &rlk_, &gkeys_);
+    // 84 slots, so plans are installed one at a time). Plans are slot
+    // schedules — key-set independent — so any session's keys work.
+    Session &def = sessions_.front();
+    hw::Coprocessor prototype(params_, config_.hw, &def.rlk, &def.gkeys);
     add_plan_ = hw::makeAddPlan(prototype);
     prototype.reset();
     mult_plan_ = hw::makeMultPlan(prototype);
@@ -56,6 +54,63 @@ ExecutionService::ExecutionService(
 ExecutionService::~ExecutionService()
 {
     shutdown();
+}
+
+TenantId
+ExecutionService::registerTenant(std::string name, fv::RelinKeys rlk,
+                                 fv::GaloisKeys gkeys, uint32_t weight)
+{
+    return registerSession(std::move(name), std::move(rlk),
+                           std::move(gkeys), weight);
+}
+
+TenantId
+ExecutionService::registerSession(std::string name, fv::RelinKeys rlk,
+                                  fv::GaloisKeys gkeys, uint32_t weight)
+{
+    fatalIf(weight == 0, "tenant weight must be at least 1");
+    fatalIf(rlk.kind != fv::DecompKind::kRnsDigits,
+            "the coprocessor key-load schedule needs kRnsDigits "
+            "relinearization keys");
+    fatalIf(rlk.digitCount() != params_->rnsDigitCount(),
+            "relinearization keys do not match the parameter set");
+    for (const auto &[g, key] : gkeys.keys) {
+        fatalIf(key.kind != fv::DecompKind::kRnsDigits ||
+                    key.digitCount() != params_->rnsDigitCount(),
+                "Galois key for element ", g,
+                " does not match the parameter set");
+    }
+    const uint64_t fingerprint =
+        rlk.fingerprint() ^ (gkeys.fingerprint() * 0x9e3779b97f4a7c15ull);
+
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_)
+        throw ServiceStoppedError("registerTenant after shutdown");
+    Session s;
+    s.id = static_cast<TenantId>(sessions_.size());
+    s.name = std::move(name);
+    s.weight = weight;
+    s.rlk = std::move(rlk);
+    s.gkeys = std::move(gkeys);
+    s.key_fingerprint = fingerprint;
+    sessions_.push_back(std::move(s));
+    return sessions_.back().id;
+}
+
+ExecutionService::Session &
+ExecutionService::session(TenantId tenant)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    fatalIf(tenant >= sessions_.size(), "unknown tenant id ", tenant,
+            " (", sessions_.size(), " sessions registered)");
+    return sessions_[tenant];
+}
+
+size_t
+ExecutionService::tenantCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return sessions_.size();
 }
 
 void
@@ -76,24 +131,41 @@ ExecutionService::validateOperand(const fv::Ciphertext &ct) const
     }
 }
 
+PinnedHandle
+ExecutionService::pinInput(TenantId tenant, fv::Ciphertext ct)
+{
+    validateOperand(ct);
+    Session &s = session(tenant);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_)
+        throw ServiceStoppedError("pinInput after shutdown");
+    s.pinned.push_back(
+        std::make_shared<const fv::Ciphertext>(std::move(ct)));
+    return static_cast<PinnedHandle>(s.pinned.size() - 1);
+}
+
 std::future<fv::Ciphertext>
 ExecutionService::submit(Op op, fv::Ciphertext a, fv::Ciphertext b)
 {
+    return submit(kDefaultTenant, op, std::move(a), std::move(b));
+}
+
+std::future<fv::Ciphertext>
+ExecutionService::submit(TenantId tenant, Op op, fv::Ciphertext a,
+                         fv::Ciphertext b, double arrival_us)
+{
+    Session &s = session(tenant);
     validateOperand(a);
     validateOperand(b);
 
     Job job;
+    job.session = &s;
+    job.arrival_us = arrival_us;
     job.op = op;
     job.a = std::move(a);
     job.b = std::move(b);
     std::future<fv::Ciphertext> future = job.promise.get_future();
-    {
-        std::lock_guard<std::mutex> lock(mu_);
-        if (stopping_)
-            throw ServiceStoppedError("submit after shutdown");
-        queue_.push_back(std::move(job));
-    }
-    work_cv_.notify_one();
+    enqueue(s, std::move(job));
     return future;
 }
 
@@ -101,14 +173,46 @@ std::future<std::vector<fv::Ciphertext>>
 ExecutionService::submitCircuit(const compiler::Circuit &circuit,
                                 std::vector<fv::Ciphertext> inputs)
 {
+    return submitCircuit(kDefaultTenant, circuit, std::move(inputs));
+}
+
+std::future<std::vector<fv::Ciphertext>>
+ExecutionService::submitCircuit(TenantId tenant,
+                                const compiler::Circuit &circuit,
+                                std::vector<fv::Ciphertext> inputs,
+                                double arrival_us)
+{
     // Compile on the submitting thread: structural errors surface
     // synchronously, and workers only replay the deterministic slot
     // schedule (the compiled program is dispatchable to any of them).
-    compiler::CompilerOptions options;
+    // The noise verdict is the admission policy's to deliver, not the
+    // compiler's — so the compile-time check is off here.
+    compiler::CompilerOptions options = config_.compiler;
     options.hw = config_.hw;
+    options.noise_check = compiler::NoiseCheck::kOff;
+    options.resident_inputs.clear();
     auto compiled = std::make_shared<const compiler::CompiledCircuit>(
         compiler::compileCircuit(params_, circuit, options));
-    return submitCompiled(std::move(compiled), std::move(inputs));
+
+    // Re-level before rejecting: the automatic level assignment often
+    // rescues depth-heavy circuits (fewer live primes per deep value)
+    // at no accuracy cost. Only worth a second compile when admission
+    // would otherwise throw.
+    if (config_.admission == compiler::NoiseCheck::kReject &&
+        config_.admission_relevel && !options.auto_mod_switch &&
+        compiled->noise_exhausted_node != compiler::kNoValue) {
+        options.auto_mod_switch = true;
+        auto releveled =
+            std::make_shared<const compiler::CompiledCircuit>(
+                compiler::compileCircuit(params_, circuit, options));
+        if (releveled->noise_exhausted_node == compiler::kNoValue) {
+            compiled = std::move(releveled);
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.admission_releveled;
+        }
+    }
+    return submitCompiled(tenant, std::move(compiled), std::move(inputs),
+                          arrival_us);
 }
 
 std::future<std::vector<fv::Ciphertext>>
@@ -116,31 +220,132 @@ ExecutionService::submitCompiled(
     std::shared_ptr<const compiler::CompiledCircuit> compiled,
     std::vector<fv::Ciphertext> inputs)
 {
-    fatalIf(compiled == nullptr, "submitCompiled needs a circuit");
-    const fv::FvConfig &theirs = compiled->params->config();
+    return submitCompiled(kDefaultTenant, std::move(compiled),
+                          std::move(inputs));
+}
+
+void
+ExecutionService::checkCompiled(
+    const Session &s, const compiler::CompiledCircuit &compiled) const
+{
+    const fv::FvConfig &theirs = compiled.params->config();
     const fv::FvConfig &ours = params_->config();
     fatalIf(theirs.degree != ours.degree ||
                 theirs.plain_modulus != ours.plain_modulus ||
                 theirs.q_prime_count != ours.q_prime_count ||
                 theirs.prime_bits != ours.prime_bits,
             "compiled circuit targets a different parameter set");
-    fatalIf(!(compiled->hw == config_.hw),
+    fatalIf(!(compiled.hw == config_.hw),
             "compiled circuit targets a different hardware "
             "configuration than this service's workers");
+    for (uint32_t g : compiled.galois_elements)
+        fatalIf(!s.gkeys.has(g),
+                "circuit rotates with Galois element ", g,
+                " but tenant '", s.name,
+                "' holds no key for it (register the session with the "
+                "circuit's Galois keys)");
+}
+
+void
+ExecutionService::admit(const compiler::CompiledCircuit &compiled)
+{
+    if (config_.admission == compiler::NoiseCheck::kOff ||
+        compiled.noise_exhausted_node == compiler::kNoValue)
+        return;
+    const compiler::ValueId node = compiled.noise_exhausted_node;
+    char detail[160];
+    std::snprintf(detail, sizeof detail,
+                  "predicted noise budget exhausted at node %u (%s): "
+                  "%.1f bits remaining there, %.1f bits at the worst "
+                  "output",
+                  node,
+                  compiler::nodeKindName(
+                      compiled.circuit.nodes[node].kind),
+                  compiled.noise_budget_bits[node],
+                  compiled.min_output_noise_budget_bits);
+    if (config_.admission == compiler::NoiseCheck::kReject) {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.admission_rejected;
+        }
+        throw AdmissionRejectedError(
+            std::string("admission rejected: ") + detail +
+            "; lower the circuit depth or submit through submitCircuit "
+            "so re-leveling can try to rescue it");
+    }
+    std::fprintf(stderr, "ExecutionService: warning: %s\n", detail);
+}
+
+std::future<std::vector<fv::Ciphertext>>
+ExecutionService::submitCompiled(
+    TenantId tenant,
+    std::shared_ptr<const compiler::CompiledCircuit> compiled,
+    std::vector<fv::Ciphertext> inputs, double arrival_us)
+{
+    fatalIf(compiled == nullptr, "submitCompiled needs a circuit");
+    Session &s = session(tenant);
+    checkCompiled(s, *compiled);
+    fatalIf(!compiled->resident_inputs.empty(),
+            "circuit was compiled with resident inputs — submit it "
+            "through submitCompiledResident with the pinned handles");
     fatalIf(inputs.size() != compiled->inputs.size(),
             "circuit expects ", compiled->inputs.size(), " inputs, got ",
             inputs.size());
-    for (uint32_t g : compiled->galois_elements)
-        fatalIf(!gkeys_.has(g),
-                "circuit rotates with Galois element ", g,
-                " but the service holds no key for it (construct the "
-                "service with the circuit's Galois keys)");
     for (const fv::Ciphertext &ct : inputs)
         validateOperand(ct);
+    admit(*compiled);
 
     Job job;
+    job.session = &s;
+    job.arrival_us = arrival_us;
     job.circuit = std::move(compiled);
     job.circuit_inputs = std::move(inputs);
+    return enqueueCircuit(std::move(job));
+}
+
+std::future<std::vector<fv::Ciphertext>>
+ExecutionService::submitCompiledResident(
+    TenantId tenant,
+    std::shared_ptr<const compiler::CompiledCircuit> compiled,
+    std::span<const PinnedHandle> resident_handles,
+    std::vector<fv::Ciphertext> request_inputs, double arrival_us)
+{
+    fatalIf(compiled == nullptr, "submitCompiledResident needs a circuit");
+    Session &s = session(tenant);
+    checkCompiled(s, *compiled);
+    fatalIf(compiled->resident_inputs.empty(),
+            "circuit has no resident inputs — compile it with "
+            "CompilerOptions::resident_inputs, or use submitCompiled");
+    fatalIf(resident_handles.size() != compiled->resident_inputs.size(),
+            "circuit has ", compiled->resident_inputs.size(),
+            " resident inputs, got ", resident_handles.size(),
+            " pinned handles");
+    fatalIf(request_inputs.size() + resident_handles.size() !=
+                compiled->inputs.size(),
+            "circuit expects ",
+            compiled->inputs.size() - resident_handles.size(),
+            " request inputs, got ", request_inputs.size());
+    for (const fv::Ciphertext &ct : request_inputs)
+        validateOperand(ct);
+    admit(*compiled);
+
+    Job job;
+    job.session = &s;
+    job.arrival_us = arrival_us;
+    job.circuit = std::move(compiled);
+    job.circuit_inputs = std::move(request_inputs);
+    job.resident = true;
+    job.resident_handles.assign(resident_handles.begin(),
+                                resident_handles.end());
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (PinnedHandle h : resident_handles) {
+            fatalIf(h >= s.pinned.size(), "unknown pinned handle ", h,
+                    " for tenant '", s.name, "' (", s.pinned.size(),
+                    " pinned)");
+            job.resident_operands.push_back(s.pinned[h]);
+        }
+    }
     return enqueueCircuit(std::move(job));
 }
 
@@ -149,14 +354,31 @@ ExecutionService::enqueueCircuit(Job job)
 {
     std::future<std::vector<fv::Ciphertext>> future =
         job.circuit_promise.get_future();
+    Session &s = *job.session;
+    enqueue(s, std::move(job));
+    return future;
+}
+
+void
+ExecutionService::enqueue(Session &s, Job job)
+{
     {
         std::lock_guard<std::mutex> lock(mu_);
         if (stopping_)
             throw ServiceStoppedError("submit after shutdown");
-        queue_.push_back(std::move(job));
+        if (config_.max_queue_per_tenant > 0 &&
+            s.queue.size() >= config_.max_queue_per_tenant) {
+            ++stats_.ops_shed;
+            throw ServiceOverloadedError(
+                "tenant '" + s.name + "' queue is full (" +
+                std::to_string(s.queue.size()) + " of " +
+                std::to_string(config_.max_queue_per_tenant) +
+                " jobs queued) — shedding load, retry later");
+        }
+        s.queue.push_back(std::move(job));
+        ++queued_total_;
     }
     work_cv_.notify_one();
-    return future;
 }
 
 void
@@ -174,7 +396,7 @@ ExecutionService::drain()
 {
     std::unique_lock<std::mutex> lock(mu_);
     idle_cv_.wait(lock, [this] {
-        return (queue_.empty() && in_flight_ == 0) || stopping_;
+        return (queued_total_ == 0 && in_flight_ == 0) || stopping_;
     });
 }
 
@@ -188,7 +410,13 @@ ExecutionService::shutdown()
     {
         std::lock_guard<std::mutex> lock(mu_);
         stopping_ = true;
-        orphans.swap(queue_);
+        for (Session &s : sessions_) {
+            while (!s.queue.empty()) {
+                orphans.push_back(std::move(s.queue.front()));
+                s.queue.pop_front();
+            }
+        }
+        queued_total_ = 0;
     }
     work_cv_.notify_all();
     idle_cv_.notify_all();
@@ -217,7 +445,7 @@ size_t
 ExecutionService::queueDepth() const
 {
     std::lock_guard<std::mutex> lock(mu_);
-    return queue_.size();
+    return queued_total_;
 }
 
 ServiceStats
@@ -233,25 +461,82 @@ ExecutionService::stats() const
     return snapshot;
 }
 
+LatencySnapshot
+ExecutionService::latency() const
+{
+    std::vector<double> samples;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        samples = latencies_us_;
+    }
+    LatencySnapshot snap;
+    snap.samples = samples.size();
+    if (samples.empty())
+        return snap;
+    std::sort(samples.begin(), samples.end());
+    const auto pct = [&samples](double p) {
+        const double rank =
+            std::ceil(p * static_cast<double>(samples.size())) - 1.0;
+        const size_t idx = static_cast<size_t>(std::max(0.0, rank));
+        return samples[std::min(idx, samples.size() - 1)];
+    };
+    snap.p50_us = pct(0.50);
+    snap.p99_us = pct(0.99);
+    double sum = 0.0;
+    for (double v : samples)
+        sum += v;
+    snap.mean_us = sum / static_cast<double>(samples.size());
+    snap.max_us = samples.back();
+    return snap;
+}
+
 void
 ExecutionService::workerLoop(size_t worker_index)
 {
-    // Per-worker hardware instance. Exactly one plan is installed at a
-    // time: switching op kinds reprograms the memory file and replays
-    // the new plan's slot allocations (build-time work only — resident
-    // operands are re-uploaded per job anyway).
+    // Per-worker hardware instance. Exactly one op plan is installed
+    // at a time: switching op kinds reprograms the memory file and
+    // replays the new plan's slot allocations. Key sets are attached
+    // per job (attachKeys re-points the kKeyLoad stream at the
+    // submitting session's DDR-resident keys).
     std::optional<hw::Coprocessor> cp;
     std::optional<hw::OpPlan::Kind> installed;
-    auto rebuild = [&] {
-        cp.emplace(params_, config_.hw, &rlk_, &gkeys_);
-        installed.reset();
+    const Session *keys_attached = nullptr;
+    uint64_t batch_key_swaps = 0;
+
+    // Resident-cache state: which (circuit, session, handles) the
+    // pinned memory-file prefix currently holds. The shared_ptr keeps
+    // the circuit alive so pointer identity cannot alias a freed one.
+    std::shared_ptr<const compiler::CompiledCircuit> cached_circuit;
+    const Session *cached_session = nullptr;
+    std::vector<PinnedHandle> cached_handles;
+
+    const auto invalidate_cache = [&] {
+        cached_circuit.reset();
+        cached_session = nullptr;
+        cached_handles.clear();
     };
-    auto install = [&](const hw::OpPlan &plan) {
+    const auto rebuild = [&] {
+        cp.emplace(params_, config_.hw, nullptr, nullptr);
+        installed.reset();
+        keys_attached = nullptr;
+        invalidate_cache();
+    };
+    const auto attach = [&](Session *s) {
+        if (keys_attached == s)
+            return;
+        cp->attachKeys(&s->rlk, &s->gkeys);
+        if (keys_attached != nullptr)
+            ++batch_key_swaps;
+        keys_attached = s;
+    };
+    const auto install = [&](const hw::OpPlan &plan) {
         if (installed == plan.kind)
             return;
         // Reprogram unconditionally: a circuit job (or a fresh build)
-        // leaves the memory file in an unknown layout.
+        // leaves the memory file in an unknown layout. This also
+        // clears any pinned resident prefix.
         cp->reset();
+        invalidate_cache();
         hw::preparePlanSlots(*cp, plan);
         installed = plan.kind;
     };
@@ -259,48 +544,150 @@ ExecutionService::workerLoop(size_t worker_index)
     const hw::ArmHostModel host(params_, config_.hw);
     const auto dispatch =
         static_cast<hw::Cycle>(config_.hw.dispatch_overhead);
+    // Worker-local modeled clock; mirrored to worker_clock_us_ under
+    // mu_ after every batch (only this worker writes its entry).
+    double my_clock = 0.0;
 
     for (;;) {
         std::vector<Job> batch;
         {
             std::unique_lock<std::mutex> lock(mu_);
             work_cv_.wait(lock, [this] {
-                return stopping_ || (started_ && !queue_.empty());
+                return stopping_ || (started_ && queued_total_ > 0);
             });
-            if (queue_.empty())
+            if (queued_total_ == 0)
                 return; // stopping, nothing left to do
-            while (!queue_.empty() && batch.size() < config_.max_batch) {
-                batch.push_back(std::move(queue_.front()));
-                queue_.pop_front();
+            // Arrival-aware weighted dequeue: each turn drains up to
+            // `weight` jobs from the non-empty tenant whose head job
+            // has the earliest modeled arrival (untimed jobs, with
+            // arrival_us < 0, sort first; ties rotate round-robin
+            // from rr_cursor_). Serving near global arrival order
+            // matters for the modeled clock — dequeuing one tenant
+            // far ahead of the others' arrival frontier drags the
+            // worker clock forward and every older job processed
+            // afterwards inherits the inflated completion time. A
+            // weight-w tenant still contributes up to w consecutive
+            // jobs per turn, which is what bounds key swaps and plan
+            // reprogramming per batch, and under backlog gives it a
+            // w-sized share of every batch.
+            while (batch.size() < config_.max_batch &&
+                   queued_total_ > 0) {
+                size_t best = sessions_.size();
+                double best_arrival = 0.0;
+                for (size_t off = 0; off < sessions_.size(); ++off) {
+                    const size_t i =
+                        (rr_cursor_ + off) % sessions_.size();
+                    const Session &c = sessions_[i];
+                    if (c.queue.empty())
+                        continue;
+                    const double a = c.queue.front().arrival_us;
+                    if (best == sessions_.size() || a < best_arrival) {
+                        best = i;
+                        best_arrival = a;
+                    }
+                }
+                Session &s = sessions_[best];
+                rr_cursor_ = (best + 1) % sessions_.size();
+                const size_t take = std::min(
+                    {static_cast<size_t>(s.weight),
+                     config_.max_batch - batch.size(), s.queue.size()});
+                for (size_t k = 0; k < take; ++k) {
+                    batch.push_back(std::move(s.queue.front()));
+                    s.queue.pop_front();
+                    --queued_total_;
+                }
             }
             in_flight_ += batch.size();
         }
-        // Group by op kind (circuits last): the jobs are independent,
-        // and grouping bounds memory-file reprogramming to one install
-        // per kind.
+        // Group by session, then op kind (plain circuits after ops,
+        // resident circuits last so a cold run's pins survive into
+        // the next batch): the jobs are independent, and grouping
+        // bounds memory-file reprogramming and key swaps.
         std::stable_sort(batch.begin(), batch.end(),
                          [](const Job &x, const Job &y) {
+                             if (x.session->id != y.session->id)
+                                 return x.session->id < y.session->id;
                              return x.sortKey() < y.sortKey();
                          });
 
         size_t batch_completed = 0;
         size_t batch_failed = 0;
-        size_t op_jobs = 0;
         uint64_t batch_circuits = 0;
         uint64_t batch_circuit_nodes = 0;
+        uint64_t batch_cold = 0;
+        uint64_t batch_warm = 0;
         hw::Cycle batch_cycles = 0;
-        hw::Cycle amortized_cycles = 0;
         double batch_dma_us = 0.0;
         double batch_host_us = 0.0;
+        std::vector<double> batch_latencies;
+        batch_latencies.reserve(batch.size());
+        batch_key_swaps = 0;
         bool first_in_batch = true;
+
+        // Advance the modeled clock past one finished job: open-loop
+        // jobs wait for their arrival time, and their latency is
+        // completion minus arrival; untimed jobs contribute service
+        // time only.
+        const auto finish_job = [&](const Job &job, double cost_us) {
+            double start = my_clock;
+            if (job.arrival_us >= 0.0 && job.arrival_us > start)
+                start = job.arrival_us;
+            my_clock = start + cost_us;
+            batch_latencies.push_back(job.arrival_us >= 0.0
+                                          ? my_clock - job.arrival_us
+                                          : cost_us);
+        };
+
         for (Job &job : batch) {
+            attach(job.session);
             if (job.isCircuit()) {
                 try {
                     compiler::CircuitRunStats cstats;
-                    std::vector<fv::Ciphertext> outs =
-                        compiler::runCompiledCircuit(
+                    std::vector<fv::Ciphertext> outs;
+                    if (!job.resident) {
+                        outs = compiler::runCompiledCircuit(
                             *cp, *job.circuit, job.circuit_inputs,
                             &cstats);
+                        invalidate_cache(); // the run reset the pins
+                    } else if (cached_circuit.get() ==
+                                   job.circuit.get() &&
+                               cached_session == job.session &&
+                               cached_handles == job.resident_handles) {
+                        // Cache hit: pinned operands are already in
+                        // the memory-file prefix — no operand upload.
+                        outs = compiler::runCompiledCircuitWarm(
+                            *cp, *job.circuit, job.circuit_inputs,
+                            &cstats);
+                        ++batch_warm;
+                    } else {
+                        // Cache miss: assemble the full positional
+                        // input list and run cold — runCompiledCircuit
+                        // uploads the pinned operands into the prefix
+                        // and leaves them pinned for the next hit.
+                        std::vector<fv::Ciphertext> full(
+                            job.circuit->inputs.size());
+                        std::vector<bool> res_pos(full.size(), false);
+                        for (size_t k = 0;
+                             k < job.circuit->resident_inputs.size();
+                             ++k) {
+                            const uint32_t pos =
+                                job.circuit->resident_inputs[k];
+                            full[pos] = *job.resident_operands[k];
+                            res_pos[pos] = true;
+                        }
+                        size_t next = 0;
+                        for (size_t k = 0; k < full.size(); ++k) {
+                            if (!res_pos[k])
+                                full[k] = std::move(
+                                    job.circuit_inputs[next++]);
+                        }
+                        outs = compiler::runCompiledCircuit(
+                            *cp, *job.circuit, full, &cstats);
+                        cached_circuit = job.circuit;
+                        cached_session = job.session;
+                        cached_handles = job.resident_handles;
+                        ++batch_cold;
+                    }
                     job.circuit_promise.set_value(std::move(outs));
                     batch_cycles += cstats.fpga_cycles;
                     batch_dma_us += cstats.dma_us;
@@ -309,6 +696,7 @@ ExecutionService::workerLoop(size_t worker_index)
                     batch_circuit_nodes +=
                         job.circuit->value_sizes.size() -
                         job.circuit->inputs.size();
+                    finish_job(job, cstats.modeledUs(config_.hw));
                 } catch (...) {
                     job.fail(std::current_exception());
                     ++batch_failed;
@@ -321,7 +709,6 @@ ExecutionService::workerLoop(size_t worker_index)
                 first_in_batch = true;
                 continue;
             }
-            ++op_jobs;
             const hw::OpPlan &plan =
                 job.op == Op::kAdd ? add_plan_ : mult_plan_;
             try {
@@ -331,12 +718,12 @@ ExecutionService::workerLoop(size_t worker_index)
                 hw::ExecStats s = cp->execute(plan.program);
                 batch_cycles += s.fpga_cycles;
                 batch_dma_us += s.dma_us;
+                hw::Cycle amortized = 0;
                 if (!first_in_batch) {
                     // Back-to-back programs stream from the queued
                     // instruction sequence: their per-instruction Arm
                     // dispatch overlaps the previous compute.
-                    amortized_cycles +=
-                        dispatch * plan.program.instrs.size();
+                    amortized = dispatch * plan.program.instrs.size();
                 }
                 first_in_batch = false;
 
@@ -347,6 +734,17 @@ ExecutionService::workerLoop(size_t worker_index)
                     cp->downloadPoly(plan.program.outputs[1]));
                 job.promise.set_value(std::move(out));
                 ++batch_completed;
+
+                const double job_host_us =
+                    host.sendCiphertextsUs(2) +
+                    host.receiveCiphertextsUs(1);
+                batch_host_us += job_host_us;
+                finish_job(
+                    job,
+                    config_.hw.cyclesToUs(
+                        s.fpga_cycles -
+                        std::min(s.fpga_cycles, amortized)) +
+                        s.dma_us + job_host_us);
             } catch (...) {
                 job.promise.set_exception(std::current_exception());
                 ++batch_failed;
@@ -358,13 +756,6 @@ ExecutionService::workerLoop(size_t worker_index)
             }
         }
 
-        batch_host_us += host.sendCiphertextsUs(2 * op_jobs) +
-                         host.receiveCiphertextsUs(op_jobs);
-        const double batch_accel_us =
-            config_.hw.cyclesToUs(batch_cycles -
-                                  std::min(batch_cycles,
-                                           amortized_cycles)) +
-            batch_dma_us;
         {
             std::lock_guard<std::mutex> lock(mu_);
             stats_.ops_completed += batch_completed;
@@ -372,13 +763,18 @@ ExecutionService::workerLoop(size_t worker_index)
             stats_.batches += 1;
             stats_.circuits_completed += batch_circuits;
             stats_.circuit_nodes_completed += batch_circuit_nodes;
+            stats_.key_swaps += batch_key_swaps;
+            stats_.resident_cold_runs += batch_cold;
+            stats_.resident_warm_runs += batch_warm;
             stats_.fpga_cycles += batch_cycles;
             stats_.dma_us += batch_dma_us;
             stats_.host_us += batch_host_us;
-            worker_clock_us_[worker_index] +=
-                batch_host_us + batch_accel_us;
+            worker_clock_us_[worker_index] = my_clock;
+            latencies_us_.insert(latencies_us_.end(),
+                                 batch_latencies.begin(),
+                                 batch_latencies.end());
             in_flight_ -= batch.size();
-            if (queue_.empty() && in_flight_ == 0)
+            if (queued_total_ == 0 && in_flight_ == 0)
                 idle_cv_.notify_all();
         }
     }

@@ -10,15 +10,45 @@
  * (submitCircuit — compiled once into fused programs whose
  * intermediates stay coprocessor-resident; see compiler/compiler.h).
  *
- * Workers drain the queue in batches (up to ServiceConfig::max_batch
- * independent operations per dequeue) and execute the batch as
- * back-to-back programs on their coprocessor. Functionally every
- * operation is bit-exact against fv::Evaluator's HPS path (the
- * differential test suite pins this); for timing, the service keeps a
- * modeled clock per worker in which the per-instruction Arm dispatch
- * overhead of all but the first program of a batch overlaps with
- * compute — the amortisation a real instruction queue in front of the
- * lock-step RPAUs provides (cf. Medha's macro-instruction pipeline).
+ * The service is multi-tenant: every submission runs under a tenant
+ * session carrying its own relinearization and Galois key sets
+ * (registerTenant). Workers re-point their coprocessor's DDR-resident
+ * key pointers at the submitting session's keys before executing its
+ * jobs (hw::Coprocessor::attachKeys — the kKeyLoad selector streams
+ * from whatever is attached), submit-time validation is per-session,
+ * and each tenant has its own FIFO queue drained by arrival-aware
+ * weighted round-robin (earliest head job first, up to `weight` jobs
+ * per turn) so one chatty tenant cannot starve the rest. Queues are
+ * bounded (ServiceConfig::max_queue_per_tenant): submissions beyond
+ * the bound shed synchronously with ServiceOverloadedError.
+ *
+ * Admission control: the compiler's noise pass runs (or is reused) at
+ * submit time. Under ServiceConfig::admission == NoiseCheck::kReject a
+ * circuit whose predicted invariant-noise budget dies before its
+ * outputs is rejected synchronously with AdmissionRejectedError naming
+ * the first exhausted node — after one re-leveling attempt
+ * (auto_mod_switch) when admission_relevel is set and the submission
+ * came through submitCircuit.
+ *
+ * Resident ciphertext cache: hot operands (PIR databases, matvec
+ * weights) can be pinned per tenant (pinInput) and referenced by
+ * handle in submitCompiledResident. The first execution on a worker
+ * uploads them into the pinned memory-file prefix
+ * (hw::MemoryFile::setPinnedRecords); repeat executions of the same
+ * (tenant, circuit, handles) on that worker skip the operand upload
+ * entirely (compiler::runCompiledCircuitWarm). Results are bit-exact
+ * either way.
+ *
+ * Workers drain in batches (up to ServiceConfig::max_batch per
+ * dequeue) and execute the batch as back-to-back programs.
+ * Functionally every operation is bit-exact against fv::Evaluator's
+ * HPS path; for timing, the service keeps a modeled clock per worker
+ * in which the per-instruction Arm dispatch overhead of all but the
+ * first program of a batch overlaps with compute. Jobs may carry a
+ * modeled arrival timestamp (open-loop load generation): a worker
+ * starts such a job at max(worker clock, arrival) and the recorded
+ * latency is completion minus arrival — latency() reports the
+ * distribution (p50/p99).
  *
  * Shutdown semantics: shutdown() (also run by the destructor) stops
  * intake, lets in-flight batches finish, joins the workers, and fails
@@ -35,6 +65,8 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <span>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -54,6 +86,15 @@ enum class Op : uint8_t
     kMult ///< FV.Mult with relinearization
 };
 
+/** Tenant session identifier (returned by registerTenant). */
+using TenantId = uint32_t;
+
+/** The session the key-set constructor arguments register. */
+constexpr TenantId kDefaultTenant = 0;
+
+/** Handle to a tenant's pinned (coprocessor-cacheable) ciphertext. */
+using PinnedHandle = uint32_t;
+
 /** Tunables of the execution service. */
 struct ServiceConfig
 {
@@ -70,6 +111,34 @@ struct ServiceConfig
      * width.
      */
     bool start_paused = false;
+    /**
+     * Compiler options used by submitCircuit (the hw field is
+     * overridden with this config's hw so compiled programs always
+     * target the workers' slot capacity). Deployments tune hoisting,
+     * auto_mod_switch and the compile-time noise check here.
+     */
+    compiler::CompilerOptions compiler;
+    /**
+     * Noise-aware admission: what to do with a submission whose
+     * compiled circuit predicts an exhausted noise budget before its
+     * outputs. kWarn (default) prints the node-level diagnostic and
+     * accepts; kReject throws AdmissionRejectedError synchronously;
+     * kOff admits silently.
+     */
+    compiler::NoiseCheck admission = compiler::NoiseCheck::kWarn;
+    /**
+     * Under admission == kReject, submitCircuit retries a failing
+     * compilation with auto_mod_switch (re-leveling) before rejecting
+     * — the level assignment often rescues depth-heavy circuits at no
+     * accuracy cost. Pre-compiled submissions are never rewritten.
+     */
+    bool admission_relevel = true;
+    /**
+     * Per-tenant queue bound; 0 = unbounded. A submission that would
+     * push a tenant's queue beyond the bound is shed synchronously
+     * with ServiceOverloadedError (counted in ServiceStats::ops_shed).
+     */
+    size_t max_queue_per_tenant = 0;
 };
 
 /** Delivered through the futures of jobs cancelled by shutdown(). */
@@ -77,6 +146,27 @@ class ServiceStoppedError : public std::runtime_error
 {
   public:
     explicit ServiceStoppedError(const std::string &msg)
+        : std::runtime_error(msg)
+    {
+    }
+};
+
+/** Thrown synchronously when a tenant's bounded queue is full. */
+class ServiceOverloadedError : public std::runtime_error
+{
+  public:
+    explicit ServiceOverloadedError(const std::string &msg)
+        : std::runtime_error(msg)
+    {
+    }
+};
+
+/** Thrown synchronously by noise-aware admission control (see
+ *  ServiceConfig::admission) with the node-level diagnostic. */
+class AdmissionRejectedError : public std::runtime_error
+{
+  public:
+    explicit AdmissionRejectedError(const std::string &msg)
         : std::runtime_error(msg)
     {
     }
@@ -90,11 +180,24 @@ struct ServiceStats
     uint64_t ops_failed = 0;
     /** Jobs still queued when shutdown() ran; their futures fail. */
     uint64_t ops_rejected = 0;
+    /** Submissions shed by the bounded per-tenant queues. */
+    uint64_t ops_shed = 0;
+    /** Circuits rejected by noise-aware admission control. */
+    uint64_t admission_rejected = 0;
+    /** Circuits admitted only after the auto_mod_switch re-level. */
+    uint64_t admission_releveled = 0;
     uint64_t batches = 0;
     /** Fused circuit jobs completed. */
     uint64_t circuits_completed = 0;
     /** Circuit nodes executed inside completed circuit jobs. */
     uint64_t circuit_nodes_completed = 0;
+    /** Times a worker re-pointed its coprocessor at another tenant's
+     *  key sets. */
+    uint64_t key_swaps = 0;
+    /** Resident-cache cold runs (pinned operands uploaded). */
+    uint64_t resident_cold_runs = 0;
+    /** Resident-cache warm runs (pinned operand upload skipped). */
+    uint64_t resident_warm_runs = 0;
     /** Summed coprocessor compute cycles (dispatch included). */
     hw::Cycle fpga_cycles = 0;
     /** Summed relinearization-key DMA time. */
@@ -114,6 +217,16 @@ struct ServiceStats
     }
 };
 
+/** Modeled per-job latency distribution (see latency()). */
+struct LatencySnapshot
+{
+    size_t samples = 0;
+    double p50_us = 0.0;
+    double p99_us = 0.0;
+    double mean_us = 0.0;
+    double max_us = 0.0;
+};
+
 /**
  * The execution service. Construction spawns the worker pool; each
  * worker builds its own hw::Coprocessor plus the shared operation
@@ -121,8 +234,9 @@ struct ServiceStats
  * file allocation is deterministic), so submission never blocks on
  * hardware setup.
  *
- * Thread safety: submit(), drain(), shutdown() and stats() may be
- * called concurrently from any number of client threads.
+ * Thread safety: submit*(), registerTenant(), pinInput(), drain(),
+ * shutdown() and stats() may be called concurrently from any number of
+ * client threads.
  */
 class ExecutionService
 {
@@ -130,17 +244,18 @@ class ExecutionService
     /**
      * @param params FV parameter set (shared, immutable).
      * @param rlk relinearization keys (kRnsDigits kind — what the HPS
-     *        coprocessor's key-load schedule consumes).
+     *        coprocessor's key-load schedule consumes). Registered as
+     *        the kDefaultTenant session.
      * @param config service tunables.
      */
     ExecutionService(std::shared_ptr<const fv::FvParams> params,
                      fv::RelinKeys rlk, ServiceConfig config = {});
 
     /**
-     * As above, plus Galois key-switching keys resident in every
-     * worker's DDR — required before any circuit with rotation nodes
-     * can be submitted (submitCompiled rejects circuits whose Galois
-     * elements the service does not hold).
+     * As above, plus Galois key-switching keys for the default
+     * session — required before any circuit with rotation nodes can be
+     * submitted under it (submitCompiled rejects circuits whose Galois
+     * elements the submitting session does not hold).
      */
     ExecutionService(std::shared_ptr<const fv::FvParams> params,
                      fv::RelinKeys rlk, fv::GaloisKeys gkeys,
@@ -153,22 +268,57 @@ class ExecutionService
     ExecutionService &operator=(const ExecutionService &) = delete;
 
     /**
-     * Enqueue one operation on two size-2 ciphertexts. Shape errors
-     * (wrong element count, base, or degree) throw FatalError
-     * synchronously; a stopped service throws ServiceStoppedError.
+     * Register a tenant session with its own key sets. Key-set shape
+     * is validated here (kRnsDigits, digit count, per-element Galois
+     * keys) so workers never see malformed keys. @p weight biases the
+     * fair dequeue: a weight-2 tenant gets up to twice the jobs per
+     * round-robin turn of a weight-1 tenant.
+     *
+     * @return the session id to pass to the tenant-qualified submits.
+     */
+    TenantId registerTenant(std::string name, fv::RelinKeys rlk,
+                            fv::GaloisKeys gkeys = {},
+                            uint32_t weight = 1);
+
+    /**
+     * Pin a ciphertext in @p tenant's resident-operand store. Pinned
+     * operands are referenced by handle in submitCompiledResident and
+     * cached in a worker's coprocessor memory file across requests —
+     * the "hot database" half of a PIR or matvec workload. The
+     * ciphertext itself stays host-side owned by the service; workers
+     * upload it at most once per (circuit, handle-set) change.
+     */
+    PinnedHandle pinInput(TenantId tenant, fv::Ciphertext ct);
+
+    /**
+     * Enqueue one operation on two size-2 ciphertexts under the
+     * default session. Shape errors (wrong element count, base, or
+     * degree) throw FatalError synchronously; a stopped service throws
+     * ServiceStoppedError; a full tenant queue throws
+     * ServiceOverloadedError.
      *
      * @return future resolving to the result ciphertext.
      */
     std::future<fv::Ciphertext> submit(Op op, fv::Ciphertext a,
                                        fv::Ciphertext b);
 
+    /** Tenant-qualified submit. @p arrival_us, when non-negative, is
+     *  the job's modeled arrival time for open-loop load generation:
+     *  the executing worker starts it no earlier than that point of
+     *  its modeled clock, and the recorded latency (see latency()) is
+     *  completion minus arrival. */
+    std::future<fv::Ciphertext> submit(TenantId tenant, Op op,
+                                       fv::Ciphertext a,
+                                       fv::Ciphertext b,
+                                       double arrival_us = -1.0);
+
     /**
-     * Enqueue a whole circuit as one fused job: the circuit is
-     * compiled immediately (malformed circuits and parameter-set
-     * mismatches throw synchronously), then executes on one worker's
-     * coprocessor as fused programs — inputs uploaded once, one Arm
-     * dispatch per on-chip segment, only live outputs downloaded.
-     * Results are bit-exact with fv::Evaluator run op-by-op.
+     * Enqueue a whole circuit as one fused job under the default
+     * session: compiled immediately with ServiceConfig::compiler
+     * (malformed circuits and parameter-set mismatches throw
+     * synchronously), then executes on one worker's coprocessor as
+     * fused programs. Results are bit-exact with fv::Evaluator run
+     * op-by-op.
      *
      * @return future resolving to the output ciphertexts, in the
      *         circuit's output order.
@@ -177,15 +327,47 @@ class ExecutionService
         const compiler::Circuit &circuit,
         std::vector<fv::Ciphertext> inputs);
 
+    /** Tenant-qualified submitCircuit (see submit for @p arrival_us).
+     *  Under admission == kReject a noise-exhausted circuit is retried
+     *  with auto_mod_switch re-leveling (admission_relevel) before
+     *  AdmissionRejectedError is thrown. */
+    std::future<std::vector<fv::Ciphertext>> submitCircuit(
+        TenantId tenant, const compiler::Circuit &circuit,
+        std::vector<fv::Ciphertext> inputs, double arrival_us = -1.0);
+
     /**
-     * Enqueue an already-compiled circuit (compile once with
-     * compiler::compileCircuit, submit many times). The compiled
-     * program must target this service's parameter set and hardware
-     * configuration.
+     * Enqueue an already-compiled circuit under the default session
+     * (compile once with compiler::compileCircuit, submit many times).
+     * The compiled program must target this service's parameter set
+     * and hardware configuration.
      */
     std::future<std::vector<fv::Ciphertext>> submitCompiled(
         std::shared_ptr<const compiler::CompiledCircuit> compiled,
         std::vector<fv::Ciphertext> inputs);
+
+    /** Tenant-qualified submitCompiled (see submit for @p arrival_us). */
+    std::future<std::vector<fv::Ciphertext>> submitCompiled(
+        TenantId tenant,
+        std::shared_ptr<const compiler::CompiledCircuit> compiled,
+        std::vector<fv::Ciphertext> inputs, double arrival_us = -1.0);
+
+    /**
+     * Enqueue a circuit compiled with
+     * compiler::CompilerOptions::resident_inputs, binding each
+     * resident input position to one of @p tenant's pinned handles.
+     * @p request_inputs supplies the remaining inputs in position
+     * order (resident positions skipped). A worker whose coprocessor
+     * already holds this exact (tenant, circuit, handles) cache runs
+     * warm — the pinned operands are not re-uploaded; any other worker
+     * state triggers a cold run that uploads and pins them. Results
+     * are bit-identical either way.
+     */
+    std::future<std::vector<fv::Ciphertext>> submitCompiledResident(
+        TenantId tenant,
+        std::shared_ptr<const compiler::CompiledCircuit> compiled,
+        std::span<const PinnedHandle> resident_handles,
+        std::vector<fv::Ciphertext> request_inputs,
+        double arrival_us = -1.0);
 
     /** Release the workers of a start_paused service. Idempotent. */
     void start();
@@ -205,18 +387,51 @@ class ExecutionService
     /** @return configured worker count. */
     size_t workerCount() const { return config_.workers; }
 
+    /** @return registered tenant count. */
+    size_t tenantCount() const;
+
     /** @return jobs currently queued (excludes in-flight batches). */
     size_t queueDepth() const;
 
     /** @return a snapshot of the aggregate statistics. */
     ServiceStats stats() const;
 
+    /** @return the modeled per-job latency distribution so far. Jobs
+     *  submitted without an arrival timestamp contribute their pure
+     *  service time. */
+    LatencySnapshot latency() const;
+
     /** @return the service configuration. */
     const ServiceConfig &config() const { return config_; }
 
   private:
+    struct Job;
+
+    /** One tenant's session: immutable key sets plus the mu_-guarded
+     *  queue and pinned-operand store. Stored in a deque so worker
+     *  threads can hold stable pointers across registrations. */
+    struct Session
+    {
+        TenantId id = 0;
+        std::string name;
+        uint32_t weight = 1;
+        fv::RelinKeys rlk;
+        fv::GaloisKeys gkeys;
+        /** Combined content hash of both key sets (fv fingerprints). */
+        uint64_t key_fingerprint = 0;
+        /** Pinned resident operands, indexed by PinnedHandle (mu_). */
+        std::vector<std::shared_ptr<const fv::Ciphertext>> pinned;
+        /** This tenant's FIFO queue (mu_). */
+        std::deque<Job> queue;
+    };
+
     struct Job
     {
+        /** Owning session (stable pointer into sessions_). */
+        Session *session = nullptr;
+        /** Modeled arrival time; negative = untimed submission. */
+        double arrival_us = -1.0;
+
         /** Single-op job (circuit == nullptr) or fused circuit job. */
         Op op = Op::kAdd;
         fv::Ciphertext a;
@@ -224,16 +439,30 @@ class ExecutionService
         std::promise<fv::Ciphertext> promise;
 
         std::shared_ptr<const compiler::CompiledCircuit> circuit;
+        /** All inputs (plain circuit job), or only the non-resident
+         *  request inputs (resident job). */
         std::vector<fv::Ciphertext> circuit_inputs;
         std::promise<std::vector<fv::Ciphertext>> circuit_promise;
 
+        /** Resident job: pinned operands (one per
+         *  circuit->resident_inputs entry) and their handles — the
+         *  worker-side cache identity. */
+        std::vector<std::shared_ptr<const fv::Ciphertext>>
+            resident_operands;
+        std::vector<PinnedHandle> resident_handles;
+        bool resident = false;
+
         bool isCircuit() const { return circuit != nullptr; }
 
-        /** Batch ordering key: group per-op kinds, circuits last. */
+        /** Batch ordering key: group per-op kinds, then plain
+         *  circuits, resident circuits last (so a cold run's pins
+         *  survive into the next batch). */
         int
         sortKey() const
         {
-            return isCircuit() ? 2 : (op == Op::kAdd ? 0 : 1);
+            if (!isCircuit())
+                return op == Op::kAdd ? 0 : 1;
+            return resident ? 3 : 2;
         }
 
         /** Fail this job's pending future with @p error. */
@@ -247,13 +476,19 @@ class ExecutionService
         }
     };
 
+    TenantId registerSession(std::string name, fv::RelinKeys rlk,
+                             fv::GaloisKeys gkeys, uint32_t weight);
+    Session &session(TenantId tenant);
+    void checkCompiled(const Session &s,
+                       const compiler::CompiledCircuit &compiled) const;
+    /** Noise-aware admission verdict for @p compiled (may throw). */
+    void admit(const compiler::CompiledCircuit &compiled);
     std::future<std::vector<fv::Ciphertext>> enqueueCircuit(Job job);
+    void enqueue(Session &s, Job job);
     void workerLoop(size_t worker_index);
     void validateOperand(const fv::Ciphertext &ct) const;
 
     std::shared_ptr<const fv::FvParams> params_;
-    fv::RelinKeys rlk_;
-    fv::GaloisKeys gkeys_;
     ServiceConfig config_;
     /** Prototype plans, built once; workers replay their allocation. */
     hw::OpPlan add_plan_;
@@ -264,11 +499,19 @@ class ExecutionService
     std::mutex shutdown_mu_;
     std::condition_variable work_cv_;
     std::condition_variable idle_cv_;
-    std::deque<Job> queue_;
+    /** Tenant sessions; deque for stable element addresses (mu_ for
+     *  registration and queue access; key sets are immutable). */
+    std::deque<Session> sessions_;
+    /** Weighted round-robin dequeue cursor (mu_). */
+    size_t rr_cursor_ = 0;
+    /** Jobs queued across all sessions (mu_). */
+    size_t queued_total_ = 0;
     size_t in_flight_ = 0;
     bool started_ = true;
     bool stopping_ = false;
     ServiceStats stats_;
+    /** Modeled per-job latency samples (mu_). */
+    std::vector<double> latencies_us_;
     /** Modeled busy time per worker (us). */
     std::vector<double> worker_clock_us_;
 

@@ -685,5 +685,77 @@ TEST(Compiler, AutoModSwitchPaperDepthEightThreePaths)
         ASSERT_EQ(out.coeffs[i], 0u) << "coeff " << i;
 }
 
+TEST(Compiler, ResidentInputsColdAndWarmMatchAllThreePaths)
+{
+    // Compile the demo circuit with its first input pinned as
+    // coprocessor-resident. The cold run uploads and pins it; warm
+    // reruns skip its upload entirely — and all execution paths (fused
+    // cold, fused warm, op-by-op, evaluateCircuit) stay bit-identical.
+    Universe u(19);
+    const Circuit circuit = demoCircuit(u);
+
+    CompilerOptions options;
+    options.hw = u.config;
+    // A pinned input can never be spilled, so the tight test-sized
+    // memory file needs one more RPAU than the spill-free baseline.
+    options.hw.n_rpaus += 1;
+    options.resident_inputs = {0};
+    const CompiledCircuit compiled =
+        compiler::compileCircuit(u.params, circuit, options);
+    ASSERT_EQ(compiled.resident_inputs, std::vector<uint32_t>{0});
+    ASSERT_EQ(compiled.resident_slots.size(), 1u);
+    ASSERT_GT(compiled.resident_action_count, 0u);
+    // Pinned slots are the record-id prefix a warm replay resumes after.
+    EXPECT_EQ(compiled.resident_slots[0][0], 0u);
+    EXPECT_EQ(compiled.resident_slots[0][1], 1u);
+
+    const Ciphertext hot = u.randomCipher(1);
+    const Ciphertext y1 = u.randomCipher(2);
+    const Ciphertext y2 = u.randomCipher(3);
+    const std::vector<Ciphertext> inputs1 = {hot, y1};
+    const std::vector<Ciphertext> inputs2 = {hot, y2};
+
+    const std::vector<Ciphertext> ref1 = compiler::evaluateCircuit(
+        *u.evaluator, &u.rlk, circuit, inputs1);
+    const std::vector<Ciphertext> ref2 = compiler::evaluateCircuit(
+        *u.evaluator, &u.rlk, circuit, inputs2);
+
+    hw::Coprocessor cp(u.params, compiled.hw, &u.rlk);
+    CircuitRunStats cold_stats;
+    const std::vector<Ciphertext> cold =
+        compiler::runCompiledCircuit(cp, compiled, inputs1, &cold_stats);
+    EXPECT_EQ(cold, ref1);
+    EXPECT_EQ(cp.memory().pinnedRecords(), 2u);
+
+    // Warm rerun, same request operand: bit-identical to the cold run,
+    // with exactly the two pinned polynomial uploads saved.
+    CircuitRunStats warm_stats;
+    const std::vector<Ciphertext> warm = compiler::runCompiledCircuitWarm(
+        cp, compiled, std::vector<Ciphertext>{y1}, &warm_stats);
+    EXPECT_EQ(warm, cold);
+    EXPECT_EQ(warm_stats.uploaded_polys + 2, cold_stats.uploaded_polys);
+    EXPECT_LT(warm_stats.modeledUs(compiled.hw),
+              cold_stats.modeledUs(compiled.hw));
+
+    // Warm rerun with a fresh request operand still computes over the
+    // pinned database: matches the evaluator on {hot, y2}.
+    const std::vector<Ciphertext> warm2 =
+        compiler::runCompiledCircuitWarm(cp, compiled,
+                                         std::vector<Ciphertext>{y2});
+    EXPECT_EQ(warm2, ref2);
+
+    // Third path: the unfused per-op baseline agrees too.
+    hw::Coprocessor cp2(u.params, compiled.hw, &u.rlk);
+    const std::vector<Ciphertext> op_by_op = compiler::runCircuitOpByOp(
+        cp2, u.params, circuit, inputs1);
+    EXPECT_EQ(op_by_op, ref1);
+
+    // Warm execution on a coprocessor that holds no pins is refused.
+    hw::Coprocessor cp3(u.params, compiled.hw, &u.rlk);
+    EXPECT_THROW(compiler::runCompiledCircuitWarm(
+                     cp3, compiled, std::vector<Ciphertext>{y1}),
+                 FatalError);
+}
+
 } // namespace
 } // namespace heat

@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "common/parallel.h"
@@ -52,6 +53,28 @@ TEST_P(ParallelForTest, CoversEveryIndexExactlyOnce)
     parallelFor(kCount, [&](size_t i) { hits[i].fetch_add(1); });
     for (size_t i = 0; i < kCount; ++i)
         EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST_P(ParallelForTest, PropagatesBodyExceptionToCaller)
+{
+    // Regression: the multi-threaded branch used to let a throwing body
+    // terminate a pool thread instead of surfacing the exception on the
+    // calling thread (the single-threaded branch always propagated).
+    ThreadCountGuard guard;
+    setThreadCount(GetParam());
+
+    EXPECT_THROW(parallelFor(64,
+                             [](size_t i) {
+                                 if (i == 17)
+                                     throw std::runtime_error("boom");
+                             }),
+                 std::runtime_error);
+
+    // After a failed run the remaining indices were abandoned but the
+    // pool must stay fully usable.
+    std::atomic<size_t> ran{0};
+    parallelFor(64, [&](size_t) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 64u);
 }
 
 TEST_P(ParallelForTest, RnsPolyNttMatchesSingleThread)

@@ -376,5 +376,248 @@ TEST(Service, BatchingAmortisesModeledDispatch)
     EXPECT_LT(makespan[1], makespan[0]);
 }
 
+TEST(Service, MultiTenantKeySetsStayIsolated)
+{
+    // Two tenants with independent secret keys on one worker pool: each
+    // tenant's Mults must relinearize with *its* keys (a cross-tenant
+    // key would decrypt to garbage). start_paused + one worker forces
+    // both tenants into one batch, so the worker provably swaps key
+    // sets mid-batch.
+    ServiceRig rig;
+    fv::KeyGenerator keygen_b(rig.params, 777);
+    fv::SecretKey sk_b = keygen_b.generateSecretKey();
+    fv::PublicKey pk_b = keygen_b.generatePublicKey(sk_b);
+    fv::RelinKeys rlk_b = keygen_b.generateRelinKeys(sk_b);
+
+    ServiceConfig cfg = rig.serviceConfig(1, /*max_batch=*/16);
+    cfg.start_paused = true;
+    ExecutionService svc(rig.params, rig.rlk, cfg);
+    const TenantId tenant_b = svc.registerTenant("tenant-b", rlk_b);
+    EXPECT_EQ(svc.tenantCount(), 2u);
+
+    fv::Encryptor enc_a(rig.params, rig.pk, 5);
+    fv::Encryptor enc_b(rig.params, pk_b, 6);
+    std::vector<std::future<Ciphertext>> futures;
+    std::vector<Ciphertext> expected;
+    for (int i = 0; i < 4; ++i) {
+        Ciphertext xa = enc_a.encrypt(rig.randomPlain(100 + i));
+        Ciphertext ya = enc_a.encrypt(rig.randomPlain(200 + i));
+        expected.push_back(rig.evaluator->multiply(xa, ya, rig.rlk));
+        futures.push_back(svc.submit(kDefaultTenant, Op::kMult,
+                                     std::move(xa), std::move(ya)));
+        Ciphertext xb = enc_b.encrypt(rig.randomPlain(300 + i));
+        Ciphertext yb = enc_b.encrypt(rig.randomPlain(400 + i));
+        expected.push_back(rig.evaluator->multiply(xb, yb, rlk_b));
+        futures.push_back(svc.submit(tenant_b, Op::kMult,
+                                     std::move(xb), std::move(yb)));
+    }
+    svc.start();
+    std::vector<Ciphertext> results;
+    for (size_t i = 0; i < futures.size(); ++i) {
+        results.push_back(futures[i].get());
+        EXPECT_EQ(results.back(), expected[i]) << "job " << i;
+    }
+
+    // Tenant B's products decrypt under B's secret key to the same
+    // plaintext the software evaluator produced with B's keys — proof
+    // the worker relinearized them with B's key set, not A's.
+    fv::Decryptor dec_b(rig.params, fv::SecretKey{sk_b.s_ntt});
+    EXPECT_EQ(dec_b.decrypt(results[1]), dec_b.decrypt(expected[1]));
+
+    svc.drain();
+    EXPECT_GE(svc.stats().key_swaps, 1u)
+        << "one worker serving two tenants must have re-attached keys";
+}
+
+TEST(Service, RejectsCircuitWhoseGaloisKeysTheTenantLacks)
+{
+    ServiceRig rig;
+    ExecutionService svc(rig.params, rig.rlk, rig.serviceConfig(1));
+
+    compiler::CircuitBuilder b;
+    const compiler::ValueId x = b.input();
+    b.output(b.rotate(x, 1));
+    const compiler::Circuit circuit = b.build();
+    compiler::CompilerOptions copts;
+    copts.hw = rig.hw;
+    auto compiled = std::make_shared<const compiler::CompiledCircuit>(
+        compiler::compileCircuit(rig.params, circuit, copts));
+    ASSERT_FALSE(compiled->galois_elements.empty());
+
+    fv::Encryptor encryptor(rig.params, rig.pk, 51);
+    // The default session holds no Galois keys: rejected synchronously.
+    EXPECT_THROW(svc.submitCompiled(
+                     kDefaultTenant, compiled,
+                     {encryptor.encrypt(rig.randomPlain(1))}),
+                 FatalError);
+
+    // A session registered with the circuit's keys is accepted, and the
+    // result matches the software evaluator. Reseeding the rig's
+    // keygen reproduces its secret key, so these Galois keys switch
+    // back to the same secret the rig's ciphertexts live under.
+    fv::KeyGenerator keygen(rig.params, 99);
+    fv::SecretKey sk = keygen.generateSecretKey();
+    fv::GaloisKeys gkeys = keygen.generateGaloisKeys(
+        sk, compiler::requiredGaloisElements(circuit,
+                                             rig.params->degree()));
+    const TenantId rotator =
+        svc.registerTenant("rotator", rig.rlk, gkeys);
+    const std::vector<Ciphertext> inputs = {
+        encryptor.encrypt(rig.randomPlain(2))};
+    const std::vector<Ciphertext> reference = compiler::evaluateCircuit(
+        *rig.evaluator, &rig.rlk, circuit, inputs, &gkeys);
+    std::future<std::vector<Ciphertext>> fut =
+        svc.submitCompiled(rotator, compiled, inputs);
+    EXPECT_EQ(fut.get(), reference);
+}
+
+TEST(Service, BoundedTenantQueueShedsOverload)
+{
+    ServiceRig rig;
+    ServiceConfig cfg = rig.serviceConfig(1, /*max_batch=*/1);
+    cfg.start_paused = true;
+    cfg.max_queue_per_tenant = 4;
+    ExecutionService svc(rig.params, rig.rlk, cfg);
+
+    fv::Encryptor encryptor(rig.params, rig.pk, 53);
+    std::vector<std::future<Ciphertext>> accepted;
+    for (int i = 0; i < 4; ++i) {
+        accepted.push_back(svc.submit(
+            Op::kAdd, encryptor.encrypt(rig.randomPlain(2 * i)),
+            encryptor.encrypt(rig.randomPlain(2 * i + 1))));
+    }
+    EXPECT_EQ(svc.queueDepth(), 4u);
+
+    // The bound is reached: further submissions shed synchronously.
+    for (int i = 0; i < 2; ++i) {
+        EXPECT_THROW(
+            svc.submit(Op::kAdd, encryptor.encrypt(rig.randomPlain(90)),
+                       encryptor.encrypt(rig.randomPlain(91))),
+            ServiceOverloadedError);
+    }
+    EXPECT_EQ(svc.stats().ops_shed, 2u);
+
+    // Shedding is per tenant: another tenant still has headroom.
+    const TenantId other = svc.registerTenant("other", rig.rlk);
+    std::future<Ciphertext> other_fut =
+        svc.submit(other, Op::kAdd, encryptor.encrypt(rig.randomPlain(92)),
+                   encryptor.encrypt(rig.randomPlain(93)));
+
+    // Accepted work still completes once the workers run.
+    svc.start();
+    for (auto &f : accepted)
+        EXPECT_NO_THROW(f.get());
+    EXPECT_NO_THROW(other_fut.get());
+    svc.drain();
+    EXPECT_EQ(svc.stats().ops_completed, 5u);
+}
+
+TEST(Service, AdmissionRejectsNoiseExhaustedCircuit)
+{
+    // A squaring chain far beyond the 3-prime budget: no level
+    // assignment can rescue it, so kReject admission must refuse it
+    // synchronously with the node-level diagnostic.
+    ServiceRig rig;
+    compiler::CircuitBuilder b;
+    const compiler::ValueId x = b.input();
+    compiler::ValueId v = x;
+    for (int i = 0; i < 8; ++i)
+        v = b.square(v);
+    b.output(v);
+    const compiler::Circuit circuit = b.build();
+
+    fv::Encryptor encryptor(rig.params, rig.pk, 59);
+
+    ServiceConfig cfg = rig.serviceConfig(1);
+    cfg.admission = compiler::NoiseCheck::kReject;
+    ExecutionService svc(rig.params, rig.rlk, cfg);
+    try {
+        svc.submitCircuit(kDefaultTenant, circuit,
+                          {encryptor.encrypt(rig.randomPlain(1))});
+        FAIL() << "expected AdmissionRejectedError";
+    } catch (const AdmissionRejectedError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("node"), std::string::npos) << what;
+        EXPECT_NE(what.find("bits"), std::string::npos) << what;
+    }
+    EXPECT_EQ(svc.stats().admission_rejected, 1u);
+
+    // The default (kWarn) policy keeps accepting the same circuit —
+    // existing pipelines are unaffected by admission control.
+    ExecutionService lenient(rig.params, rig.rlk, rig.serviceConfig(1));
+    std::future<std::vector<fv::Ciphertext>> fut = lenient.submitCircuit(
+        kDefaultTenant, circuit, {encryptor.encrypt(rig.randomPlain(2))});
+    EXPECT_NO_THROW(fut.get());
+    EXPECT_EQ(lenient.stats().admission_rejected, 0u);
+}
+
+TEST(Service, ResidentCacheIsBitExactAcrossWorkerCounts)
+{
+    // PIR-flavoured workload: a pinned "database" ciphertext multiplied
+    // by fresh per-request queries. Warm runs skip the database upload;
+    // results must be bit-identical to cold runs and to the software
+    // evaluator at every worker count.
+    ServiceRig rig;
+    fv::Encryptor encryptor(rig.params, rig.pk, 61);
+
+    compiler::CircuitBuilder b;
+    const compiler::ValueId db = b.input();
+    const compiler::ValueId query = b.input();
+    b.output(b.mult(db, query));
+    const compiler::Circuit circuit = b.build();
+    compiler::CompilerOptions copts;
+    copts.hw = rig.hw;
+    copts.resident_inputs = {0};
+    auto compiled = std::make_shared<const compiler::CompiledCircuit>(
+        compiler::compileCircuit(rig.params, circuit, copts));
+
+    const Ciphertext hot = encryptor.encrypt(rig.randomPlain(7));
+    const size_t requests = 6;
+    std::vector<Ciphertext> queries;
+    std::vector<Ciphertext> expected;
+    for (size_t i = 0; i < requests; ++i) {
+        queries.push_back(encryptor.encrypt(rig.randomPlain(10 + i)));
+        expected.push_back(
+            rig.evaluator->multiply(hot, queries.back(), rig.rlk));
+    }
+
+    for (size_t workers : {1u, 3u}) {
+        ExecutionService svc(rig.params, rig.rlk,
+                             rig.serviceConfig(workers, 4));
+        const PinnedHandle handle = svc.pinInput(kDefaultTenant, hot);
+        const std::vector<PinnedHandle> handles = {handle};
+
+        // An unknown handle is rejected synchronously.
+        const std::vector<PinnedHandle> bogus = {handle + 7};
+        EXPECT_THROW(svc.submitCompiledResident(kDefaultTenant, compiled,
+                                                bogus, {queries[0]}),
+                     FatalError);
+
+        std::vector<std::future<std::vector<Ciphertext>>> futures;
+        for (size_t i = 0; i < requests; ++i) {
+            futures.push_back(svc.submitCompiledResident(
+                kDefaultTenant, compiled, handles, {queries[i]}));
+        }
+        for (size_t i = 0; i < requests; ++i) {
+            std::vector<Ciphertext> outs = futures[i].get();
+            ASSERT_EQ(outs.size(), 1u);
+            EXPECT_EQ(outs[0], expected[i])
+                << "workers " << workers << " request " << i;
+        }
+        svc.drain();
+        ServiceStats stats = svc.stats();
+        EXPECT_EQ(stats.resident_cold_runs + stats.resident_warm_runs,
+                  requests);
+        EXPECT_GE(stats.resident_cold_runs, 1u);
+        EXPECT_LE(stats.resident_cold_runs, workers);
+        if (workers == 1) {
+            // One serial worker: exactly one upload of the database,
+            // every subsequent request runs warm.
+            EXPECT_EQ(stats.resident_cold_runs, 1u);
+            EXPECT_EQ(stats.resident_warm_runs, requests - 1);
+        }
+    }
+}
+
 } // namespace
 } // namespace heat::service
