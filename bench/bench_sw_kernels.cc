@@ -9,19 +9,26 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
 #include "bench_util.h"
+#include "common/parallel.h"
 #include "common/random.h"
 #include "fv/encryptor.h"
 #include "fv/evaluator.h"
 #include "fv/keygen.h"
 #include "fv/params.h"
 #include "ntt/ntt.h"
+#include "ntt/rns_poly.h"
 #include "rns/base_convert.h"
 #include "rns/prime_gen.h"
 #include "rns/scale_round.h"
+#include "simd/simd.h"
 
 using namespace heat;
 
@@ -109,6 +116,135 @@ BM_InverseNtt(benchmark::State &state)
     }
 }
 BENCHMARK(BM_InverseNtt)->Arg(4096);
+
+/**
+ * Forward NTT pinned to one kernel table (registered per supported
+ * level from main, so `BM_ForwardNttLevel/avx2/4096` only exists on
+ * hosts that can run it). The unpinned BM_ForwardNtt above measures
+ * whatever the dispatcher picked.
+ */
+void
+BM_ForwardNttLevel(benchmark::State &state, simd::Level level)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    rns::Modulus q(rns::generateNttPrimes(30, n, 1)[0]);
+    ntt::NttTables tables(q, n);
+    const simd::Kernels &kernels = simd::kernelsFor(level);
+    Xoshiro256 rng(14);
+    std::vector<uint64_t> a(n);
+    for (auto &x : a)
+        x = rng.uniformBelow(q.value());
+    for (auto _ : state) {
+        kernels.ntt_forward(a.data(), tables);
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+
+/** RnsPoly fixture shared by the dyadic and transform benchmarks. */
+struct DyadicFixture
+{
+    DyadicFixture(size_t n, size_t moduli, bool ntt_form)
+        : base(std::make_shared<const rns::RnsBase>(
+              rns::generateNttPrimes(30, n, moduli))),
+          context(*base, n),
+          a(base, n),
+          b(base, n)
+    {
+        Xoshiro256 rng(15);
+        for (size_t i = 0; i < a.residueCount(); ++i) {
+            const uint64_t q_i = base->modulus(i).value();
+            for (size_t j = 0; j < n; ++j) {
+                a.residue(i)[j] = rng.uniformBelow(q_i);
+                b.residue(i)[j] = rng.uniformBelow(q_i);
+            }
+        }
+        if (ntt_form) {
+            a.toNtt(context);
+            b.toNtt(context);
+        }
+    }
+
+    std::shared_ptr<const rns::RnsBase> base;
+    ntt::NttContext context;
+    ntt::RnsPoly a, b;
+};
+
+/** Restores the process-wide thread count on scope exit. */
+struct ThreadGuard
+{
+    unsigned saved = threadCount();
+    ~ThreadGuard() { setThreadCount(saved); }
+};
+
+constexpr size_t kDyadicModuli = 3;
+
+/** Full RnsPoly forward+inverse transform pair across residues. */
+void
+BM_PolyNttRoundTrip(benchmark::State &state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    ThreadGuard guard;
+    setThreadCount(static_cast<unsigned>(state.range(1)));
+    DyadicFixture f(n, kDyadicModuli, /*ntt_form=*/false);
+    for (auto _ : state) {
+        f.a.toNtt(f.context);
+        f.a.toCoeff(f.context);
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(2 * kDyadicModuli * n));
+}
+BENCHMARK(BM_PolyNttRoundTrip)
+    ->ArgNames({"n", "threads"})
+    ->Args({4096, 1})
+    ->Args({4096, 4})
+    ->Args({8192, 1})
+    ->Args({8192, 4});
+
+/** Dyadic ciphertext kernel: residue-wise pointwise multiply. */
+void
+BM_DyadicMulPointwise(benchmark::State &state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    ThreadGuard guard;
+    setThreadCount(static_cast<unsigned>(state.range(1)));
+    DyadicFixture f(n, kDyadicModuli, /*ntt_form=*/true);
+    for (auto _ : state) {
+        f.a.mulPointwiseInPlace(f.b);
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(kDyadicModuli * n));
+}
+BENCHMARK(BM_DyadicMulPointwise)
+    ->ArgNames({"n", "threads"})
+    ->Args({4096, 1})
+    ->Args({4096, 4})
+    ->Args({8192, 1})
+    ->Args({8192, 4});
+
+/** Dyadic ciphertext kernel: residue-wise addition. */
+void
+BM_DyadicAdd(benchmark::State &state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    ThreadGuard guard;
+    setThreadCount(static_cast<unsigned>(state.range(1)));
+    DyadicFixture f(n, kDyadicModuli, /*ntt_form=*/true);
+    for (auto _ : state) {
+        f.a.addInPlace(f.b);
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(kDyadicModuli * n));
+}
+BENCHMARK(BM_DyadicAdd)
+    ->ArgNames({"n", "threads"})
+    ->Args({4096, 1})
+    ->Args({4096, 4})
+    ->Args({8192, 1})
+    ->Args({8192, 4});
 
 void
 BM_LiftCoefficient(benchmark::State &state)
@@ -245,12 +381,62 @@ class JsonLinesReporter : public benchmark::ConsoleReporter
     const heat::bench::JsonReporter &json_;
 };
 
+/**
+ * Median-of-reps forward-NTT time for one kernel table, measured with
+ * a plain steady_clock loop so the scalar-vs-dispatched ratio can be
+ * emitted as a single JSON record for the CI speedup gate.
+ */
+double
+forwardNttSecondsPerTransform(const simd::Kernels &kernels, size_t n)
+{
+    rns::Modulus q(rns::generateNttPrimes(30, n, 1)[0]);
+    ntt::NttTables tables(q, n);
+    Xoshiro256 rng(16);
+    std::vector<uint64_t> a(n);
+    for (auto &x : a)
+        x = rng.uniformBelow(q.value());
+
+    constexpr int kWarmup = 20;
+    constexpr int kIters = 200;
+    constexpr int kReps = 5;
+    for (int i = 0; i < kWarmup; ++i)
+        kernels.ntt_forward(a.data(), tables);
+    double best = 1e300;
+    for (int rep = 0; rep < kReps; ++rep) {
+        const auto start = std::chrono::steady_clock::now();
+        for (int i = 0; i < kIters; ++i)
+            kernels.ntt_forward(a.data(), tables);
+        const auto stop = std::chrono::steady_clock::now();
+        const double secs =
+            std::chrono::duration<double>(stop - start).count() / kIters;
+        best = std::min(best, secs);
+    }
+    benchmark::DoNotOptimize(a.data());
+    return best;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     heat::bench::JsonReporter json("sw_kernels", argc, argv);
+
+    // Level-pinned NTT benches for every table this host can run.
+    for (simd::Level level : {simd::Level::kScalar, simd::Level::kAvx2,
+                              simd::Level::kAvx512}) {
+        if (level > simd::detectedLevel())
+            break;
+        const std::string name =
+            std::string("BM_ForwardNttLevel/") + simd::levelName(level);
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [level](benchmark::State &state) {
+                BM_ForwardNttLevel(state, level);
+            })
+            ->Arg(4096)
+            ->Arg(8192);
+    }
 
     // Strip --json <path> before google-benchmark sees the arguments;
     // it rejects flags it does not know.
@@ -271,6 +457,35 @@ main(int argc, char **argv)
 
     JsonLinesReporter reporter(json);
     benchmark::RunSpecifiedBenchmarks(&reporter);
+
+    // Dispatched-vs-scalar forward-NTT ratio for the CI gate. The
+    // dispatched table is whatever CPUID + HEAT_SIMD selected, so on a
+    // forced-scalar run (or a host without AVX2) the ratio is ~1.
+    {
+        constexpr size_t kSpeedupDegree = 8192;
+        const double scalar_secs = forwardNttSecondsPerTransform(
+            simd::kernelsFor(simd::Level::kScalar), kSpeedupDegree);
+        const double active_secs = forwardNttSecondsPerTransform(
+            simd::active(), kSpeedupDegree);
+        const double speedup = scalar_secs / active_secs;
+        heat::bench::printHeader("SIMD dispatch");
+        heat::bench::printInfo(
+            std::string("active level: ") +
+                simd::levelName(simd::activeLevel()),
+            static_cast<double>(simd::activeLevel()), "");
+        heat::bench::printInfo("forward NTT scalar (n=8192)",
+                               scalar_secs * 1e6, "us");
+        heat::bench::printInfo("forward NTT dispatched (n=8192)",
+                               active_secs * 1e6, "us");
+        heat::bench::printInfo("ntt_simd_vs_scalar_speedup", speedup, "x");
+        json.record("cpu_simd_level",
+                    static_cast<double>(simd::detectedLevel()), "level");
+        json.record("active_simd_level",
+                    static_cast<double>(simd::activeLevel()), "level");
+        json.record("ntt_simd_vs_scalar_speedup", speedup, "x",
+                    kSpeedupDegree, 1);
+    }
+
     benchmark::Shutdown();
     return 0;
 }

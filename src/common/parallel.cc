@@ -78,4 +78,32 @@ parallelFor(size_t count, const std::function<void(size_t)> &fn)
         std::rethrow_exception(first_error);
 }
 
+void
+parallelFor(size_t count, size_t grain,
+            const std::function<void(size_t, size_t)> &fn)
+{
+    if (count == 0)
+        return;
+    fatalIf(grain == 0, "parallelFor grain must be at least 1");
+    const unsigned threads = g_threads.load();
+    if (threads <= 1 || count <= grain) {
+        fn(0, count);
+        return;
+    }
+    // Split into ranges of >= grain indices, oversubscribing threads
+    // 4x so uneven ranges still balance; the per-index overload does
+    // the thread management and error capture.
+    const size_t max_chunks = static_cast<size_t>(threads) * 4;
+    size_t chunks = (count + grain - 1) / grain;
+    if (chunks > max_chunks)
+        chunks = max_chunks;
+    const size_t step = (count + chunks - 1) / chunks;
+    parallelFor(chunks, [count, step, &fn](size_t c) {
+        const size_t begin = c * step;
+        const size_t end = std::min(count, begin + step);
+        if (begin < end)
+            fn(begin, end);
+    });
+}
+
 } // namespace heat

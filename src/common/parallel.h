@@ -33,6 +33,18 @@ unsigned threadCount();
  */
 void parallelFor(size_t count, const std::function<void(size_t)> &fn);
 
+/**
+ * Chunked variant: run fn(begin, end) over half-open ranges that
+ * partition [0, count), each at least @p grain indices long (except
+ * possibly the last). The body pays one dispatch per range instead of
+ * one std::function call per index, so tight n-coefficient loops keep
+ * their vectorized inner bodies. With threadCount() == 1 the whole
+ * range arrives in a single fn(0, count) call. Exception semantics
+ * match the per-index overload.
+ */
+void parallelFor(size_t count, size_t grain,
+                 const std::function<void(size_t, size_t)> &fn);
+
 } // namespace heat
 
 #endif // HEAT_COMMON_PARALLEL_H

@@ -4,8 +4,21 @@
 
 #include "common/panic.h"
 #include "common/parallel.h"
+#include "simd/simd.h"
 
 namespace heat::fv {
+
+namespace {
+
+/**
+ * Coefficient-block size for the lift/scale batch kernels: large
+ * enough to amortize the per-call scratch rows and constant setup,
+ * small enough that the blocks of a single residue row stay cache
+ * resident across the sop128 passes.
+ */
+constexpr size_t kCoeffGrain = 512;
+
+} // namespace
 
 Evaluator::Evaluator(std::shared_ptr<const FvParams> params, ArithPath path)
     : params_(std::move(params)), path_(path)
@@ -122,19 +135,30 @@ Evaluator::liftToFull(const ntt::RnsPoly &q_poly) const
     const size_t kp = params_->pBase()->size();
 
     ntt::RnsPoly out(params_->fullBase(level), n, ntt::PolyForm::kCoeff);
-    const size_t chunks = std::max<size_t>(1, threadCount() * 4);
-    const size_t chunk = (n + chunks - 1) / chunks;
-    parallelFor(chunks, [&](size_t c) {
-        std::vector<uint64_t> in(kq), ext(kp);
-        const size_t end = std::min(n, (c + 1) * chunk);
-        for (size_t j = c * chunk; j < end; ++j) {
-            q_poly.gatherCoefficient(j, in);
-            if (path_ == ArithPath::kHps)
-                conv.convert(in, ext);
-            else
-                conv.convertExact(in, ext);
+    if (path_ == ArithPath::kHps) {
+        parallelFor(n, kCoeffGrain, [&](size_t begin, size_t end) {
             // q residues are unchanged by the centered lift (x == x - q
-            // mod q_i); the p residues come from the converter.
+            // mod q_i); the p residues come from the batch converter.
+            std::vector<const uint64_t *> in_rows(kq);
+            std::vector<uint64_t *> out_rows(kp);
+            for (size_t i = 0; i < kq; ++i) {
+                auto src = q_poly.residue(i);
+                std::copy(src.begin() + begin, src.begin() + end,
+                          out.residue(i).begin() + begin);
+                in_rows[i] = src.data() + begin;
+            }
+            for (size_t i = 0; i < kp; ++i)
+                out_rows[i] = out.residue(kq + i).data() + begin;
+            conv.convertBatch(in_rows.data(), out_rows.data(),
+                              end - begin);
+        });
+        return out;
+    }
+    parallelFor(n, kCoeffGrain, [&](size_t begin, size_t end) {
+        std::vector<uint64_t> in(kq), ext(kp);
+        for (size_t j = begin; j < end; ++j) {
+            q_poly.gatherCoefficient(j, in);
+            conv.convertExact(in, ext);
             for (size_t i = 0; i < kq; ++i)
                 out.residue(i)[j] = in[i];
             for (size_t i = 0; i < kp; ++i)
@@ -158,20 +182,36 @@ Evaluator::scaleToQ(const ntt::RnsPoly &full_poly) const
     const size_t kq = full_poly.residueCount() - kp;
 
     ntt::RnsPoly out(params_->qBase(level), n, ntt::PolyForm::kCoeff);
-    const size_t chunks = std::max<size_t>(1, threadCount() * 4);
-    const size_t chunk = (n + chunks - 1) / chunks;
-    parallelFor(chunks, [&](size_t c) {
-        std::vector<uint64_t> in(kq + kp), mid(kp), res(kq);
-        const size_t end = std::min(n, (c + 1) * chunk);
-        for (size_t j = c * chunk; j < end; ++j) {
-            full_poly.gatherCoefficient(j, in);
-            if (path_ == ArithPath::kHps) {
-                scaler.scale(in, mid);
-                back.convert(mid, res);
-            } else {
-                scaler.scaleExact(in, mid);
-                back.convertExact(mid, res);
+    if (path_ == ArithPath::kHps) {
+        parallelFor(n, kCoeffGrain, [&](size_t begin, size_t end) {
+            const size_t len = end - begin;
+            std::vector<const uint64_t *> in_rows(kq + kp);
+            for (size_t i = 0; i < kq + kp; ++i)
+                in_rows[i] = full_poly.residue(i).data() + begin;
+            // Scratch rows for the intermediate p-base result of the
+            // scale, consumed directly by the back-conversion.
+            std::vector<uint64_t> mid(kp * len);
+            std::vector<uint64_t *> mid_rows(kp);
+            std::vector<const uint64_t *> mid_rows_const(kp);
+            for (size_t i = 0; i < kp; ++i) {
+                mid_rows[i] = mid.data() + i * len;
+                mid_rows_const[i] = mid_rows[i];
             }
+            std::vector<uint64_t *> out_rows(kq);
+            for (size_t i = 0; i < kq; ++i)
+                out_rows[i] = out.residue(i).data() + begin;
+            scaler.scaleBatch(in_rows.data(), mid_rows.data(), len);
+            back.convertBatch(mid_rows_const.data(), out_rows.data(),
+                              len);
+        });
+        return out;
+    }
+    parallelFor(n, kCoeffGrain, [&](size_t begin, size_t end) {
+        std::vector<uint64_t> in(kq + kp), mid(kp), res(kq);
+        for (size_t j = begin; j < end; ++j) {
+            full_poly.gatherCoefficient(j, in);
+            scaler.scaleExact(in, mid);
+            back.convertExact(mid, res);
             out.scatterCoefficient(j, res);
         }
     });
@@ -231,17 +271,16 @@ Evaluator::rnsDigits(const ntt::RnsPoly &poly) const
     // Digit i broadcasts residue polynomial i to every channel; values
     // are < 2^30, so reduction mod the other primes is at most one
     // conditional subtraction — the paper's "cheap bit manipulation".
+    const simd::Kernels &kern = simd::active();
     std::vector<ntt::RnsPoly> digits;
     digits.reserve(k);
     for (size_t i = 0; i < k; ++i) {
         ntt::RnsPoly d(base, n, ntt::PolyForm::kCoeff);
         auto src = poly.residue(i);
-        for (size_t c = 0; c < k; ++c) {
-            const rns::Modulus &q_c = base->modulus(c);
-            auto dst = d.residue(c);
-            for (size_t j = 0; j < n; ++j)
-                dst[j] = q_c.reduce(src[j]);
-        }
+        parallelFor(k, [&](size_t c) {
+            kern.reduce_u32(d.residue(c).data(), src.data(), n,
+                            base->modulus(c));
+        });
         digits.push_back(std::move(d));
     }
     return digits;
@@ -381,22 +420,30 @@ Evaluator::modSwitchPoly(const ntt::RnsPoly &poly, size_t from_level) const
 
     ntt::RnsPoly out(params_->qBase(from_level + 1), n,
                      ntt::PolyForm::kCoeff);
-    const size_t chunks = std::max<size_t>(1, threadCount() * 4);
-    const size_t chunk = (n + chunks - 1) / chunks;
-    parallelFor(chunks, [&](size_t c) {
-        std::vector<uint64_t> res(live), in(live), next(live - 1);
-        const size_t end = std::min(n, (c + 1) * chunk);
-        for (size_t j = c * chunk; j < end; ++j) {
-            poly.gatherCoefficient(j, res);
+    if (path_ == ArithPath::kHps) {
+        parallelFor(n, kCoeffGrain, [&](size_t begin, size_t end) {
             // ScaleRounder input order: dropped-prime residue first
             // (its "q" base), then the surviving residues (its "p").
+            std::vector<const uint64_t *> in_rows(live);
+            in_rows[0] = poly.residue(live - 1).data() + begin;
+            for (size_t i = 0; i + 1 < live; ++i)
+                in_rows[i + 1] = poly.residue(i).data() + begin;
+            std::vector<uint64_t *> out_rows(live - 1);
+            for (size_t i = 0; i + 1 < live; ++i)
+                out_rows[i] = out.residue(i).data() + begin;
+            rounder.scaleBatch(in_rows.data(), out_rows.data(),
+                               end - begin);
+        });
+        return out;
+    }
+    parallelFor(n, kCoeffGrain, [&](size_t begin, size_t end) {
+        std::vector<uint64_t> res(live), in(live), next(live - 1);
+        for (size_t j = begin; j < end; ++j) {
+            poly.gatherCoefficient(j, res);
             in[0] = res[live - 1];
             for (size_t i = 0; i + 1 < live; ++i)
                 in[i + 1] = res[i];
-            if (path_ == ArithPath::kHps)
-                rounder.scale(in, next);
-            else
-                rounder.scaleExact(in, next);
+            rounder.scaleExact(in, next);
             out.scatterCoefficient(j, next);
         }
     });

@@ -1,11 +1,28 @@
 #include "ntt/ntt.h"
 
 #include "common/panic.h"
+#include "simd/simd.h"
 
 namespace heat::ntt {
 
 void
 forwardNtt(std::span<uint64_t> a, const NttTables &tables)
+{
+    panicIf(a.size() != tables.degree(), "NTT operand size mismatch");
+    panicIf(tables.modulus().bits() > 60, "lazy NTT requires q < 2^60");
+    simd::active().ntt_forward(a.data(), tables);
+}
+
+void
+inverseNtt(std::span<uint64_t> a, const NttTables &tables)
+{
+    panicIf(a.size() != tables.degree(), "NTT operand size mismatch");
+    panicIf(tables.modulus().bits() > 60, "lazy NTT requires q < 2^60");
+    simd::active().ntt_inverse(a.data(), tables);
+}
+
+void
+forwardNttScalar(std::span<uint64_t> a, const NttTables &tables)
 {
     const size_t n = tables.degree();
     panicIf(a.size() != n, "NTT operand size mismatch");
@@ -44,7 +61,7 @@ forwardNtt(std::span<uint64_t> a, const NttTables &tables)
 }
 
 void
-inverseNtt(std::span<uint64_t> a, const NttTables &tables)
+inverseNttScalar(std::span<uint64_t> a, const NttTables &tables)
 {
     const size_t n = tables.degree();
     panicIf(a.size() != n, "NTT operand size mismatch");

@@ -24,6 +24,10 @@ namespace heat::ntt {
 /**
  * In-place forward negacyclic NTT.
  *
+ * Dispatches to the widest SIMD kernel the host supports (see
+ * simd/simd.h); outputs are bit-identical to forwardNttScalar on every
+ * path.
+ *
  * @param a coefficients in natural order, values in [0, q); on return,
  *          evaluations in bit-reversed order.
  * @param tables twiddle tables matching a's modulus and size.
@@ -33,11 +37,23 @@ void forwardNtt(std::span<uint64_t> a, const NttTables &tables);
 /**
  * In-place inverse negacyclic NTT (including the n^{-1} scaling).
  *
+ * Dispatches like forwardNtt; bit-identical to inverseNttScalar.
+ *
  * @param a evaluations in bit-reversed order; on return, coefficients in
  *          natural order.
  * @param tables twiddle tables matching a's modulus and size.
  */
 void inverseNtt(std::span<uint64_t> a, const NttTables &tables);
+
+/**
+ * The portable 64-bit forward transform — the differential oracle the
+ * vector kernels are tested against, and the fallback they use for
+ * wide moduli and tiny sizes. Same contract as forwardNtt.
+ */
+void forwardNttScalar(std::span<uint64_t> a, const NttTables &tables);
+
+/** Scalar oracle for inverseNtt; same contract. */
+void inverseNttScalar(std::span<uint64_t> a, const NttTables &tables);
 
 /**
  * Reference negacyclic product c = a * b mod (x^n + 1, q), schoolbook

@@ -3,6 +3,7 @@
 #include "common/panic.h"
 #include "common/parallel.h"
 #include "ntt/ntt.h"
+#include "simd/simd.h"
 
 namespace heat::ntt {
 
@@ -58,36 +59,31 @@ void
 RnsPoly::addInPlace(const RnsPoly &other)
 {
     checkCompatible(other);
-    for (size_t i = 0; i < residueCount(); ++i) {
-        const rns::Modulus &q = base_->modulus(i);
-        auto a = residue(i);
-        auto b = other.residue(i);
-        for (size_t j = 0; j < n_; ++j)
-            a[j] = q.add(a[j], b[j]);
-    }
+    const simd::Kernels &k = simd::active();
+    parallelFor(residueCount(), [this, &other, &k](size_t i) {
+        k.add_mod(residue(i).data(), other.residue(i).data(), n_,
+                  base_->modulus(i).value());
+    });
 }
 
 void
 RnsPoly::subInPlace(const RnsPoly &other)
 {
     checkCompatible(other);
-    for (size_t i = 0; i < residueCount(); ++i) {
-        const rns::Modulus &q = base_->modulus(i);
-        auto a = residue(i);
-        auto b = other.residue(i);
-        for (size_t j = 0; j < n_; ++j)
-            a[j] = q.sub(a[j], b[j]);
-    }
+    const simd::Kernels &k = simd::active();
+    parallelFor(residueCount(), [this, &other, &k](size_t i) {
+        k.sub_mod(residue(i).data(), other.residue(i).data(), n_,
+                  base_->modulus(i).value());
+    });
 }
 
 void
 RnsPoly::negateInPlace()
 {
-    for (size_t i = 0; i < residueCount(); ++i) {
-        const rns::Modulus &q = base_->modulus(i);
-        for (auto &x : residue(i))
-            x = q.negate(x);
-    }
+    const simd::Kernels &k = simd::active();
+    parallelFor(residueCount(), [this, &k](size_t i) {
+        k.negate_mod(residue(i).data(), n_, base_->modulus(i).value());
+    });
 }
 
 void
@@ -95,13 +91,11 @@ RnsPoly::mulPointwiseInPlace(const RnsPoly &other)
 {
     checkCompatible(other);
     panicIf(form_ != PolyForm::kNtt, "pointwise mul requires NTT form");
-    for (size_t i = 0; i < residueCount(); ++i) {
-        const rns::Modulus &q = base_->modulus(i);
-        auto a = residue(i);
-        auto b = other.residue(i);
-        for (size_t j = 0; j < n_; ++j)
-            a[j] = q.mul(a[j], b[j]);
-    }
+    const simd::Kernels &k = simd::active();
+    parallelFor(residueCount(), [this, &other, &k](size_t i) {
+        k.mul_mod(residue(i).data(), other.residue(i).data(), n_,
+                  base_->modulus(i));
+    });
 }
 
 void
@@ -110,14 +104,11 @@ RnsPoly::addMulPointwise(const RnsPoly &a, const RnsPoly &b)
     checkCompatible(a);
     checkCompatible(b);
     panicIf(form_ != PolyForm::kNtt, "pointwise MAC requires NTT form");
-    for (size_t i = 0; i < residueCount(); ++i) {
-        const rns::Modulus &q = base_->modulus(i);
-        auto acc = residue(i);
-        auto x = a.residue(i);
-        auto y = b.residue(i);
-        for (size_t j = 0; j < n_; ++j)
-            acc[j] = q.add(acc[j], q.mul(x[j], y[j]));
-    }
+    const simd::Kernels &k = simd::active();
+    parallelFor(residueCount(), [this, &a, &b, &k](size_t i) {
+        k.mac_mod(residue(i).data(), a.residue(i).data(),
+                  b.residue(i).data(), n_, base_->modulus(i));
+    });
 }
 
 void
@@ -125,13 +116,12 @@ RnsPoly::mulScalarInPlace(std::span<const uint64_t> scalar_residues)
 {
     panicIf(scalar_residues.size() != residueCount(),
             "scalar residue count mismatch");
-    for (size_t i = 0; i < residueCount(); ++i) {
+    const simd::Kernels &k = simd::active();
+    parallelFor(residueCount(), [this, scalar_residues, &k](size_t i) {
         const rns::Modulus &q = base_->modulus(i);
         const uint64_t s = scalar_residues[i] % q.value();
-        const uint64_t s_shoup = q.shoupPrecompute(s);
-        for (auto &x : residue(i))
-            x = q.mulShoup(x, s, s_shoup);
-    }
+        k.mul_shoup(residue(i).data(), n_, q, s, q.shoupPrecompute(s));
+    });
 }
 
 void

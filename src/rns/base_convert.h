@@ -73,6 +73,21 @@ class FastBaseConverter
                  std::span<uint64_t> out) const;
 
     /**
+     * Convert a block of @p count coefficients at once.
+     *
+     * @param in_rows fromBase().size() pointers, one per source residue
+     *                row of count values (RnsPoly residue-major layout).
+     * @param out_rows toBase().size() pointers receiving count values.
+     *
+     * Bit-identical to count calls of convert(); uses the dispatched
+     * SIMD kernels when every source modulus fits the lane bound and
+     * the base fits the 128-bit sum-of-products term budget, else a
+     * per-coefficient gather/convert/scatter loop.
+     */
+    void convertBatch(const uint64_t *const *in_rows,
+                      uint64_t *const *out_rows, size_t count) const;
+
+    /**
      * Exact reference conversion (BigInt CRT; centered). Used by the
      * traditional-CRT architecture model and as the test oracle.
      */
@@ -95,6 +110,15 @@ class FastBaseConverter
     std::vector<std::vector<uint64_t>> qstar_mod_;
     /** q_mod_[j] = q mod b_j. */
     std::vector<uint64_t> q_mod_;
+
+    /** True when convertBatch may use the SIMD kernels. */
+    bool batch_eligible_ = false;
+    /** crt_inv_shoup_[i] = shoupPrecompute(q~_i) for the lambda rows. */
+    std::vector<uint64_t> crt_inv_shoup_;
+    /** qstar_col_[j] = {qstar_mod_[0][j], ..., qstar_mod_[kq-1][j]}. */
+    std::vector<std::vector<uint64_t>> qstar_col_;
+    /** q_mod_shoup_[j] = shoupPrecompute(q_mod_[j]) for v-corrections. */
+    std::vector<uint64_t> q_mod_shoup_;
 };
 
 } // namespace heat::rns

@@ -2,6 +2,7 @@
 
 #include "common/bit_util.h"
 #include "common/panic.h"
+#include "simd/simd.h"
 
 namespace heat::rns {
 
@@ -43,6 +44,24 @@ ScaleRounder::ScaleRounder(const RnsBase &q_base, const RnsBase &p_base,
         mp::BigInt c = t_big * mp::BigInt::fromUint64(qtilde_j) * pstar_j;
         cj_[j] = c.modUint64(p_j);
     }
+
+    // scaleBatch runs through the sop128/reduce128 kernels when every
+    // full-base residue fits a 32-bit lane and the Block-2 term count
+    // (q residues + the coefficient's own p residue) fits the kernel's
+    // 64-bit partial-sum headroom.
+    batch_eligible_ = q_.size() + 1 <= simd::kSopMaxTerms;
+    for (const auto &m : full_.moduli())
+        batch_eligible_ =
+            batch_eligible_ && simd::eligibleModulus(m.value());
+    if (batch_eligible_) {
+        wcol_.assign(p_.size(),
+                     std::vector<uint64_t>(q_.size() + 1, 0));
+        for (size_t j = 0; j < p_.size(); ++j) {
+            for (size_t i = 0; i < q_.size(); ++i)
+                wcol_[j][i] = imod_[i][j];
+            wcol_[j][q_.size()] = cj_[j];
+        }
+    }
 }
 
 void
@@ -71,6 +90,49 @@ ScaleRounder::scale(std::span<const uint64_t> in,
         // Block 4: add the rounded fractional part and reduce.
         acc += rounded_r;
         out[j] = p_j.reduce128(acc);
+    }
+}
+
+void
+ScaleRounder::scaleBatch(const uint64_t *const *in_rows,
+                         uint64_t *const *out_rows, size_t count) const
+{
+    const size_t kq = q_.size();
+    const size_t kp = p_.size();
+    if (!batch_eligible_) {
+        std::vector<uint64_t> in(full_.size());
+        std::vector<uint64_t> out(kp);
+        for (size_t c = 0; c < count; ++c) {
+            for (size_t i = 0; i < full_.size(); ++i)
+                in[i] = in_rows[i][c];
+            scale(in, out);
+            for (size_t j = 0; j < kp; ++j)
+                out_rows[j][c] = out[j];
+        }
+        return;
+    }
+
+    const simd::Kernels &k = simd::active();
+    std::vector<uint64_t> lo(count), hi(count), rounded(count);
+
+    // Block 1: fractional sum-of-products and the round (shared by all
+    // output primes).
+    k.sop128(in_rows, rfrac_.data(), kq, count, lo.data(), hi.data());
+    k.round_shift128(lo.data(), hi.data(), count, kFracBits,
+                     rounded.data());
+
+    // Blocks 2-4 per output prime, on whole rows: the q-base rows plus
+    // the coefficient's own p_j row, weighted by the precomputed column.
+    const uint64_t *rows[simd::kSopMaxTerms];
+    for (size_t i = 0; i < kq; ++i)
+        rows[i] = in_rows[i];
+    for (size_t j = 0; j < kp; ++j) {
+        rows[kq] = in_rows[kq + j];
+        k.sop128(rows, wcol_[j].data(), kq + 1, count, lo.data(),
+                 hi.data());
+        k.add128_64(lo.data(), hi.data(), rounded.data(), count);
+        k.reduce128_mod(lo.data(), hi.data(), out_rows[j], count,
+                        p_.modulus(j));
     }
 }
 

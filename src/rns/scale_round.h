@@ -63,6 +63,24 @@ class ScaleRounder
     void scale(std::span<const uint64_t> in, std::span<uint64_t> out) const;
 
     /**
+     * Scale a block of @p count coefficients at once.
+     *
+     * @param in_rows qBase().size() + pBase().size() pointers, one per
+     *                full-base residue row, each holding count values
+     *                (i.e. RnsPoly residue-major layout).
+     * @param out_rows pBase().size() pointers receiving count scaled
+     *                 values each.
+     *
+     * Bit-identical to count calls of scale(). When every full-base
+     * modulus fits the SIMD lane bound (and the base is small enough
+     * for the 128-bit sum-of-products kernels), the blocks run through
+     * the dispatched vector kernels; otherwise this degrades to a
+     * per-coefficient gather/scale/scatter loop.
+     */
+    void scaleBatch(const uint64_t *const *in_rows,
+                    uint64_t *const *out_rows, size_t count) const;
+
+    /**
      * Exact reference (BigInt): y = round-half-up(t * centered(x) / q),
      * reduced modulo each p-base prime. Oracle for tests and the model
      * for the traditional-CRT architecture.
@@ -85,6 +103,11 @@ class ScaleRounder
     std::vector<std::vector<uint64_t>> imod_;
     /** cj_[j] = [t * Q~_j * (p / q_j)] mod p_j. */
     std::vector<uint64_t> cj_;
+
+    /** True when scaleBatch may use the SIMD sum-of-products kernels. */
+    bool batch_eligible_ = false;
+    /** wcol_[j] = {imod_[0][j], ..., imod_[kq-1][j], cj_[j]}. */
+    std::vector<std::vector<uint64_t>> wcol_;
 };
 
 } // namespace heat::rns

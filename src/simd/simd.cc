@@ -1,0 +1,280 @@
+#include "simd/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/bit_util.h"
+#include "common/panic.h"
+#include "ntt/ntt.h"
+#include "rns/modulus.h"
+#include "simd/simd_internal.h"
+
+namespace heat::simd {
+
+namespace detail {
+
+void
+addModScalar(uint64_t *a, const uint64_t *b, size_t n, uint64_t q)
+{
+    for (size_t i = 0; i < n; ++i) {
+        const uint64_t s = a[i] + b[i];
+        a[i] = s >= q ? s - q : s;
+    }
+}
+
+void
+subModScalar(uint64_t *a, const uint64_t *b, size_t n, uint64_t q)
+{
+    for (size_t i = 0; i < n; ++i)
+        a[i] = a[i] >= b[i] ? a[i] - b[i] : a[i] + q - b[i];
+}
+
+void
+negateModScalar(uint64_t *a, size_t n, uint64_t q)
+{
+    for (size_t i = 0; i < n; ++i)
+        a[i] = a[i] == 0 ? 0 : q - a[i];
+}
+
+void
+mulShoupScalar(uint64_t *a, size_t n, const rns::Modulus &q, uint64_t w,
+               uint64_t w_shoup)
+{
+    for (size_t i = 0; i < n; ++i)
+        a[i] = q.mulShoup(a[i], w, w_shoup);
+}
+
+void
+mulShoupOutScalar(uint64_t *dst, const uint64_t *src, size_t n,
+                  const rns::Modulus &q, uint64_t w, uint64_t w_shoup)
+{
+    for (size_t i = 0; i < n; ++i)
+        dst[i] = q.mulShoup(src[i], w, w_shoup);
+}
+
+void
+mulModScalar(uint64_t *a, const uint64_t *b, size_t n,
+             const rns::Modulus &q)
+{
+    for (size_t i = 0; i < n; ++i)
+        a[i] = q.mul(a[i], b[i]);
+}
+
+void
+macModScalar(uint64_t *acc, const uint64_t *a, const uint64_t *b, size_t n,
+             const rns::Modulus &q)
+{
+    for (size_t i = 0; i < n; ++i)
+        acc[i] = q.add(acc[i], q.mul(a[i], b[i]));
+}
+
+void
+reduceU32Scalar(uint64_t *dst, const uint64_t *src, size_t n,
+                const rns::Modulus &q)
+{
+    for (size_t i = 0; i < n; ++i)
+        dst[i] = q.reduce(src[i]);
+}
+
+void
+sop128Scalar(const uint64_t *const *rows, const uint64_t *weights,
+             size_t terms, size_t count, uint64_t *lo, uint64_t *hi)
+{
+    for (size_t j = 0; j < count; ++j) {
+        uint128_t acc = 0;
+        for (size_t i = 0; i < terms; ++i)
+            acc += mulWide64(rows[i][j], weights[i]);
+        lo[j] = static_cast<uint64_t>(acc);
+        hi[j] = static_cast<uint64_t>(acc >> 64);
+    }
+}
+
+void
+add128_64Scalar(uint64_t *lo, uint64_t *hi, const uint64_t *add,
+                size_t count)
+{
+    for (size_t j = 0; j < count; ++j) {
+        const uint64_t s = lo[j] + add[j];
+        hi[j] += s < add[j] ? 1 : 0;
+        lo[j] = s;
+    }
+}
+
+void
+roundShift128Scalar(const uint64_t *lo, const uint64_t *hi, size_t count,
+                    int shift, uint64_t *out)
+{
+    panicIf(shift < 1 || shift > 127, "round_shift128 shift out of range");
+    const uint128_t half = uint128_t(1) << (shift - 1);
+    for (size_t j = 0; j < count; ++j) {
+        const uint128_t x = (uint128_t(hi[j]) << 64) | lo[j];
+        out[j] = static_cast<uint64_t>((x + half) >> shift);
+    }
+}
+
+void
+reduce128ModScalar(const uint64_t *lo, const uint64_t *hi, uint64_t *out,
+                   size_t count, const rns::Modulus &q)
+{
+    for (size_t j = 0; j < count; ++j)
+        out[j] = q.reduce128((uint128_t(hi[j]) << 64) | lo[j]);
+}
+
+Mod32Constants
+mod32Constants(const rns::Modulus &q)
+{
+    const uint64_t qv = q.value();
+    Mod32Constants c;
+    c.q = qv;
+    c.phi1 = static_cast<uint64_t>((uint128_t(1) << 32) / qv);
+    c.c32 = static_cast<uint64_t>((uint128_t(1) << 32) % qv);
+    c.phi_c32 = static_cast<uint64_t>((uint128_t(c.c32) << 32) / qv);
+    c.c64 = static_cast<uint64_t>((uint128_t(1) << 64) % qv);
+    c.phi_c64 = static_cast<uint64_t>((uint128_t(c.c64) << 32) / qv);
+    return c;
+}
+
+namespace {
+
+void
+nttForwardScalarEntry(uint64_t *a, const ntt::NttTables &tables)
+{
+    ntt::forwardNttScalar({a, tables.degree()}, tables);
+}
+
+void
+nttInverseScalarEntry(uint64_t *a, const ntt::NttTables &tables)
+{
+    ntt::inverseNttScalar({a, tables.degree()}, tables);
+}
+
+} // namespace
+
+const Kernels &
+scalarKernels()
+{
+    static const Kernels table = {
+        Level::kScalar,    nttForwardScalarEntry, nttInverseScalarEntry,
+        addModScalar,      subModScalar,          negateModScalar,
+        mulShoupScalar,    mulShoupOutScalar,     mulModScalar,
+        macModScalar,      reduceU32Scalar,       sop128Scalar,
+        add128_64Scalar,   roundShift128Scalar,   reduce128ModScalar,
+    };
+    return table;
+}
+
+} // namespace detail
+
+const char *
+levelName(Level level)
+{
+    switch (level) {
+    case Level::kScalar:
+        return "scalar";
+    case Level::kAvx2:
+        return "avx2";
+    case Level::kAvx512:
+        return "avx512";
+    }
+    return "unknown";
+}
+
+Level
+detectedLevel()
+{
+    static const Level level = [] {
+#if defined(HEAT_HAVE_AVX512)
+        if (__builtin_cpu_supports("avx512f"))
+            return Level::kAvx512;
+#endif
+#if defined(HEAT_HAVE_AVX2)
+        if (__builtin_cpu_supports("avx2"))
+            return Level::kAvx2;
+#endif
+        return Level::kScalar;
+    }();
+    return level;
+}
+
+const Kernels &
+kernelsFor(Level level)
+{
+    panicIf(level > detectedLevel(),
+            "requested SIMD level is not available on this host/build");
+    switch (level) {
+    case Level::kScalar:
+        return detail::scalarKernels();
+    case Level::kAvx2:
+#if defined(HEAT_HAVE_AVX2)
+        return detail::avx2Kernels();
+#else
+        break;
+#endif
+    case Level::kAvx512:
+#if defined(HEAT_HAVE_AVX512)
+        return detail::avx512Kernels();
+#else
+        break;
+#endif
+    }
+    panic("SIMD level not compiled into this binary");
+}
+
+namespace {
+
+/**
+ * Initial level: the detected maximum, lowered by HEAT_SIMD. Requests
+ * above the detected level clamp down (so HEAT_SIMD=avx512 is safe in
+ * scripts that run on mixed fleets); unrecognized values are fatal.
+ */
+Level
+initialLevel()
+{
+    Level level = detectedLevel();
+    const char *env = std::getenv("HEAT_SIMD");
+    if (env == nullptr || *env == '\0')
+        return level;
+    Level requested;
+    if (std::strcmp(env, "scalar") == 0)
+        requested = Level::kScalar;
+    else if (std::strcmp(env, "avx2") == 0)
+        requested = Level::kAvx2;
+    else if (std::strcmp(env, "avx512") == 0)
+        requested = Level::kAvx512;
+    else
+        fatal("HEAT_SIMD must be scalar, avx2 or avx512");
+    return requested < level ? requested : level;
+}
+
+std::atomic<const Kernels *> g_active{nullptr};
+
+} // namespace
+
+const Kernels &
+active()
+{
+    const Kernels *k = g_active.load(std::memory_order_acquire);
+    if (k == nullptr) {
+        // Benign race: concurrent first calls resolve the same table.
+        k = &kernelsFor(initialLevel());
+        g_active.store(k, std::memory_order_release);
+    }
+    return *k;
+}
+
+Level
+activeLevel()
+{
+    return active().level;
+}
+
+void
+setLevel(Level level)
+{
+    if (level > detectedLevel())
+        level = detectedLevel();
+    g_active.store(&kernelsFor(level), std::memory_order_release);
+}
+
+} // namespace heat::simd

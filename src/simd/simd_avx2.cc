@@ -1,0 +1,462 @@
+/**
+ * @file
+ * AVX2 kernel table (4 lanes of 64-bit). Compiled with a per-file
+ * `-mavx2`; only reached through the runtime dispatcher.
+ *
+ * All multiply-based kernels use 32-bit Shoup/Harvey lazy reduction:
+ * with q < 2^30 every live value fits 32 bits, so one vpmuludq gives a
+ * full product and quot = floor(a * floor(w*2^32/q) / 2^32) leaves
+ * r = a*w - quot*q in [0, 2q) (Harvey's bound holds for any a < 2^32,
+ * w < q). The 32-bit Shoup constant is the top half of the stored
+ * 64-bit one: floor(w*2^64/q) >> 32 == floor(w*2^32/q). Lazy values
+ * differ from the scalar oracle's by multiples of q, but every kernel
+ * normalizes its outputs, so results are bit-identical. Wider moduli
+ * and sub-lane tails run the scalar bodies.
+ */
+
+#include <immintrin.h>
+
+#include "ntt/ntt.h"
+#include "ntt/ntt_tables.h"
+#include "rns/modulus.h"
+#include "simd/simd_internal.h"
+
+namespace heat::simd::detail {
+
+namespace {
+
+inline __m256i
+load(const uint64_t *p)
+{
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i *>(p));
+}
+
+inline void
+store(uint64_t *p, __m256i x)
+{
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(p), x);
+}
+
+inline __m256i
+set1(uint64_t x)
+{
+    return _mm256_set1_epi64x(static_cast<long long>(x));
+}
+
+/** x >= k ? x - k : x; valid for x, k < 2^63 (signed compare). */
+inline __m256i
+csub(__m256i x, __m256i k)
+{
+    const __m256i lt = _mm256_cmpgt_epi64(k, x);
+    return _mm256_sub_epi64(x, _mm256_andnot_si256(lt, k));
+}
+
+/** Unsigned 64-bit a < b lane mask (sign-bias trick). */
+inline __m256i
+ltu64(__m256i a, __m256i b, __m256i bias)
+{
+    return _mm256_cmpgt_epi64(_mm256_xor_si256(b, bias),
+                              _mm256_xor_si256(a, bias));
+}
+
+/**
+ * Harvey lazy Shoup: a*w - floor(a*phi/2^32)*q in [0, 2q) for
+ * a < 2^32, w < q < 2^30, phi = floor(w*2^32/q).
+ */
+inline __m256i
+mulShoupLazy32(__m256i a, __m256i w, __m256i phi, __m256i q)
+{
+    const __m256i quot = _mm256_srli_epi64(_mm256_mul_epu32(a, phi), 32);
+    return _mm256_sub_epi64(_mm256_mul_epu32(a, w),
+                            _mm256_mul_epu32(quot, q));
+}
+
+/** s mod q into [0, 2q) for s < 2^32 (Shoup with w = 1). */
+inline __m256i
+reduceLazyBy1(__m256i s, __m256i phi1, __m256i q)
+{
+    const __m256i quot = _mm256_srli_epi64(_mm256_mul_epu32(s, phi1), 32);
+    return _mm256_sub_epi64(s, _mm256_mul_epu32(quot, q));
+}
+
+void
+nttForwardAvx2(uint64_t *a, const ntt::NttTables &tables)
+{
+    const rns::Modulus &mod = tables.modulus();
+    const uint64_t qv = mod.value();
+    const size_t n = tables.degree();
+    if (!eligibleModulus(qv) || n < 8) {
+        ntt::forwardNttScalar({a, n}, tables);
+        return;
+    }
+    const uint64_t two_q = 2 * qv;
+    const __m256i vq = set1(qv);
+    const __m256i v2q = set1(two_q);
+
+    size_t t = n;
+    for (size_t m = 1; m < n; m <<= 1) {
+        t >>= 1;
+        if (t >= 4) {
+            for (size_t i = 0; i < m; ++i) {
+                const size_t j1 = 2 * i * t;
+                const __m256i vw = set1(tables.rootPower(m + i));
+                const __m256i vphi =
+                    set1(tables.rootPowerShoup(m + i) >> 32);
+                for (size_t j = j1; j < j1 + t; j += 4) {
+                    __m256i u = csub(load(a + j), v2q);
+                    const __m256i v =
+                        mulShoupLazy32(load(a + j + t), vw, vphi, vq);
+                    store(a + j, _mm256_add_epi64(u, v));
+                    store(a + j + t,
+                          _mm256_add_epi64(_mm256_sub_epi64(u, v), v2q));
+                }
+            }
+        } else {
+            // Sub-lane tail stages: the oracle's 64-bit butterflies.
+            for (size_t i = 0; i < m; ++i) {
+                const size_t j1 = 2 * i * t;
+                const uint64_t w = tables.rootPower(m + i);
+                const uint64_t w_shoup = tables.rootPowerShoup(m + i);
+                for (size_t j = j1; j < j1 + t; ++j) {
+                    uint64_t u = a[j];
+                    if (u >= two_q)
+                        u -= two_q;
+                    const uint64_t v =
+                        mod.mulShoupLazy(a[j + t], w, w_shoup);
+                    a[j] = u + v;
+                    a[j + t] = u - v + two_q;
+                }
+            }
+        }
+    }
+    for (size_t j = 0; j < n; j += 4)
+        store(a + j, csub(csub(load(a + j), v2q), vq));
+}
+
+void
+nttInverseAvx2(uint64_t *a, const ntt::NttTables &tables)
+{
+    const rns::Modulus &mod = tables.modulus();
+    const uint64_t qv = mod.value();
+    const size_t n = tables.degree();
+    if (!eligibleModulus(qv) || n < 8) {
+        ntt::inverseNttScalar({a, n}, tables);
+        return;
+    }
+    const uint64_t two_q = 2 * qv;
+    const __m256i vq = set1(qv);
+    const __m256i v2q = set1(two_q);
+
+    size_t t = 1;
+    for (size_t h = n >> 1; h >= 1; h >>= 1) {
+        if (t >= 4) {
+            for (size_t i = 0; i < h; ++i) {
+                const size_t j1 = 2 * i * t;
+                const __m256i vw = set1(tables.invRootPower(h + i));
+                const __m256i vphi =
+                    set1(tables.invRootPowerShoup(h + i) >> 32);
+                for (size_t j = j1; j < j1 + t; j += 4) {
+                    const __m256i u = load(a + j);
+                    const __m256i v = load(a + j + t);
+                    store(a + j, csub(_mm256_add_epi64(u, v), v2q));
+                    const __m256i x =
+                        _mm256_add_epi64(_mm256_sub_epi64(u, v), v2q);
+                    store(a + j + t, mulShoupLazy32(x, vw, vphi, vq));
+                }
+            }
+        } else {
+            for (size_t i = 0; i < h; ++i) {
+                const size_t j1 = 2 * i * t;
+                const uint64_t w = tables.invRootPower(h + i);
+                const uint64_t w_shoup = tables.invRootPowerShoup(h + i);
+                for (size_t j = j1; j < j1 + t; ++j) {
+                    const uint64_t u = a[j];
+                    const uint64_t v = a[j + t];
+                    uint64_t s = u + v;
+                    if (s >= two_q)
+                        s -= two_q;
+                    a[j] = s;
+                    a[j + t] = mod.mulShoupLazy(u - v + two_q, w, w_shoup);
+                }
+            }
+        }
+        t <<= 1;
+    }
+
+    const __m256i vn_inv = set1(tables.invDegree());
+    const __m256i vphi_n = set1(tables.invDegreeShoup() >> 32);
+    for (size_t j = 0; j < n; j += 4) {
+        const __m256i r =
+            mulShoupLazy32(load(a + j), vn_inv, vphi_n, vq);
+        store(a + j, csub(r, vq));
+    }
+}
+
+void
+addModAvx2(uint64_t *a, const uint64_t *b, size_t n, uint64_t q)
+{
+    const __m256i vq = set1(q);
+    size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+        const __m256i s = _mm256_add_epi64(load(a + j), load(b + j));
+        store(a + j, csub(s, vq));
+    }
+    addModScalar(a + j, b + j, n - j, q);
+}
+
+void
+subModAvx2(uint64_t *a, const uint64_t *b, size_t n, uint64_t q)
+{
+    const __m256i vq = set1(q);
+    size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+        const __m256i va = load(a + j);
+        const __m256i vb = load(b + j);
+        const __m256i lt = _mm256_cmpgt_epi64(vb, va);
+        const __m256i d = _mm256_sub_epi64(va, vb);
+        store(a + j, _mm256_add_epi64(d, _mm256_and_si256(lt, vq)));
+    }
+    subModScalar(a + j, b + j, n - j, q);
+}
+
+void
+negateModAvx2(uint64_t *a, size_t n, uint64_t q)
+{
+    const __m256i vq = set1(q);
+    const __m256i zero = _mm256_setzero_si256();
+    size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+        const __m256i va = load(a + j);
+        const __m256i eq = _mm256_cmpeq_epi64(va, zero);
+        store(a + j,
+              _mm256_andnot_si256(eq, _mm256_sub_epi64(vq, va)));
+    }
+    negateModScalar(a + j, n - j, q);
+}
+
+void
+mulShoupOutAvx2(uint64_t *dst, const uint64_t *src, size_t n,
+                const rns::Modulus &q, uint64_t w, uint64_t w_shoup)
+{
+    if (!eligibleModulus(q.value())) {
+        mulShoupOutScalar(dst, src, n, q, w, w_shoup);
+        return;
+    }
+    const __m256i vq = set1(q.value());
+    const __m256i vw = set1(w);
+    const __m256i vphi = set1(w_shoup >> 32);
+    size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+        const __m256i r = mulShoupLazy32(load(src + j), vw, vphi, vq);
+        store(dst + j, csub(r, vq));
+    }
+    mulShoupOutScalar(dst + j, src + j, n - j, q, w, w_shoup);
+}
+
+void
+mulShoupAvx2(uint64_t *a, size_t n, const rns::Modulus &q, uint64_t w,
+             uint64_t w_shoup)
+{
+    mulShoupOutAvx2(a, a, n, q, w, w_shoup);
+}
+
+/** a[i]*b[i] mod q into [0, 2q); a, b < q < 2^30. */
+inline __m256i
+mulModLazy(__m256i va, __m256i vb, __m256i vq, __m256i vphi1,
+           __m256i vc32, __m256i vphi_c32, __m256i mask32)
+{
+    const __m256i x = _mm256_mul_epu32(va, vb); // exact, < 2^60
+    const __m256i d = _mm256_srli_epi64(x, 32);
+    const __m256i l = _mm256_and_si256(x, mask32);
+    const __m256i t1 = mulShoupLazy32(d, vc32, vphi_c32, vq);
+    const __m256i t3 = reduceLazyBy1(l, vphi1, vq);
+    const __m256i s = _mm256_add_epi64(t1, t3); // < 4q < 2^32
+    return reduceLazyBy1(s, vphi1, vq);
+}
+
+void
+mulModAvx2(uint64_t *a, const uint64_t *b, size_t n,
+           const rns::Modulus &q)
+{
+    if (!eligibleModulus(q.value())) {
+        mulModScalar(a, b, n, q);
+        return;
+    }
+    const Mod32Constants mc = mod32Constants(q);
+    const __m256i vq = set1(mc.q);
+    const __m256i vphi1 = set1(mc.phi1);
+    const __m256i vc32 = set1(mc.c32);
+    const __m256i vphi_c32 = set1(mc.phi_c32);
+    const __m256i mask32 = set1(0xffffffffu);
+    size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+        const __m256i r = mulModLazy(load(a + j), load(b + j), vq,
+                                     vphi1, vc32, vphi_c32, mask32);
+        store(a + j, csub(r, vq));
+    }
+    mulModScalar(a + j, b + j, n - j, q);
+}
+
+void
+macModAvx2(uint64_t *acc, const uint64_t *a, const uint64_t *b, size_t n,
+           const rns::Modulus &q)
+{
+    if (!eligibleModulus(q.value())) {
+        macModScalar(acc, a, b, n, q);
+        return;
+    }
+    const Mod32Constants mc = mod32Constants(q);
+    const __m256i vq = set1(mc.q);
+    const __m256i vphi1 = set1(mc.phi1);
+    const __m256i vc32 = set1(mc.c32);
+    const __m256i vphi_c32 = set1(mc.phi_c32);
+    const __m256i mask32 = set1(0xffffffffu);
+    size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+        const __m256i p =
+            csub(mulModLazy(load(a + j), load(b + j), vq, vphi1, vc32,
+                            vphi_c32, mask32),
+                 vq);
+        const __m256i s = _mm256_add_epi64(load(acc + j), p);
+        store(acc + j, csub(s, vq));
+    }
+    macModScalar(acc + j, a + j, b + j, n - j, q);
+}
+
+void
+reduceU32Avx2(uint64_t *dst, const uint64_t *src, size_t n,
+              const rns::Modulus &q)
+{
+    if (!eligibleModulus(q.value())) {
+        reduceU32Scalar(dst, src, n, q);
+        return;
+    }
+    const Mod32Constants mc = mod32Constants(q);
+    const __m256i vq = set1(mc.q);
+    const __m256i vphi1 = set1(mc.phi1);
+    size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+        const __m256i r = reduceLazyBy1(load(src + j), vphi1, vq);
+        store(dst + j, csub(r, vq));
+    }
+    reduceU32Scalar(dst + j, src + j, n - j, q);
+}
+
+void
+sop128Avx2(const uint64_t *const *rows, const uint64_t *weights,
+           size_t terms, size_t count, uint64_t *lo, uint64_t *hi)
+{
+    const __m256i bias = set1(uint64_t(1) << 63);
+    const __m256i one = set1(1);
+    size_t j = 0;
+    for (; j + 4 <= count; j += 4) {
+        __m256i acc_lo = _mm256_setzero_si256();
+        __m256i acc_mid = _mm256_setzero_si256();
+        __m256i acc_hi = _mm256_setzero_si256();
+        for (size_t i = 0; i < terms; ++i) {
+            const __m256i v = load(rows[i] + j);
+            const __m256i wlo = set1(weights[i] & 0xffffffffu);
+            const __m256i whi = set1(weights[i] >> 32);
+            const __m256i plo = _mm256_mul_epu32(v, wlo);
+            const __m256i s = _mm256_add_epi64(acc_lo, plo);
+            const __m256i carry = ltu64(s, plo, bias);
+            acc_hi =
+                _mm256_add_epi64(acc_hi, _mm256_and_si256(carry, one));
+            acc_lo = s;
+            acc_mid =
+                _mm256_add_epi64(acc_mid, _mm256_mul_epu32(v, whi));
+        }
+        const __m256i mid_lo = _mm256_slli_epi64(acc_mid, 32);
+        const __m256i s = _mm256_add_epi64(acc_lo, mid_lo);
+        const __m256i carry = ltu64(s, mid_lo, bias);
+        acc_hi = _mm256_add_epi64(acc_hi, _mm256_and_si256(carry, one));
+        store(lo + j, s);
+        store(hi + j,
+              _mm256_add_epi64(acc_hi, _mm256_srli_epi64(acc_mid, 32)));
+    }
+    if (j < count) {
+        const uint64_t *tail_rows[kSopMaxTerms];
+        for (size_t i = 0; i < terms; ++i)
+            tail_rows[i] = rows[i] + j;
+        sop128Scalar(tail_rows, weights, terms, count - j, lo + j,
+                     hi + j);
+    }
+}
+
+void
+add128_64Avx2(uint64_t *lo, uint64_t *hi, const uint64_t *add,
+              size_t count)
+{
+    const __m256i bias = set1(uint64_t(1) << 63);
+    const __m256i one = set1(1);
+    size_t j = 0;
+    for (; j + 4 <= count; j += 4) {
+        const __m256i va = load(add + j);
+        const __m256i s = _mm256_add_epi64(load(lo + j), va);
+        const __m256i carry = ltu64(s, va, bias);
+        store(lo + j, s);
+        store(hi + j, _mm256_add_epi64(load(hi + j),
+                                       _mm256_and_si256(carry, one)));
+    }
+    add128_64Scalar(lo + j, hi + j, add + j, count - j);
+}
+
+void
+roundShift128Avx2(const uint64_t *lo, const uint64_t *hi, size_t count,
+                  int shift, uint64_t *out)
+{
+    // Few ops per lane and one call per coefficient block: the scalar
+    // body keeps up with loads/stores here, so share it.
+    roundShift128Scalar(lo, hi, count, shift, out);
+}
+
+void
+reduce128ModAvx2(const uint64_t *lo, const uint64_t *hi, uint64_t *out,
+                 size_t count, const rns::Modulus &q)
+{
+    if (!eligibleModulus(q.value())) {
+        reduce128ModScalar(lo, hi, out, count, q);
+        return;
+    }
+    const Mod32Constants mc = mod32Constants(q);
+    const __m256i vq = set1(mc.q);
+    const __m256i v2q = set1(2 * mc.q);
+    const __m256i vphi1 = set1(mc.phi1);
+    const __m256i vc32 = set1(mc.c32);
+    const __m256i vphi_c32 = set1(mc.phi_c32);
+    const __m256i vc64 = set1(mc.c64);
+    const __m256i vphi_c64 = set1(mc.phi_c64);
+    const __m256i mask32 = set1(0xffffffffu);
+    size_t j = 0;
+    for (; j + 4 <= count; j += 4) {
+        const __m256i vhi = load(hi + j); // < 2^32 by contract
+        const __m256i vlo = load(lo + j);
+        const __m256i t = mulShoupLazy32(vhi, vc64, vphi_c64, vq);
+        const __m256i t2 = mulShoupLazy32(_mm256_srli_epi64(vlo, 32),
+                                          vc32, vphi_c32, vq);
+        const __m256i t3 =
+            reduceLazyBy1(_mm256_and_si256(vlo, mask32), vphi1, vq);
+        __m256i s = csub(_mm256_add_epi64(t, t2), v2q);
+        s = _mm256_add_epi64(s, t3); // < 4q < 2^32
+        const __m256i r = reduceLazyBy1(s, vphi1, vq);
+        store(out + j, csub(r, vq));
+    }
+    reduce128ModScalar(lo + j, hi + j, out + j, count - j, q);
+}
+
+} // namespace
+
+const Kernels &
+avx2Kernels()
+{
+    static const Kernels table = {
+        Level::kAvx2,    nttForwardAvx2, nttInverseAvx2,
+        addModAvx2,      subModAvx2,     negateModAvx2,
+        mulShoupAvx2,    mulShoupOutAvx2, mulModAvx2,
+        macModAvx2,      reduceU32Avx2,  sop128Avx2,
+        add128_64Avx2,   roundShift128Avx2, reduce128ModAvx2,
+    };
+    return table;
+}
+
+} // namespace heat::simd::detail

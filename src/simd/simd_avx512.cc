@@ -1,0 +1,439 @@
+/**
+ * @file
+ * AVX-512F kernel table (8 lanes of 64-bit). Compiled with a per-file
+ * `-mavx512f`; only reached through the runtime dispatcher.
+ *
+ * Same 32-bit Shoup/Harvey reduction chains as the AVX2 table (see
+ * simd_avx2.cc for the range arguments) — the wins here are twice the
+ * lane count and native unsigned 64-bit compares into mask registers
+ * (no sign-bias tricks for carries or conditional subtracts).
+ */
+
+#include <immintrin.h>
+
+#include "ntt/ntt.h"
+#include "ntt/ntt_tables.h"
+#include "rns/modulus.h"
+#include "simd/simd_internal.h"
+
+namespace heat::simd::detail {
+
+namespace {
+
+inline __m512i
+load(const uint64_t *p)
+{
+    return _mm512_loadu_si512(p);
+}
+
+inline void
+store(uint64_t *p, __m512i x)
+{
+    _mm512_storeu_si512(p, x);
+}
+
+inline __m512i
+set1(uint64_t x)
+{
+    return _mm512_set1_epi64(static_cast<long long>(x));
+}
+
+/** x >= k ? x - k : x via an unsigned mask compare. */
+inline __m512i
+csub(__m512i x, __m512i k)
+{
+    const __mmask8 ge = _mm512_cmpge_epu64_mask(x, k);
+    return _mm512_mask_sub_epi64(x, ge, x, k);
+}
+
+/** See simd_avx2.cc: lazy Shoup product in [0, 2q), a < 2^32. */
+inline __m512i
+mulShoupLazy32(__m512i a, __m512i w, __m512i phi, __m512i q)
+{
+    const __m512i quot = _mm512_srli_epi64(_mm512_mul_epu32(a, phi), 32);
+    return _mm512_sub_epi64(_mm512_mul_epu32(a, w),
+                            _mm512_mul_epu32(quot, q));
+}
+
+/** s mod q into [0, 2q) for s < 2^32 (Shoup with w = 1). */
+inline __m512i
+reduceLazyBy1(__m512i s, __m512i phi1, __m512i q)
+{
+    const __m512i quot = _mm512_srli_epi64(_mm512_mul_epu32(s, phi1), 32);
+    return _mm512_sub_epi64(s, _mm512_mul_epu32(quot, q));
+}
+
+void
+nttForwardAvx512(uint64_t *a, const ntt::NttTables &tables)
+{
+    const rns::Modulus &mod = tables.modulus();
+    const uint64_t qv = mod.value();
+    const size_t n = tables.degree();
+    if (!eligibleModulus(qv) || n < 16) {
+        ntt::forwardNttScalar({a, n}, tables);
+        return;
+    }
+    const uint64_t two_q = 2 * qv;
+    const __m512i vq = set1(qv);
+    const __m512i v2q = set1(two_q);
+
+    size_t t = n;
+    for (size_t m = 1; m < n; m <<= 1) {
+        t >>= 1;
+        if (t >= 8) {
+            for (size_t i = 0; i < m; ++i) {
+                const size_t j1 = 2 * i * t;
+                const __m512i vw = set1(tables.rootPower(m + i));
+                const __m512i vphi =
+                    set1(tables.rootPowerShoup(m + i) >> 32);
+                for (size_t j = j1; j < j1 + t; j += 8) {
+                    __m512i u = csub(load(a + j), v2q);
+                    const __m512i v =
+                        mulShoupLazy32(load(a + j + t), vw, vphi, vq);
+                    store(a + j, _mm512_add_epi64(u, v));
+                    store(a + j + t,
+                          _mm512_add_epi64(_mm512_sub_epi64(u, v), v2q));
+                }
+            }
+        } else {
+            for (size_t i = 0; i < m; ++i) {
+                const size_t j1 = 2 * i * t;
+                const uint64_t w = tables.rootPower(m + i);
+                const uint64_t w_shoup = tables.rootPowerShoup(m + i);
+                for (size_t j = j1; j < j1 + t; ++j) {
+                    uint64_t u = a[j];
+                    if (u >= two_q)
+                        u -= two_q;
+                    const uint64_t v =
+                        mod.mulShoupLazy(a[j + t], w, w_shoup);
+                    a[j] = u + v;
+                    a[j + t] = u - v + two_q;
+                }
+            }
+        }
+    }
+    for (size_t j = 0; j < n; j += 8)
+        store(a + j, csub(csub(load(a + j), v2q), vq));
+}
+
+void
+nttInverseAvx512(uint64_t *a, const ntt::NttTables &tables)
+{
+    const rns::Modulus &mod = tables.modulus();
+    const uint64_t qv = mod.value();
+    const size_t n = tables.degree();
+    if (!eligibleModulus(qv) || n < 16) {
+        ntt::inverseNttScalar({a, n}, tables);
+        return;
+    }
+    const uint64_t two_q = 2 * qv;
+    const __m512i vq = set1(qv);
+    const __m512i v2q = set1(two_q);
+
+    size_t t = 1;
+    for (size_t h = n >> 1; h >= 1; h >>= 1) {
+        if (t >= 8) {
+            for (size_t i = 0; i < h; ++i) {
+                const size_t j1 = 2 * i * t;
+                const __m512i vw = set1(tables.invRootPower(h + i));
+                const __m512i vphi =
+                    set1(tables.invRootPowerShoup(h + i) >> 32);
+                for (size_t j = j1; j < j1 + t; j += 8) {
+                    const __m512i u = load(a + j);
+                    const __m512i v = load(a + j + t);
+                    store(a + j, csub(_mm512_add_epi64(u, v), v2q));
+                    const __m512i x =
+                        _mm512_add_epi64(_mm512_sub_epi64(u, v), v2q);
+                    store(a + j + t, mulShoupLazy32(x, vw, vphi, vq));
+                }
+            }
+        } else {
+            for (size_t i = 0; i < h; ++i) {
+                const size_t j1 = 2 * i * t;
+                const uint64_t w = tables.invRootPower(h + i);
+                const uint64_t w_shoup = tables.invRootPowerShoup(h + i);
+                for (size_t j = j1; j < j1 + t; ++j) {
+                    const uint64_t u = a[j];
+                    const uint64_t v = a[j + t];
+                    uint64_t s = u + v;
+                    if (s >= two_q)
+                        s -= two_q;
+                    a[j] = s;
+                    a[j + t] = mod.mulShoupLazy(u - v + two_q, w, w_shoup);
+                }
+            }
+        }
+        t <<= 1;
+    }
+
+    const __m512i vn_inv = set1(tables.invDegree());
+    const __m512i vphi_n = set1(tables.invDegreeShoup() >> 32);
+    for (size_t j = 0; j < n; j += 8) {
+        const __m512i r =
+            mulShoupLazy32(load(a + j), vn_inv, vphi_n, vq);
+        store(a + j, csub(r, vq));
+    }
+}
+
+void
+addModAvx512(uint64_t *a, const uint64_t *b, size_t n, uint64_t q)
+{
+    const __m512i vq = set1(q);
+    size_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+        const __m512i s = _mm512_add_epi64(load(a + j), load(b + j));
+        store(a + j, csub(s, vq));
+    }
+    addModScalar(a + j, b + j, n - j, q);
+}
+
+void
+subModAvx512(uint64_t *a, const uint64_t *b, size_t n, uint64_t q)
+{
+    const __m512i vq = set1(q);
+    size_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+        const __m512i va = load(a + j);
+        const __m512i vb = load(b + j);
+        const __mmask8 lt = _mm512_cmplt_epu64_mask(va, vb);
+        const __m512i d = _mm512_sub_epi64(va, vb);
+        store(a + j, _mm512_mask_add_epi64(d, lt, d, vq));
+    }
+    subModScalar(a + j, b + j, n - j, q);
+}
+
+void
+negateModAvx512(uint64_t *a, size_t n, uint64_t q)
+{
+    const __m512i vq = set1(q);
+    size_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+        const __m512i va = load(a + j);
+        const __mmask8 nz = _mm512_test_epi64_mask(va, va);
+        store(a + j, _mm512_maskz_sub_epi64(nz, vq, va));
+    }
+    negateModScalar(a + j, n - j, q);
+}
+
+void
+mulShoupOutAvx512(uint64_t *dst, const uint64_t *src, size_t n,
+                  const rns::Modulus &q, uint64_t w, uint64_t w_shoup)
+{
+    if (!eligibleModulus(q.value())) {
+        mulShoupOutScalar(dst, src, n, q, w, w_shoup);
+        return;
+    }
+    const __m512i vq = set1(q.value());
+    const __m512i vw = set1(w);
+    const __m512i vphi = set1(w_shoup >> 32);
+    size_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+        const __m512i r = mulShoupLazy32(load(src + j), vw, vphi, vq);
+        store(dst + j, csub(r, vq));
+    }
+    mulShoupOutScalar(dst + j, src + j, n - j, q, w, w_shoup);
+}
+
+void
+mulShoupAvx512(uint64_t *a, size_t n, const rns::Modulus &q, uint64_t w,
+               uint64_t w_shoup)
+{
+    mulShoupOutAvx512(a, a, n, q, w, w_shoup);
+}
+
+/** a[i]*b[i] mod q into [0, 2q); a, b < q < 2^30. */
+inline __m512i
+mulModLazy(__m512i va, __m512i vb, __m512i vq, __m512i vphi1,
+           __m512i vc32, __m512i vphi_c32, __m512i mask32)
+{
+    const __m512i x = _mm512_mul_epu32(va, vb); // exact, < 2^60
+    const __m512i d = _mm512_srli_epi64(x, 32);
+    const __m512i l = _mm512_and_epi64(x, mask32);
+    const __m512i t1 = mulShoupLazy32(d, vc32, vphi_c32, vq);
+    const __m512i t3 = reduceLazyBy1(l, vphi1, vq);
+    const __m512i s = _mm512_add_epi64(t1, t3); // < 4q < 2^32
+    return reduceLazyBy1(s, vphi1, vq);
+}
+
+void
+mulModAvx512(uint64_t *a, const uint64_t *b, size_t n,
+             const rns::Modulus &q)
+{
+    if (!eligibleModulus(q.value())) {
+        mulModScalar(a, b, n, q);
+        return;
+    }
+    const Mod32Constants mc = mod32Constants(q);
+    const __m512i vq = set1(mc.q);
+    const __m512i vphi1 = set1(mc.phi1);
+    const __m512i vc32 = set1(mc.c32);
+    const __m512i vphi_c32 = set1(mc.phi_c32);
+    const __m512i mask32 = set1(0xffffffffu);
+    size_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+        const __m512i r = mulModLazy(load(a + j), load(b + j), vq,
+                                     vphi1, vc32, vphi_c32, mask32);
+        store(a + j, csub(r, vq));
+    }
+    mulModScalar(a + j, b + j, n - j, q);
+}
+
+void
+macModAvx512(uint64_t *acc, const uint64_t *a, const uint64_t *b,
+             size_t n, const rns::Modulus &q)
+{
+    if (!eligibleModulus(q.value())) {
+        macModScalar(acc, a, b, n, q);
+        return;
+    }
+    const Mod32Constants mc = mod32Constants(q);
+    const __m512i vq = set1(mc.q);
+    const __m512i vphi1 = set1(mc.phi1);
+    const __m512i vc32 = set1(mc.c32);
+    const __m512i vphi_c32 = set1(mc.phi_c32);
+    const __m512i mask32 = set1(0xffffffffu);
+    size_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+        const __m512i p =
+            csub(mulModLazy(load(a + j), load(b + j), vq, vphi1, vc32,
+                            vphi_c32, mask32),
+                 vq);
+        const __m512i s = _mm512_add_epi64(load(acc + j), p);
+        store(acc + j, csub(s, vq));
+    }
+    macModScalar(acc + j, a + j, b + j, n - j, q);
+}
+
+void
+reduceU32Avx512(uint64_t *dst, const uint64_t *src, size_t n,
+                const rns::Modulus &q)
+{
+    if (!eligibleModulus(q.value())) {
+        reduceU32Scalar(dst, src, n, q);
+        return;
+    }
+    const Mod32Constants mc = mod32Constants(q);
+    const __m512i vq = set1(mc.q);
+    const __m512i vphi1 = set1(mc.phi1);
+    size_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+        const __m512i r = reduceLazyBy1(load(src + j), vphi1, vq);
+        store(dst + j, csub(r, vq));
+    }
+    reduceU32Scalar(dst + j, src + j, n - j, q);
+}
+
+void
+sop128Avx512(const uint64_t *const *rows, const uint64_t *weights,
+             size_t terms, size_t count, uint64_t *lo, uint64_t *hi)
+{
+    const __m512i one = set1(1);
+    size_t j = 0;
+    for (; j + 8 <= count; j += 8) {
+        __m512i acc_lo = _mm512_setzero_si512();
+        __m512i acc_mid = _mm512_setzero_si512();
+        __m512i acc_hi = _mm512_setzero_si512();
+        for (size_t i = 0; i < terms; ++i) {
+            const __m512i v = load(rows[i] + j);
+            const __m512i wlo = set1(weights[i] & 0xffffffffu);
+            const __m512i whi = set1(weights[i] >> 32);
+            const __m512i plo = _mm512_mul_epu32(v, wlo);
+            const __m512i s = _mm512_add_epi64(acc_lo, plo);
+            const __mmask8 carry = _mm512_cmplt_epu64_mask(s, plo);
+            acc_hi = _mm512_mask_add_epi64(acc_hi, carry, acc_hi, one);
+            acc_lo = s;
+            acc_mid =
+                _mm512_add_epi64(acc_mid, _mm512_mul_epu32(v, whi));
+        }
+        const __m512i mid_lo = _mm512_slli_epi64(acc_mid, 32);
+        const __m512i s = _mm512_add_epi64(acc_lo, mid_lo);
+        const __mmask8 carry = _mm512_cmplt_epu64_mask(s, mid_lo);
+        acc_hi = _mm512_mask_add_epi64(acc_hi, carry, acc_hi, one);
+        store(lo + j, s);
+        store(hi + j,
+              _mm512_add_epi64(acc_hi, _mm512_srli_epi64(acc_mid, 32)));
+    }
+    if (j < count) {
+        const uint64_t *tail_rows[kSopMaxTerms];
+        for (size_t i = 0; i < terms; ++i)
+            tail_rows[i] = rows[i] + j;
+        sop128Scalar(tail_rows, weights, terms, count - j, lo + j,
+                     hi + j);
+    }
+}
+
+void
+add128_64Avx512(uint64_t *lo, uint64_t *hi, const uint64_t *add,
+                size_t count)
+{
+    const __m512i one = set1(1);
+    size_t j = 0;
+    for (; j + 8 <= count; j += 8) {
+        const __m512i va = load(add + j);
+        const __m512i s = _mm512_add_epi64(load(lo + j), va);
+        const __mmask8 carry = _mm512_cmplt_epu64_mask(s, va);
+        store(lo + j, s);
+        const __m512i h = load(hi + j);
+        store(hi + j, _mm512_mask_add_epi64(h, carry, h, one));
+    }
+    add128_64Scalar(lo + j, hi + j, add + j, count - j);
+}
+
+void
+roundShift128Avx512(const uint64_t *lo, const uint64_t *hi, size_t count,
+                    int shift, uint64_t *out)
+{
+    // Same call as AVX2: memory-bound, the scalar body keeps up.
+    roundShift128Scalar(lo, hi, count, shift, out);
+}
+
+void
+reduce128ModAvx512(const uint64_t *lo, const uint64_t *hi, uint64_t *out,
+                   size_t count, const rns::Modulus &q)
+{
+    if (!eligibleModulus(q.value())) {
+        reduce128ModScalar(lo, hi, out, count, q);
+        return;
+    }
+    const Mod32Constants mc = mod32Constants(q);
+    const __m512i vq = set1(mc.q);
+    const __m512i v2q = set1(2 * mc.q);
+    const __m512i vphi1 = set1(mc.phi1);
+    const __m512i vc32 = set1(mc.c32);
+    const __m512i vphi_c32 = set1(mc.phi_c32);
+    const __m512i vc64 = set1(mc.c64);
+    const __m512i vphi_c64 = set1(mc.phi_c64);
+    const __m512i mask32 = set1(0xffffffffu);
+    size_t j = 0;
+    for (; j + 8 <= count; j += 8) {
+        const __m512i vhi = load(hi + j); // < 2^32 by contract
+        const __m512i vlo = load(lo + j);
+        const __m512i t = mulShoupLazy32(vhi, vc64, vphi_c64, vq);
+        const __m512i t2 = mulShoupLazy32(_mm512_srli_epi64(vlo, 32),
+                                          vc32, vphi_c32, vq);
+        const __m512i t3 =
+            reduceLazyBy1(_mm512_and_epi64(vlo, mask32), vphi1, vq);
+        __m512i s = csub(_mm512_add_epi64(t, t2), v2q);
+        s = _mm512_add_epi64(s, t3); // < 4q < 2^32
+        const __m512i r = reduceLazyBy1(s, vphi1, vq);
+        store(out + j, csub(r, vq));
+    }
+    reduce128ModScalar(lo + j, hi + j, out + j, count - j, q);
+}
+
+} // namespace
+
+const Kernels &
+avx512Kernels()
+{
+    static const Kernels table = {
+        Level::kAvx512,  nttForwardAvx512, nttInverseAvx512,
+        addModAvx512,    subModAvx512,     negateModAvx512,
+        mulShoupAvx512,  mulShoupOutAvx512, mulModAvx512,
+        macModAvx512,    reduceU32Avx512,  sop128Avx512,
+        add128_64Avx512, roundShift128Avx512, reduce128ModAvx512,
+    };
+    return table;
+}
+
+} // namespace heat::simd::detail

@@ -77,6 +77,49 @@ TEST_P(ParallelForTest, PropagatesBodyExceptionToCaller)
     EXPECT_EQ(ran.load(), 64u);
 }
 
+TEST_P(ParallelForTest, ChunkedCoversEveryIndexExactlyOnce)
+{
+    ThreadCountGuard guard;
+    setThreadCount(GetParam());
+
+    constexpr size_t kCount = 1000;
+    for (size_t grain : {size_t(1), size_t(64), size_t(512),
+                         size_t(1000), size_t(5000)}) {
+        std::vector<std::atomic<int>> hits(kCount);
+        parallelFor(kCount, grain, [&](size_t begin, size_t end) {
+            ASSERT_LE(begin, end);
+            ASSERT_LE(end, kCount);
+            for (size_t i = begin; i < end; ++i)
+                hits[i].fetch_add(1);
+        });
+        for (size_t i = 0; i < kCount; ++i)
+            ASSERT_EQ(hits[i].load(), 1) << "grain=" << grain << " i=" << i;
+    }
+
+    // Empty range: the body must not run at all.
+    parallelFor(0, 16, [](size_t, size_t) { FAIL() << "body ran"; });
+}
+
+TEST_P(ParallelForTest, ChunkedPropagatesBodyExceptionToCaller)
+{
+    ThreadCountGuard guard;
+    setThreadCount(GetParam());
+
+    EXPECT_THROW(parallelFor(1000, 8,
+                             [](size_t begin, size_t end) {
+                                 if (begin <= 500 && 500 < end)
+                                     throw std::runtime_error("boom");
+                             }),
+                 std::runtime_error);
+
+    // The pool must stay fully usable after a failed chunked run.
+    std::atomic<size_t> ran{0};
+    parallelFor(1000, 8, [&](size_t begin, size_t end) {
+        ran.fetch_add(end - begin);
+    });
+    EXPECT_EQ(ran.load(), 1000u);
+}
+
 TEST_P(ParallelForTest, RnsPolyNttMatchesSingleThread)
 {
     ThreadCountGuard guard;
