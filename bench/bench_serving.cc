@@ -272,8 +272,9 @@ main(int argc, char **argv)
         f.get();
     svc->drain();
 
-    const service::ServiceStats stats = svc->stats();
-    const service::LatencySnapshot lat = svc->latency();
+    const service::ServiceSnapshot snap = svc->snapshot();
+    const service::ServiceStats &stats = snap.stats;
+    const service::LatencySnapshot &lat = snap.latency;
 
     bench::printHeader("open-loop serving load (3 tenants, 10k reqs)");
     bench::printInfo("requests completed",
@@ -300,6 +301,11 @@ main(int argc, char **argv)
     reporter.record("serving_key_swaps",
                     static_cast<double>(stats.key_swaps), "",
                     params->degree(), params->qBase()->size());
+    // The service's whole metrics registry (queue gauge, per-tenant
+    // counters, the latency histogram's summary samples) rides along
+    // in the same JSON-lines trajectory.
+    reporter.recordMetrics(svc->metrics(), params->degree(),
+                           params->qBase()->size());
 
     if (stats.ops_failed != 0 || stats.ops_rejected != 0) {
         std::fprintf(stderr, "FAIL: %llu failed, %llu rejected\n",

@@ -415,6 +415,42 @@ forwardNttSecondsPerTransform(const simd::Kernels &kernels, size_t n)
     return best;
 }
 
+/**
+ * Same measurement through the instrumented ntt::forwardNtt dispatcher
+ * (which carries an OBS_SPAN). With no tracer installed the span must
+ * be one relaxed atomic load + branch — the delta against the raw
+ * kernel-table loop above is the disabled-instrumentation overhead the
+ * CI gates at < 2%.
+ */
+double
+forwardNttDispatcherSecondsPerTransform(size_t n)
+{
+    rns::Modulus q(rns::generateNttPrimes(30, n, 1)[0]);
+    ntt::NttTables tables(q, n);
+    Xoshiro256 rng(16);
+    std::vector<uint64_t> a(n);
+    for (auto &x : a)
+        x = rng.uniformBelow(q.value());
+
+    constexpr int kWarmup = 20;
+    constexpr int kIters = 200;
+    constexpr int kReps = 5;
+    for (int i = 0; i < kWarmup; ++i)
+        ntt::forwardNtt(a, tables);
+    double best = 1e300;
+    for (int rep = 0; rep < kReps; ++rep) {
+        const auto start = std::chrono::steady_clock::now();
+        for (int i = 0; i < kIters; ++i)
+            ntt::forwardNtt(a, tables);
+        const auto stop = std::chrono::steady_clock::now();
+        const double secs =
+            std::chrono::duration<double>(stop - start).count() / kIters;
+        best = std::min(best, secs);
+    }
+    benchmark::DoNotOptimize(a.data());
+    return best;
+}
+
 } // namespace
 
 int
@@ -484,6 +520,29 @@ main(int argc, char **argv)
                     static_cast<double>(simd::activeLevel()), "level");
         json.record("ntt_simd_vs_scalar_speedup", speedup, "x",
                     kSpeedupDegree, 1);
+    }
+
+    // Disabled-instrumentation overhead of the OBS_SPAN macro on the
+    // forward-NTT dispatcher, for the CI < 2% gate. Best-of-reps on
+    // both sides so scheduler noise cancels; the result can go
+    // slightly negative on a quiet machine.
+    {
+        constexpr size_t kOverheadDegree = 8192;
+        const double raw_secs = forwardNttSecondsPerTransform(
+            simd::active(), kOverheadDegree);
+        const double instrumented_secs =
+            forwardNttDispatcherSecondsPerTransform(kOverheadDegree);
+        const double overhead_pct =
+            (instrumented_secs / raw_secs - 1.0) * 100.0;
+        heat::bench::printHeader("observability overhead");
+        heat::bench::printInfo("forward NTT raw table (n=8192)",
+                               raw_secs * 1e6, "us");
+        heat::bench::printInfo("forward NTT instrumented (n=8192)",
+                               instrumented_secs * 1e6, "us");
+        heat::bench::printInfo("obs_span_disabled_overhead_pct",
+                               overhead_pct, "%");
+        json.record("obs_span_disabled_overhead_pct", overhead_pct, "%",
+                    kOverheadDegree, 1);
     }
 
     benchmark::Shutdown();

@@ -10,11 +10,13 @@
 
 #include <cmath>
 #include <cstdio>
+#include <set>
 #include <string>
 #include <string_view>
 #include <utility>
 
 #include "common/parallel.h"
+#include "obs/metrics.h"
 
 namespace heat::bench {
 
@@ -92,6 +94,20 @@ class JsonReporter
     {
         if (!enabled())
             return;
+        // Duplicate guard: two records with the same (kernel, unit, n,
+        // moduli) key silently shadow each other in the trajectory
+        // consumers (last-write-wins joins). Warn loudly but still
+        // write — the duplicate is a bench bug to fix, not data to
+        // drop.
+        const std::string key = r.kernel + "|" + r.unit + "|" +
+                                std::to_string(r.n) + "|" +
+                                std::to_string(r.moduli);
+        if (!seen_.insert(key).second)
+            std::fprintf(stderr,
+                         "bench: warning: duplicate record key "
+                         "kernel=%s unit=%s n=%zu moduli=%zu\n",
+                         r.kernel.c_str(), r.unit.c_str(), r.n,
+                         r.moduli);
         std::FILE *f = std::fopen(path_.c_str(), "a");
         if (f == nullptr) {
             std::fprintf(stderr, "bench: cannot open %s for append\n",
@@ -125,6 +141,23 @@ class JsonReporter
         record(JsonRecord{kernel, value, unit, n, moduli});
     }
 
+    /**
+     * Append every sample of @p registry as one record: kernel is the
+     * metric id (histograms expand to _count/_sum/_mean/_p50/_p99/_max
+     * per obs::Registry::samples()), unit is the metric kind. Lets a
+     * bench dump a service's whole metrics registry into the same
+     * JSON-lines trajectory its latency numbers go to.
+     */
+    void
+    recordMetrics(const obs::Registry &registry, size_t n = 0,
+                  size_t moduli = 0) const
+    {
+        if (!enabled())
+            return;
+        for (const obs::MetricSample &s : registry.samples())
+            record(JsonRecord{s.name, s.value, s.kind, n, moduli});
+    }
+
   private:
     static std::string
     escape(const std::string &s)
@@ -141,6 +174,9 @@ class JsonReporter
 
     std::string suite_;
     std::string path_;
+    /** Duplicate-record keys seen so far (record() is const on the
+     *  reporting path; the guard is bookkeeping, not state). */
+    mutable std::set<std::string> seen_;
 };
 
 } // namespace heat::bench

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Compile-time cycle attribution of a compiled circuit.
+ *
+ * attributeCompiledCircuit() walks a CompiledCircuit's instruction
+ * stream and charges every instruction's modeled compute cycles to its
+ * functional unit (hw::unitOf), its opcode, and — via
+ * CompiledCircuit::instr_nodes — the circuit node that emitted it. The
+ * cost model mirrors hw::Coprocessor::instructionComputeCycles exactly
+ * (same block models, record levels reconstructed from the slot-action
+ * log), so the per-unit totals sum to the cycles a fused execution of
+ * the circuit reports, without running anything.
+ *
+ * This is what lets the compiler annotate nodes with attributed cost
+ * at compile time, and what `heat_cli trace` cross-checks against the
+ * coprocessor's runtime unit_cycles (the 0-cycle-delta acceptance
+ * gate).
+ */
+
+#ifndef HEAT_COMPILER_ATTRIBUTION_H
+#define HEAT_COMPILER_ATTRIBUTION_H
+
+#include <array>
+#include <map>
+
+#include "compiler/compiler.h"
+
+namespace heat::compiler {
+
+/** Cycle breakdown of one compiled circuit (fused execution model). */
+struct CircuitAttribution
+{
+    /** Compute + dispatch cycles bucketed by functional unit; sums
+     *  exactly to total_cycles. */
+    std::array<hw::Cycle, hw::kUnitCount> unit_cycles{};
+    /** Compute cycles per opcode. */
+    std::map<hw::Opcode, hw::Cycle> op_cycles;
+    /** Compute cycles attributed to each circuit value id (nodes that
+     *  emitted no instructions — inputs, fused relins — stay 0; spill
+     *  traffic charges the node whose emission forced it). */
+    std::vector<hw::Cycle> node_cycles;
+    /** Sum of per-instruction compute cycles. */
+    hw::Cycle compute_cycles = 0;
+    /** Arm dispatch overhead: one per non-empty segment (fused). */
+    hw::Cycle dispatch_cycles = 0;
+    /** compute_cycles + dispatch_cycles == a fused run's fpga_cycles. */
+    hw::Cycle total_cycles = 0;
+    /** Key-switch key DMA microseconds (kKeyLoad bursts). */
+    double key_dma_us = 0.0;
+
+    hw::Cycle
+    unitCycles(hw::Unit unit) const
+    {
+        return unit_cycles[static_cast<size_t>(unit)];
+    }
+};
+
+/** Attribute @p compiled's modeled cycles. Pure function of the
+ *  compiled artifact — no coprocessor, no execution. */
+CircuitAttribution
+attributeCompiledCircuit(const CompiledCircuit &compiled);
+
+} // namespace heat::compiler
+
+#endif // HEAT_COMPILER_ATTRIBUTION_H

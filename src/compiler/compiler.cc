@@ -8,9 +8,11 @@
 #include <cstdio>
 
 #include "common/panic.h"
+#include "compiler/attribution.h"
 #include "compiler/noise_pass.h"
 #include "hw/arm_host.h"
 #include "hw/program_builder.h"
+#include "obs/trace.h"
 
 namespace heat::compiler {
 
@@ -88,6 +90,7 @@ class CircuitCompiler
                 continue;
             }
             emitNode(i);
+            tagNewInstructions(static_cast<ValueId>(i));
         }
 
         // Only still-live outputs travel back; spilled outputs already
@@ -119,6 +122,15 @@ class CircuitCompiler
                             out_.resident_slots[k][1]},
                     "resident input lost its pinned slots");
         }
+
+        // Square away the instruction->node tags: one entry per
+        // instruction in every surviving segment (untagged stragglers
+        // stay kNoValue).
+        instr_nodes_.resize(segments_.size());
+        for (size_t s = 0; s < segments_.size(); ++s)
+            instr_nodes_[s].resize(segments_[s].program.instrs.size(),
+                                   kNoValue);
+        out_.instr_nodes = std::move(instr_nodes_);
 
         out_.segments = std::move(segments_);
         out_.slot_actions = alloc_.actions();
@@ -637,6 +649,20 @@ class CircuitCompiler
             retireIfUnused(relin_node, i);
     }
 
+    /** Attribute every instruction not yet tagged to @p node: called
+     *  right after emitNode(i), so the delta since the previous sync —
+     *  including spill traffic and reloads the node's emission forced,
+     *  across any segments it opened — charges to node i. Rolled-back
+     *  partial emissions never reach here (tags happen on success). */
+    void
+    tagNewInstructions(ValueId node)
+    {
+        instr_nodes_.resize(segments_.size());
+        for (size_t s = 0; s < segments_.size(); ++s)
+            instr_nodes_[s].resize(segments_[s].program.instrs.size(),
+                                   node);
+    }
+
     void
     retireIfUnused(ValueId v, size_t node)
     {
@@ -765,6 +791,8 @@ class CircuitCompiler
 
     CompiledCircuit out_;
     std::vector<Segment> segments_;
+    /** Instruction->node tags, kept in sync by tagNewInstructions(). */
+    std::vector<std::vector<ValueId>> instr_nodes_;
     std::vector<ValueState> values_;
     std::vector<ValueId> relin_of_;
     std::vector<bool> relin_emitted_;
@@ -836,6 +864,24 @@ runCompiledImpl(hw::Coprocessor &cp, const CompiledCircuit &compiled,
     CircuitRunStats run;
     run.segments = compiled.segments.size();
 
+    // Modeled-time tracing (see obs/trace.h): host-transfer spans are
+    // emitted here; cp.execute() emits the per-instruction spans and
+    // advances the shared thread-local modeled clock itself.
+    obs::Tracer *const tracer = obs::activeTracer();
+    const double trace_start_us = obs::modeledNowUs();
+    // Exact sum of every modeled advance under this span — reported as
+    // the run-circuit duration instead of end-minus-start, whose
+    // rounding depends on the worker clock's base value (determinism
+    // across worker counts).
+    double traced_us = 0.0;
+    const auto hostSpan = [&](const char *name, double dur_us) {
+        if (tracer == nullptr || dur_us <= 0.0)
+            return;
+        obs::recordModeledSpan(name, "host", obs::modeledNowUs(), dur_us);
+        obs::advanceModeledUs(dur_us);
+        traced_us += dur_us;
+    };
+
     if (warm) {
         fatalIf(resident_count == 0,
                 "warm execution needs a circuit compiled with "
@@ -864,7 +910,9 @@ runCompiledImpl(hw::Coprocessor &cp, const CompiledCircuit &compiled,
         }
         if (resident_count > 0) {
             run.uploaded_polys += 2 * resident_count;
-            run.host_us += host.sendPolysUs(2 * resident_count);
+            const double us = host.sendPolysUs(2 * resident_count);
+            run.host_us += us;
+            hostSpan("upload:resident", us);
             cp.memory().setPinnedRecords(2 * resident_count);
         }
     }
@@ -887,13 +935,20 @@ runCompiledImpl(hw::Coprocessor &cp, const CompiledCircuit &compiled,
             cp.uploadInto(up.slot, src);
         }
         run.uploaded_polys += seg.uploads.size();
-        run.host_us += host.sendPolysUs(seg.uploads.size());
+        if (!seg.uploads.empty()) {
+            const double us = host.sendPolysUs(seg.uploads.size());
+            run.host_us += us;
+            hostSpan("upload", us);
+        }
 
         const hw::ExecStats es =
             cp.execute(seg.program, hw::DispatchMode::kFusedProgram);
+        traced_us += es.traced_us;
         run.fpga_cycles += es.fpga_cycles;
         run.dma_us += es.dma_us;
         run.instructions += es.instructions;
+        for (size_t u = 0; u < hw::kUnitCount; ++u)
+            run.unit_cycles[u] += es.unit_cycles[u];
         if (!seg.program.instrs.empty())
             ++run.dispatches;
 
@@ -905,7 +960,19 @@ runCompiledImpl(hw::Coprocessor &cp, const CompiledCircuit &compiled,
             store[down.poly] = cp.memory().exportQBase(down.slot);
         }
         run.downloaded_polys += seg.downloads.size();
-        run.host_us += host.receivePolysUs(seg.downloads.size());
+        if (!seg.downloads.empty()) {
+            const double us = host.receivePolysUs(seg.downloads.size());
+            run.host_us += us;
+            hostSpan("download", us);
+        }
+    }
+    if (tracer != nullptr) {
+        obs::recordModeledSpan(
+            warm ? "run-circuit:warm" : "run-circuit", "compiler",
+            trace_start_us, traced_us,
+            {{"segments", std::to_string(run.segments)},
+             {"instructions", std::to_string(run.instructions)},
+             {"fpga_cycles", std::to_string(run.fpga_cycles)}});
     }
 
     std::vector<fv::Ciphertext> outputs;
@@ -935,7 +1002,10 @@ CompiledCircuit
 compileCircuit(std::shared_ptr<const fv::FvParams> params,
                const Circuit &circuit, const CompilerOptions &options)
 {
-    return CircuitCompiler(std::move(params), circuit, options).compile();
+    CompiledCircuit out =
+        CircuitCompiler(std::move(params), circuit, options).compile();
+    out.node_cycles = attributeCompiledCircuit(out).node_cycles;
+    return out;
 }
 
 std::vector<fv::Ciphertext>
@@ -1157,6 +1227,8 @@ runCircuitOpByOp(hw::Coprocessor &cp,
         run.dma_us += es.dma_us;
         run.instructions += es.instructions;
         run.dispatches += es.instructions;
+        for (size_t u = 0; u < hw::kUnitCount; ++u)
+            run.unit_cycles[u] += es.unit_cycles[u];
         run.segments += 1;
 
         size_t round_downloads = 0;
@@ -1169,8 +1241,14 @@ runCircuitOpByOp(hw::Coprocessor &cp,
             values[value] = std::move(ct);
         }
         run.downloaded_polys += round_downloads;
-        run.host_us += host.sendPolysUs(round_uploads) +
-                       host.receivePolysUs(round_downloads);
+        const double round_host_us = host.sendPolysUs(round_uploads) +
+                                     host.receivePolysUs(round_downloads);
+        run.host_us += round_host_us;
+        if (obs::activeTracer() != nullptr) {
+            obs::recordModeledSpan("host-roundtrip", "host",
+                                   obs::modeledNowUs(), round_host_us);
+            obs::advanceModeledUs(round_host_us);
+        }
     }
 
     std::vector<fv::Ciphertext> outputs;

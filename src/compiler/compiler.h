@@ -28,6 +28,7 @@
 #ifndef HEAT_COMPILER_COMPILER_H
 #define HEAT_COMPILER_COMPILER_H
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -168,6 +169,16 @@ struct CompiledCircuit
      *  (sorted ascending; empty for rotation-free circuits). */
     std::vector<uint32_t> galois_elements;
 
+    // --- cycle attribution (see attribution.h) -------------------------
+    /** Per segment, per instruction: the circuit node whose emission
+     *  produced the instruction (kNoValue for bookkeeping such as the
+     *  shared zero slot). Parallel to segments[s].program.instrs. */
+    std::vector<std::vector<ValueId>> instr_nodes;
+    /** Attributed modeled compute cycles per value id: each node's
+     *  share of a fused execution's fpga_cycles (dispatch overhead
+     *  excluded — it belongs to segments, not nodes). */
+    std::vector<hw::Cycle> node_cycles;
+
     // --- resident operand cache (CompilerOptions::resident_inputs) -----
     /** Input positions compiled as coprocessor-resident (ascending). */
     std::vector<uint32_t> resident_inputs;
@@ -217,6 +228,9 @@ struct CircuitRunStats
     hw::Cycle fpga_cycles = 0;
     double dma_us = 0.0;
     double host_us = 0.0;
+    /** fpga_cycles bucketed by functional unit (index by hw::Unit);
+     *  sums exactly to fpga_cycles. */
+    std::array<hw::Cycle, hw::kUnitCount> unit_cycles{};
     uint64_t instructions = 0;
     /** Arm dispatches charged (fused: one per segment's program). */
     uint64_t dispatches = 0;

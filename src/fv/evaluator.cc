@@ -4,6 +4,7 @@
 
 #include "common/panic.h"
 #include "common/parallel.h"
+#include "obs/trace.h"
 #include "simd/simd.h"
 
 namespace heat::fv {
@@ -36,6 +37,7 @@ Evaluator::add(const Ciphertext &a, const Ciphertext &b) const
 void
 Evaluator::addInPlace(Ciphertext &a, const Ciphertext &b) const
 {
+    OBS_SPAN("fv.add", "evaluator");
     panicIf(a.size() != b.size(), "ciphertext size mismatch in add");
     panicIf(a.level != b.level, "ciphertext level mismatch in add");
     for (size_t i = 0; i < a.size(); ++i)
@@ -45,6 +47,7 @@ Evaluator::addInPlace(Ciphertext &a, const Ciphertext &b) const
 Ciphertext
 Evaluator::sub(const Ciphertext &a, const Ciphertext &b) const
 {
+    OBS_SPAN("fv.sub", "evaluator");
     panicIf(a.size() != b.size(), "ciphertext size mismatch in sub");
     panicIf(a.level != b.level, "ciphertext level mismatch in sub");
     Ciphertext c = a;
@@ -221,6 +224,7 @@ Evaluator::scaleToQ(const ntt::RnsPoly &full_poly) const
 Ciphertext
 Evaluator::multiplyNoRelin(const Ciphertext &a, const Ciphertext &b) const
 {
+    OBS_SPAN("fv.multiply_no_relin", "evaluator");
     panicIf(a.size() != 2 || b.size() != 2,
             "multiply expects 2-element ciphertexts");
     panicIf(a.level != b.level, "ciphertext level mismatch in multiply");
@@ -370,6 +374,7 @@ Evaluator::keySwitchAccumulate(std::vector<ntt::RnsPoly> &digits,
 void
 Evaluator::relinearizeInPlace(Ciphertext &ct, const RelinKeys &rlk) const
 {
+    OBS_SPAN("fv.relinearize", "evaluator");
     panicIf(ct.size() != 3, "relinearization expects a 3-element ct");
 
     std::vector<ntt::RnsPoly> digits =
@@ -394,6 +399,7 @@ Ciphertext
 Evaluator::multiply(const Ciphertext &a, const Ciphertext &b,
                     const RelinKeys &rlk) const
 {
+    OBS_SPAN("fv.multiply", "evaluator");
     Ciphertext c = multiplyNoRelin(a, b);
     relinearizeInPlace(c, rlk);
     return c;
@@ -453,6 +459,7 @@ Evaluator::modSwitchPoly(const ntt::RnsPoly &poly, size_t from_level) const
 Ciphertext
 Evaluator::modSwitch(const Ciphertext &ct) const
 {
+    OBS_SPAN("fv.mod_switch", "evaluator");
     Ciphertext out;
     out.level = ct.level + 1;
     out.polys.reserve(ct.size());
@@ -481,6 +488,7 @@ Ciphertext
 Evaluator::applyGalois(const Ciphertext &ct, uint32_t galois_element,
                        const GaloisKeys &gkeys) const
 {
+    OBS_SPAN("fv.apply_galois", "evaluator");
     panicIf(ct.size() != 2, "applyGalois expects a 2-element ciphertext");
     // tau_1 is the identity: no permutation moves and no key-switch is
     // needed (or allowed to spend noise budget / require a key).
@@ -525,6 +533,7 @@ Evaluator::applyGaloisHoisted(const Ciphertext &ct,
                               uint32_t galois_element,
                               const GaloisKeys &gkeys) const
 {
+    OBS_SPAN("fv.apply_galois_hoisted", "evaluator");
     panicIf(ct.size() != 2,
             "applyGaloisHoisted expects a 2-element ciphertext");
     if (galois_element == 1)
@@ -598,6 +607,7 @@ Evaluator::rotateColumns(const Ciphertext &ct,
 Ciphertext
 Evaluator::sumAllSlots(const Ciphertext &ct, const GaloisKeys &gkeys) const
 {
+    OBS_SPAN("fv.sum_all_slots", "evaluator");
     // Rotate-and-add over the row orbit (size n/2), then fold in the
     // conjugate column.
     Ciphertext acc = ct;

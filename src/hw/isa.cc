@@ -34,6 +34,59 @@ opcodeName(Opcode op)
     return "?";
 }
 
+const char *
+unitName(Unit unit)
+{
+    switch (unit) {
+      case Unit::kNttUnit:
+        return "NTT";
+      case Unit::kLiftUnit:
+        return "Lift";
+      case Unit::kScaleUnit:
+        return "Scale";
+      case Unit::kCoeffUnit:
+        return "CoeffUnit";
+      case Unit::kModReduceUnit:
+        return "ModReduce";
+      case Unit::kDmaUnit:
+        return "DMA";
+      case Unit::kKeyLoadUnit:
+        return "KeyLoad";
+      case Unit::kArmUnit:
+        return "Arm";
+    }
+    return "?";
+}
+
+Unit
+unitOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::kNtt:
+      case Opcode::kIntt:
+      case Opcode::kRearrange:
+      case Opcode::kAutomorph:
+        // Rearrange and the automorphism permutation run on the NTT
+        // engine's memory datapath.
+        return Unit::kNttUnit;
+      case Opcode::kCoeffMul:
+      case Opcode::kCoeffAdd:
+      case Opcode::kCoeffSub:
+        return Unit::kCoeffUnit;
+      case Opcode::kLift:
+        return Unit::kLiftUnit;
+      case Opcode::kScale:
+        return Unit::kScaleUnit;
+      case Opcode::kModSwitch:
+        // Physically the Scale unit's divide-and-round datapath, but
+        // bucketed separately so leveled circuits show their drop cost.
+        return Unit::kModReduceUnit;
+      case Opcode::kKeyLoad:
+        return Unit::kKeyLoadUnit;
+    }
+    return Unit::kArmUnit;
+}
+
 namespace {
 
 const char *

@@ -31,6 +31,7 @@
 #ifndef HEAT_HW_ISA_H
 #define HEAT_HW_ISA_H
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -59,6 +60,32 @@ enum class Opcode : uint8_t
 
 /** @return a printable mnemonic. */
 const char *opcodeName(Opcode op);
+
+/**
+ * Functional units of the coprocessor, the buckets of the
+ * cycle-attribution profiler (the paper's Fig. 10-style breakdown).
+ * Every instruction's compute cycles land in exactly one unit, so the
+ * per-unit totals sum to the program's fpga_cycles without loss.
+ */
+enum class Unit : uint8_t
+{
+    kNttUnit,       ///< NTT butterflies + rearrange + automorph permute
+    kLiftUnit,      ///< HPS Lift q->Q
+    kScaleUnit,     ///< HPS Scale Q->q (incl. WordDecomp broadcast)
+    kCoeffUnit,     ///< coefficient-wise mul/add/sub lanes
+    kModReduceUnit, ///< modulus-switch divide-and-round drop
+    kDmaUnit,       ///< DDR transfers (tracked in µs, not cycles)
+    kKeyLoadUnit,   ///< key-switch key streaming (DMA-bound, 0 cycles)
+    kArmUnit,       ///< Arm-side dispatch + completion overhead
+};
+
+inline constexpr size_t kUnitCount = 8;
+
+/** @return a printable unit name ("NTT", "Lift", ...). */
+const char *unitName(Unit unit);
+
+/** @return the functional unit an opcode's compute cycles charge to. */
+Unit unitOf(Opcode op);
 
 /**
  * kKeyLoad aux encoding: the low byte is the digit index, the upper 24
@@ -161,6 +188,23 @@ struct ExecStats
     /** Arm dispatch overhead included in fpga_cycles (one per
      *  instruction, or one per program when fused). */
     Cycle dispatch_cycles = 0;
+    /** fpga_cycles bucketed by functional unit (index by Unit).
+     *  Invariant: the entries sum exactly to fpga_cycles — compute
+     *  cycles charge unitOf(op), dispatch cycles charge kArmUnit. */
+    std::array<Cycle, kUnitCount> unit_cycles{};
+    /** Modeled microseconds this run advanced the tracing clock by
+     *  (obs::advanceModeledUs), accumulated as an exact sum of the
+     *  per-instruction durations so enclosing spans can report a
+     *  duration independent of the clock's base value (floating-point
+     *  addition is not associative; end-minus-start would differ in
+     *  ulps across worker clocks). 0 when no tracer is installed. */
+    double traced_us = 0.0;
+
+    Cycle
+    unitCycles(Unit unit) const
+    {
+        return unit_cycles[static_cast<size_t>(unit)];
+    }
 
     /** Total time in microseconds at the given configuration. */
     double

@@ -1,6 +1,7 @@
 #include "ntt/ntt.h"
 
 #include "common/panic.h"
+#include "obs/trace.h"
 #include "simd/simd.h"
 
 namespace heat::ntt {
@@ -8,6 +9,7 @@ namespace heat::ntt {
 void
 forwardNtt(std::span<uint64_t> a, const NttTables &tables)
 {
+    OBS_SPAN("ntt.forward", "kernel");
     panicIf(a.size() != tables.degree(), "NTT operand size mismatch");
     panicIf(tables.modulus().bits() > 60, "lazy NTT requires q < 2^60");
     simd::active().ntt_forward(a.data(), tables);
@@ -16,6 +18,7 @@ forwardNtt(std::span<uint64_t> a, const NttTables &tables)
 void
 inverseNtt(std::span<uint64_t> a, const NttTables &tables)
 {
+    OBS_SPAN("ntt.inverse", "kernel");
     panicIf(a.size() != tables.degree(), "NTT operand size mismatch");
     panicIf(tables.modulus().bits() > 60, "lazy NTT requires q < 2^60");
     simd::active().ntt_inverse(a.data(), tables);

@@ -2,6 +2,7 @@
 
 #include "common/bit_util.h"
 #include "common/panic.h"
+#include "obs/trace.h"
 #include "simd/simd.h"
 
 namespace heat::rns {
@@ -110,6 +111,7 @@ FastBaseConverter::convertBatch(const uint64_t *const *in_rows,
                                 uint64_t *const *out_rows,
                                 size_t count) const
 {
+    OBS_SPAN("rns.convert_batch", "kernel");
     const size_t kq = from_.size();
     const size_t kb = to_.size();
     if (!batch_eligible_) {

@@ -2,6 +2,7 @@
 
 #include "common/bit_util.h"
 #include "common/panic.h"
+#include "obs/trace.h"
 #include "simd/simd.h"
 
 namespace heat::rns {
@@ -97,6 +98,7 @@ void
 ScaleRounder::scaleBatch(const uint64_t *const *in_rows,
                          uint64_t *const *out_rows, size_t count) const
 {
+    OBS_SPAN("rns.scale_batch", "kernel");
     const size_t kq = q_.size();
     const size_t kp = p_.size();
     if (!batch_eligible_) {

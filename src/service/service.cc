@@ -8,6 +8,7 @@
 
 #include "hw/arm_host.h"
 #include "hw/coprocessor.h"
+#include "obs/trace.h"
 
 namespace heat::service {
 
@@ -29,6 +30,17 @@ ExecutionService::ExecutionService(
     // Compiled programs must fit the workers' memory files whatever
     // the caller left in the compiler options.
     config_.compiler.hw = config_.hw;
+
+    // Registry handles before any session registration can mint
+    // per-tenant counters. 26 exponential buckets cover 1us..33.5s of
+    // modeled latency.
+    queue_depth_gauge_ = &metrics_.gauge(
+        "heat_service_queue_depth",
+        "jobs currently queued across all tenants");
+    latency_hist_ = &metrics_.histogram(
+        "heat_service_latency_us",
+        obs::Histogram::exponentialBounds(1.0, 2.0, 26),
+        "modeled per-job latency (us)");
 
     registerSession("default", std::move(rlk), std::move(gkeys),
                     /*weight=*/1);
@@ -83,6 +95,24 @@ ExecutionService::registerSession(std::string name, fv::RelinKeys rlk,
     const uint64_t fingerprint =
         rlk.fingerprint() ^ (gkeys.fingerprint() * 0x9e3779b97f4a7c15ull);
 
+    // Mint the per-tenant counter handles before taking mu_ (the
+    // registry has its own mutex; keeping the acquisitions disjoint
+    // makes the lock order trivial). Tenants sharing a name share the
+    // Prometheus series — same label, same series.
+    const std::string label = "{tenant=\"" + name + "\"}";
+    obs::Counter &arrivals =
+        metrics_.counter("heat_service_jobs_arrived_total" + label,
+                         "jobs enqueued (single ops and circuits)");
+    obs::Counter &shed =
+        metrics_.counter("heat_service_jobs_shed_total" + label,
+                         "submissions shed by the bounded tenant queue");
+    obs::Counter &rejected = metrics_.counter(
+        "heat_service_admission_rejected_total" + label,
+        "circuits rejected by noise-aware admission control");
+    obs::Counter &completed =
+        metrics_.counter("heat_service_jobs_completed_total" + label,
+                         "jobs whose future resolved with a result");
+
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_)
         throw ServiceStoppedError("registerTenant after shutdown");
@@ -93,6 +123,10 @@ ExecutionService::registerSession(std::string name, fv::RelinKeys rlk,
     s.rlk = std::move(rlk);
     s.gkeys = std::move(gkeys);
     s.key_fingerprint = fingerprint;
+    s.arrivals_ctr = &arrivals;
+    s.shed_ctr = &shed;
+    s.admission_rejected_ctr = &rejected;
+    s.completed_ctr = &completed;
     sessions_.push_back(std::move(s));
     return sessions_.back().id;
 }
@@ -247,7 +281,8 @@ ExecutionService::checkCompiled(
 }
 
 void
-ExecutionService::admit(const compiler::CompiledCircuit &compiled)
+ExecutionService::admit(Session &s,
+                        const compiler::CompiledCircuit &compiled)
 {
     if (config_.admission == compiler::NoiseCheck::kOff ||
         compiled.noise_exhausted_node == compiler::kNoValue)
@@ -267,7 +302,9 @@ ExecutionService::admit(const compiler::CompiledCircuit &compiled)
         {
             std::lock_guard<std::mutex> lock(mu_);
             ++stats_.admission_rejected;
+            ++s.admission_rejected;
         }
+        s.admission_rejected_ctr->add();
         throw AdmissionRejectedError(
             std::string("admission rejected: ") + detail +
             "; lower the circuit depth or submit through submitCircuit "
@@ -293,7 +330,7 @@ ExecutionService::submitCompiled(
             inputs.size());
     for (const fv::Ciphertext &ct : inputs)
         validateOperand(ct);
-    admit(*compiled);
+    admit(s, *compiled);
 
     Job job;
     job.session = &s;
@@ -327,7 +364,7 @@ ExecutionService::submitCompiledResident(
             " request inputs, got ", request_inputs.size());
     for (const fv::Ciphertext &ct : request_inputs)
         validateOperand(ct);
-    admit(*compiled);
+    admit(s, *compiled);
 
     Job job;
     job.session = &s;
@@ -369,6 +406,8 @@ ExecutionService::enqueue(Session &s, Job job)
         if (config_.max_queue_per_tenant > 0 &&
             s.queue.size() >= config_.max_queue_per_tenant) {
             ++stats_.ops_shed;
+            ++s.shed;
+            s.shed_ctr->add();
             throw ServiceOverloadedError(
                 "tenant '" + s.name + "' queue is full (" +
                 std::to_string(s.queue.size()) + " of " +
@@ -376,7 +415,10 @@ ExecutionService::enqueue(Session &s, Job job)
                 " jobs queued) — shedding load, retry later");
         }
         s.queue.push_back(std::move(job));
+        ++s.arrivals;
+        s.arrivals_ctr->add();
         ++queued_total_;
+        queue_depth_gauge_->set(static_cast<double>(queued_total_));
     }
     work_cv_.notify_one();
 }
@@ -451,42 +493,58 @@ ExecutionService::queueDepth() const
 ServiceStats
 ExecutionService::stats() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
-    ServiceStats snapshot = stats_;
-    snapshot.makespan_us = worker_clock_us_.empty()
-                               ? 0.0
-                               : *std::max_element(
-                                     worker_clock_us_.begin(),
-                                     worker_clock_us_.end());
-    return snapshot;
+    return snapshot().stats;
 }
 
 LatencySnapshot
 ExecutionService::latency() const
 {
-    std::vector<double> samples;
-    {
-        std::lock_guard<std::mutex> lock(mu_);
-        samples = latencies_us_;
-    }
+    return snapshot().latency;
+}
+
+LatencySnapshot
+ExecutionService::latencyFromHistogram() const
+{
     LatencySnapshot snap;
-    snap.samples = samples.size();
-    if (samples.empty())
+    const obs::Histogram &h = *latency_hist_;
+    snap.samples = h.count();
+    if (snap.samples == 0)
         return snap;
-    std::sort(samples.begin(), samples.end());
-    const auto pct = [&samples](double p) {
-        const double rank =
-            std::ceil(p * static_cast<double>(samples.size())) - 1.0;
-        const size_t idx = static_cast<size_t>(std::max(0.0, rank));
-        return samples[std::min(idx, samples.size() - 1)];
-    };
-    snap.p50_us = pct(0.50);
-    snap.p99_us = pct(0.99);
-    double sum = 0.0;
-    for (double v : samples)
-        sum += v;
-    snap.mean_us = sum / static_cast<double>(samples.size());
-    snap.max_us = samples.back();
+    snap.p50_us = h.quantile(0.50);
+    snap.p99_us = h.quantile(0.99);
+    snap.mean_us = h.mean();
+    snap.max_us = h.max();
+    return snap;
+}
+
+ServiceSnapshot
+ExecutionService::snapshot() const
+{
+    ServiceSnapshot snap;
+    std::lock_guard<std::mutex> lock(mu_);
+    snap.stats = stats_;
+    snap.stats.makespan_us = worker_clock_us_.empty()
+                                 ? 0.0
+                                 : *std::max_element(
+                                       worker_clock_us_.begin(),
+                                       worker_clock_us_.end());
+    snap.stats.tenants.reserve(sessions_.size());
+    for (const Session &s : sessions_) {
+        TenantStats t;
+        t.name = s.name;
+        t.arrivals = s.arrivals;
+        t.shed = s.shed;
+        t.admission_rejected = s.admission_rejected;
+        t.completed = s.completed;
+        t.failed = s.failed;
+        t.unit_cycles = s.unit_cycles;
+        snap.stats.tenants.push_back(std::move(t));
+    }
+    snap.queue_depth = queued_total_;
+    // Workers observe latencies into the histogram before they take
+    // mu_ to retire the batch, so under the lock samples >= the
+    // completed counts — the invariant the snapshot test leans on.
+    snap.latency = latencyFromHistogram();
     return snap;
 }
 
@@ -547,6 +605,9 @@ ExecutionService::workerLoop(size_t worker_index)
     // Worker-local modeled clock; mirrored to worker_clock_us_ under
     // mu_ after every batch (only this worker writes its entry).
     double my_clock = 0.0;
+    // Modeled-time spans this worker emits land on their own trace
+    // track, so per-worker timelines render as separate rows.
+    obs::setTraceTrack(static_cast<uint32_t>(worker_index));
 
     for (;;) {
         std::vector<Job> batch;
@@ -598,6 +659,7 @@ ExecutionService::workerLoop(size_t worker_index)
                 }
             }
             in_flight_ += batch.size();
+            queue_depth_gauge_->set(static_cast<double>(queued_total_));
         }
         // Group by session, then op kind (plain circuits after ops,
         // resident circuits last so a cold run's pins survive into
@@ -617,12 +679,44 @@ ExecutionService::workerLoop(size_t worker_index)
         uint64_t batch_cold = 0;
         uint64_t batch_warm = 0;
         hw::Cycle batch_cycles = 0;
+        std::array<hw::Cycle, hw::kUnitCount> batch_units{};
         double batch_dma_us = 0.0;
         double batch_host_us = 0.0;
         std::vector<double> batch_latencies;
         batch_latencies.reserve(batch.size());
         batch_key_swaps = 0;
         bool first_in_batch = true;
+
+        // Per-tenant deltas, applied to the sessions under mu_ when
+        // the batch retires (batches are small, linear scan is fine).
+        struct TenantDelta
+        {
+            Session *s;
+            uint64_t completed = 0;
+            uint64_t failed = 0;
+            std::array<hw::Cycle, hw::kUnitCount> units{};
+        };
+        std::vector<TenantDelta> tenant_deltas;
+        const auto delta_for = [&](Session *s) -> TenantDelta & {
+            for (TenantDelta &d : tenant_deltas)
+                if (d.s == s)
+                    return d;
+            tenant_deltas.push_back(TenantDelta{s});
+            return tenant_deltas.back();
+        };
+
+        obs::Tracer *const tracer = obs::activeTracer();
+        // Seed the thread-local modeled clock where this job's nested
+        // hardware spans should start; the coprocessor advances it per
+        // instruction while a tracer is installed.
+        const auto begin_job = [&](const Job &job) {
+            if (tracer == nullptr)
+                return;
+            double start = my_clock;
+            if (job.arrival_us >= 0.0 && job.arrival_us > start)
+                start = job.arrival_us;
+            obs::setModeledNowUs(start);
+        };
 
         // Advance the modeled clock past one finished job: open-loop
         // jobs wait for their arrival time, and their latency is
@@ -632,6 +726,17 @@ ExecutionService::workerLoop(size_t worker_index)
             double start = my_clock;
             if (job.arrival_us >= 0.0 && job.arrival_us > start)
                 start = job.arrival_us;
+            if (tracer != nullptr) {
+                if (job.arrival_us >= 0.0 && start > job.arrival_us)
+                    obs::recordModeledSpan(
+                        "queue-wait", "service", job.arrival_us,
+                        start - job.arrival_us,
+                        {{"tenant", job.session->name}});
+                obs::recordModeledSpan(
+                    job.isCircuit() ? "request:circuit" : "request:op",
+                    "service", start, cost_us,
+                    {{"tenant", job.session->name}});
+            }
             my_clock = start + cost_us;
             batch_latencies.push_back(job.arrival_us >= 0.0
                                           ? my_clock - job.arrival_us
@@ -639,6 +744,7 @@ ExecutionService::workerLoop(size_t worker_index)
         };
 
         for (Job &job : batch) {
+            begin_job(job);
             attach(job.session);
             if (job.isCircuit()) {
                 try {
@@ -696,10 +802,18 @@ ExecutionService::workerLoop(size_t worker_index)
                     batch_circuit_nodes +=
                         job.circuit->value_sizes.size() -
                         job.circuit->inputs.size();
+                    TenantDelta &d = delta_for(job.session);
+                    ++d.completed;
+                    for (size_t u = 0; u < hw::kUnitCount; ++u) {
+                        batch_units[u] += cstats.unit_cycles[u];
+                        d.units[u] += cstats.unit_cycles[u];
+                    }
+                    job.session->completed_ctr->add();
                     finish_job(job, cstats.modeledUs(config_.hw));
                 } catch (...) {
                     job.fail(std::current_exception());
                     ++batch_failed;
+                    ++delta_for(job.session).failed;
                     rebuild();
                 }
                 // The circuit reprogrammed the memory file; the next
@@ -718,6 +832,11 @@ ExecutionService::workerLoop(size_t worker_index)
                 hw::ExecStats s = cp->execute(plan.program);
                 batch_cycles += s.fpga_cycles;
                 batch_dma_us += s.dma_us;
+                TenantDelta &d = delta_for(job.session);
+                for (size_t u = 0; u < hw::kUnitCount; ++u) {
+                    batch_units[u] += s.unit_cycles[u];
+                    d.units[u] += s.unit_cycles[u];
+                }
                 hw::Cycle amortized = 0;
                 if (!first_in_batch) {
                     // Back-to-back programs stream from the queued
@@ -734,6 +853,8 @@ ExecutionService::workerLoop(size_t worker_index)
                     cp->downloadPoly(plan.program.outputs[1]));
                 job.promise.set_value(std::move(out));
                 ++batch_completed;
+                ++d.completed;
+                job.session->completed_ctr->add();
 
                 const double job_host_us =
                     host.sendCiphertextsUs(2) +
@@ -748,6 +869,7 @@ ExecutionService::workerLoop(size_t worker_index)
             } catch (...) {
                 job.promise.set_exception(std::current_exception());
                 ++batch_failed;
+                ++delta_for(job.session).failed;
                 // The failed program may have left memory-file layouts
                 // inconsistent; rebuild this worker's coprocessor so
                 // later jobs start from a clean instance.
@@ -755,6 +877,12 @@ ExecutionService::workerLoop(size_t worker_index)
                 first_in_batch = true;
             }
         }
+
+        // Observe latencies BEFORE retiring the batch under mu_: a
+        // concurrent snapshot() then never sees completed counts ahead
+        // of the latency sample count.
+        for (double v : batch_latencies)
+            latency_hist_->observe(v);
 
         {
             std::lock_guard<std::mutex> lock(mu_);
@@ -769,10 +897,15 @@ ExecutionService::workerLoop(size_t worker_index)
             stats_.fpga_cycles += batch_cycles;
             stats_.dma_us += batch_dma_us;
             stats_.host_us += batch_host_us;
+            for (size_t u = 0; u < hw::kUnitCount; ++u)
+                stats_.unit_cycles[u] += batch_units[u];
+            for (const TenantDelta &d : tenant_deltas) {
+                d.s->completed += d.completed;
+                d.s->failed += d.failed;
+                for (size_t u = 0; u < hw::kUnitCount; ++u)
+                    d.s->unit_cycles[u] += d.units[u];
+            }
             worker_clock_us_[worker_index] = my_clock;
-            latencies_us_.insert(latencies_us_.end(),
-                                 batch_latencies.begin(),
-                                 batch_latencies.end());
             in_flight_ -= batch.size();
             if (queued_total_ == 0 && in_flight_ == 0)
                 idle_cv_.notify_all();

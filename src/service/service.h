@@ -59,6 +59,7 @@
 #ifndef HEAT_SERVICE_SERVICE_H
 #define HEAT_SERVICE_SERVICE_H
 
+#include <array>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -75,7 +76,9 @@
 #include "fv/keys.h"
 #include "fv/params.h"
 #include "hw/config.h"
+#include "hw/isa.h"
 #include "hw/program_builder.h"
+#include "obs/metrics.h"
 
 namespace heat::service {
 
@@ -172,6 +175,29 @@ class AdmissionRejectedError : public std::runtime_error
     }
 };
 
+/** Per-tenant slice of the aggregate statistics (see
+ *  ServiceStats::tenants; indexed by TenantId). */
+struct TenantStats
+{
+    std::string name;
+    /** Jobs enqueued (single ops and circuits). */
+    uint64_t arrivals = 0;
+    /** Submissions shed by this tenant's bounded queue. */
+    uint64_t shed = 0;
+    /** Circuits rejected by noise-aware admission control. */
+    uint64_t admission_rejected = 0;
+    uint64_t completed = 0;
+    uint64_t failed = 0;
+    /** Coprocessor cycles this tenant's jobs consumed, by unit. */
+    std::array<hw::Cycle, hw::kUnitCount> unit_cycles{};
+
+    hw::Cycle
+    unitCycles(hw::Unit unit) const
+    {
+        return unit_cycles[static_cast<size_t>(unit)];
+    }
+};
+
 /** Aggregate execution statistics (monotonic over the service life). */
 struct ServiceStats
 {
@@ -200,12 +226,24 @@ struct ServiceStats
     uint64_t resident_warm_runs = 0;
     /** Summed coprocessor compute cycles (dispatch included). */
     hw::Cycle fpga_cycles = 0;
+    /** fpga_cycles bucketed by functional unit (index by hw::Unit);
+     *  sums exactly to fpga_cycles for the jobs that reported unit
+     *  attribution. */
+    std::array<hw::Cycle, hw::kUnitCount> unit_cycles{};
     /** Summed relinearization-key DMA time. */
     double dma_us = 0.0;
     /** Modeled Arm-side operand/result transfer time. */
     double host_us = 0.0;
     /** Modeled makespan: the busiest worker's clock (us). */
     double makespan_us = 0.0;
+    /** Per-tenant slices, indexed by TenantId. */
+    std::vector<TenantStats> tenants;
+
+    hw::Cycle
+    unitCycles(hw::Unit unit) const
+    {
+        return unit_cycles[static_cast<size_t>(unit)];
+    }
 
     /** Modeled service throughput (ops/s of the simulated hardware). */
     double
@@ -217,7 +255,9 @@ struct ServiceStats
     }
 };
 
-/** Modeled per-job latency distribution (see latency()). */
+/** Modeled per-job latency distribution (see latency()). Quantiles are
+ *  histogram estimates (obs::Histogram::quantile over exponential
+ *  buckets), not exact order statistics. */
 struct LatencySnapshot
 {
     size_t samples = 0;
@@ -225,6 +265,18 @@ struct LatencySnapshot
     double p99_us = 0.0;
     double mean_us = 0.0;
     double max_us = 0.0;
+};
+
+/** One-lock view of the service: aggregate stats, the latency
+ *  distribution and the instantaneous queue depth captured under a
+ *  single mutex acquisition, so the fields are mutually consistent
+ *  (stats().ops_completed and latency().samples taken separately can
+ *  disagree when workers retire batches in between). */
+struct ServiceSnapshot
+{
+    ServiceStats stats;
+    LatencySnapshot latency;
+    size_t queue_depth = 0;
 };
 
 /**
@@ -393,13 +445,26 @@ class ExecutionService
     /** @return jobs currently queued (excludes in-flight batches). */
     size_t queueDepth() const;
 
-    /** @return a snapshot of the aggregate statistics. */
+    /** @return a snapshot of the aggregate statistics. Equivalent to
+     *  snapshot().stats — use snapshot() when stats and latency must
+     *  agree with each other. */
     ServiceStats stats() const;
 
     /** @return the modeled per-job latency distribution so far. Jobs
      *  submitted without an arrival timestamp contribute their pure
-     *  service time. */
+     *  service time. Equivalent to snapshot().latency. */
     LatencySnapshot latency() const;
+
+    /** @return stats, latency and queue depth captured under ONE lock
+     *  acquisition — the mutually consistent view. */
+    ServiceSnapshot snapshot() const;
+
+    /** The service's metrics registry: queue-depth gauge, per-tenant
+     *  arrival/shed/admission counters, the latency histogram.
+     *  Render with obs::Registry::renderText() or feed
+     *  Registry::samples() to the bench JSON reporter. */
+    const obs::Registry &metrics() const { return metrics_; }
+    obs::Registry &metrics() { return metrics_; }
 
     /** @return the service configuration. */
     const ServiceConfig &config() const { return config_; }
@@ -423,6 +488,20 @@ class ExecutionService
         std::vector<std::shared_ptr<const fv::Ciphertext>> pinned;
         /** This tenant's FIFO queue (mu_). */
         std::deque<Job> queue;
+
+        // --- per-tenant accounting (mirrors TenantStats; mu_) ---------
+        uint64_t arrivals = 0;
+        uint64_t shed = 0;
+        uint64_t admission_rejected = 0;
+        uint64_t completed = 0;
+        uint64_t failed = 0;
+        std::array<hw::Cycle, hw::kUnitCount> unit_cycles{};
+
+        // --- registry handles (stable; created at registration) -------
+        obs::Counter *arrivals_ctr = nullptr;
+        obs::Counter *shed_ctr = nullptr;
+        obs::Counter *admission_rejected_ctr = nullptr;
+        obs::Counter *completed_ctr = nullptr;
     };
 
     struct Job
@@ -482,7 +561,10 @@ class ExecutionService
     void checkCompiled(const Session &s,
                        const compiler::CompiledCircuit &compiled) const;
     /** Noise-aware admission verdict for @p compiled (may throw). */
-    void admit(const compiler::CompiledCircuit &compiled);
+    void admit(Session &s, const compiler::CompiledCircuit &compiled);
+    /** Latency distribution from the histogram (no lock needed — the
+     *  histogram is internally atomic). */
+    LatencySnapshot latencyFromHistogram() const;
     std::future<std::vector<fv::Ciphertext>> enqueueCircuit(Job job);
     void enqueue(Session &s, Job job);
     void workerLoop(size_t worker_index);
@@ -510,10 +592,17 @@ class ExecutionService
     bool started_ = true;
     bool stopping_ = false;
     ServiceStats stats_;
-    /** Modeled per-job latency samples (mu_). */
-    std::vector<double> latencies_us_;
     /** Modeled busy time per worker (us). */
     std::vector<double> worker_clock_us_;
+
+    /** Metrics registry (declared before any session registration can
+     *  mint counter handles from it). Individually thread-safe. */
+    obs::Registry metrics_;
+    obs::Gauge *queue_depth_gauge_ = nullptr;
+    /** Modeled per-job latency distribution; replaces the old
+     *  retain-and-sort sample vector (unbounded memory, O(n log n)
+     *  every latency() call) with fixed exponential buckets. */
+    obs::Histogram *latency_hist_ = nullptr;
 
     /** Last member: threads must not outlive anything they touch. */
     std::vector<std::thread> threads_;

@@ -1,0 +1,376 @@
+/**
+ * @file
+ * Observability suite: the metrics registry's Prometheus rendering and
+ * histogram quantile estimates, the tracer's balanced Chrome-trace
+ * export and span cap, the OBS_SPAN on/off switch, compile-time cycle
+ * attribution matching a real fused run EXACTLY (integer equality,
+ * zero-cycle delta), and modeled-time trace determinism across serving
+ * worker counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "compiler/attribution.h"
+#include "compiler/circuit.h"
+#include "compiler/compiler.h"
+#include "fv/encryptor.h"
+#include "fv/keygen.h"
+#include "fv/params.h"
+#include "hw/coprocessor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "service/service.h"
+
+namespace heat {
+namespace {
+
+using compiler::Circuit;
+using compiler::CircuitBuilder;
+using compiler::ValueId;
+using fv::Ciphertext;
+using fv::Plaintext;
+
+/** Count occurrences of @p needle in @p hay. */
+size_t
+countOf(const std::string &hay, const std::string &needle)
+{
+    size_t n = 0;
+    for (size_t pos = hay.find(needle); pos != std::string::npos;
+         pos = hay.find(needle, pos + needle.size()))
+        ++n;
+    return n;
+}
+
+TEST(ObsMetrics, CounterGaugeBasics)
+{
+    obs::Registry reg;
+    obs::Counter &c = reg.counter("heat_test_total", "help text");
+    c.add();
+    c.add(4);
+    EXPECT_EQ(c.value(), 5u);
+    // Find-or-create returns the same handle.
+    EXPECT_EQ(&reg.counter("heat_test_total"), &c);
+
+    obs::Gauge &g = reg.gauge("heat_test_depth");
+    g.set(3.5);
+    EXPECT_DOUBLE_EQ(g.value(), 3.5);
+    g.set(1.0);
+    EXPECT_DOUBLE_EQ(g.value(), 1.0);
+}
+
+TEST(ObsMetrics, HistogramQuantileInterpolates)
+{
+    obs::Histogram h(std::vector<double>{1.0, 2.0, 4.0, 8.0});
+    h.observe(0.5);
+    h.observe(1.5);
+    h.observe(3.0);
+    h.observe(100.0); // overflow bucket
+
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_DOUBLE_EQ(h.max(), 100.0);
+    EXPECT_DOUBLE_EQ(h.sum(), 105.0);
+    // rank 2 lands in the (1,2] bucket; interpolation reaches its
+    // upper bound.
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+    // rank 3 lands in (2,4].
+    EXPECT_DOUBLE_EQ(h.quantile(0.75), 4.0);
+    // rank 4 is the open overflow bucket: report the observed max.
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+}
+
+TEST(ObsMetrics, HistogramQuantileCappedAtObservedMax)
+{
+    obs::Histogram h(std::vector<double>{10.0});
+    h.observe(3.0);
+    // A sparsely filled bucket must not inflate the estimate past the
+    // largest observation.
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.99), 3.0);
+}
+
+TEST(ObsMetrics, ExponentialBounds)
+{
+    const auto b = obs::Histogram::exponentialBounds(1.0, 2.0, 4);
+    ASSERT_EQ(b.size(), 4u);
+    EXPECT_DOUBLE_EQ(b[0], 1.0);
+    EXPECT_DOUBLE_EQ(b[3], 8.0);
+    EXPECT_TRUE(std::is_sorted(b.begin(), b.end()));
+}
+
+TEST(ObsMetrics, RenderTextGroupsLabeledSeriesByFamily)
+{
+    obs::Registry reg;
+    reg.counter("heat_jobs_total{tenant=\"a\"}", "jobs").add(3);
+    reg.counter("heat_jobs_total{tenant=\"b\"}").add(7);
+    obs::Histogram &h =
+        reg.histogram("heat_lat_us{tenant=\"a\"}",
+                      std::vector<double>{1.0, 2.0}, "latency");
+    h.observe(1.5);
+
+    const std::string text = reg.renderText();
+    // Two series, ONE family header.
+    EXPECT_EQ(countOf(text, "# TYPE heat_jobs_total counter"), 1u);
+    EXPECT_EQ(countOf(text, "heat_jobs_total{tenant=\"a\"} 3"), 1u);
+    EXPECT_EQ(countOf(text, "heat_jobs_total{tenant=\"b\"} 7"), 1u);
+    // Histogram: le spliced into the existing label block, suffixes on
+    // the family name.
+    EXPECT_EQ(countOf(text, "# TYPE heat_lat_us histogram"), 1u);
+    EXPECT_EQ(countOf(text, "heat_lat_us_bucket{tenant=\"a\",le=\"2\"} 1"),
+              1u);
+    EXPECT_EQ(countOf(text, "heat_lat_us_bucket{tenant=\"a\",le=\"+Inf\"} 1"),
+              1u);
+    EXPECT_EQ(countOf(text, "heat_lat_us_count{tenant=\"a\"} 1"), 1u);
+    EXPECT_EQ(countOf(text, "heat_lat_us_sum{tenant=\"a\"} 1.5"), 1u);
+}
+
+TEST(ObsMetrics, SamplesExpandHistograms)
+{
+    obs::Registry reg;
+    reg.counter("heat_c_total").add(2);
+    obs::Histogram &h =
+        reg.histogram("heat_h_us", std::vector<double>{1.0, 2.0});
+    h.observe(0.5);
+    h.observe(1.5);
+
+    std::vector<std::string> names;
+    for (const obs::MetricSample &s : reg.samples())
+        names.push_back(s.name);
+    const std::vector<std::string> want = {
+        "heat_c_total",   "heat_h_us_count", "heat_h_us_sum",
+        "heat_h_us_mean", "heat_h_us_p50",   "heat_h_us_p99",
+        "heat_h_us_max"};
+    EXPECT_EQ(names, want);
+}
+
+TEST(ObsTrace, ScopedSpanRecordsOnlyWhenEnabled)
+{
+    obs::Tracer *const prev = obs::setActiveTracer(nullptr);
+    {
+        OBS_SPAN("off.kernel", "test");
+    }
+    obs::Tracer tracer;
+    obs::setActiveTracer(&tracer);
+    {
+        OBS_SPAN("on.kernel", "test");
+    }
+    obs::setActiveTracer(prev);
+
+    const auto spans = tracer.spans();
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0].name, "on.kernel");
+    EXPECT_EQ(spans[0].pid, obs::kWallPid);
+    EXPECT_GE(spans[0].dur_us, 0.0);
+}
+
+TEST(ObsTrace, SpanCapCountsDrops)
+{
+    obs::Tracer tracer(2);
+    for (int i = 0; i < 5; ++i)
+        tracer.addSpan(obs::SpanRecord{"s", "t", obs::kWallPid, 0,
+                                       static_cast<double>(i), 1.0, {}});
+    EXPECT_EQ(tracer.spans().size(), 2u);
+    EXPECT_EQ(tracer.droppedSpans(), 3u);
+}
+
+TEST(ObsTrace, ChromeTraceIsBalancedAndNested)
+{
+    obs::Tracer tracer;
+    // parent [0,10) with children [0,4) and [4,6), plus a second track
+    // left open-ended relative to the first.
+    tracer.addSpan({"child-a", "t", obs::kModeledPid, 0, 0.0, 4.0, {}});
+    tracer.addSpan({"parent", "t", obs::kModeledPid, 0, 0.0, 10.0, {}});
+    tracer.addSpan(
+        {"child-b", "t", obs::kModeledPid, 0, 4.0, 2.0, {{"k", "v"}}});
+    tracer.addSpan({"other", "t", obs::kModeledPid, 1, 1.0, 3.0, {}});
+
+    std::ostringstream os;
+    tracer.writeChromeTrace(os, {{"workload", "unit-test"}});
+    const std::string json = os.str();
+
+    // Every B has a matching E; the parent opens before its children.
+    EXPECT_EQ(countOf(json, "\"ph\":\"B\""), 4u);
+    EXPECT_EQ(countOf(json, "\"ph\":\"E\""), 4u);
+    EXPECT_LT(json.find("\"name\":\"parent\",\"cat\":\"t\",\"ph\":\"B\""),
+              json.find("\"name\":\"child-a\",\"cat\":\"t\",\"ph\":\"B\""));
+    // Metadata and otherData present.
+    EXPECT_GE(countOf(json, "\"ph\":\"M\""), 1u);
+    EXPECT_EQ(countOf(json, "\"workload\":\"unit-test\""), 1u);
+    EXPECT_EQ(countOf(json, "\"dropped_spans\":0"), 1u);
+}
+
+/** One randomized key/encryptor universe over a small ring. */
+struct Universe
+{
+    explicit Universe(uint64_t seed)
+    {
+        fv::FvConfig cfg;
+        cfg.degree = 256;
+        cfg.plain_modulus = 257;
+        cfg.sigma = 3.2;
+        cfg.q_prime_count = 3;
+        params = fv::FvParams::create(cfg);
+        fv::KeyGenerator keygen(params, seed);
+        sk = keygen.generateSecretKey();
+        pk = keygen.generatePublicKey(sk);
+        rlk = keygen.generateRelinKeys(sk);
+        encryptor =
+            std::make_unique<fv::Encryptor>(params, pk, seed ^ 0xABCD);
+    }
+
+    Plaintext
+    randomPlain(uint64_t seed) const
+    {
+        Xoshiro256 rng(seed);
+        Plaintext p;
+        p.coeffs.resize(params->degree());
+        for (auto &c : p.coeffs)
+            c = rng.uniformBelow(params->plainModulus());
+        return p;
+    }
+
+    Ciphertext
+    randomCipher(uint64_t seed) const
+    {
+        return encryptor->encrypt(randomPlain(seed));
+    }
+
+    std::shared_ptr<const fv::FvParams> params;
+    fv::SecretKey sk;
+    fv::PublicKey pk;
+    fv::RelinKeys rlk;
+    std::unique_ptr<fv::Encryptor> encryptor;
+};
+
+/** Mixed circuit exercising NTT, Lift/Scale (mult), coeff ops and
+ *  relin key loads. */
+Circuit
+mixedCircuit(const Universe &u)
+{
+    CircuitBuilder b;
+    const ValueId x = b.input();
+    const ValueId y = b.input();
+    const ValueId v1 = b.mult(x, y);
+    const ValueId v2 = b.multPlain(v1, u.randomPlain(901));
+    const ValueId v3 = b.add(v2, b.sub(x, y));
+    b.output(b.mult(v3, v1));
+    return b.build();
+}
+
+TEST(ObsAttribution, CompileTimeAttributionMatchesFusedRunExactly)
+{
+    Universe u(77);
+    compiler::CompilerOptions options;
+    options.hw = hw::HwConfig::paper();
+    const compiler::CompiledCircuit compiled =
+        compiler::compileCircuit(u.params, mixedCircuit(u), options);
+
+    const compiler::CircuitAttribution attr =
+        compiler::attributeCompiledCircuit(compiled);
+
+    hw::Coprocessor cp(u.params, options.hw, &u.rlk);
+    compiler::CircuitRunStats run;
+    std::vector<Ciphertext> inputs = {u.randomCipher(1), u.randomCipher(2)};
+    compiler::runCompiledCircuit(cp, compiled, inputs, &run);
+
+    // Zero-cycle delta: the static model IS the runtime model.
+    EXPECT_EQ(attr.total_cycles, run.fpga_cycles);
+    for (size_t i = 0; i < hw::kUnitCount; ++i)
+        EXPECT_EQ(attr.unit_cycles[i], run.unit_cycles[i])
+            << "unit " << hw::unitName(static_cast<hw::Unit>(i));
+
+    // Internal consistency: unit buckets, opcode buckets and node
+    // attribution each sum exactly to their totals.
+    hw::Cycle unit_sum = 0;
+    for (hw::Cycle c : attr.unit_cycles)
+        unit_sum += c;
+    EXPECT_EQ(unit_sum, attr.total_cycles);
+    hw::Cycle op_sum = 0;
+    for (const auto &[op, cycles] : attr.op_cycles)
+        op_sum += cycles;
+    EXPECT_EQ(op_sum, attr.compute_cycles);
+    hw::Cycle node_sum = 0;
+    for (hw::Cycle c : attr.node_cycles)
+        node_sum += c;
+    EXPECT_EQ(node_sum, attr.compute_cycles);
+    EXPECT_EQ(attr.compute_cycles + attr.dispatch_cycles,
+              attr.total_cycles);
+
+    // The run's own unit buckets also sum exactly.
+    hw::Cycle run_sum = 0;
+    for (hw::Cycle c : run.unit_cycles)
+        run_sum += c;
+    EXPECT_EQ(run_sum, run.fpga_cycles);
+
+    // The compiler's node annotation agrees with the fresh attribution.
+    EXPECT_EQ(compiled.node_cycles, attr.node_cycles);
+}
+
+/** (name, modeled duration) multiset of a tracer's modeled spans —
+ *  absolute starts differ across worker counts (each worker has its
+ *  own clock), durations must not. */
+std::vector<std::pair<std::string, double>>
+modeledSpanShape(const obs::Tracer &tracer)
+{
+    std::vector<std::pair<std::string, double>> shape;
+    for (const obs::SpanRecord &s : tracer.spans())
+        if (s.pid == obs::kModeledPid)
+            shape.emplace_back(s.name, s.dur_us);
+    std::sort(shape.begin(), shape.end());
+    return shape;
+}
+
+TEST(ObsTrace, ModeledSpansDeterministicAcrossWorkerCounts)
+{
+    Universe u(99);
+    const Circuit circuit = mixedCircuit(u);
+    const std::vector<Ciphertext> inputs = {u.randomCipher(11),
+                                            u.randomCipher(12)};
+
+    std::vector<std::vector<std::pair<std::string, double>>> shapes;
+    hw::Cycle fpga_cycles = 0;
+    for (const size_t workers : {1u, 2u, 4u}) {
+        obs::Tracer tracer;
+        obs::Tracer *const prev = obs::setActiveTracer(&tracer);
+        {
+            service::ServiceConfig cfg;
+            cfg.workers = workers;
+            service::ExecutionService svc(u.params, u.rlk, cfg);
+            for (int r = 0; r < 3; ++r)
+                svc.submitCircuit(circuit, inputs).get();
+            svc.drain();
+            const service::ServiceSnapshot snap = svc.snapshot();
+            hw::Cycle unit_sum = 0;
+            for (hw::Cycle c : snap.stats.unit_cycles)
+                unit_sum += c;
+            EXPECT_EQ(unit_sum, snap.stats.fpga_cycles);
+            if (fpga_cycles == 0)
+                fpga_cycles = snap.stats.fpga_cycles;
+            EXPECT_EQ(snap.stats.fpga_cycles, fpga_cycles)
+                << "total modeled cycles changed at " << workers
+                << " workers";
+        }
+        obs::setActiveTracer(prev);
+        shapes.push_back(modeledSpanShape(tracer));
+    }
+
+    ASSERT_FALSE(shapes[0].empty());
+    EXPECT_EQ(shapes[0], shapes[1]);
+    EXPECT_EQ(shapes[0], shapes[2]);
+    // The trace reaches instruction depth: per-instruction unit spans
+    // and the per-program span are both present.
+    bool saw_program = false;
+    for (const auto &[name, dur] : shapes[0])
+        saw_program = saw_program || name == "program";
+    EXPECT_TRUE(saw_program);
+}
+
+} // namespace
+} // namespace heat

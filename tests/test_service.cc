@@ -619,5 +619,71 @@ TEST(Service, ResidentCacheIsBitExactAcrossWorkerCounts)
     }
 }
 
+TEST(Service, SnapshotIsInternallyConsistentUnderLoad)
+{
+    ServiceRig rig;
+    ExecutionService svc(rig.params, rig.rlk, rig.serviceConfig(4));
+
+    // An observer thread snapshots continuously while two clients
+    // submit. snapshot() captures stats, latency and queue depth under
+    // ONE lock acquisition, and workers observe latencies into the
+    // histogram BEFORE retiring the batch under that lock — so no
+    // snapshot may ever show more completed jobs than latency samples,
+    // and the per-unit cycle buckets must sum exactly to fpga_cycles
+    // at every instant. (The TSan CI leg runs this suite.)
+    std::atomic<bool> done{false};
+    std::thread observer([&] {
+        while (!done.load(std::memory_order_relaxed)) {
+            const ServiceSnapshot snap = svc.snapshot();
+            const ServiceStats &st = snap.stats;
+            EXPECT_GE(snap.latency.samples,
+                      st.ops_completed + st.circuits_completed);
+            EXPECT_LE(snap.latency.p50_us, snap.latency.p99_us);
+            EXPECT_LE(snap.latency.p99_us, snap.latency.max_us);
+            hw::Cycle unit_sum = 0;
+            for (hw::Cycle c : st.unit_cycles)
+                unit_sum += c;
+            EXPECT_EQ(unit_sum, st.fpga_cycles);
+            uint64_t tenant_completed = 0;
+            uint64_t tenant_arrivals = 0;
+            for (const TenantStats &t : st.tenants) {
+                tenant_completed += t.completed;
+                tenant_arrivals += t.arrivals;
+            }
+            // Tenant slices retire in the same critical section as the
+            // aggregate counters.
+            EXPECT_EQ(tenant_completed,
+                      st.ops_completed + st.circuits_completed);
+            EXPECT_GE(tenant_arrivals, tenant_completed);
+            std::this_thread::yield();
+        }
+    });
+
+    const size_t kClients = 2;
+    const size_t kOps = 12;
+    std::vector<ClientRun> runs(kClients);
+    std::vector<std::thread> clients;
+    for (size_t c = 0; c < kClients; ++c)
+        clients.emplace_back(
+            [&, c] { runs[c] = submitMixedOps(rig, svc, 31 + c, kOps); });
+    for (std::thread &t : clients)
+        t.join();
+    for (ClientRun &r : runs)
+        for (auto &f : r.futures)
+            f.get();
+    svc.drain();
+    done.store(true, std::memory_order_relaxed);
+    observer.join();
+
+    const ServiceSnapshot fin = svc.snapshot();
+    EXPECT_EQ(fin.stats.ops_completed, kClients * kOps);
+    EXPECT_EQ(fin.latency.samples, kClients * kOps);
+    EXPECT_EQ(fin.queue_depth, 0u);
+    ASSERT_EQ(fin.stats.tenants.size(), 1u);
+    EXPECT_EQ(fin.stats.tenants[0].arrivals, kClients * kOps);
+    EXPECT_EQ(fin.stats.tenants[0].completed, kClients * kOps);
+    EXPECT_EQ(fin.stats.tenants[0].shed, 0u);
+}
+
 } // namespace
 } // namespace heat::service

@@ -28,6 +28,8 @@
 #include <vector>
 
 #include "common/panic.h"
+#include "common/random.h"
+#include "compiler/attribution.h"
 #include "compiler/circuit.h"
 #include "compiler/compiler.h"
 #include "fv/decryptor.h"
@@ -38,6 +40,8 @@
 #include "fv/params.h"
 #include "fv/serialize.h"
 #include "hw/coprocessor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/service.h"
 
 using namespace heat;
@@ -338,6 +342,230 @@ cmdCircuit(const Args &args)
     return got == expected ? 0 : 1;
 }
 
+/**
+ * Observability demo and acceptance gate: run a workload through the
+ * serving layer with the span tracer installed, cross-check the three
+ * independent cycle accountings — compile-time attribution
+ * (compiler::attributeCompiledCircuit), a reference fused run on a
+ * standalone coprocessor, and the service's per-unit profile — for
+ * EXACT agreement (integer equality, no tolerance), then write a
+ * Chrome trace_event JSON (Perfetto-loadable) plus an optional
+ * Prometheus metrics dump. Any accounting mismatch exits 1.
+ *
+ * Workloads:
+ *   pir    8-shard PIR circuit on the small serving ring (n = 256,
+ *          3 q-primes): shards pinned coprocessor-resident, requests
+ *          run cold-then-warm through submitCompiledResident.
+ *   mult4  depth-4 multiply chain at the paper parameter set — the
+ *          per-unit table EXPERIMENTS.md quotes.
+ */
+int
+cmdTrace(const Args &args)
+{
+    const std::string workload = option(args, "workload", "pir");
+    const std::string out_path = option(args, "out", "trace.json");
+    const std::string metrics_path = option(args, "metrics", "");
+    const size_t workers = std::stoull(option(args, "workers", "2"));
+    const size_t requests = std::stoull(option(args, "requests", "4"));
+    const uint64_t seed = std::stoull(option(args, "seed", "1"));
+    fatalIf(workload != "pir" && workload != "mult4",
+            "unknown --workload '", workload, "' (pir|mult4)");
+    fatalIf(requests == 0, "need --requests >= 1");
+
+    // Parameter set: PIR uses the small serving ring (fast functional
+    // simulation; the timing model is the paper's either way), mult4
+    // the paper parameters so its table is quotable.
+    std::shared_ptr<const fv::FvParams> params;
+    if (workload == "pir") {
+        fv::FvConfig fvc;
+        fvc.degree = 256;
+        fvc.plain_modulus = 257;
+        fvc.sigma = 3.2;
+        fvc.q_prime_count = 3;
+        params = fv::FvParams::create(fvc);
+    } else {
+        params = paramsFor(args);
+    }
+    const uint64_t t = params->plainModulus();
+
+    fv::KeyGenerator keygen(params, seed);
+    fv::SecretKey sk = keygen.generateSecretKey();
+    fv::PublicKey pk = keygen.generatePublicKey(sk);
+    fv::RelinKeys rlk = keygen.generateRelinKeys(sk);
+    fv::Encryptor encryptor(params, pk, seed ^ 0x7ACE);
+    Xoshiro256 rng(seed * 977 + 13);
+
+    auto randomPlain = [&] {
+        fv::Plaintext p;
+        p.coeffs.resize(params->degree());
+        for (auto &c : p.coeffs)
+            c = rng.uniformBelow(t);
+        return p;
+    };
+
+    service::ServiceConfig cfg;
+    cfg.workers = workers;
+    compiler::CompilerOptions copts;
+    copts.hw = cfg.hw;
+
+    constexpr size_t kShards = 8;
+    compiler::CircuitBuilder b;
+    std::vector<fv::Ciphertext> resident_cts; // pir: pinned shards
+    std::vector<fv::Ciphertext> request_inputs;
+    if (workload == "pir") {
+        std::vector<compiler::ValueId> db;
+        for (size_t k = 0; k < kShards; ++k)
+            db.push_back(b.input());
+        const compiler::ValueId query = b.input();
+        compiler::ValueId acc = compiler::kNoValue;
+        for (size_t k = 0; k < kShards; ++k) {
+            const compiler::ValueId sel =
+                b.multPlain(db[k], randomPlain());
+            acc = (k == 0) ? sel : b.add(acc, sel);
+        }
+        b.output(b.add(acc, query));
+        for (uint32_t k = 0; k < kShards; ++k)
+            copts.resident_inputs.push_back(k);
+        for (size_t k = 0; k < kShards; ++k)
+            resident_cts.push_back(encryptor.encrypt(randomPlain()));
+        request_inputs.push_back(encryptor.encrypt(randomPlain()));
+    } else {
+        const compiler::ValueId xa = b.input();
+        const compiler::ValueId xc = b.input();
+        compiler::ValueId acc = b.mult(xa, xc);
+        for (int d = 1; d < 4; ++d)
+            acc = b.mult(acc, acc);
+        b.output(acc);
+        request_inputs.push_back(encryptor.encrypt(
+            fv::Plaintext{std::vector<uint64_t>{3}}));
+        request_inputs.push_back(encryptor.encrypt(
+            fv::Plaintext{std::vector<uint64_t>{5}}));
+    }
+    const compiler::Circuit circuit = b.build();
+    auto compiled = std::make_shared<const compiler::CompiledCircuit>(
+        compiler::compileCircuit(params, circuit, copts));
+
+    bool ok = true;
+    auto check = [&ok](bool cond, const char *what) {
+        if (!cond) {
+            std::fprintf(stderr, "trace: FAIL: %s\n", what);
+            ok = false;
+        }
+    };
+    auto unitSum = [](const std::array<hw::Cycle, hw::kUnitCount> &u) {
+        hw::Cycle s = 0;
+        for (hw::Cycle c : u)
+            s += c;
+        return s;
+    };
+
+    // Accounting 1 vs 2: compile-time attribution against one
+    // reference fused run on a standalone coprocessor. Done before the
+    // tracer is installed so the trace holds serving spans only.
+    const compiler::CircuitAttribution attr =
+        compiler::attributeCompiledCircuit(*compiled);
+    std::vector<fv::Ciphertext> all_inputs = resident_cts;
+    for (const auto &ct : request_inputs)
+        all_inputs.push_back(ct);
+    hw::Coprocessor ref_cp(params, cfg.hw, &rlk);
+    compiler::CircuitRunStats ref;
+    compiler::runCompiledCircuit(ref_cp, *compiled, all_inputs, &ref);
+    check(unitSum(ref.unit_cycles) == ref.fpga_cycles,
+          "reference run: unit cycles do not sum to fpga_cycles");
+    check(unitSum(attr.unit_cycles) == attr.total_cycles,
+          "attribution: unit cycles do not sum to total_cycles");
+    check(attr.total_cycles == ref.fpga_cycles,
+          "attribution total_cycles != reference run fpga_cycles");
+
+    // Accounting 3: the serving layer, with the tracer installed
+    // before the workers spawn.
+    obs::Tracer tracer;
+    obs::Tracer *const prev = obs::setActiveTracer(&tracer);
+    service::ServiceSnapshot snap;
+    {
+        service::ExecutionService svc(params, rlk, cfg);
+        if (workload == "pir") {
+            std::vector<service::PinnedHandle> handles;
+            for (const auto &ct : resident_cts)
+                handles.push_back(
+                    svc.pinInput(service::kDefaultTenant, ct));
+            for (size_t r = 0; r < requests; ++r)
+                svc.submitCompiledResident(service::kDefaultTenant,
+                                           compiled, handles,
+                                           request_inputs)
+                    .get();
+        } else {
+            for (size_t r = 0; r < requests; ++r)
+                svc.submitCompiled(compiled, request_inputs).get();
+        }
+        svc.drain();
+        snap = svc.snapshot();
+        if (!metrics_path.empty()) {
+            auto mout = openOut(metrics_path);
+            mout << svc.metrics().renderText();
+        }
+        svc.shutdown();
+    }
+    obs::setActiveTracer(prev);
+
+    check(unitSum(snap.stats.unit_cycles) == snap.stats.fpga_cycles,
+          "service: unit cycles do not sum to fpga_cycles");
+    check(snap.stats.fpga_cycles ==
+              ref.fpga_cycles * static_cast<hw::Cycle>(requests),
+          "service fpga_cycles != requests * reference fpga_cycles");
+    check(snap.stats.ops_failed == 0 && snap.stats.ops_rejected == 0,
+          "service reported failed or rejected jobs");
+
+    // The Chrome trace, with the accounting summary in otherData so
+    // the CI checker (and a human in Perfetto's info panel) can read
+    // the attribution without re-running.
+    std::vector<std::pair<std::string, std::string>> other;
+    other.emplace_back("workload", workload);
+    other.emplace_back("requests", std::to_string(requests));
+    other.emplace_back("total_cycles",
+                       std::to_string(snap.stats.fpga_cycles));
+    for (size_t u = 0; u < hw::kUnitCount; ++u)
+        other.emplace_back(
+            std::string("unit_cycles_") +
+                hw::unitName(static_cast<hw::Unit>(u)),
+            std::to_string(snap.stats.unit_cycles[u]));
+    {
+        auto out = openOut(out_path);
+        tracer.writeChromeTrace(out, other);
+    }
+
+    std::printf("trace: %s, %zu request%s, %zu worker%s -> %s (%zu "
+                "spans%s)%s\n",
+                workload.c_str(), requests, requests == 1 ? "" : "s",
+                workers, workers == 1 ? "" : "s", out_path.c_str(),
+                tracer.spans().size(),
+                tracer.droppedSpans() > 0 ? ", some dropped" : "",
+                metrics_path.empty()
+                    ? ""
+                    : (", metrics -> " + metrics_path).c_str());
+    std::printf("%-12s %18s %18s %7s\n", "unit", "cycles/request",
+                "service cycles", "share");
+    for (size_t u = 0; u < hw::kUnitCount; ++u) {
+        const hw::Cycle svc_cycles = snap.stats.unit_cycles[u];
+        std::printf("%-12s %18llu %18llu %6.2f%%\n",
+                    hw::unitName(static_cast<hw::Unit>(u)),
+                    static_cast<unsigned long long>(attr.unit_cycles[u]),
+                    static_cast<unsigned long long>(svc_cycles),
+                    snap.stats.fpga_cycles > 0
+                        ? 100.0 * static_cast<double>(svc_cycles) /
+                              static_cast<double>(snap.stats.fpga_cycles)
+                        : 0.0);
+    }
+    std::printf("%-12s %18llu %18llu %6.2f%%\n", "total",
+                static_cast<unsigned long long>(attr.total_cycles),
+                static_cast<unsigned long long>(snap.stats.fpga_cycles),
+                100.0);
+    std::printf("attribution check: %s (attribution == reference run "
+                "== service, per-unit sums exact)\n",
+                ok ? "OK" : "FAILED");
+    return ok ? 0 : 1;
+}
+
 void
 usage()
 {
@@ -352,7 +580,14 @@ usage()
         "  heat_cli circuit [--len 4] [--workers 2] [--t 65537] "
         "[--seed 1]\n"
         "                   encrypted dot-product demo through the "
-        "circuit compiler\n");
+        "circuit compiler\n"
+        "  heat_cli trace   [--workload pir|mult4] [--out trace.json]\n"
+        "                   [--metrics metrics.txt] [--workers 2] "
+        "[--requests 4] [--seed 1]\n"
+        "                   serve a workload with the span tracer on, "
+        "cross-check cycle\n"
+        "                   attribution exactly, write a Perfetto-"
+        "loadable Chrome trace\n");
 }
 
 } // namespace
@@ -374,6 +609,8 @@ main(int argc, char **argv)
             return cmdInfo(args);
         if (args.command == "circuit")
             return cmdCircuit(args);
+        if (args.command == "trace")
+            return cmdTrace(args);
         usage();
         return args.command.empty() ? 1 : 2;
     } catch (const std::exception &e) {
