@@ -32,6 +32,7 @@
 #include "fv/params.h"
 #include "hw/coprocessor.h"
 #include "service/service.h"
+#include "verify/verify.h"
 
 using namespace heat;
 
@@ -125,6 +126,35 @@ main(int argc, char **argv)
     compiler::CircuitRunStats fused_stats;
     compiler::runCompiledCircuit(cp, compiled, inputs, &fused_stats);
 
+    // --- static-verifier overhead ---------------------------------------
+    // The abstract interpreter runs on every compile (kWarn/kReject)
+    // and every service admission; it must stay a small fraction of
+    // the compile it guards.
+    const size_t reps = 10;
+    compiler::CompilerOptions unverified = options;
+    unverified.verify = compiler::VerifyCheck::kOff;
+    const auto c0 = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < reps; ++i)
+        compiler::compileCircuit(params, circuit, unverified);
+    const auto c1 = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < reps; ++i) {
+        const verify::VerifyResult vr =
+            verify::verifyCompiledCircuit(compiled);
+        if (!vr.ok()) {
+            std::fprintf(stderr, "bench circuit failed verification:\n%s\n",
+                         vr.report().c_str());
+            return 1;
+        }
+    }
+    const auto c2 = std::chrono::steady_clock::now();
+    const double compile_us =
+        std::chrono::duration<double, std::micro>(c1 - c0).count() /
+        static_cast<double>(reps);
+    const double verify_us =
+        std::chrono::duration<double, std::micro>(c2 - c1).count() /
+        static_cast<double>(reps);
+    const double verify_overhead_pct = 100.0 * verify_us / compile_us;
+
     bench::printHeader("circuit fusion: depth-4 demo circuit "
                        "(8 ops, paper parameters)");
     bench::printInfo("fused modeled op/s", fused_modeled, "op/s");
@@ -146,6 +176,9 @@ main(int argc, char **argv)
                      static_cast<double>(unfused_stats.uploaded_polys +
                                          unfused_stats.downloaded_polys),
                      "");
+    bench::printInfo("compile time", compile_us, "us");
+    bench::printInfo("verify time", verify_us, "us");
+    bench::printInfo("verify overhead", verify_overhead_pct, "%");
 
     reporter.record("fused_modeled_ops_per_sec", fused_modeled, "op/s",
                     params->degree(), params->qBase()->size());
@@ -155,6 +188,12 @@ main(int argc, char **argv)
                     params->degree(), params->qBase()->size());
     reporter.record("fused_speedup", fused_modeled / unfused_modeled,
                     "x", params->degree(), params->qBase()->size());
+    reporter.record("compile_us", compile_us, "us", params->degree(),
+                    params->qBase()->size());
+    reporter.record("verify_us", verify_us, "us", params->degree(),
+                    params->qBase()->size());
+    reporter.record("verify_overhead_pct", verify_overhead_pct, "%",
+                    params->degree(), params->qBase()->size());
 
     const bool gate = fused_modeled > unfused_modeled;
     std::printf("\nfused vs unfused modeled throughput: %.2fx (%s)\n",

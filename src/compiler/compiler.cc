@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <limits>
 #include <map>
+#include <string_view>
 #include <utility>
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/panic.h"
 #include "compiler/attribution.h"
@@ -13,6 +15,7 @@
 #include "hw/arm_host.h"
 #include "hw/program_builder.h"
 #include "obs/trace.h"
+#include "verify/verify.h"
 
 namespace heat::compiler {
 
@@ -998,6 +1001,28 @@ runCompiledImpl(hw::Coprocessor &cp, const CompiledCircuit &compiled,
 
 } // namespace
 
+VerifyCheck
+defaultVerifyCheck()
+{
+    static const VerifyCheck check = [] {
+        const char *env = std::getenv("HEAT_VERIFY");
+        if (env == nullptr)
+            return VerifyCheck::kWarn;
+        const std::string_view v(env);
+        if (v == "off")
+            return VerifyCheck::kOff;
+        if (v == "reject")
+            return VerifyCheck::kReject;
+        if (v != "warn")
+            std::fprintf(stderr,
+                         "HEAT_VERIFY: unknown value \"%s\" (want "
+                         "off|warn|reject); using warn\n",
+                         env);
+        return VerifyCheck::kWarn;
+    }();
+    return check;
+}
+
 CompiledCircuit
 compileCircuit(std::shared_ptr<const fv::FvParams> params,
                const Circuit &circuit, const CompilerOptions &options)
@@ -1005,6 +1030,18 @@ compileCircuit(std::shared_ptr<const fv::FvParams> params,
     CompiledCircuit out =
         CircuitCompiler(std::move(params), circuit, options).compile();
     out.node_cycles = attributeCompiledCircuit(out).node_cycles;
+    if (options.verify != VerifyCheck::kOff) {
+        const verify::VerifyResult result =
+            verify::verifyCompiledCircuit(out);
+        if (!result.ok()) {
+            fatalIf(options.verify == VerifyCheck::kReject,
+                    "compiled circuit failed static verification\n",
+                    result.report());
+            std::fprintf(stderr,
+                         "compileCircuit: warning: static verifier: %s",
+                         result.report().c_str());
+        }
+    }
     return out;
 }
 

@@ -50,6 +50,26 @@ enum class NoiseCheck : uint8_t
     kReject ///< throw FatalError with the node-level diagnostic
 };
 
+/**
+ * What compileCircuit does with the static verifier's verdict
+ * (verify/verify.h): every compilation can prove its own program
+ * respects the memory-file, layout, level and key invariants the
+ * runtime assumes.
+ */
+enum class VerifyCheck : uint8_t
+{
+    kOff,   ///< skip the pass entirely
+    kWarn,  ///< run it; print the diagnostic table to stderr
+    kReject ///< run it; throw FatalError carrying the table
+};
+
+/**
+ * @return the process default for CompilerOptions::verify — kWarn, or
+ * the HEAT_VERIFY environment override ("off" / "warn" / "reject"),
+ * read once.
+ */
+VerifyCheck defaultVerifyCheck();
+
 /** Compilation tunables. */
 struct CompilerOptions
 {
@@ -73,6 +93,16 @@ struct CompilerOptions
      * compile time rather than discovered as a garbage decryption.
      */
     NoiseCheck noise_check = NoiseCheck::kWarn;
+    /**
+     * Static verification of the compiled artifact (verify/verify.h):
+     * after lowering, an abstract interpreter proves the emitted
+     * program's slot, layout, level, key and liveness invariants. The
+     * pass costs a few percent of compile time; the default warns so a
+     * miscompiled program is named at compile time instead of decrypting
+     * to garbage. Overridable per process with HEAT_VERIFY=off|warn|
+     * reject (the sanitizer CI leg runs under reject).
+     */
+    VerifyCheck verify = defaultVerifyCheck();
     /**
      * Automatic level assignment (noise_pass.h, insertModSwitches):
      * before lowering, walk the DAG and insert kModSwitch drops at the

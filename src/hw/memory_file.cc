@@ -160,19 +160,36 @@ MemoryFile::extendToFull(PolyId id, const char *what)
     rec.data.resize(live * params_->degree(), 0);
 }
 
+namespace {
+
+/** Shared failure path of both record() overloads. */
+[[noreturn]] void
+throwInvalidRecord(PolyId id, size_t records, bool exists)
+{
+    std::ostringstream oss;
+    oss << "panic: invalid polynomial id " << id;
+    if (!exists)
+        oss << " (only " << records << " records exist)";
+    else
+        oss << " (record freed or predates a reset)";
+    throw InvalidRecordError(oss.str(), id);
+}
+
+} // namespace
+
 PolyRecord &
 MemoryFile::record(PolyId id)
 {
-    panicIf(id >= records_.size() || !records_[id].valid,
-            "invalid polynomial id ", id);
+    if (id >= records_.size() || !records_[id].valid)
+        throwInvalidRecord(id, records_.size(), id < records_.size());
     return records_[id];
 }
 
 const PolyRecord &
 MemoryFile::record(PolyId id) const
 {
-    panicIf(id >= records_.size() || !records_[id].valid,
-            "invalid polynomial id ", id);
+    if (id >= records_.size() || !records_[id].valid)
+        throwInvalidRecord(id, records_.size(), id < records_.size());
     return records_[id];
 }
 

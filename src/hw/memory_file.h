@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "common/panic.h"
 #include "fv/params.h"
 #include "hw/config.h"
 #include "ntt/rns_poly.h"
@@ -75,6 +76,30 @@ class SlotPressureError : public std::runtime_error
         : std::runtime_error(msg)
     {
     }
+};
+
+/**
+ * Thrown by MemoryFile record accessors handed an id that names no
+ * valid record — an out-of-range id, a freed record, or a stale id
+ * from before a reset. Derives from PanicError (a caller presenting
+ * such an id is a library bug, not a user error) but additionally
+ * carries the offending id so harnesses and the serving layer can
+ * report *which* record a broken program addressed instead of
+ * reaching into unallocated storage.
+ */
+class InvalidRecordError : public PanicError
+{
+  public:
+    InvalidRecordError(const std::string &msg, PolyId id)
+        : PanicError(msg), id_(id)
+    {
+    }
+
+    /** @return the record id the failed access named. */
+    PolyId id() const { return id_; }
+
+  private:
+    PolyId id_;
 };
 
 /**

@@ -9,6 +9,7 @@
 #include "hw/arm_host.h"
 #include "hw/coprocessor.h"
 #include "obs/trace.h"
+#include "verify/verify.h"
 
 namespace heat::service {
 
@@ -224,6 +225,10 @@ ExecutionService::submitCircuit(TenantId tenant,
     compiler::CompilerOptions options = config_.compiler;
     options.hw = config_.hw;
     options.noise_check = compiler::NoiseCheck::kOff;
+    // Same division of labor for the static verifier: admission runs
+    // it (verifySubmission) with this service's policy and cache, so
+    // the compile-time pass would only duplicate the work.
+    options.verify = compiler::VerifyCheck::kOff;
     options.resident_inputs.clear();
     auto compiled = std::make_shared<const compiler::CompiledCircuit>(
         compiler::compileCircuit(params_, circuit, options));
@@ -313,6 +318,49 @@ ExecutionService::admit(Session &s,
     std::fprintf(stderr, "ExecutionService: warning: %s\n", detail);
 }
 
+void
+ExecutionService::verifySubmission(
+    const std::shared_ptr<const compiler::CompiledCircuit> &compiled)
+{
+    if (config_.verify == compiler::VerifyCheck::kOff)
+        return;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        const auto it = verified_.find(compiled.get());
+        if (it != verified_.end() &&
+            it->second.lock().get() == compiled.get())
+            return; // this exact object already passed
+    }
+    const verify::VerifyResult result =
+        verify::verifyCompiledCircuit(*compiled);
+    if (!result.ok()) {
+        if (config_.verify == compiler::VerifyCheck::kReject) {
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                ++stats_.verify_rejected;
+            }
+            throw AdmissionRejectedError(
+                "admission rejected: compiled circuit failed static "
+                "verification\n" +
+                result.report());
+        }
+        std::fprintf(stderr,
+                     "ExecutionService: warning: static verifier: %s",
+                     result.report().c_str());
+        return; // a warned circuit stays uncached: resubmits re-warn
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.circuits_verified;
+    if (verified_.size() >= 256) {
+        // Drop witnesses whose circuit objects are gone (their
+        // addresses may be reused by unrelated allocations).
+        for (auto it = verified_.begin(); it != verified_.end();)
+            it = it->second.expired() ? verified_.erase(it)
+                                      : std::next(it);
+    }
+    verified_[compiled.get()] = compiled;
+}
+
 std::future<std::vector<fv::Ciphertext>>
 ExecutionService::submitCompiled(
     TenantId tenant,
@@ -322,6 +370,7 @@ ExecutionService::submitCompiled(
     fatalIf(compiled == nullptr, "submitCompiled needs a circuit");
     Session &s = session(tenant);
     checkCompiled(s, *compiled);
+    verifySubmission(compiled);
     fatalIf(!compiled->resident_inputs.empty(),
             "circuit was compiled with resident inputs — submit it "
             "through submitCompiledResident with the pinned handles");
@@ -350,6 +399,7 @@ ExecutionService::submitCompiledResident(
     fatalIf(compiled == nullptr, "submitCompiledResident needs a circuit");
     Session &s = session(tenant);
     checkCompiled(s, *compiled);
+    verifySubmission(compiled);
     fatalIf(compiled->resident_inputs.empty(),
             "circuit has no resident inputs — compile it with "
             "CompilerOptions::resident_inputs, or use submitCompiled");

@@ -69,6 +69,7 @@
 #include <span>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/panic.h"
@@ -142,6 +143,20 @@ struct ServiceConfig
      * with ServiceOverloadedError (counted in ServiceStats::ops_shed).
      */
     size_t max_queue_per_tenant = 0;
+    /**
+     * Static verification at submission admission (verify/verify.h):
+     * every compiled circuit entering through submitCircuit /
+     * submitCompiled / submitCompiledResident — including the warm
+     * resident path's pinned-prefix suffix, which the verifier checks
+     * as part of the whole program — is proven against the memory-file,
+     * layout, level and key invariants before any worker executes it.
+     * kWarn prints the diagnostic table and admits; kReject throws
+     * AdmissionRejectedError synchronously. Verification verdicts are
+     * cached per compiled-circuit object, so the compile-once
+     * submit-many pattern (and every warm resident resubmit) pays the
+     * pass once.
+     */
+    compiler::VerifyCheck verify = compiler::defaultVerifyCheck();
 };
 
 /** Delivered through the futures of jobs cancelled by shutdown(). */
@@ -212,6 +227,11 @@ struct ServiceStats
     uint64_t admission_rejected = 0;
     /** Circuits admitted only after the auto_mod_switch re-level. */
     uint64_t admission_releveled = 0;
+    /** Static-verifier passes actually run at admission (cache misses;
+     *  resubmissions of an already-verified circuit are not re-run). */
+    uint64_t circuits_verified = 0;
+    /** Submissions rejected by the static verifier (verify=kReject). */
+    uint64_t verify_rejected = 0;
     uint64_t batches = 0;
     /** Fused circuit jobs completed. */
     uint64_t circuits_completed = 0;
@@ -562,6 +582,11 @@ class ExecutionService
                        const compiler::CompiledCircuit &compiled) const;
     /** Noise-aware admission verdict for @p compiled (may throw). */
     void admit(Session &s, const compiler::CompiledCircuit &compiled);
+    /** Static-verification admission verdict (see ServiceConfig::
+     *  verify; may throw AdmissionRejectedError). Cached per compiled
+     *  object. */
+    void verifySubmission(
+        const std::shared_ptr<const compiler::CompiledCircuit> &compiled);
     /** Latency distribution from the histogram (no lock needed — the
      *  histogram is internally atomic). */
     LatencySnapshot latencyFromHistogram() const;
@@ -592,6 +617,12 @@ class ExecutionService
     bool started_ = true;
     bool stopping_ = false;
     ServiceStats stats_;
+    /** Compiled circuits the static verifier already cleared, keyed by
+     *  object address with a weak_ptr witness (an address reused by a
+     *  new allocation fails the witness and re-verifies; mu_). */
+    std::unordered_map<const compiler::CompiledCircuit *,
+                       std::weak_ptr<const compiler::CompiledCircuit>>
+        verified_;
     /** Modeled busy time per worker (us). */
     std::vector<double> worker_clock_us_;
 

@@ -25,6 +25,7 @@
 #include "fv/params.h"
 #include "hw/coprocessor.h"
 #include "service/service.h"
+#include "verify_support.h"
 
 namespace heat {
 namespace {

@@ -93,6 +93,40 @@ TEST(MemoryFile, AllocationAccounting)
     EXPECT_THROW(mem.record(a), PanicError);
 }
 
+TEST(MemoryFile, InvalidRecordAccessNamesTheRecord)
+{
+    auto params = fv::FvParams::paper();
+    MemoryFile mem(params, HwConfig::paper());
+    const PolyId a = mem.allocate(BaseTag::kQ);
+
+    // Out-of-range id: the error carries the id and the record count.
+    try {
+        mem.record(a + 41);
+        FAIL() << "out-of-range access must throw";
+    } catch (const InvalidRecordError &e) {
+        EXPECT_EQ(e.id(), a + 41);
+        EXPECT_NE(std::string(e.what()).find("records exist"),
+                  std::string::npos)
+            << e.what();
+    }
+
+    // Freed record: same typed error, different cause in the message.
+    mem.free(a);
+    try {
+        mem.record(a);
+        FAIL() << "freed-record access must throw";
+    } catch (const InvalidRecordError &e) {
+        EXPECT_EQ(e.id(), a);
+        EXPECT_NE(std::string(e.what()).find("freed"),
+                  std::string::npos)
+            << e.what();
+    }
+
+    // The typed error still is a PanicError, so existing broad
+    // handlers keep working.
+    EXPECT_THROW(mem.exportPoly(a), PanicError);
+}
+
 TEST(MemoryFile, ExhaustionIsFatal)
 {
     auto params = fv::FvParams::paper();

@@ -32,6 +32,7 @@
 #include "mp/primality.h"
 #include "poly/poly.h"
 #include "service/service.h"
+#include "verify_support.h"
 
 namespace heat {
 namespace {

@@ -26,6 +26,7 @@
 #include "hw/coprocessor.h"
 #include "hw/program_builder.h"
 #include "service/service.h"
+#include "verify_support.h"
 
 namespace heat::service {
 namespace {
